@@ -1,0 +1,71 @@
+"""Figure 6: distribution of running times across configurations.
+
+For three representative workloads (the paper uses AltaVista, gcc and
+wave5), runs base / cycles / default / mux several times each and
+renders the distribution of running times (mean, spread, 95% CI) --
+the scatter-plot data of the paper's figure.
+
+Paper shape: profiled distributions sit a few percent above base at
+most, and the run-to-run variance of the workload itself is comparable
+to (or exceeds) the profiling overhead.
+"""
+
+from repro.workloads.registry import get_workload
+
+from conftest import (baseline_workload, mean_ci95, profile_workload,
+                      run_once, write_result)
+
+WORKLOADS = ("altavista", "gcc", "wave5")
+CONFIGS = ("base", "cycles", "default", "mux")
+SEEDS = tuple(range(1, 7))
+BUDGET = 50_000
+
+
+def run_fig6():
+    series = {}
+    for name in WORKLOADS:
+        for config in CONFIGS:
+            times = []
+            for seed in SEEDS:
+                if config == "base":
+                    result = baseline_workload(
+                        get_workload(name), seed=seed,
+                        max_instructions=BUDGET)
+                else:
+                    result = profile_workload(
+                        get_workload(name), mode=config, seed=seed,
+                        max_instructions=BUDGET)
+                times.append(result.cycles)
+            series[(name, config)] = times
+    return series
+
+
+def render(series):
+    lines = ["Figure 6: distribution of running times (simulated cycles)",
+             "%-12s %-8s %12s %10s %10s %10s"
+             % ("workload", "config", "mean", "+/-95%", "min", "max")]
+    for (name, config), times in series.items():
+        mean, ci = mean_ci95(times)
+        lines.append("%-12s %-8s %12.0f %10.0f %10d %10d"
+                     % (name, config, mean, ci, min(times), max(times)))
+    return "\n".join(lines)
+
+
+def test_fig6_distribution(benchmark):
+    series = run_once(benchmark, run_fig6)
+    write_result("fig6_distribution", render(series))
+
+    for name in WORKLOADS:
+        base_mean, _ = mean_ci95(series[(name, "base")])
+        for config in ("cycles", "default", "mux"):
+            mean, _ = mean_ci95(series[(name, config)])
+            slowdown = (mean - base_mean) / base_mean
+            # All profiled distributions within a few percent of base
+            # (the paper's y-axis runs 90%..135%, with most points
+            # hugging 100%).
+            assert -0.02 < slowdown < 0.12, (name, config, slowdown)
+
+    # Workload self-variance: wave5's base spread is nonzero (the
+    # paper's motivation for dcpistats).
+    wave_base = series[("wave5", "base")]
+    assert max(wave_base) > min(wave_base)

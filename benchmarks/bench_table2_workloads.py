@@ -1,0 +1,60 @@
+"""Table 2: workload inventory and base running times.
+
+Reports, per workload, the platform (CPU count), a description, and the
+mean base runtime in simulated cycles with a 95% confidence interval
+over several runs -- the analog of the paper's seconds-per-run column.
+"""
+
+from repro.workloads.registry import WORKLOADS, get_workload
+
+from conftest import baseline_workload, mean_ci95, run_once, write_result
+
+SEEDS = (1, 2, 3)
+BUDGET = 50_000
+
+
+def run_table2():
+    rows = []
+    for name in WORKLOADS:
+        runtimes = []
+        workload = None
+        for seed in SEEDS:
+            workload = get_workload(name)
+            result = baseline_workload(workload, seed=seed,
+                                       max_instructions=BUDGET)
+            runtimes.append(result.cycles)
+        mean, ci = mean_ci95(runtimes)
+        rows.append({
+            "workload": name,
+            "cpus": workload.num_cpus,
+            "mean_cycles": mean,
+            "ci": ci,
+            "description": workload.description,
+        })
+    return rows
+
+
+def render(rows):
+    lines = ["Table 2: workloads (mean base runtime over %d seeded runs,"
+             % len(SEEDS),
+             "simulated cycles, 95%-confidence half-width)",
+             "%-18s %4s %14s %10s  %s"
+             % ("Workload", "CPUs", "Mean cycles", "+/-", "Description")]
+    for row in rows:
+        lines.append("%-18s %4d %14.0f %10.0f  %s"
+                     % (row["workload"], row["cpus"], row["mean_cycles"],
+                        row["ci"], row["description"][:60]))
+    return "\n".join(lines)
+
+
+def test_table2_workload_inventory(benchmark):
+    rows = run_once(benchmark, run_table2)
+    write_result("table2_workloads", render(rows))
+    names = {row["workload"] for row in rows}
+    # Uniprocessor and multiprocessor workloads both present (Table 2's
+    # two panels).
+    cpus = {row["cpus"] for row in rows}
+    assert 1 in cpus and max(cpus) >= 4
+    assert {"x11perf", "gcc", "wave5", "altavista", "dss",
+            "timesharing"} <= names
+    assert all(row["mean_cycles"] > 0 for row in rows)

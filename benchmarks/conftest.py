@@ -1,0 +1,78 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures: it
+runs the experiment (timed via pytest-benchmark), renders the same rows
+or series the paper reports, writes them to ``benchmarks/results/``,
+and asserts the qualitative shape the paper claims (who wins, by
+roughly what factor).  Absolute numbers differ -- the substrate is a
+simulator, not the authors' AlphaStations -- as documented in
+EXPERIMENTS.md.
+"""
+
+import math
+import os
+
+import pytest
+
+from repro.cpu.config import MachineConfig
+from repro.collect.session import ProfileSession, SessionConfig
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Default scaled sampling configuration (see DESIGN.md substitution
+#: table): mean period 248 cycles vs the paper's 62K; overhead numbers
+#: are charged at the 62K-equivalent rate via the driver's cost scale.
+FAST_PERIOD = (240, 256)
+EVENT_PERIOD = 64
+
+
+def write_result(name, text):
+    """Persist rendered output under benchmarks/results/<name>.txt."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name + ".txt")
+    with open(path, "w") as handle:
+        handle.write(text if text.endswith("\n") else text + "\n")
+    print("\n" + text)
+    return path
+
+
+def profile_workload(workload, mode="default", seed=1,
+                     max_instructions=80_000, period=FAST_PERIOD,
+                     machine_config=None, event_period=EVENT_PERIOD,
+                     **session_overrides):
+    """Run one profiled execution of *workload*; return SessionResult."""
+    config = machine_config or MachineConfig(num_cpus=workload.num_cpus)
+    session = ProfileSession(
+        config,
+        SessionConfig(mode=mode, cycles_period=period,
+                      event_period=event_period, seed=seed,
+                      **session_overrides))
+    return session.run(workload, max_instructions=max_instructions)
+
+
+def baseline_workload(workload, seed=1, max_instructions=80_000):
+    config = MachineConfig(num_cpus=workload.num_cpus)
+    session = ProfileSession(config, SessionConfig(seed=seed))
+    return session.run_baseline(workload, max_instructions=max_instructions)
+
+
+def mean_ci95(values):
+    """Return (mean, 95% confidence half-width) of *values*."""
+    n = len(values)
+    mean = sum(values) / n
+    if n < 2:
+        return mean, 0.0
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return mean, 1.96 * math.sqrt(variance / n)
+
+
+def run_once(benchmark, func):
+    """Run *func* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1,
+                              warmup_rounds=0)
+
+
+@pytest.fixture
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR

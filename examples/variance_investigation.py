@@ -1,0 +1,74 @@
+"""Investigating run-to-run variance (the paper's section 3.3 story).
+
+The wave5 workload's running time varies between runs.  Following the
+paper's methodology:
+
+1. run the workload eight times and compare profiles with dcpistats --
+   the variance concentrates in one procedure (smooth_);
+2. analyze smooth_ in the fastest and slowest runs;
+3. compare their stall summaries: the slow runs lose their extra cycles
+   to D-cache/DTB/write-buffer stalls, implicating the per-run
+   virtual-to-physical page mapping (cache conflicts), exactly the
+   paper's conclusion.
+
+Run with:  python examples/variance_investigation.py
+"""
+
+from repro import MachineConfig, ProfileSession, SessionConfig
+from repro.cpu.config import CacheConfig
+from repro.cpu.events import EventType
+from repro.core import analyze_procedure
+from repro.tools import dcpistats
+from repro.workloads import wave5
+
+RUNS = 8
+
+
+def machine_config():
+    config = MachineConfig()
+    # A 512KB board cache puts smooth_'s working set right at the edge
+    # where page-mapping conflicts decide hit rates.
+    config.board = CacheConfig(512 * 1024, 64, 1, 20)
+    return config
+
+
+def main():
+    results = []
+    for seed in range(1, RUNS + 1):
+        session = ProfileSession(
+            machine_config(),
+            SessionConfig(mode="default", cycles_period=(60, 64),
+                          event_period=64, seed=seed))
+        result = session.run(wave5.build(scale=20, rounds=10,
+                                         smooth_pages=12),
+                             max_instructions=400_000)
+        results.append(result)
+        print("run %d: %8d cycles" % (seed, result.cycles))
+
+    print()
+    print("=== dcpistats across %d runs ===" % RUNS)
+    profile_sets = [list(r.profiles.values()) for r in results]
+    print(dcpistats(profile_sets, limit=8))
+
+    def smooth_samples(result):
+        return result.profile_for("wave5").procedure_totals(
+            EventType.CYCLES)["smooth_"]
+
+    fastest = min(results, key=smooth_samples)
+    slowest = max(results, key=smooth_samples)
+    print()
+    print("smooth_ samples: fastest run %d, slowest run %d"
+          % (smooth_samples(fastest), smooth_samples(slowest)))
+
+    for label, result in (("fastest", fastest), ("slowest", slowest)):
+        image = result.daemon.images["wave5"]
+        profile = result.profile_for("wave5")
+        analysis = analyze_procedure(image, "smooth_", profile)
+        summary = analysis.summary()
+        print()
+        print("=== smooth_ stall summary (%s run) ===" % label)
+        print(summary.render())
+
+
+if __name__ == "__main__":
+    main()

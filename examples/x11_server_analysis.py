@@ -1,0 +1,64 @@
+"""Full-system profiling of an X server (the paper's Figure 1 story).
+
+The x11perf-like workload spends its time across an application image,
+three shared libraries and the kernel.  Because DCPI samples *all* code
+via performance-counter interrupts -- not just one application -- the
+profile attributes every cycle, including the kernel's.
+
+This example:
+
+1. profiles the whole system;
+2. prints the Figure 1-style per-procedure listing (note the kernel's
+   /vmunix rows);
+3. drills into the hottest routine with dcpicalc;
+4. shows the whole-image stall accounting.
+
+Run with:  python examples/x11_server_analysis.py
+"""
+
+from repro import MachineConfig, ProfileSession, SessionConfig
+from repro.cpu.events import EventType
+from repro.tools import dcpicalc, dcpiprof, dcpitopstalls
+from repro.tools.dcpiprof import procedure_table
+from repro.workloads import x11perf
+
+
+def main():
+    session = ProfileSession(
+        MachineConfig(),
+        SessionConfig(mode="default", cycles_period=(200, 256),
+                      event_period=64))
+    result = session.run(x11perf.build(scale=8, rounds=30),
+                         max_instructions=400_000)
+
+    profiles = list(result.profiles.values())
+    print("=== dcpiprof (full system, all images) ===")
+    print(dcpiprof(profiles, limit=12))
+
+    # Find the hottest procedure and the image that owns it.
+    rows, total, _ = procedure_table(profiles)
+    hottest = rows[0]
+    print()
+    print("hottest procedure: %s (%s), %.1f%% of all cycles"
+          % (hottest["procedure"], hottest["image"],
+             100.0 * hottest["primary"] / total))
+
+    image = result.daemon.images[hottest["image"]]
+    profile = result.profile_for(hottest["image"])
+    print()
+    print("=== dcpicalc for %s ===" % hottest["procedure"])
+    print(dcpicalc(image, hottest["procedure"], profile))
+
+    print()
+    print("=== whole-image stall accounting ===")
+    print(dcpitopstalls(image, profile))
+
+    kernel_profile = result.profile_for("/vmunix")
+    if kernel_profile is not None:
+        print()
+        print("kernel time: %d cycles samples in /vmunix"
+              % kernel_profile.total(EventType.CYCLES))
+
+
+if __name__ == "__main__":
+    main()

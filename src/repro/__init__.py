@@ -1,0 +1,51 @@
+"""Reproduction of the DIGITAL Continuous Profiling Infrastructure (DCPI).
+
+This package reimplements, in Python, the system described in
+"Continuous Profiling: Where Have All the Cycles Gone?" (SOSP 1997):
+
+* ``repro.alpha`` -- an Alpha-like ISA: assembler, images, symbol tables.
+* ``repro.cpu`` -- a cycle-level in-order dual-issue pipeline simulator
+  with caches, TLBs, a write buffer, branch prediction and performance
+  counters (the hardware substrate the paper profiled).
+* ``repro.osim`` -- processes, address spaces, a loader and a scheduler
+  (the operating-system substrate).
+* ``repro.collect`` -- the paper's data-collection system: device driver
+  with per-CPU hash tables, user-mode daemon, on-disk profile database.
+* ``repro.core`` -- the paper's analysis subsystem: CFGs, frequency
+  equivalence, the S_i/M_i frequency heuristic, CPI computation, and
+  "guilty until proven innocent" culprit analysis.
+* ``repro.tools`` -- dcpiprof, dcpicalc, dcpistats and friends.
+* ``repro.workloads`` -- synthetic stand-ins for the paper's workloads.
+* ``repro.baselines`` -- the competing profilers of the paper's Table 1.
+
+Quickstart::
+
+    from repro import MachineConfig, ProfileSession
+    from repro.workloads import mccalpin
+
+    program = mccalpin.build(kernel="copy", n=2000)
+    session = ProfileSession(MachineConfig())
+    result = session.run(program)
+"""
+
+from repro.alpha.assembler import assemble
+from repro.alpha.image import Image, Procedure
+from repro.cpu.config import MachineConfig
+from repro.cpu.events import EventType
+from repro.cpu.machine import Machine
+from repro.collect.session import ProfileSession, SessionConfig
+from repro.collect.database import ProfileDatabase
+
+__all__ = [
+    "assemble",
+    "Image",
+    "Procedure",
+    "MachineConfig",
+    "EventType",
+    "Machine",
+    "ProfileSession",
+    "SessionConfig",
+    "ProfileDatabase",
+]
+
+__version__ = "1.0.0"

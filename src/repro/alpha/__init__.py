@@ -1,0 +1,17 @@
+"""Alpha-like instruction set: registers, opcodes, assembler, images."""
+
+from repro.alpha.assembler import assemble, AssemblerError
+from repro.alpha.image import Image, Procedure, SymbolTable
+from repro.alpha.instruction import Instruction
+from repro.alpha.opcodes import OPCODES, OpInfo
+
+__all__ = [
+    "assemble",
+    "AssemblerError",
+    "Image",
+    "Procedure",
+    "SymbolTable",
+    "Instruction",
+    "OPCODES",
+    "OpInfo",
+]

@@ -1,0 +1,260 @@
+"""A small two-pass assembler for the Alpha-like ISA.
+
+Accepted syntax (one statement per line, ``#`` comments)::
+
+    .image /usr/shlib/libdraw.so
+    .data  array, 16000          # reserve 16000 bytes under a symbol
+    .proc  copy_loop
+    loop:
+        ldq   t4, 0(t1)
+        addq  t0, 4, t0
+        lda   a0, =array         # pseudo: materialize a symbol address
+        stq   t4, 0(t2)
+        cmpult t0, v0, t4
+        bne   t4, loop
+        ret
+    .end
+
+Branch targets are labels; labels share one namespace per image, so
+cross-procedure branches are allowed.  ``lda ra, =symbol`` is a pseudo
+instruction that loads an absolute (post-link) symbol address and issues
+as a normal ``lda``.
+"""
+
+import re
+
+from repro.alpha import regs
+from repro.alpha.image import Image
+from repro.alpha.instruction import Instruction
+from repro.alpha.opcodes import OPCODES
+
+
+class AssemblerError(Exception):
+    """Raised for any syntax or semantic error in assembly text."""
+
+    def __init__(self, message, lineno=None):
+        if lineno is not None:
+            message = "line %d: %s" % (lineno, message)
+        super().__init__(message)
+        self.lineno = lineno
+
+
+_MEM_RE = re.compile(r"^(-?\w+)\(([\w$]+)\)$")
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):$")
+
+
+def _parse_int(text, lineno):
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblerError("bad integer %r" % text, lineno)
+
+
+def _parse_reg(text, lineno):
+    try:
+        return regs.parse_register(text)
+    except KeyError:
+        raise AssemblerError("unknown register %r" % text, lineno)
+
+
+def _split_operands(text):
+    return [part.strip() for part in text.split(",")] if text else []
+
+
+class _PendingInst:
+    """An instruction plus unresolved label/symbol references."""
+
+    __slots__ = ("inst", "target_label", "symbol")
+
+    def __init__(self, inst, target_label=None, symbol=None):
+        self.inst = inst
+        self.target_label = target_label
+        self.symbol = symbol
+
+
+def assemble(text, image_name="a.out", base=None, externs=None):
+    """Assemble *text* into an :class:`Image`.
+
+    If *base* is given the image is linked at that address; otherwise it
+    is returned unlinked (the loader will link it).  *externs* maps
+    symbol names to absolute addresses of already-linked images, so
+    ``lda ra, =symbol`` can reference cross-image procedures and data.
+    """
+    externs = externs or {}
+    image = Image(image_name)
+    image.source = text
+    local_symbols = set()
+    labels = {}  # name -> image offset
+    current_proc = None  # (name, [_PendingInst])
+    pending_all = []
+    offset = 0
+
+    def finish_proc():
+        nonlocal current_proc
+        name, pendings = current_proc
+        image.add_procedure(name, [p.inst for p in pendings])
+        current_proc = None
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+
+        if line.startswith("."):
+            parts = line.split(None, 1)
+            directive = parts[0]
+            rest = parts[1].strip() if len(parts) > 1 else ""
+            if directive == ".image":
+                image.name = rest
+            elif directive == ".data":
+                operands = _split_operands(rest)
+                if len(operands) != 2:
+                    raise AssemblerError(".data needs 'name, bytes'", lineno)
+                image.add_data(operands[0], _parse_int(operands[1], lineno))
+                local_symbols.add(operands[0])
+            elif directive == ".proc":
+                if current_proc is not None:
+                    raise AssemblerError("nested .proc", lineno)
+                if not rest:
+                    raise AssemblerError(".proc needs a name", lineno)
+                current_proc = (rest, [])
+                labels[rest] = offset
+                local_symbols.add(rest)
+            elif directive == ".end":
+                if current_proc is None:
+                    raise AssemblerError(".end without .proc", lineno)
+                finish_proc()
+            else:
+                raise AssemblerError("unknown directive %r" % directive,
+                                     lineno)
+            continue
+
+        match = _LABEL_RE.match(line)
+        if match:
+            label = match.group(1)
+            if label in labels:
+                raise AssemblerError("duplicate label %r" % label, lineno)
+            labels[label] = offset
+            continue
+
+        if current_proc is None:
+            raise AssemblerError("instruction outside .proc", lineno)
+        pending = _parse_instruction(line, lineno)
+        pending.inst.line = lineno
+        current_proc[1].append(pending)
+        pending_all.append((pending, lineno))
+        offset += Image.INSTRUCTION_BYTES
+
+    if current_proc is not None:
+        raise AssemblerError("missing .end for procedure %r"
+                             % current_proc[0])
+
+    # Second pass: resolve labels to image offsets and queue data fixups.
+    for pending, lineno in pending_all:
+        if pending.target_label is not None:
+            if pending.target_label not in labels:
+                raise AssemblerError("undefined label %r"
+                                     % pending.target_label, lineno)
+            pending.inst.target = labels[pending.target_label]
+        if pending.symbol is not None:
+            if pending.symbol in local_symbols:
+                image.fixups.append((pending.inst, pending.symbol))
+            elif pending.symbol in externs:
+                pending.inst.imm = externs[pending.symbol]
+            else:
+                raise AssemblerError("undefined symbol %r" % pending.symbol,
+                                     lineno)
+
+    if base is not None:
+        image.link(base)
+    return image
+
+
+def _parse_instruction(line, lineno):
+    parts = line.split(None, 1)
+    op = parts[0].lower()
+    info = OPCODES.get(op)
+    if info is None:
+        raise AssemblerError("unknown opcode %r" % op, lineno)
+    operands = _split_operands(parts[1] if len(parts) > 1 else "")
+    kind = info.kind
+
+    if kind in ("op", "fop"):
+        if len(operands) != 3:
+            raise AssemblerError("%s needs 3 operands" % op, lineno)
+        ra = _parse_reg(operands[0], lineno)
+        rc = _parse_reg(operands[2], lineno)
+        if regs.is_register(operands[1]):
+            rb, imm = _parse_reg(operands[1], lineno), None
+        else:
+            rb, imm = None, _parse_int(operands[1], lineno)
+        return _PendingInst(Instruction(op, ra=ra, rb=rb, rc=rc, imm=imm))
+
+    if kind in ("load", "fload", "store", "fstore", "lda"):
+        if len(operands) != 2:
+            raise AssemblerError("%s needs 2 operands" % op, lineno)
+        ra = _parse_reg(operands[0], lineno)
+        mem = operands[1]
+        if mem.startswith("="):
+            if kind != "lda":
+                raise AssemblerError("'=symbol' only valid for lda", lineno)
+            ref = mem[1:]
+            if re.fullmatch(r"-?(\d+|0x[0-9a-fA-F]+)", ref):
+                return _PendingInst(
+                    Instruction(op, ra=ra, rb=regs.ZERO_REG,
+                                imm=_parse_int(ref, lineno)))
+            inst = Instruction(op, ra=ra, rb=regs.ZERO_REG, imm=0)
+            return _PendingInst(inst, symbol=ref)
+        match = _MEM_RE.match(mem)
+        if not match:
+            raise AssemblerError("bad memory operand %r" % mem, lineno)
+        disp = _parse_int(match.group(1), lineno)
+        rb = _parse_reg(match.group(2), lineno)
+        return _PendingInst(Instruction(op, ra=ra, rb=rb, imm=disp))
+
+    if kind in ("cbranch", "fbranch"):
+        if len(operands) != 2:
+            raise AssemblerError("%s needs 'reg, label'" % op, lineno)
+        ra = _parse_reg(operands[0], lineno)
+        inst = Instruction(op, ra=ra)
+        return _PendingInst(inst, target_label=operands[1])
+
+    if kind == "br":
+        if len(operands) == 1:
+            ra, label = regs.ZERO_REG, operands[0]
+        elif len(operands) == 2:
+            ra, label = _parse_reg(operands[0], lineno), operands[1]
+        else:
+            raise AssemblerError("%s needs '[reg,] label'" % op, lineno)
+        return _PendingInst(Instruction(op, ra=ra), target_label=label)
+
+    if kind == "jump":
+        if op == "ret":
+            rb = regs.parse_register("ra")
+            if operands:
+                mem = operands[-1]
+                if mem.startswith("(") and mem.endswith(")"):
+                    rb = _parse_reg(mem[1:-1], lineno)
+            return _PendingInst(
+                Instruction(op, ra=regs.ZERO_REG, rb=rb))
+        if op == "jmp" and len(operands) == 1:
+            ra = regs.ZERO_REG
+            mem = operands[0]
+        elif len(operands) == 2:
+            ra = _parse_reg(operands[0], lineno)
+            mem = operands[1]
+        else:
+            raise AssemblerError("%s needs '[reg,] (reg)'" % op, lineno)
+        if not (mem.startswith("(") and mem.endswith(")")):
+            raise AssemblerError("bad jump operand %r" % mem, lineno)
+        rb = _parse_reg(mem[1:-1], lineno)
+        return _PendingInst(Instruction(op, ra=ra, rb=rb))
+
+    if kind == "pal":
+        imm = _parse_int(operands[0], lineno) if operands else 0
+        return _PendingInst(Instruction(op, imm=imm))
+
+    if kind == "nop":
+        return _PendingInst(Instruction(op))
+
+    raise AssemblerError("cannot parse %r" % line, lineno)

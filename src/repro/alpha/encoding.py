@@ -1,0 +1,271 @@
+"""Binary instruction encoding: 32-bit words, Alpha-style layout.
+
+The profiling system works on *unmodified executables*; this module
+gives images a real binary representation so executables can be written
+to disk and loaded back without the assembler (and so tools can operate
+on binaries they did not build).  The layout follows the Alpha AXP
+formats in spirit:
+
+* operate:   [opc:8][ra:5][rb:5][lit?:1][literal:8][rc:5]
+* memory:    [opc:8][ra:5][rb:5][disp:14 signed]  (scaled-down disp)
+* mem-hi:    lda-style with a 16-bit displacement via an extension word
+* branch:    [opc:8][ra:5][disp:19 signed words]
+* jump/pal:  [opc:8][ra:5][rb:5][hint:14]
+
+Displacements and literals that do not fit the compact fields spill to
+an extension word (opcode 0xFF) preceding the instruction -- our
+stand-in for the ldah/lda sequences real compilers emit.  Every encoded
+instruction decodes back to an equal Instruction (round-trip tested,
+including with hypothesis).
+"""
+
+import struct
+
+from repro.alpha.image import Image
+from repro.alpha.instruction import Instruction
+from repro.alpha.opcodes import OPCODES
+
+#: opcode name <-> numeric opcode (stable, sorted assignment).
+OPCODE_NUMBERS = {name: i + 1 for i, name in enumerate(sorted(OPCODES))}
+NUMBER_OPCODES = {number: name for name, number in OPCODE_NUMBERS.items()}
+
+EXTENSION_OPCODE = 0xFF
+
+_MEM_DISP_BITS = 14
+_MEM_DISP_MAX = (1 << (_MEM_DISP_BITS - 1)) - 1
+_MEM_DISP_MIN = -(1 << (_MEM_DISP_BITS - 1))
+_BR_DISP_BITS = 19
+_LIT_MAX = 255
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction cannot be represented."""
+
+
+def _reg(value):
+    return 31 if value is None else value & 31
+
+
+def encode_instruction(inst, next_addr=0):
+    """Encode *inst* into a list of one or two 32-bit words.
+
+    *next_addr* is the address of the following instruction (branch
+    displacements are relative to it, as on Alpha).
+    """
+    opc = OPCODE_NUMBERS[inst.op]
+    kind = inst.info.kind
+    words = []
+    if kind in ("op", "fop"):
+        if inst.rb is not None:
+            word = (opc << 24) | (_reg(inst.ra) << 19) \
+                | ((inst.rb & 31) << 14) | ((inst.rc & 31) if inst.rc
+                                            is not None else 31)
+        else:
+            literal = inst.imm or 0
+            if not 0 <= literal <= _LIT_MAX:
+                words.append(_extension_word(literal))
+                literal = 0
+            word = (opc << 24) | (_reg(inst.ra) << 19) | (31 << 14) \
+                | (1 << 13) | ((literal & 0xFF) << 5) \
+                | ((inst.rc & 31) if inst.rc is not None else 31)
+        words.append(word)
+    elif kind in ("load", "fload", "store", "fstore", "lda"):
+        disp = inst.imm or 0
+        if not _MEM_DISP_MIN <= disp <= _MEM_DISP_MAX:
+            words.append(_extension_word(disp))
+            disp = 0
+        word = (opc << 24) | (_reg(inst.ra) << 19) \
+            | (_reg(inst.rb) << 14) | (disp & ((1 << _MEM_DISP_BITS) - 1))
+        words.append(word)
+    elif kind in ("br", "cbranch", "fbranch"):
+        target = inst.target if inst.target is not None else next_addr
+        disp = (target - next_addr) >> 2
+        limit = 1 << (_BR_DISP_BITS - 1)
+        if not -limit <= disp < limit:
+            raise EncodingError("branch displacement %d out of range"
+                                % disp)
+        word = (opc << 24) | (_reg(inst.ra) << 19) \
+            | (disp & ((1 << _BR_DISP_BITS) - 1))
+        words.append(word)
+    elif kind == "jump":
+        word = (opc << 24) | (_reg(inst.ra) << 19) | (_reg(inst.rb) << 14)
+        words.append(word)
+    elif kind == "pal":
+        imm = inst.imm or 0
+        word = (opc << 24) | (imm & 0xFFFFFF)
+        words.append(word)
+    else:  # nop
+        words.append(opc << 24)
+    return words
+
+
+def _extension_word(value):
+    # 24-bit signed payload carried by an extension word.
+    if not -(1 << 23) <= value < (1 << 23):
+        raise EncodingError("extension payload %d out of range" % value)
+    return (EXTENSION_OPCODE << 24) | (value & 0xFFFFFF)
+
+
+def _sign_extend(value, bits):
+    value &= (1 << bits) - 1
+    if value >> (bits - 1):
+        value -= 1 << bits
+    return value
+
+
+def decode_instruction(word, addr, extension=None):
+    """Decode one word (plus an optional preceding extension payload).
+
+    Returns an :class:`Instruction` with ``addr`` set.
+    """
+    opc = (word >> 24) & 0xFF
+    name = NUMBER_OPCODES.get(opc)
+    if name is None:
+        raise EncodingError("unknown opcode number %d at %#x"
+                            % (opc, addr))
+    info = OPCODES[name]
+    kind = info.kind
+
+    def unreg(value):
+        return None if value == 31 else value
+
+    # FP register fields are stored with the 32-bias stripped; restore.
+    fp_bias = 32 if kind in ("fop", "fload", "fstore", "fbranch") else 0
+    if kind in ("op", "fop"):
+        ra = ((word >> 19) & 31) + fp_bias
+        rc = (word & 31) + fp_bias
+        if (word >> 13) & 1:
+            literal = (word >> 5) & 0xFF
+            if extension is not None:
+                literal = extension
+            return Instruction(name, ra=ra, imm=literal, rc=rc, addr=addr)
+        rb = ((word >> 14) & 31) + fp_bias
+        return Instruction(name, ra=ra, rb=rb, rc=rc, addr=addr)
+    if kind in ("load", "fload", "store", "fstore", "lda"):
+        ra = ((word >> 19) & 31) + fp_bias
+        rb = (word >> 14) & 31  # the base register is always integer
+        disp = _sign_extend(word, _MEM_DISP_BITS)
+        if extension is not None:
+            disp = extension
+        return Instruction(name, ra=ra, rb=rb, imm=disp, addr=addr)
+    if kind in ("br", "cbranch", "fbranch"):
+        ra = ((word >> 19) & 31) + fp_bias
+        disp = _sign_extend(word, _BR_DISP_BITS)
+        target = addr + 4 + (disp << 2)
+        return Instruction(name, ra=ra, target=target, addr=addr)
+    if kind == "jump":
+        ra = (word >> 19) & 31
+        rb = (word >> 14) & 31
+        return Instruction(name, ra=ra, rb=rb, addr=addr)
+    if kind == "pal":
+        return Instruction(name, imm=_sign_extend(word, 24), addr=addr)
+    return Instruction(name, addr=addr)
+
+
+# -- whole-image binaries ----------------------------------------------------
+
+MAGIC = b"AEXE"
+VERSION = 1
+
+
+def encode_image(image):
+    """Serialize a linked *image* into an executable binary (bytes).
+
+    Because extension words change instruction addresses, text encoded
+    here stores one *fixed-width record* of up to two words per
+    instruction (extension slot + instruction word); a zero extension
+    slot means "none".  Addresses and branch targets are therefore
+    preserved exactly.
+    """
+    if image.base is None:
+        raise EncodingError("cannot encode an unlinked image")
+    out = bytearray()
+    out += MAGIC
+    name_bytes = image.name.encode("utf-8")
+    out += struct.pack("<HHQQQ", VERSION, len(name_bytes), image.base,
+                       image.data_base or 0, image.data_size)
+    out += name_bytes
+    out += struct.pack("<I", len(image.instructions))
+    for inst in image.instructions:
+        words = encode_instruction(inst, inst.addr + 4)
+        if len(words) == 2:
+            out += struct.pack("<II", words[0], words[1])
+        else:
+            out += struct.pack("<II", 0, words[0])
+    out += struct.pack("<I", len(image.procedures))
+    for proc in image.procedures:
+        pname = proc.name.encode("utf-8")
+        out += struct.pack("<HQQ", len(pname), proc.start, proc.end)
+        out += pname
+    symbols = [(n, a) for n, a in image.symbols.items()
+               if n not in {p.name for p in image.procedures}]
+    out += struct.pack("<I", len(symbols))
+    for name, addr in symbols:
+        sname = name.encode("utf-8")
+        out += struct.pack("<HQ", len(sname), addr)
+        out += sname
+    return bytes(out)
+
+
+def decode_image(data):
+    """Inverse of :func:`encode_image`; returns a linked Image."""
+    if data[:4] != MAGIC:
+        raise EncodingError("not an AEXE binary")
+    offset = 4
+    version, name_len, base, data_base, data_size = struct.unpack_from(
+        "<HHQQQ", data, offset)
+    offset += struct.calcsize("<HHQQQ")
+    if version != VERSION:
+        raise EncodingError("unsupported binary version %d" % version)
+    name = data[offset:offset + name_len].decode("utf-8")
+    offset += name_len
+    (n_insts,) = struct.unpack_from("<I", data, offset)
+    offset += 4
+    image = Image(name)
+    image.base = base
+    image.data_base = data_base or None
+    image.data_size = data_size
+    addr = base
+    for _ in range(n_insts):
+        ext_word, word = struct.unpack_from("<II", data, offset)
+        offset += 8
+        extension = None
+        if ext_word:
+            extension = _sign_extend(ext_word, 24)
+        image.instructions.append(
+            decode_instruction(word, addr, extension))
+        addr += Image.INSTRUCTION_BYTES
+    (n_procs,) = struct.unpack_from("<I", data, offset)
+    offset += 4
+    from repro.alpha.image import Procedure
+
+    for _ in range(n_procs):
+        pname_len, start, end = struct.unpack_from("<HQQ", data, offset)
+        offset += struct.calcsize("<HQQ")
+        pname = data[offset:offset + pname_len].decode("utf-8")
+        offset += pname_len
+        proc = Procedure(pname, start, end, image=image)
+        image.procedures.append(proc)
+        image._proc_by_name[pname] = proc
+        image.symbols.define(pname, start)
+    (n_syms,) = struct.unpack_from("<I", data, offset)
+    offset += 4
+    for _ in range(n_syms):
+        sname_len, sym_addr = struct.unpack_from("<HQ", data, offset)
+        offset += struct.calcsize("<HQ")
+        sname = data[offset:offset + sname_len].decode("utf-8")
+        offset += sname_len
+        image.symbols.define(sname, sym_addr)
+    return image
+
+
+def save_executable(image, path):
+    """Write *image* to *path* as an AEXE binary."""
+    with open(path, "wb") as handle:
+        handle.write(encode_image(image))
+
+
+def load_executable(path):
+    """Read an AEXE binary; returns a linked Image."""
+    with open(path, "rb") as handle:
+        return decode_image(handle.read())

@@ -1,0 +1,202 @@
+"""Executable images: code, procedures and symbol tables.
+
+An :class:`Image` is the unit the profiling system attributes samples to
+(an application binary, a shared library, or the kernel).  Images are
+*linked* at a base address before execution; all instruction addresses
+and branch targets become absolute at link time.  As on the paper's
+systems, a shared image is mapped at the same address in every process
+that uses it; per-process data is kept separate by the per-process
+address space in :mod:`repro.osim.process`.
+"""
+
+from repro.alpha.opcodes import DIRECT_BRANCH_KINDS
+
+
+class Procedure:
+    """A named, contiguous range of instructions inside an image."""
+
+    __slots__ = ("name", "start", "end", "image")
+
+    def __init__(self, name, start, end, image=None):
+        self.name = name
+        self.start = start
+        self.end = end
+        self.image = image
+
+    def __contains__(self, addr):
+        return self.start <= addr < self.end
+
+    def __repr__(self):
+        return "<Procedure %s [%#x, %#x)>" % (self.name, self.start,
+                                              self.end)
+
+    def instructions(self):
+        """Return the instructions of this procedure, in address order."""
+        return self.image.slice(self.start, self.end)
+
+
+class SymbolTable:
+    """Name -> absolute address mapping for one image."""
+
+    def __init__(self):
+        self._symbols = {}
+
+    def define(self, name, addr):
+        if name in self._symbols:
+            raise ValueError("duplicate symbol: %r" % name)
+        self._symbols[name] = addr
+
+    def resolve(self, name):
+        return self._symbols[name]
+
+    def __contains__(self, name):
+        return name in self._symbols
+
+    def items(self):
+        return self._symbols.items()
+
+
+class Image:
+    """A linked executable image.
+
+    Attributes:
+        name: pathname-style identity, e.g. ``/usr/shlib/libdraw.so``.
+        base: absolute address of the first instruction.
+        instructions: list of :class:`Instruction`, 4 bytes apart.
+        procedures: list of :class:`Procedure` covering the code.
+        symbols: :class:`SymbolTable` with procedure entry points and
+            data symbols.
+        data_size: bytes of data space the image needs after its code.
+        data_base: absolute address of the data region (after linking).
+    """
+
+    INSTRUCTION_BYTES = 4
+
+    def __init__(self, name):
+        self.name = name
+        self.base = None
+        self.instructions = []
+        self.procedures = []
+        self.symbols = SymbolTable()
+        self.data_size = 0
+        self.data_base = None
+        self._proc_by_name = {}
+        #: Original assembly text, when built by the assembler (used by
+        #: the dcpilist source-annotation tool).
+        self.source = None
+        # (instruction, symbol-name) pairs whose ``imm`` field takes the
+        # symbol's absolute address once the image is linked.
+        self.fixups = []
+
+    # -- construction -----------------------------------------------------
+
+    def add_procedure(self, name, instructions):
+        """Append *instructions* as procedure *name*.
+
+        Offsets are assigned relative to the image; absolute addresses are
+        fixed by :meth:`link`.
+        """
+        start = len(self.instructions) * self.INSTRUCTION_BYTES
+        for inst in instructions:
+            inst.addr = len(self.instructions) * self.INSTRUCTION_BYTES
+            self.instructions.append(inst)
+        end = len(self.instructions) * self.INSTRUCTION_BYTES
+        proc = Procedure(name, start, end, image=self)
+        self.procedures.append(proc)
+        self._proc_by_name[name] = proc
+        self.symbols.define(name, start)
+        return proc
+
+    def add_data(self, name, nbytes, align=64):
+        """Reserve *nbytes* of data space under symbol *name*.
+
+        Returns the offset of the block within the data region.  The
+        absolute address is ``data_base + offset`` after linking.
+        """
+        if self.data_size % align:
+            self.data_size += align - self.data_size % align
+        offset = self.data_size
+        self.data_size += nbytes
+        self.symbols.define(name, offset)
+        return offset
+
+    def link(self, base):
+        """Fix all addresses: code at *base*, data right after the code."""
+        self.base = base
+        for inst in self.instructions:
+            inst.addr += base
+        code_end = base + self.code_size
+        # Data starts on the next 8 KB page boundary so that code and data
+        # never share a page (or a cache line).
+        self.data_base = (code_end + 8191) & ~8191
+        for proc in self.procedures:
+            proc.start += base
+            proc.end += base
+        resolved = SymbolTable()
+        for name, off in self.symbols.items():
+            if name in self._proc_by_name:
+                resolved.define(name, off + base)
+            else:
+                resolved.define(name, off + self.data_base)
+        self.symbols = resolved
+        self._resolve_targets()
+        return self
+
+    def _resolve_targets(self):
+        """Convert label-offset branch targets to absolute addresses."""
+        for inst in self.instructions:
+            if inst.info.kind in DIRECT_BRANCH_KINDS and inst.target is not None:
+                inst.target += self.base
+        for inst, symbol in self.fixups:
+            inst.imm = self.symbols.resolve(symbol)
+        self.fixups = []
+
+    # -- lookup ------------------------------------------------------------
+
+    @property
+    def code_size(self):
+        return len(self.instructions) * self.INSTRUCTION_BYTES
+
+    @property
+    def end(self):
+        return self.base + self.code_size
+
+    def __contains__(self, addr):
+        return self.base is not None and self.base <= addr < self.end
+
+    def instruction_at(self, addr):
+        """Return the instruction at absolute address *addr*."""
+        index = (addr - self.base) >> 2
+        return self.instructions[index]
+
+    def offset_of(self, addr):
+        """Return the image-relative offset of absolute address *addr*."""
+        return addr - self.base
+
+    def slice(self, start, end):
+        """Return instructions in the absolute address range [start, end)."""
+        lo = (start - self.base) >> 2
+        hi = (end - self.base) >> 2
+        return self.instructions[lo:hi]
+
+    def procedure_at(self, addr):
+        """Return the procedure containing *addr*, or None."""
+        for proc in self.procedures:
+            if addr in proc:
+                return proc
+        return None
+
+    def procedure(self, name):
+        """Return the procedure named *name* (KeyError if absent)."""
+        return self._proc_by_name[name]
+
+    def entry(self, name=None):
+        """Return the entry address: of *name*, or of the first procedure."""
+        if name is None:
+            return self.procedures[0].start
+        return self._proc_by_name[name].start
+
+    def __repr__(self):
+        where = "unlinked" if self.base is None else "@%#x" % self.base
+        return "<Image %s %s, %d insts>" % (self.name, where,
+                                            len(self.instructions))

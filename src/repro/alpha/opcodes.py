@@ -1,0 +1,307 @@
+"""Opcode metadata for the Alpha-like ISA.
+
+Each opcode carries everything the rest of the system needs:
+
+* ``kind`` -- the operand shape (integer operate, load, store, branch...),
+  which determines how the assembler parses it and how the interpreter
+  executes it.
+* ``cls`` -- the issue class used by the pipeline model and the static
+  scheduler (functional unit, result latency, allowed issue pipes).
+* ``sem`` / ``cond`` -- the architectural semantics.
+
+The issue classes below describe a 21164-flavoured dual-issue machine.
+They are a simplification of the real chip, but the *same* table drives
+both the cycle-level simulator and the analysis tools' static scheduler,
+so the analysis has no model skew relative to the simulated hardware.
+"""
+
+from collections import namedtuple
+
+MASK64 = (1 << 64) - 1
+MASK32 = (1 << 32) - 1
+
+# Issue pipes. E0/E1 are the integer pipes, FA/FM the floating pipes.
+# Up to two instructions issue per cycle, and a pair may dual-issue only
+# if it can be slotted onto two distinct pipes.
+E0, E1, FA, FM = "E0", "E1", "FA", "FM"
+
+#: Issue-class table: name -> (result latency, allowed pipes, busy unit,
+#: unit busy cycles).  A non-None busy unit blocks subsequent users of the
+#: same unit (IMUL interlock, non-pipelined FDIV).
+IssueClass = namedtuple("IssueClass", "latency pipes unit busy")
+
+ISSUE_CLASSES = {
+    "IADD": IssueClass(1, (E0, E1), None, 0),
+    "ILOG": IssueClass(1, (E0, E1), None, 0),
+    "SHIFT": IssueClass(1, (E0,), None, 0),
+    "ICMP": IssueClass(1, (E0, E1), None, 0),
+    "CMOV": IssueClass(1, (E0, E1), None, 0),
+    "IMUL": IssueClass(8, (E0,), "imul", 4),
+    "LD": IssueClass(2, (E0, E1), None, 0),
+    "ST": IssueClass(0, (E0,), None, 0),
+    "BR": IssueClass(1, (E1,), None, 0),
+    "JSR": IssueClass(1, (E1,), None, 0),
+    "FADD": IssueClass(4, (FA,), None, 0),
+    "FMUL": IssueClass(4, (FM,), None, 0),
+    "FDIV": IssueClass(18, (FA,), "fdiv", 16),
+    "FBR": IssueClass(1, (FA,), None, 0),
+    "NOP": IssueClass(0, (E0, E1), None, 0),
+}
+
+OpInfo = namedtuple("OpInfo", "name kind cls sem cond")
+
+
+def _s64(x):
+    """Interpret the low 64 bits of *x* as a signed integer."""
+    x &= MASK64
+    return x - (1 << 64) if x >> 63 else x
+
+
+def _s32(x):
+    x &= MASK32
+    return x - (1 << 32) if x >> 31 else x
+
+
+# --- integer operate semantics: f(a, b) -> 64-bit result -----------------
+
+def _addq(a, b):
+    return (a + b) & MASK64
+
+
+def _subq(a, b):
+    return (a - b) & MASK64
+
+
+def _addl(a, b):
+    return _s32(a + b) & MASK64
+
+
+def _subl(a, b):
+    return _s32(a - b) & MASK64
+
+
+def _mulq(a, b):
+    return (_s64(a) * _s64(b)) & MASK64
+
+
+def _s4addq(a, b):
+    return (4 * a + b) & MASK64
+
+
+def _s8addq(a, b):
+    return (8 * a + b) & MASK64
+
+
+def _and(a, b):
+    return a & b
+
+
+def _bis(a, b):
+    return a | b
+
+
+def _xor(a, b):
+    return a ^ b
+
+
+def _bic(a, b):
+    return a & ~b & MASK64
+
+
+def _sll(a, b):
+    return (a << (b & 63)) & MASK64
+
+
+def _srl(a, b):
+    return (a & MASK64) >> (b & 63)
+
+
+def _sra(a, b):
+    return (_s64(a) >> (b & 63)) & MASK64
+
+
+def _cmpeq(a, b):
+    return 1 if a == b else 0
+
+
+def _cmplt(a, b):
+    return 1 if _s64(a) < _s64(b) else 0
+
+
+def _cmple(a, b):
+    return 1 if _s64(a) <= _s64(b) else 0
+
+
+def _cmpult(a, b):
+    return 1 if (a & MASK64) < (b & MASK64) else 0
+
+
+def _cmpule(a, b):
+    return 1 if (a & MASK64) <= (b & MASK64) else 0
+
+
+# --- floating operate semantics: f(a, b) -> float -------------------------
+
+def _addt(a, b):
+    return a + b
+
+
+def _subt(a, b):
+    return a - b
+
+
+def _mult(a, b):
+    return a * b
+
+
+def _divt(a, b):
+    return a / b if b != 0.0 else 0.0
+
+
+def _cpys(a, b):
+    # copy sign of a onto b; with a == b this is a register move.
+    return -abs(b) if a < 0 else abs(b)
+
+
+def _cvtqt(a, b):
+    # convert the integer bits in b to a float (fa field unused).
+    return float(_s64(int(b)))
+
+
+def _cvttq(a, b):
+    return float(int(b))
+
+
+# --- branch conditions: f(ra_value) -> bool --------------------------------
+
+def _beq(a):
+    return a == 0
+
+
+def _bne(a):
+    return a != 0
+
+
+def _blt(a):
+    return _s64(a) < 0
+
+
+def _ble(a):
+    return _s64(a) <= 0
+
+
+def _bgt(a):
+    return _s64(a) > 0
+
+
+def _bge(a):
+    return _s64(a) >= 0
+
+
+def _blbc(a):
+    return (a & 1) == 0
+
+
+def _blbs(a):
+    return (a & 1) == 1
+
+
+def _fbeq(a):
+    return a == 0.0
+
+
+def _fbne(a):
+    return a != 0.0
+
+
+def _fblt(a):
+    return a < 0.0
+
+
+def _fbge(a):
+    return a >= 0.0
+
+
+def _op(name, cls, sem):
+    return OpInfo(name, "op", cls, sem, None)
+
+
+def _fop(name, cls, sem):
+    return OpInfo(name, "fop", cls, sem, None)
+
+
+OPCODES = {}
+
+for info in [
+    _op("addq", "IADD", _addq),
+    _op("subq", "IADD", _subq),
+    _op("addl", "IADD", _addl),
+    _op("subl", "IADD", _subl),
+    _op("s4addq", "IADD", _s4addq),
+    _op("s8addq", "IADD", _s8addq),
+    _op("mulq", "IMUL", _mulq),
+    _op("and", "ILOG", _and),
+    _op("bis", "ILOG", _bis),
+    _op("xor", "ILOG", _xor),
+    _op("bic", "ILOG", _bic),
+    _op("sll", "SHIFT", _sll),
+    _op("srl", "SHIFT", _srl),
+    _op("sra", "SHIFT", _sra),
+    _op("cmpeq", "ICMP", _cmpeq),
+    _op("cmplt", "ICMP", _cmplt),
+    _op("cmple", "ICMP", _cmple),
+    _op("cmpult", "ICMP", _cmpult),
+    _op("cmpule", "ICMP", _cmpule),
+    OpInfo("cmovne", "op", "CMOV", None, _bne),
+    OpInfo("cmoveq", "op", "CMOV", None, _beq),
+    _fop("addt", "FADD", _addt),
+    _fop("subt", "FADD", _subt),
+    _fop("mult", "FMUL", _mult),
+    _fop("divt", "FDIV", _divt),
+    _fop("cpys", "FADD", _cpys),
+    _fop("cvtqt", "FADD", _cvtqt),
+    _fop("cvttq", "FADD", _cvttq),
+    # Memory.
+    OpInfo("ldq", "load", "LD", None, None),
+    OpInfo("ldl", "load", "LD", None, None),
+    OpInfo("ldt", "fload", "LD", None, None),
+    OpInfo("stq", "store", "ST", None, None),
+    OpInfo("stl", "store", "ST", None, None),
+    OpInfo("stt", "fstore", "ST", None, None),
+    OpInfo("lda", "lda", "IADD", None, None),
+    OpInfo("ldah", "lda", "IADD", None, None),
+    # Control flow.
+    OpInfo("br", "br", "BR", None, None),
+    OpInfo("bsr", "br", "JSR", None, None),
+    OpInfo("beq", "cbranch", "BR", None, _beq),
+    OpInfo("bne", "cbranch", "BR", None, _bne),
+    OpInfo("blt", "cbranch", "BR", None, _blt),
+    OpInfo("ble", "cbranch", "BR", None, _ble),
+    OpInfo("bgt", "cbranch", "BR", None, _bgt),
+    OpInfo("bge", "cbranch", "BR", None, _bge),
+    OpInfo("blbc", "cbranch", "BR", None, _blbc),
+    OpInfo("blbs", "cbranch", "BR", None, _blbs),
+    OpInfo("fbeq", "fbranch", "FBR", None, _fbeq),
+    OpInfo("fbne", "fbranch", "FBR", None, _fbne),
+    OpInfo("fblt", "fbranch", "FBR", None, _fblt),
+    OpInfo("fbge", "fbranch", "FBR", None, _fbge),
+    OpInfo("jmp", "jump", "JSR", None, None),
+    OpInfo("jsr", "jump", "JSR", None, None),
+    OpInfo("ret", "jump", "JSR", None, None),
+    OpInfo("call_pal", "pal", "NOP", None, None),
+    OpInfo("nop", "nop", "NOP", None, None),
+    OpInfo("unop", "nop", "NOP", None, None),
+]:
+    OPCODES[info.name] = OPCODES.get(info.name, info)
+
+#: Kinds that change control flow (end a basic block).
+CONTROL_KINDS = frozenset(["br", "cbranch", "fbranch", "jump"])
+#: Kinds whose target is statically known.
+DIRECT_BRANCH_KINDS = frozenset(["br", "cbranch", "fbranch"])
+#: Kinds that read or write memory.
+MEMORY_KINDS = frozenset(["load", "fload", "store", "fstore"])
+
+
+def issue_class(opname):
+    """Return the :class:`IssueClass` row for opcode *opname*."""
+    return ISSUE_CLASSES[OPCODES[opname].cls]

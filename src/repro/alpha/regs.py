@@ -1,0 +1,69 @@
+"""Register names and numbering for the Alpha-like ISA.
+
+Integer registers are numbered 0..31 (r31 is the hardwired zero register)
+and floating-point registers 32..63 (f31, i.e. register 63, reads as +0.0
+and ignores writes), matching the Alpha AXP convention closely enough for
+the analysis tools to reason about operand dependences.
+"""
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+NUM_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+#: Integer register that always reads as zero and ignores writes.
+ZERO_REG = 31
+#: Floating-point register that always reads as +0.0 and ignores writes.
+FZERO_REG = 63
+
+# Standard Alpha calling-convention aliases.
+_INT_ALIASES = {
+    "v0": 0,
+    "t0": 1, "t1": 2, "t2": 3, "t3": 4, "t4": 5, "t5": 6, "t6": 7, "t7": 8,
+    "s0": 9, "s1": 10, "s2": 11, "s3": 12, "s4": 13, "s5": 14,
+    "s6": 15, "fp": 15,
+    "a0": 16, "a1": 17, "a2": 18, "a3": 19, "a4": 20, "a5": 21,
+    "t8": 22, "t9": 23, "t10": 24, "t11": 25,
+    "ra": 26,
+    "t12": 27, "pv": 27,
+    "at": 28,
+    "gp": 29,
+    "sp": 30,
+    "zero": 31,
+}
+
+REG_NAMES = {}
+for _i in range(NUM_INT_REGS):
+    REG_NAMES["r%d" % _i] = _i
+for _i in range(NUM_FP_REGS):
+    REG_NAMES["f%d" % _i] = NUM_INT_REGS + _i
+REG_NAMES.update(_INT_ALIASES)
+
+# Preferred display name for each register number.
+_DISPLAY = {}
+for _name, _num in _INT_ALIASES.items():
+    _DISPLAY.setdefault(_num, _name)
+for _i in range(NUM_FP_REGS):
+    _DISPLAY[NUM_INT_REGS + _i] = "f%d" % _i
+
+
+def parse_register(name):
+    """Return the register number for *name*.
+
+    Raises ``KeyError`` if the name is not a known register.
+    """
+    return REG_NAMES[name.lower()]
+
+
+def is_register(name):
+    """Return True if *name* names a register."""
+    return name.lower() in REG_NAMES
+
+
+def is_fp(regnum):
+    """Return True if *regnum* is a floating-point register."""
+    return regnum >= NUM_INT_REGS
+
+
+def register_name(regnum):
+    """Return the canonical display name for register number *regnum*."""
+    return _DISPLAY[regnum]

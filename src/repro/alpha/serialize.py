@@ -1,0 +1,63 @@
+"""Image serialization (JSON) so CLI tools can analyze saved sessions.
+
+Instruction semantics live in the opcode table, so an instruction
+round-trips through its operand fields alone.
+"""
+
+import json
+
+from repro.alpha.image import Image, Procedure
+from repro.alpha.instruction import Instruction
+
+
+def image_to_dict(image):
+    """Return a JSON-ready dict describing *image* (must be linked)."""
+    if image.base is None:
+        raise ValueError("cannot serialize an unlinked image")
+    return {
+        "name": image.name,
+        "base": image.base,
+        "data_base": image.data_base,
+        "data_size": image.data_size,
+        "instructions": [
+            [inst.op, inst.ra, inst.rb, inst.rc, inst.imm, inst.target]
+            for inst in image.instructions
+        ],
+        "procedures": [
+            [proc.name, proc.start, proc.end] for proc in image.procedures
+        ],
+        "symbols": dict(image.symbols.items()),
+    }
+
+
+def image_from_dict(data):
+    """Rebuild an :class:`Image` from :func:`image_to_dict` output."""
+    image = Image(data["name"])
+    image.base = data["base"]
+    image.data_base = data["data_base"]
+    image.data_size = data["data_size"]
+    addr = image.base
+    for op, ra, rb, rc, imm, target in data["instructions"]:
+        inst = Instruction(op, ra=ra, rb=rb, rc=rc, imm=imm,
+                           target=target, addr=addr)
+        image.instructions.append(inst)
+        addr += Image.INSTRUCTION_BYTES
+    for name, start, end in data["procedures"]:
+        proc = Procedure(name, start, end, image=image)
+        image.procedures.append(proc)
+        image._proc_by_name[name] = proc
+    for name, value in data["symbols"].items():
+        image.symbols.define(name, value)
+    return image
+
+
+def save_images(images, path):
+    """Write a list of images to *path* as JSON."""
+    with open(path, "w") as handle:
+        json.dump([image_to_dict(image) for image in images], handle)
+
+
+def load_images(path):
+    """Read images previously written by :func:`save_images`."""
+    with open(path) as handle:
+        return [image_from_dict(entry) for entry in json.load(handle)]

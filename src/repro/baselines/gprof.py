@@ -1,0 +1,86 @@
+"""The gprof baseline: procedure-entry counting plus clock sampling
+(Table 1: high overhead, application scope, procedure-grain counts, no
+stall information).
+
+Uses the same binary rewriter as the pixie baseline but instruments
+only procedure entries, and aggregates clock samples per procedure.
+"""
+
+from repro.cpu.events import EventType
+from repro.cpu.machine import Machine
+from repro.baselines.instrument import instrument_image, read_counts
+from repro.baselines.prof_clock import PAPER_CLOCK_PERIOD, TICK_EXTRA_COST
+
+
+class GprofProfiler:
+    """gprof-style procedure profiler."""
+
+    name = "gprof"
+    scope = "App"
+    grain = "proc count"
+    stalls = "none"
+
+    def __init__(self, machine_config, period=2048):
+        self.machine_config = machine_config
+        self.period = period
+
+    def profile(self, workload, max_instructions=None, seed=1):
+        from repro.baselines.pixie import BaselineResultBase
+
+        base = Machine(self.machine_config, seed=seed)
+        workload.setup(base)
+        base.run(max_instructions=max_instructions)
+
+        machine = Machine(self.machine_config, seed=seed)
+        block_maps = {}
+
+        def transform(image):
+            new, block_map = instrument_image(image, procedures_only=True)
+            block_maps[new.name] = (new, block_map)
+            return new
+
+        machine.image_transform = transform
+        workload.setup(machine)
+
+        proc_samples = {}
+        scale = self.period / PAPER_CLOCK_PERIOD
+        carry = [0.0]
+
+        def sink(cpu_id, pid, pc, event, time):
+            image = machine.loader.image_at(pc)
+            if image is not None:
+                proc = image.procedure_at(pc)
+                if proc is not None:
+                    key = (proc.name, image.name)
+                    proc_samples[key] = proc_samples.get(key, 0) + 1
+            cost = TICK_EXTRA_COST * scale + carry[0]
+            charged = int(cost)
+            carry[0] = cost - charged
+            return charged
+
+        for core in machine.cores:
+            core.counters.configure(EventType.CYCLES, lambda: self.period)
+        machine.set_sample_sink(sink)
+        budget = None
+        if max_instructions is not None:
+            budget = int(max_instructions * 1.3)
+        machine.run(max_instructions=budget)
+
+        call_counts = {}
+        for proc in machine.processes:
+            for image in proc.images:
+                if image.name in block_maps:
+                    new, block_map = block_maps[image.name]
+                    for addr, count in read_counts(proc, new,
+                                                   block_map).items():
+                        owner = new.procedure_at(addr)
+                        if owner is not None:
+                            key = (owner.name, new.name)
+                            call_counts[key] = (call_counts.get(key, 0)
+                                                + count)
+
+        return BaselineResultBase(
+            self.name, self.scope, self.grain, self.stalls,
+            base.time, machine.time,
+            data={"call_counts": call_counts,
+                  "proc_samples": proc_samples})

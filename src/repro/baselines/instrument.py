@@ -1,0 +1,124 @@
+"""Binary instrumentation for the pixie/gprof baselines.
+
+Rewrites an *unlinked* image, inserting a four-instruction counting
+preamble at each basic-block leader (or only at procedure entries for
+the gprof variant)::
+
+    lda   at, =__instr_counters
+    ldq   gp, <8*index>(at)
+    addq  gp, 1, gp
+    stq   gp, <8*index>(at)
+
+``at`` and ``gp`` are the assembler temporaries real instrumenters
+reserve.  Branch targets and procedure boundaries are remapped, so the
+rewritten image runs unmodified on the simulator -- and the counts can
+be read back from process memory afterwards, exactly like pixie's
+``.Counts`` file.
+"""
+
+from repro.alpha import regs
+from repro.alpha.image import Image
+from repro.alpha.instruction import Instruction
+from repro.alpha.opcodes import DIRECT_BRANCH_KINDS
+
+COUNTER_SYMBOL = "__instr_counters"
+PREAMBLE_INSTRUCTIONS = 4
+
+_AT = regs.parse_register("at")
+_GP = regs.parse_register("gp")
+
+
+def _leaders(image, procedures_only=False):
+    """Return the set of instrumentation points (pre-link offsets)."""
+    leaders = set()
+    for proc in image.procedures:
+        leaders.add(proc.start)
+    if procedures_only:
+        return leaders
+    for inst in image.instructions:
+        kind = inst.info.kind
+        if kind in DIRECT_BRANCH_KINDS and inst.target is not None:
+            leaders.add(inst.target)
+        if kind in ("cbranch", "fbranch") or (
+                kind == "br" and inst.op == "br") or (
+                kind == "jump" and inst.op != "jsr"):
+            after = inst.addr + 4
+            if after < image.code_size:
+                leaders.add(after)
+    return leaders
+
+
+def instrument_image(image, procedures_only=False):
+    """Return (instrumented unlinked image, {old leader offset: index}).
+
+    *image* must be unlinked (instruction addresses are image offsets).
+    """
+    if image.base is not None:
+        raise ValueError("instrument_image needs an unlinked image")
+    leaders = _leaders(image, procedures_only)
+    counter_index = {off: i for i, off in enumerate(sorted(leaders))}
+
+    new = Image(image.name)
+    new.data_size = image.data_size
+    # Copy data symbols (offsets are preserved; procedures are re-added).
+    proc_names = {proc.name for proc in image.procedures}
+    for name, offset in image.symbols.items():
+        if name not in proc_names:
+            new.symbols.define(name, offset)
+    counters_offset = new.add_data(COUNTER_SYMBOL, 8 * len(counter_index))
+
+    # Carry over pending data fixups from the original assembler pass.
+    old_fixup_for = {id(inst): sym for inst, sym in image.fixups}
+
+    mapping = {}  # old offset -> new offset (of the counting preamble)
+    pending_targets = []  # (new inst, old target offset)
+    new_offset = 0
+    per_proc = {proc.name: [] for proc in image.procedures}
+
+    for proc in image.procedures:
+        out = per_proc[proc.name]
+        for inst in image.instructions[proc.start >> 2:proc.end >> 2]:
+            old_offset = inst.addr
+            if old_offset in counter_index:
+                index = counter_index[old_offset]
+                mapping[old_offset] = new_offset
+                lda = Instruction("lda", ra=_AT, rb=regs.ZERO_REG, imm=0)
+                new.fixups.append((lda, COUNTER_SYMBOL))
+                out.extend([
+                    lda,
+                    Instruction("ldq", ra=_GP, rb=_AT, imm=8 * index),
+                    Instruction("addq", ra=_GP, imm=1, rc=_GP),
+                    Instruction("stq", ra=_GP, rb=_AT, imm=8 * index),
+                ])
+                new_offset += PREAMBLE_INSTRUCTIONS * 4
+            else:
+                mapping[old_offset] = new_offset
+            copy = Instruction(inst.op, ra=inst.ra, rb=inst.rb,
+                               rc=inst.rc, imm=inst.imm)
+            symbol = old_fixup_for.get(id(inst))
+            if symbol is not None:
+                new.fixups.append((copy, symbol))
+            if (inst.info.kind in DIRECT_BRANCH_KINDS
+                    and inst.target is not None):
+                pending_targets.append((copy, inst.target))
+            out.append(copy)
+            new_offset += 4
+
+    for proc in image.procedures:
+        new.add_procedure(proc.name, per_proc[proc.name])
+    for copy, old_target in pending_targets:
+        copy.target = mapping[old_target]
+
+    # Remap leader offsets for count readback after linking.
+    return new, {mapping[off]: idx for off, idx in counter_index.items()}
+
+
+def read_counts(process, image, block_map):
+    """Read the counters back from *process* memory.
+
+    Returns {absolute block-leader address: execution count} for the
+    linked instrumented *image*.
+    """
+    base = image.symbols.resolve(COUNTER_SYMBOL)
+    return {image.base + off: process.memory.get(base + 8 * idx, 0)
+            for off, idx in block_map.items()}

@@ -1,0 +1,69 @@
+"""The iprobe baseline: performance-counter sampling into a raw buffer
+(Table 1: high overhead, system scope, instruction-grain time,
+inaccurate stalls).
+
+The paper's section 2 explains why iprobe cannot profile continuously:
+every sample is stored raw (no aggregation), so memory grows without
+bound and every sample pays the full processing cost.  Both effects are
+reproduced: the handler cost has no cheap "hash hit" path, and the
+result reports bytes consumed per million sampled cycles.
+"""
+
+from repro.cpu.events import EventType
+from repro.cpu.machine import Machine
+from repro.collect.driver import INTERRUPT_SETUP, PAPER_MEAN_PERIOD
+from repro.collect.prng import period_sampler
+
+#: Raw-buffer append + the per-sample user-level processing cost.
+RAW_SAMPLE_COST = 560
+SAMPLE_BYTES = 16
+
+
+class IprobeProfiler:
+    """iprobe-style raw-buffer counter sampler."""
+
+    name = "iprobe"
+    scope = "Sys"
+    grain = "inst time"
+    stalls = "inaccurate"
+
+    def __init__(self, machine_config, period=(1920, 2048)):
+        self.machine_config = machine_config
+        self.period = period
+
+    def profile(self, workload, max_instructions=None, seed=1):
+        from repro.baselines.pixie import BaselineResultBase
+
+        base = Machine(self.machine_config, seed=seed)
+        workload.setup(base)
+        base.run(max_instructions=max_instructions)
+
+        machine = Machine(self.machine_config, seed=seed)
+        workload.setup(machine)
+        buffer = []
+        lo, hi = self.period
+        scale = (lo + hi) / 2.0 / PAPER_MEAN_PERIOD
+        carry = [0.0]
+
+        def sink(cpu_id, pid, pc, event, time):
+            buffer.append((pid, pc))
+            cost = (INTERRUPT_SETUP + RAW_SAMPLE_COST) * scale + carry[0]
+            charged = int(cost)
+            carry[0] = cost - charged
+            return charged
+
+        for core in machine.cores:
+            core.counters.configure(
+                EventType.CYCLES,
+                period_sampler(lo, hi, seed + core.cpu_id))
+        machine.set_sample_sink(sink)
+        machine.run(max_instructions=max_instructions)
+
+        cycles = machine.time or 1
+        bytes_used = len(buffer) * SAMPLE_BYTES
+        return BaselineResultBase(
+            self.name, self.scope, self.grain, self.stalls,
+            base.time, machine.time,
+            data={"samples": len(buffer),
+                  "buffer_bytes": bytes_used,
+                  "bytes_per_mcycle": bytes_used / (cycles / 1e6)})

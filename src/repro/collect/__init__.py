@@ -1,0 +1,16 @@
+"""The paper's data-collection system: driver, daemon, profile database."""
+
+from repro.collect.database import ImageProfile, ProfileDatabase
+from repro.collect.driver import Driver, DriverConfig
+from repro.collect.daemon import Daemon
+from repro.collect.session import ProfileSession, SessionConfig
+
+__all__ = [
+    "ImageProfile",
+    "ProfileDatabase",
+    "Driver",
+    "DriverConfig",
+    "Daemon",
+    "ProfileSession",
+    "SessionConfig",
+]

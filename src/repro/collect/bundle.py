@@ -1,0 +1,66 @@
+"""Session bundles: everything the offline tools need, on disk.
+
+A bundle directory holds the profile database (epoch files), the linked
+images (JSON), and metadata (sampling periods, collection stats), so
+``dcpiprof``/``dcpicalc``/``dcpistats`` can run long after the profiled
+machine is gone -- the paper's "analysis is done offline" property.
+"""
+
+import json
+import os
+
+from repro.alpha.serialize import load_images, save_images
+from repro.collect.database import ImageProfile, ProfileDatabase
+
+
+def save_bundle(result, path):
+    """Persist a :class:`SessionResult` into directory *path*."""
+    os.makedirs(path, exist_ok=True)
+    images = [p.image for p in result.daemon.profiles.values()
+              if p.image is not None]
+    save_images(images, os.path.join(path, "images.json"))
+    database = ProfileDatabase(os.path.join(path, "db"))
+    result.daemon.merge_to_disk(database)
+    meta = {
+        "periods": {str(ev): period
+                    for ev, period in result.daemon.periods.items()},
+        "stats": _jsonable(result.stats()),
+    }
+    with open(os.path.join(path, "meta.json"), "w") as handle:
+        json.dump(meta, handle, indent=2)
+    return path
+
+
+def load_bundle(path):
+    """Load a bundle; returns ({image name: ImageProfile}, meta dict)."""
+    from repro.cpu.events import EventType
+
+    images = {img.name: img
+              for img in load_images(os.path.join(path, "images.json"))}
+    with open(os.path.join(path, "meta.json")) as handle:
+        meta = json.load(handle)
+    periods = {EventType(name): period
+               for name, period in meta["periods"].items()}
+    database = ProfileDatabase(os.path.join(path, "db"))
+    profiles = {}
+    for image_name, event in database.profiles():
+        counts, _ = database.load(image_name, event)
+        # Database filenames flatten '/' to '_'; match loosely.
+        image = images.get(image_name)
+        if image is None:
+            for candidate in images.values():
+                if candidate.name.replace("/", "_").strip("_") == image_name:
+                    image = candidate
+                    break
+        if image is None:
+            continue
+        profile = profiles.setdefault(
+            image.name, ImageProfile(image, periods=periods))
+        for offset, count in counts.items():
+            profile.add(event, offset, count)
+    return profiles, meta
+
+
+def _jsonable(data):
+    return {k: (float(v) if isinstance(v, float) else v)
+            for k, v in data.items()}

@@ -1,0 +1,188 @@
+"""The user-mode daemon of the collection system.
+
+The daemon (paper section 4.3) extracts samples from the driver,
+associates each with the executable image loaded at that PC in that
+process (via loadmap events from the modified loader), aggregates them
+into per-(image, event) profiles, and periodically merges the profiles
+into the on-disk database.
+
+Its processing cost is modelled per entry and charged against the
+workload when computing overhead: samples that aggregated well in the
+driver's hash table are cheap per sample, a high-eviction workload such
+as gcc pays close to the full per-entry cost for every sample -- the
+effect visible in the paper's Table 4 'daemon cost' column.
+"""
+
+from repro.collect.database import ImageProfile
+from repro.collect.driver import ORDINAL_EVENT
+
+# Daemon cost model (cycles): per overflow/hash entry processed (three
+# hash lookups, merge) and per aggregated sample (copy + accounting).
+ENTRY_COST = 1000
+PER_SAMPLE_COST = 8
+
+# Resident-memory model (bytes), following the paper's section 5.3
+# description of what the daemon allocates.
+BASE_RESIDENT = 1_400_000         # text + data + libc
+PER_IMAGE = 4096                  # image map + bookkeeping
+PER_PROFILE_ENTRY = 16            # hash-table entry per (offset, event)
+PER_PROCESS = 512                 # loadmap list per active process
+
+
+class Daemon:
+    """Extracts, maps and merges samples."""
+
+    def __init__(self, loader, periods=None, per_process_images=()):
+        """*periods* maps EventType -> mean sampling period (for the
+        profile metadata the analysis needs).  *per_process_images*
+        names images for which separate per-PID profiles are kept in
+        addition to the merged ones (paper section 4.3)."""
+        self.loader = loader
+        loader.add_listener(self.on_loadmap)
+        self.periods = dict(periods or {})
+        self.per_process_images = frozenset(per_process_images)
+        self._maps = {}       # pid -> list of (start, end, image)
+        self.images = {}      # image name -> Image
+        self.profiles = {}    # image name -> ImageProfile
+        self.process_profiles = {}  # (pid, image name) -> ImageProfile
+        self.unknown = ImageProfile(image=None)
+        self.unknown_samples = 0
+        self.total_samples = 0
+        self.entries_processed = 0
+        self.cycles = 0
+        self.drains = 0
+        self.epoch = 0
+        self._peak_resident = 0
+
+    # -- loadmap path ------------------------------------------------------
+
+    def on_loadmap(self, event):
+        """Record that *event.pid* mapped *event.image* (loader callback)."""
+        self._maps.setdefault(event.pid, []).append(
+            (event.image.base, event.image.end, event.image))
+        self.images[event.image.name] = event.image
+
+    def reap(self, pid):
+        """Forget a terminated process's mappings."""
+        self._maps.pop(pid, None)
+
+    # -- sample path ---------------------------------------------------------
+
+    def drain(self, driver):
+        """Pull all pending samples out of *driver* and merge them."""
+        self.drains += 1
+        for cpu_id in range(len(driver.cpus)):
+            entries = driver.flush(cpu_id)
+            if entries:
+                self._process(entries)
+            edges = driver.flush_edges(cpu_id)
+            if edges:
+                self._process_edges(edges)
+        self._peak_resident = max(self._peak_resident, self.resident_bytes())
+
+    def _process_edges(self, edges):
+        """Merge double-sampling edge samples into image profiles.
+
+        Edges spanning two images (cross-image calls/returns) are
+        dropped, as the prototype's analysis only uses intra-procedure
+        edges."""
+        for (pid, from_pc, to_pc), count in edges.items():
+            image = self._find_image(pid, from_pc)
+            if image is None or to_pc not in image:
+                continue
+            profile = self.profiles.get(image.name)
+            if profile is None:
+                profile = ImageProfile(image, periods=self.periods)
+                self.profiles[image.name] = profile
+            profile.add_edge(from_pc - image.base, to_pc - image.base,
+                             count)
+
+    def _process(self, entries):
+        for (pid, pc, event_ord), count in entries:
+            event = ORDINAL_EVENT[event_ord]
+            self.entries_processed += 1
+            self.total_samples += count
+            self.cycles += ENTRY_COST + PER_SAMPLE_COST * count
+            image = self._find_image(pid, pc)
+            if image is None:
+                self.unknown_samples += count
+                continue
+            profile = self.profiles.get(image.name)
+            if profile is None:
+                profile = ImageProfile(image, periods=self.periods)
+                self.profiles[image.name] = profile
+            profile.add(event, pc - image.base, count)
+            if image.name in self.per_process_images:
+                key = (pid, image.name)
+                per_pid = self.process_profiles.get(key)
+                if per_pid is None:
+                    per_pid = ImageProfile(image, periods=self.periods)
+                    self.process_profiles[key] = per_pid
+                per_pid.add(event, pc - image.base, count)
+
+    def _find_image(self, pid, pc):
+        maps = self._maps.get(pid)
+        if maps:
+            for start, end, image in maps:
+                if start <= pc < end:
+                    return image
+        # Fall back to the global map (kernel-recognized static images,
+        # or processes that predate the daemon).
+        return self.loader.image_at(pc)
+
+    # -- persistence ------------------------------------------------------------
+
+    def merge_to_disk(self, database, epoch=None):
+        """Write all in-memory profiles into *database*."""
+        if epoch is None:
+            epoch = self.epoch
+        for profile in self.profiles.values():
+            for event, counts in profile.counts.items():
+                period = self.periods.get(event, 1)
+                database.save(profile.image.name, event, counts,
+                              period, epoch)
+
+    def advance_epoch(self, database=None):
+        """Close the current epoch (paper section 4.3.3).
+
+        Flushes the in-memory profiles (to *database* when given),
+        clears them, and starts a new non-overlapping epoch.  Returns
+        the new epoch number."""
+        if database is not None:
+            self.merge_to_disk(database)
+        self.profiles = {}
+        self.process_profiles = {}
+        self.epoch += 1
+        return self.epoch
+
+    # -- statistics -----------------------------------------------------------------
+
+    def resident_bytes(self):
+        """Estimated resident memory of the daemon right now."""
+        entries = sum(
+            len(by_offset)
+            for profile in self.profiles.values()
+            for by_offset in profile.counts.values())
+        return (BASE_RESIDENT
+                + PER_IMAGE * len(self.images)
+                + PER_PROFILE_ENTRY * entries
+                + PER_PROCESS * len(self._maps))
+
+    def peak_resident_bytes(self):
+        return max(self._peak_resident, self.resident_bytes())
+
+    def stats(self):
+        samples = self.total_samples
+        return {
+            "samples": samples,
+            "entries": self.entries_processed,
+            "aggregation": samples / self.entries_processed
+            if self.entries_processed else 0.0,
+            "cycles": self.cycles,
+            "cost_per_sample": self.cycles / samples if samples else 0.0,
+            "unknown_samples": self.unknown_samples,
+            "unknown_fraction": self.unknown_samples / samples
+            if samples else 0.0,
+            "resident_bytes": self.resident_bytes(),
+            "peak_resident_bytes": self.peak_resident_bytes(),
+        }

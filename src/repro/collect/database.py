@@ -1,0 +1,231 @@
+"""The on-disk profile database and the in-memory profile container.
+
+Profiles are organized into non-overlapping *epochs*; within an epoch
+one file stores the samples for a given (image, event) combination
+(paper section 4.3.3).  Two binary formats are implemented:
+
+* ``raw``      -- fixed 8-byte records (u32 offset, u32 count);
+* ``compact``  -- varint-encoded offset deltas and counts, the paper's
+  "improved format that can compress existing profiles by approximately
+  a factor of three".
+
+``benchmarks/bench_table5_space.py`` measures both.
+"""
+
+import io
+import os
+import struct
+
+from repro.cpu.events import EventType
+
+MAGIC = b"DCPI"
+VERSION = 2
+FORMAT_RAW = 0
+FORMAT_COMPACT = 1
+
+
+def _write_varint(out, value):
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.write(bytes((byte | 0x80,)))
+        else:
+            out.write(bytes((byte,)))
+            return
+
+
+def _read_varint(buf):
+    shift = 0
+    result = 0
+    while True:
+        byte = buf.read(1)
+        if not byte:
+            raise EOFError("truncated varint")
+        b = byte[0]
+        result |= (b & 0x7F) << shift
+        if not b & 0x80:
+            return result
+        shift += 7
+
+
+def encode_profile(counts, image_name, event, period,
+                   fmt=FORMAT_COMPACT, epoch=0):
+    """Serialize a {offset: count} map; return bytes."""
+    out = io.BytesIO()
+    name_bytes = image_name.encode("utf-8")
+    event_bytes = str(event).encode("utf-8")
+    out.write(MAGIC)
+    out.write(struct.pack("<HBH", VERSION, fmt, epoch))
+    out.write(struct.pack("<H", len(name_bytes)))
+    out.write(name_bytes)
+    out.write(struct.pack("<H", len(event_bytes)))
+    out.write(event_bytes)
+    out.write(struct.pack("<II", int(period), len(counts)))
+    last = 0
+    for offset in sorted(counts):
+        count = counts[offset]
+        if fmt == FORMAT_RAW:
+            out.write(struct.pack("<II", offset, count))
+        else:
+            _write_varint(out, offset - last)
+            _write_varint(out, count)
+            last = offset
+    return out.getvalue()
+
+
+def decode_profile(data):
+    """Inverse of :func:`encode_profile`.
+
+    Returns (counts, image_name, event, period, epoch).
+    """
+    buf = io.BytesIO(data)
+    if buf.read(4) != MAGIC:
+        raise ValueError("not a DCPI profile")
+    version, fmt, epoch = struct.unpack("<HBH", buf.read(5))
+    if version != VERSION:
+        raise ValueError("unsupported profile version %d" % version)
+    (name_len,) = struct.unpack("<H", buf.read(2))
+    image_name = buf.read(name_len).decode("utf-8")
+    (event_len,) = struct.unpack("<H", buf.read(2))
+    event = EventType(buf.read(event_len).decode("utf-8"))
+    period, n = struct.unpack("<II", buf.read(8))
+    counts = {}
+    last = 0
+    for _ in range(n):
+        if fmt == FORMAT_RAW:
+            offset, count = struct.unpack("<II", buf.read(8))
+        else:
+            offset = last + _read_varint(buf)
+            count = _read_varint(buf)
+            last = offset
+        counts[offset] = count
+    return counts, image_name, event, period, epoch
+
+
+def _safe_name(image_name):
+    return image_name.replace("/", "_").strip("_") or "unknown"
+
+
+class ProfileDatabase:
+    """Directory-backed profile storage with epochs and merging."""
+
+    def __init__(self, root, fmt=FORMAT_COMPACT):
+        self.root = root
+        self.fmt = fmt
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, epoch, image_name, event):
+        epoch_dir = os.path.join(self.root, "epoch%04d" % epoch)
+        os.makedirs(epoch_dir, exist_ok=True)
+        return os.path.join(
+            epoch_dir, "%s@%s.prof" % (_safe_name(image_name), event))
+
+    def save(self, image_name, event, counts, period, epoch=0):
+        """Merge *counts* into the stored profile for (image, event)."""
+        path = self._path(epoch, image_name, event)
+        merged = dict(counts)
+        if os.path.exists(path):
+            with open(path, "rb") as handle:
+                existing, _, _, _, _ = decode_profile(handle.read())
+            for offset, count in existing.items():
+                merged[offset] = merged.get(offset, 0) + count
+        data = encode_profile(merged, image_name, event, period,
+                              self.fmt, epoch)
+        with open(path, "wb") as handle:
+            handle.write(data)
+        return path
+
+    def load(self, image_name, event, epoch=0):
+        """Return ({offset: count}, period) for (image, event)."""
+        path = self._path(epoch, image_name, event)
+        with open(path, "rb") as handle:
+            counts, _, _, period, _ = decode_profile(handle.read())
+        return counts, period
+
+    def epochs(self):
+        return sorted(
+            int(name[5:]) for name in os.listdir(self.root)
+            if name.startswith("epoch"))
+
+    def profiles(self, epoch=0):
+        """Yield (image_name, event) pairs stored for *epoch*."""
+        epoch_dir = os.path.join(self.root, "epoch%04d" % epoch)
+        if not os.path.isdir(epoch_dir):
+            return
+        for name in sorted(os.listdir(epoch_dir)):
+            if not name.endswith(".prof"):
+                continue
+            stem = name[:-5]
+            image_name, _, event = stem.rpartition("@")
+            yield image_name, EventType(event)
+
+    def disk_bytes(self):
+        """Total bytes used by all stored profiles."""
+        total = 0
+        for dirpath, _, files in os.walk(self.root):
+            for name in files:
+                total += os.path.getsize(os.path.join(dirpath, name))
+        return total
+
+
+class ImageProfile:
+    """In-memory samples for one image, by event type.
+
+    This is what the analysis tools consume.  ``counts[event]`` maps an
+    image-relative instruction offset to its aggregated sample count;
+    ``periods[event]`` is the mean sampling period used, needed to turn
+    sample counts into cycle counts (cycles ~= samples * period).
+    """
+
+    def __init__(self, image, counts=None, periods=None):
+        self.image = image
+        self.counts = counts or {}
+        self.periods = periods or {}
+        #: (from offset, to offset) -> edge samples (double sampling).
+        self.edge_counts = {}
+
+    def add_edge(self, from_offset, to_offset, count):
+        key = (from_offset, to_offset)
+        self.edge_counts[key] = self.edge_counts.get(key, 0) + count
+
+    def edges_by_addr(self):
+        """Return {(from addr, to addr): edge samples}."""
+        base = self.image.base
+        return {(base + f, base + t): count
+                for (f, t), count in self.edge_counts.items()}
+
+    def add(self, event, offset, count):
+        by_offset = self.counts.setdefault(event, {})
+        by_offset[offset] = by_offset.get(offset, 0) + count
+
+    def total(self, event):
+        return sum(self.counts.get(event, {}).values())
+
+    def samples_by_addr(self, event):
+        """Return {absolute address: samples} for *event*."""
+        base = self.image.base
+        return {base + off: cnt
+                for off, cnt in self.counts.get(event, {}).items()}
+
+    def samples_for(self, proc, event):
+        """Return {absolute address: samples} inside procedure *proc*."""
+        base = self.image.base
+        result = {}
+        for off, cnt in self.counts.get(event, {}).items():
+            addr = base + off
+            if proc.start <= addr < proc.end:
+                result[addr] = cnt
+        return result
+
+    def procedure_totals(self, event):
+        """Return {procedure name: samples} for *event*."""
+        totals = {}
+        by_offset = self.counts.get(event, {})
+        for proc in self.image.procedures:
+            total = 0
+            for off, cnt in by_offset.items():
+                if proc.start <= self.image.base + off < proc.end:
+                    total += cnt
+            totals[proc.name] = total
+        return totals

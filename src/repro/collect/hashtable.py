@@ -1,0 +1,121 @@
+"""The driver's per-CPU sample-aggregation hash table.
+
+The paper's table is an array of fixed-size buckets of four 16-byte
+entries (one 64-byte cache line per bucket); each entry holds a
+(PID, PC, EVENT) triple and a count.  A hit increments the count; a miss
+evicts one entry -- chosen by a mod counter bumped on every eviction --
+into an overflow buffer.  Aggregation reduces the sample stream handed
+to the daemon by a factor of 20 or more for most workloads.
+
+Associativity, replacement policy, table size and hash function are all
+parameters here because section 5.4 explores exactly that design space
+(their conclusion: 6-way plus swap-to-front would cut total cost
+10-20%); ``benchmarks/bench_sec54_hashtable.py`` reruns the study.
+"""
+
+MOD_COUNTER = "mod-counter"
+SWAP_TO_FRONT = "swap-to-front"
+LRU = "lru"
+
+POLICIES = (MOD_COUNTER, SWAP_TO_FRONT, LRU)
+
+
+def _hash_multiplicative(pid, pc, event_ord, mask):
+    # Fibonacci-style multiplicative hash of the packed triple.
+    key = (pid << 40) ^ (pc >> 2) ^ (event_ord << 56)
+    return ((key * 0x9E3779B97F4A7C15) >> 32) & mask
+
+
+def _hash_xor_fold(pid, pc, event_ord, mask):
+    key = (pc >> 2) ^ (pid * 131) ^ (event_ord * 7919)
+    return (key ^ (key >> 16)) & mask
+
+
+HASH_FUNCTIONS = {
+    "multiplicative": _hash_multiplicative,
+    "xor-fold": _hash_xor_fold,
+}
+
+
+class SampleHashTable:
+    """Aggregates (pid, pc, event) samples into counted entries."""
+
+    def __init__(self, buckets=4096, assoc=4, policy=MOD_COUNTER,
+                 hash_name="multiplicative"):
+        if buckets & (buckets - 1):
+            raise ValueError("bucket count must be a power of two")
+        if policy not in POLICIES:
+            raise ValueError("unknown policy %r" % policy)
+        self.num_buckets = buckets
+        self.assoc = assoc
+        self.policy = policy
+        self.hash_name = hash_name
+        self._hash = HASH_FUNCTIONS[hash_name]
+        self._mask = buckets - 1
+        # bucket -> list of [key, count] in slot order.
+        self._buckets = [[] for _ in range(buckets)]
+        self._mod_counter = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        #: Outcome of the most recent record() call (driver cost model).
+        self.last_was_hit = False
+
+    @property
+    def capacity(self):
+        return self.num_buckets * self.assoc
+
+    def record(self, pid, pc, event_ord, count=1):
+        """Aggregate one sample; return an evicted (key, count) or None."""
+        index = self._hash(pid, pc, event_ord, self._mask)
+        bucket = self._buckets[index]
+        key = (pid, pc, event_ord)
+        for slot, entry in enumerate(bucket):
+            if entry[0] == key:
+                entry[1] += count
+                self.hits += 1
+                self.last_was_hit = True
+                if self.policy in (SWAP_TO_FRONT, LRU) and slot != 0:
+                    bucket.insert(0, bucket.pop(slot))
+                return None
+        self.misses += 1
+        self.last_was_hit = False
+        if len(bucket) < self.assoc:
+            if self.policy == MOD_COUNTER:
+                bucket.append([key, count])
+            else:
+                bucket.insert(0, [key, count])
+            return None
+        self.evictions += 1
+        if self.policy == MOD_COUNTER:
+            victim_slot = self._mod_counter % self.assoc
+            self._mod_counter += 1
+            victim = bucket[victim_slot]
+            bucket[victim_slot] = [key, count]
+        else:
+            # SWAP_TO_FRONT and LRU both evict the last (least recent)
+            # slot and insert the newcomer at the front.
+            victim = bucket.pop()
+            bucket.insert(0, [key, count])
+        return (victim[0], victim[1])
+
+    def flush(self):
+        """Return all resident entries as (key, count) pairs and clear."""
+        entries = []
+        for bucket in self._buckets:
+            for key, count in bucket:
+                entries.append((key, count))
+            bucket.clear()
+        return entries
+
+    @property
+    def miss_rate(self):
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+    @property
+    def aggregation_factor(self):
+        """Average samples folded into each entry leaving the table."""
+        leaving = self.misses  # every miss creates exactly one new entry
+        total = self.hits + self.misses
+        return total / leaving if leaving else float(total or 1)

@@ -1,0 +1,45 @@
+"""Carta's minimal-standard pseudo-random number generator.
+
+The paper (section 4.1.1, reference [4]) randomizes the sampling period
+by writing a pseudo-random value into the performance counter after each
+interrupt, drawing the period uniformly from [60K, 64K] when monitoring
+CYCLES.  This module implements the same Park-Miller/Carta generator
+(x' = 16807*x mod (2^31 - 1)) and the uniform period sampler built on it.
+"""
+
+_MODULUS = (1 << 31) - 1
+_MULTIPLIER = 16807
+
+
+class CartaRandom:
+    """The minimal-standard linear congruential generator."""
+
+    def __init__(self, seed=1):
+        seed = int(seed) % _MODULUS
+        if seed == 0:
+            seed = 1
+        self._state = seed
+
+    def next(self):
+        """Return the next raw value in [1, 2^31 - 2]."""
+        # Carta's implementation splits the product to avoid 64-bit
+        # overflow on 1990s hardware; Python ints make the modmul direct.
+        self._state = (self._state * _MULTIPLIER) % _MODULUS
+        return self._state
+
+    def uniform_int(self, lo, hi):
+        """Return an integer uniformly distributed in [lo, hi]."""
+        span = hi - lo + 1
+        return lo + self.next() % span
+
+
+def period_sampler(lo, hi, seed=1):
+    """Return a zero-argument callable yielding random periods in [lo, hi].
+
+    This is what the driver installs into each counter slot; with
+    ``lo == hi`` the period is deterministic (useful in tests).
+    """
+    if lo == hi:
+        return lambda: lo
+    rng = CartaRandom(seed)
+    return lambda: rng.uniform_int(lo, hi)

@@ -1,0 +1,191 @@
+"""Profiling sessions: machine + driver + daemon, orchestrated.
+
+A :class:`ProfileSession` is the top-level user API: give it a workload
+(a callable that spawns processes on a fresh machine) and it runs the
+workload under the full collection system -- counters with randomized
+periods, the driver's hash tables, the daemon's drain/merge cycle --
+and returns the profiles plus every statistic the paper's evaluation
+tables need.
+
+``run_baseline`` runs the identical workload with profiling disabled,
+so Table 3's slowdown is (profiled cycles - base cycles) / base cycles
+on bit-identical instruction streams.
+"""
+
+from dataclasses import dataclass, replace
+
+from repro.cpu.config import MachineConfig
+from repro.cpu.events import EventType
+from repro.cpu.machine import Machine
+from repro.collect.daemon import Daemon
+from repro.collect.database import ProfileDatabase
+from repro.collect.driver import Driver, DriverConfig
+
+
+@dataclass
+class SessionConfig:
+    """Profiling-session settings (collection mode, periods, cadence)."""
+
+    mode: str = "default"             # "cycles" | "default" | "mux"
+    cycles_period: tuple = (1920, 2048)
+    event_period: int = 256
+    edge_sampling: bool = False       # section 7 edge-sample prototypes
+    edge_mode: str = "double"         # "double" | "interpret"
+    # Image names for which separate per-PID profiles are also kept
+    # (paper section 4.3 "per-process profiles for specified images").
+    per_process_images: tuple = ()
+    drain_interval: int = 200_000     # instructions between daemon drains
+    charge_overhead: bool = True
+    seed: int = 1
+    db_root: str = None
+    log_trace: bool = False
+    driver: DriverConfig = None
+
+    def make_driver_config(self):
+        base = self.driver or DriverConfig()
+        return replace(
+            base,
+            mode=self.mode,
+            cycles_period=self.cycles_period,
+            event_period=self.event_period,
+            charge_overhead=self.charge_overhead,
+            log_trace=self.log_trace,
+            edge_sampling=self.edge_sampling,
+            edge_mode=self.edge_mode,
+            seed=self.seed,
+        )
+
+
+class SessionResult:
+    """Everything a profiling run produced."""
+
+    def __init__(self, machine, driver, daemon, database,
+                 instructions, cycles):
+        self.machine = machine
+        self.driver = driver
+        self.daemon = daemon
+        self.database = database
+        self.instructions = instructions
+        self.cycles = cycles
+
+    @property
+    def profiles(self):
+        """{image name: ImageProfile}"""
+        return self.daemon.profiles
+
+    def profile_for(self, image):
+        name = image if isinstance(image, str) else image.name
+        return self.daemon.profiles.get(name)
+
+    def process_profile(self, pid, image):
+        """The per-PID profile for (pid, image), if it was requested."""
+        name = image if isinstance(image, str) else image.name
+        return self.daemon.process_profiles.get((pid, name))
+
+    def total_samples(self, event=EventType.CYCLES):
+        return self.driver.event_samples.get(event, 0)
+
+    def stats(self):
+        """Combined driver + daemon statistics."""
+        stats = {"instructions": self.instructions, "cycles": self.cycles}
+        stats.update({"driver_" + k: v
+                      for k, v in self.driver.stats().items()})
+        stats.update({"daemon_" + k: v
+                      for k, v in self.daemon.stats().items()})
+        return stats
+
+
+class BaselineResult:
+    """An unprofiled run of the same workload (for overhead math)."""
+
+    def __init__(self, machine, instructions, cycles):
+        self.machine = machine
+        self.instructions = instructions
+        self.cycles = cycles
+
+
+class ProfileSession:
+    """Run workloads under the continuous-profiling infrastructure."""
+
+    def __init__(self, machine_config=None, config=None):
+        self.machine_config = machine_config or MachineConfig()
+        self.config = config or SessionConfig()
+
+    def _periods(self):
+        lo, hi = self.config.cycles_period
+        periods = {EventType.CYCLES: (lo + hi) / 2.0}
+        for event in (EventType.IMISS, EventType.DMISS,
+                      EventType.BRANCHMP, EventType.DTBMISS,
+                      EventType.ITBMISS):
+            periods[event] = float(self.config.event_period)
+        return periods
+
+    def _setup(self, workload, machine):
+        setup = getattr(workload, "setup", None)
+        if setup is not None:
+            setup(machine)
+        else:
+            workload(machine)
+
+    def run(self, workload, max_instructions=None, seed=None):
+        """Profile *workload*; return a :class:`SessionResult`.
+
+        *workload* is a callable(machine) or an object with a
+        ``setup(machine)`` method that builds images and spawns
+        processes.  It must build fresh images on every call (linking
+        fixes absolute addresses per machine).
+        """
+        config = self.config
+        machine = Machine(self.machine_config,
+                          seed=seed if seed is not None else config.seed)
+        driver = Driver(self.machine_config.num_cpus,
+                        config.make_driver_config())
+        driver.install(machine)
+        # The daemon subscribes to loadmap events before any process is
+        # spawned (the paper's daemon additionally scans already-running
+        # processes at startup; our fallback path in _find_image covers
+        # that case).
+        daemon = Daemon(machine.loader, periods=self._periods(),
+                        per_process_images=config.per_process_images)
+        self._setup(workload, machine)
+        database = (ProfileDatabase(config.db_root)
+                    if config.db_root else None)
+
+        total = 0
+        while True:
+            chunk = config.drain_interval
+            if max_instructions is not None:
+                chunk = min(chunk, max_instructions - total)
+                if chunk <= 0:
+                    break
+            ran = machine.run(max_instructions=chunk)
+            total += ran
+            daemon.drain(driver)
+            driver.rotate_mux()
+            for proc in machine.processes:
+                if proc.exited:
+                    daemon.reap(proc.pid)
+            if ran == 0:
+                break
+        if database is not None:
+            daemon.merge_to_disk(database)
+        return SessionResult(machine, driver, daemon, database,
+                             total, machine.time)
+
+    def run_baseline(self, workload, max_instructions=None, seed=None):
+        """Run *workload* without any profiling (same seed, same stream)."""
+        machine = Machine(self.machine_config,
+                          seed=seed if seed is not None else self.config.seed)
+        self._setup(workload, machine)
+        total = 0
+        while True:
+            chunk = self.config.drain_interval
+            if max_instructions is not None:
+                chunk = min(chunk, max_instructions - total)
+                if chunk <= 0:
+                    break
+            ran = machine.run(max_instructions=chunk)
+            total += ran
+            if ran == 0:
+                break
+        return BaselineResult(machine, total, machine.time)

@@ -1,0 +1,163 @@
+"""Frequency-equivalence classes via cycle equivalence
+(paper section 6.1.2, reference [14]).
+
+Execution counts of blocks and edges form a *circulation* once a
+virtual return edge from exit to entry is added: flow is conserved at
+every node.  Two flow edges provably carry equal flow in every valid
+execution iff they form a **2-edge cut** of the underlying undirected
+graph (removing both disconnects it):
+
+* conservation across the cut forces ``f(e1) = f(e2)`` when the edges
+  cross it in opposite directions, and ``f(e1) = f(e2) = 0`` when they
+  cross the same way (counts are non-negative);
+* a single-edge cut (a bridge) carries no cycle, hence zero flow -- a
+  dead block.
+
+This is exactly the cycle-equivalence relation computed in linear time
+by Johnson-Pearson-Pingali [14]; we use the direct O(E^2) cut test,
+which is plenty for procedure-sized CFGs (see DESIGN.md).  Infinite
+loops are handled as in the paper's extension: regions that cannot
+reach the exit are connected to it virtually.
+
+Blocks participate by splitting each block into an internal flow edge
+(b_in -> b_out) whose flow is the block's execution count, so blocks
+and CFG edges land in one unified partition.
+"""
+
+import networkx as nx
+
+from repro.core.cfg import EXIT
+
+ENTRY_NODE = "ENTRY"
+EXIT_NODE = "EXIT"
+
+
+class EquivalenceClasses:
+    """Partition of blocks and edges into same-frequency classes.
+
+    ``class_of`` maps a block index or an ``("e", edge_index)`` pair to
+    a class id; ``members`` is the inverse mapping.  ``zero`` lists
+    nodes proved to execute zero times (bridge edges of the flow graph).
+    """
+
+    def __init__(self, class_of, members, zero=()):
+        self.class_of = class_of
+        self.members = members
+        self.zero = frozenset(zero)
+
+    def class_of_block(self, index):
+        return self.class_of[index]
+
+    def class_of_edge(self, index):
+        return self.class_of[("e", index)]
+
+    def __len__(self):
+        return len(self.members)
+
+
+def _flow_edges(cfg):
+    """Yield (label, tail, head) flow edges of the expanded graph.
+
+    Labels: block index (int), ("e", i) for CFG edges, "entry" and
+    "return" for the virtual boundary edges.
+    """
+    yield "entry", ENTRY_NODE, ("in", cfg.entry)
+    for block in cfg.blocks:
+        yield block.index, ("in", block.index), ("out", block.index)
+    for edge in cfg.edges:
+        head = EXIT_NODE if edge.dst == EXIT else ("in", edge.dst)
+        yield ("e", edge.index), ("out", edge.src), head
+    yield "return", EXIT_NODE, ENTRY_NODE
+
+
+def _build_subdivided(cfg):
+    """Build the undirected subdivided flow graph.
+
+    Each labeled flow edge (u, v) becomes u -- ("m", label) -- v, so
+    parallel edges stay distinguishable and "remove edge" is "remove its
+    midpoint node".
+    """
+    graph = nx.Graph()
+    labels = []
+    for label, tail, head in _flow_edges(cfg):
+        mid = ("m", label)
+        graph.add_edge(tail, mid)
+        graph.add_edge(mid, head)
+        labels.append(label)
+    # Infinite-loop handling: nodes with no undirected path to the exit
+    # cannot exist here (the subdivided graph is built from a connected
+    # CFG), but *directed* dead ends were already given exit edges by
+    # the CFG builder; nothing further is needed for the undirected cut
+    # test.
+    return graph, labels
+
+
+def _bridge_labels(graph):
+    """Return the set of flow-edge labels that are bridges of *graph*."""
+    found = set()
+    for a, b in nx.bridges(graph):
+        for node in (a, b):
+            if isinstance(node, tuple) and node[0] == "m":
+                found.add(node[1])
+    return found
+
+
+def compute_equivalence(cfg):
+    """Compute cycle-equivalence classes of blocks and edges of *cfg*.
+
+    With missing CFG edges (unresolved indirect jumps) flow conservation
+    cannot be trusted, so every block and edge is its own class, exactly
+    as in the paper.
+    """
+    nodes = ([block.index for block in cfg.blocks]
+             + [("e", edge.index) for edge in cfg.edges])
+    if cfg.missing_edges:
+        class_of = {node: i for i, node in enumerate(nodes)}
+        members = {i: [node] for i, node in enumerate(nodes)}
+        return EquivalenceClasses(class_of, members)
+
+    graph, labels = _build_subdivided(cfg)
+
+    # Bridges of the full graph carry zero flow (dead code): each is its
+    # own class and takes no part in the cut pairing.
+    zero_labels = _bridge_labels(graph)
+
+    parent = {}
+
+    def find(x):
+        root = x
+        while parent.get(root, root) != root:
+            root = parent[root]
+        while parent.get(x, x) != x:
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(x, y):
+        rx, ry = find(x), find(y)
+        if rx != ry:
+            parent[rx] = ry
+
+    live = [lab for lab in labels if lab not in zero_labels]
+    for label in live:
+        mid = ("m", label)
+        view = nx.restricted_view(graph, [mid], [])
+        for other in _bridge_labels(view):
+            if other != label and other not in zero_labels:
+                union(label, other)
+
+    class_of = {}
+    members = {}
+    roots = {}
+    next_id = 0
+    for node in nodes:
+        root = find(node)
+        cid = roots.get(root)
+        if cid is None:
+            cid = next_id
+            next_id += 1
+            roots[root] = cid
+            members[cid] = []
+        class_of[node] = cid
+        members[cid].append(node)
+    zero = [node for node in nodes if node in zero_labels]
+    return EquivalenceClasses(class_of, members, zero)

@@ -1,0 +1,151 @@
+"""Procedure-level stall summaries (the paper's Figure 4).
+
+Aggregates the per-instruction analysis into ranges of the fraction of
+procedure cycles attributable to each dynamic cause, exact fractions for
+each static cause, the execution fraction, unexplained stall and
+unexplained gain, and the net sampling error.
+"""
+
+from repro.cpu.events import DYNAMIC_REASONS, STATIC_REASONS
+
+
+class StallSummary:
+    """Fractions of a procedure's cycles, by cause.
+
+    Attributes:
+        dynamic: {reason: (min_fraction, max_fraction)}.
+        static: {reason: fraction}.
+        unexplained_stall / unexplained_gain / execution /
+        subtotal_dynamic / subtotal_static / net_error: fractions.
+    """
+
+    def __init__(self, analysis):
+        self.analysis = analysis
+        total = analysis.total_cycles
+        self.total_cycles = total
+        self.dynamic = {reason: [0.0, 0.0] for reason in DYNAMIC_REASONS}
+        self.static = {reason: 0.0 for reason in STATIC_REASONS}
+        self.unexplained_stall = 0.0
+        self.unexplained_gain = 0.0
+        if total <= 0:
+            self.execution = 0.0
+            self.subtotal_dynamic = 0.0
+            self.subtotal_static = 0.0
+            self.net_error = 0.0
+            return
+
+        dyn_cycles = 0.0
+        gain_cycles = 0.0
+        static_cycles = {reason: 0.0 for reason in STATIC_REASONS}
+        issue_cycles = 0.0
+        unexplained = 0.0
+        for row in analysis.instructions:
+            observed = row.samples * analysis.period
+            best = row.count * row.m
+            if observed >= best:
+                dyn_cycles += observed - best
+            else:
+                gain_cycles += best - observed
+            for reason, cycles, _ in row.static_stalls:
+                if reason in static_cycles:
+                    static_cycles[reason] += cycles * row.count
+            if row.m > 0:
+                issue_cycles += row.count
+            for culprit in row.culprits:
+                if culprit.reason == "unexplained":
+                    unexplained += culprit.min_cycles
+                elif culprit.reason in self.dynamic:
+                    self.dynamic[culprit.reason][0] += culprit.min_cycles
+                    self.dynamic[culprit.reason][1] += culprit.max_cycles
+
+        for reason in DYNAMIC_REASONS:
+            lo, hi = self.dynamic[reason]
+            self.dynamic[reason] = (min(lo, dyn_cycles) / total,
+                                    min(hi, dyn_cycles) / total)
+        for reason in STATIC_REASONS:
+            self.static[reason] = static_cycles[reason] / total
+        self.unexplained_stall = unexplained / total
+        self.unexplained_gain = -gain_cycles / total
+        self.subtotal_dynamic = (dyn_cycles - gain_cycles) / total
+        self.subtotal_static = sum(self.static.values())
+        self.execution = issue_cycles / total
+        tallied = (self.subtotal_dynamic + self.subtotal_static
+                   + self.execution)
+        self.net_error = 1.0 - tallied
+
+    # -- rendering ----------------------------------------------------------
+
+    _DYNAMIC_LABELS = {
+        "icache": "I-cache (not ITB)",
+        "itb": "ITB/I-cache miss",
+        "dcache": "D-cache miss",
+        "dtb": "DTB miss",
+        "wb": "Write buffer",
+        "branchmp": "Branch mispredict",
+        "imul": "IMUL busy",
+        "fdiv": "FDIV busy",
+    }
+    _STATIC_LABELS = {
+        "slotting": "Slotting",
+        "ra_dep": "Ra dependency",
+        "rb_dep": "Rb dependency",
+        "rc_dep": "Rc dependency",
+        "fu_dep": "FU dependency",
+    }
+
+    def render(self):
+        """Return the Figure 4-style text block."""
+        analysis = self.analysis
+        lines = []
+        push = lines.append
+        push("*** Best-case %d/%d = %.2fCPI,"
+             % (round(analysis.best_case_cycles),
+                round(analysis.executed_instructions),
+                analysis.best_case_cpi))
+        push("*** Actual %d/%d = %.2fCPI"
+             % (round(analysis.total_cycles),
+                round(analysis.executed_instructions),
+                analysis.actual_cpi))
+        push("***")
+        for reason in ("icache", "itb", "dcache", "dtb", "wb"):
+            lo, hi = self.dynamic[reason]
+            push("***    %-22s %4.1f%% to %4.1f%%"
+                 % (self._DYNAMIC_LABELS[reason], lo * 100, hi * 100))
+        push("***")
+        for reason in ("branchmp", "imul", "fdiv"):
+            lo, hi = self.dynamic[reason]
+            push("***    %-22s %4.1f%% to %4.1f%%"
+                 % (self._DYNAMIC_LABELS[reason], lo * 100, hi * 100))
+        push("***")
+        push("***    %-22s %4.1f%%" % ("Unexplained stall",
+                                       self.unexplained_stall * 100))
+        push("***    %-22s %4.1f%%" % ("Unexplained gain",
+                                       self.unexplained_gain * 100))
+        push("*** " + "-" * 40)
+        push("***    %-22s %4.1f%%" % ("Subtotal dynamic",
+                                       self.subtotal_dynamic * 100))
+        push("***")
+        for reason in STATIC_REASONS:
+            push("***    %-22s %4.1f%%"
+                 % (self._STATIC_LABELS[reason], self.static[reason] * 100))
+        push("*** " + "-" * 40)
+        push("***    %-22s %4.1f%%" % ("Subtotal static",
+                                       self.subtotal_static * 100))
+        push("*** " + "-" * 40)
+        push("***    %-22s %4.1f%%"
+             % ("Total stall",
+                (self.subtotal_dynamic + self.subtotal_static) * 100))
+        push("***    %-22s %4.1f%%" % ("Execution", self.execution * 100))
+        push("***    %-22s %4.1f%%" % ("Net sampling error",
+                                       self.net_error * 100))
+        push("*** " + "-" * 40)
+        push("***    %-22s %4.1f%%" % ("Total tallied", 100.0))
+        push("*** (%d, %.1f%% of all samples)"
+             % (round(self.analysis.total_cycles),
+                100.0))
+        return "\n".join(lines)
+
+
+def summarize_procedure(analysis):
+    """Build a :class:`StallSummary` for *analysis*."""
+    return StallSummary(analysis)

@@ -1,0 +1,220 @@
+"""Accuracy validation of the analysis against ground truth
+(the paper's section 6.2 methodology).
+
+The paper validated frequency estimates against dcpix-instrumented
+execution counts; here the simulator's exact per-instruction and
+per-edge counts play that role.  These helpers produce the raw series
+behind Figures 8, 9 and 10:
+
+* :func:`frequency_errors` -- per-instruction relative error of the
+  estimated execution count, weighted by CYCLES samples;
+* :func:`edge_errors` -- per-CFG-edge relative error, weighted by true
+  edge executions;
+* :func:`icache_correlation_points` -- per-procedure (IMISS events,
+  attributed I-cache stall-cycle range) pairs.
+"""
+
+from repro.cpu.events import EventType
+from repro.core.analyze import AnalysisConfig, analyze_procedure
+from repro.core.cfg import EXIT, build_cfg
+
+#: Histogram bucket edges used by the paper's Figures 8 and 9 (percent).
+BUCKETS = (-45, -35, -25, -15, -5, 5, 15, 25, 35, 45)
+
+
+def true_edge_count(machine, cfg, edge):
+    """Exact executions of CFG *edge* from the machine's ground truth."""
+    block = cfg.blocks[edge.src]
+    last = block.last
+    kind = last.info.kind
+    if kind in ("cbranch", "fbranch"):
+        if edge.kind == "taken":
+            return machine.gt_edges.get((last.addr, last.target), 0)
+        return machine.gt_edges.get((last.addr, last.addr + 4), 0)
+    if kind == "br" and last.op == "br":
+        return machine.gt_edges.get((last.addr, last.target), 0)
+    # Single-successor block (fallthrough, call): the edge runs exactly
+    # as often as the block's last instruction.
+    return machine.gt_count.get(last.addr, 0)
+
+
+def frequency_errors(machine, image, profile, procedures=None,
+                     config=None, min_true=5):
+    """Relative frequency-estimate errors, sample-weighted.
+
+    Returns a list of (relative_error, weight_samples, confidence)
+    tuples, one per instruction with at least *min_true* true
+    executions (tiny counts are pure noise in both systems).
+    """
+    points = []
+    for proc in image.procedures:
+        if procedures is not None and proc.name not in procedures:
+            continue
+        samples = profile.samples_for(proc, EventType.CYCLES)
+        if not samples:
+            continue
+        analysis = analyze_procedure(image, proc, profile, config)
+        for row in analysis.instructions:
+            true = machine.gt_count.get(row.inst.addr, 0)
+            if true < min_true:
+                continue
+            weight = row.samples
+            if weight == 0:
+                continue
+            error = (row.count - true) / true
+            points.append((error, weight, row.confidence))
+    return points
+
+
+def edge_errors(machine, image, profile, procedures=None, config=None,
+                min_true=5):
+    """Relative edge-frequency errors, weighted by true edge executions.
+
+    Returns (relative_error, weight, confidence) tuples.
+    """
+    points = []
+    for proc in image.procedures:
+        if procedures is not None and proc.name not in procedures:
+            continue
+        samples = profile.samples_for(proc, EventType.CYCLES)
+        if not samples:
+            continue
+        analysis = analyze_procedure(image, proc, profile, config)
+        cfg = analysis.cfg
+        freq = analysis.freq
+        for edge in cfg.edges:
+            if edge.dst == EXIT:
+                continue
+            true = true_edge_count(machine, cfg, edge)
+            if true < min_true:
+                continue
+            estimate = freq.edge_count(edge.index)
+            error = (estimate - true) / true
+            points.append((error, true,
+                           freq.edge_confidence(edge.index)))
+    return points
+
+
+def bucketize(points):
+    """Aggregate weighted error points into the paper's histogram.
+
+    Returns {bucket_label: {confidence: weight_fraction}} plus the
+    total weight, where bucket_label is the bucket's center (e.g. -15
+    covers errors in (-20%, -10%]) and the extreme buckets are open.
+    """
+    total = sum(weight for _, weight, _ in points) or 1.0
+    histogram = {}
+    for error, weight, confidence in points:
+        pct = error * 100.0
+        label = None
+        for edge in BUCKETS:
+            if pct <= edge:
+                label = edge
+                break
+        if label is None:
+            label = BUCKETS[-1] + 10
+        bucket = histogram.setdefault(label, {})
+        bucket[confidence] = bucket.get(confidence, 0.0) + weight / total
+    return histogram, total
+
+
+def weight_within(points, pct):
+    """Fraction of weight whose |error| is within *pct* percent."""
+    total = sum(weight for _, weight, _ in points)
+    if not total:
+        return 0.0
+    good = sum(weight for error, weight, _ in points
+               if abs(error) * 100.0 <= pct)
+    return good / total
+
+
+class FixedFrequency:
+    """A frequency oracle built from known execution counts.
+
+    The paper's Figure 10 experiment substitutes instrumented execution
+    counts for the estimates "to isolate the effect of culprit analysis
+    from that of frequency estimation" (footnote 6); this adapter plays
+    the role of dcpix's counts.
+    """
+
+    def __init__(self, cfg, counts, period):
+        self.cfg = cfg
+        self.period = period
+        self._counts = counts
+
+    def block_count(self, block_index):
+        block = self.cfg.blocks[block_index]
+        return float(self._counts.get(block.start, 0))
+
+    def count_of(self, addr):
+        return float(self._counts.get(addr, 0))
+
+    def block_confidence(self, block_index):
+        return HIGH_CONFIDENCE
+
+    def edge_count(self, edge_index):
+        return 0.0
+
+
+HIGH_CONFIDENCE = "high"
+
+
+def icache_correlation_points(machine, image, profile, config=None,
+                              min_samples=10, use_true_counts=True):
+    """Per-procedure (true IMISS events, attributed icache range).
+
+    Returns a list of dicts with the procedure name, the ground-truth
+    IMISS event count, and the [lo, hi] I-cache stall cycles attributed
+    by culprit analysis -- the paper's Figure 10 scatter.  With
+    *use_true_counts* (the paper's footnote-6 methodology) culprit
+    analysis runs on exact execution counts instead of estimates."""
+    from repro.core.culprits import identify_culprits
+    from repro.core.schedule import schedule_cfg
+
+    points = []
+    for proc in image.procedures:
+        samples = profile.samples_for(proc, EventType.CYCLES)
+        if sum(samples.values()) < min_samples:
+            continue
+        period = profile.periods.get(EventType.CYCLES, 1.0)
+        if use_true_counts:
+            cfg = build_cfg(proc)
+            schedules = schedule_cfg(cfg)
+            freq = FixedFrequency(cfg, machine.gt_count, period)
+            culprit_map = identify_culprits(cfg, schedules, freq,
+                                            samples, profile, proc)
+            culprit_lists = culprit_map.values()
+        else:
+            analysis = analyze_procedure(image, proc, profile, config)
+            culprit_lists = [row.culprits
+                             for row in analysis.instructions]
+        lo = 0.0
+        hi = 0.0
+        for culprits in culprit_lists:
+            for culprit in culprits:
+                if culprit.reason == "icache":
+                    lo += culprit.min_cycles
+                    hi += culprit.max_cycles
+        true_imiss = 0
+        for inst in proc.instructions():
+            events = machine.gt_events.get(inst.addr)
+            if events:
+                true_imiss += events.get(EventType.IMISS, 0)
+        points.append({"procedure": proc.name, "imiss": true_imiss,
+                       "lo": lo, "hi": hi})
+    return points
+
+
+def correlation(xs, ys):
+    """Pearson correlation coefficient of two equal-length series."""
+    n = len(xs)
+    if n < 2:
+        return 0.0
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x <= 0 or var_y <= 0:
+        return 0.0
+    return cov / (var_x * var_y) ** 0.5

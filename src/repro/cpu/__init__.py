@@ -1,0 +1,7 @@
+"""Cycle-level in-order dual-issue CPU simulator (the hardware substrate)."""
+
+from repro.cpu.config import MachineConfig
+from repro.cpu.events import EventType
+from repro.cpu.machine import Machine
+
+__all__ = ["MachineConfig", "EventType", "Machine"]

@@ -1,0 +1,64 @@
+"""Branch prediction: a 2-bit counter table plus an indirect-target BTB
+and a return-address stack.
+
+The predictor only has to be *plausible*: what matters for the paper is
+that mispredictions happen at realistic places (loop exits, data-
+dependent branches, indirect jumps) so that BRANCHMP samples and the
+culprit analysis have something real to explain.
+"""
+
+
+class BranchPredictor:
+    """2-bit saturating-counter direction predictor with BTB and RAS."""
+
+    TAKEN_INIT = 2  # weakly taken
+
+    def __init__(self, table_size=2048, ras_depth=16):
+        self._mask = table_size - 1
+        if table_size & self._mask:
+            raise ValueError("branch table size must be a power of two")
+        self._table = [self.TAKEN_INIT] * table_size
+        self._btb = {}
+        self._ras = []
+        self._ras_depth = ras_depth
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def predict_conditional(self, pc, taken):
+        """Record the outcome of a conditional branch; return True if the
+        prediction was correct."""
+        index = (pc >> 2) & self._mask
+        counter = self._table[index]
+        predicted_taken = counter >= 2
+        if taken and counter < 3:
+            self._table[index] = counter + 1
+        elif not taken and counter > 0:
+            self._table[index] = counter - 1
+        self.predictions += 1
+        correct = predicted_taken == taken
+        if not correct:
+            self.mispredictions += 1
+        return correct
+
+    def predict_indirect(self, pc, target):
+        """Record an indirect jump through *pc* to *target*."""
+        self.predictions += 1
+        correct = self._btb.get(pc) == target
+        self._btb[pc] = target
+        if not correct:
+            self.mispredictions += 1
+        return correct
+
+    def push_call(self, return_pc):
+        self._ras.append(return_pc)
+        if len(self._ras) > self._ras_depth:
+            self._ras.pop(0)
+
+    def predict_return(self, target):
+        """Record a return to *target*; return True if the RAS was right."""
+        self.predictions += 1
+        predicted = self._ras.pop() if self._ras else None
+        correct = predicted == target
+        if not correct:
+            self.mispredictions += 1
+        return correct

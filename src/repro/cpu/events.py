@@ -1,0 +1,32 @@
+"""Hardware event types countable by the performance counters.
+
+These mirror the Alpha events the paper samples: processor cycles
+(CYCLES), instruction-cache misses (IMISS), data-cache misses (DMISS),
+branch mispredictions (BRANCHMP), plus the TLB-miss events the analysis
+uses to sharpen culprit identification (DTBMISS, ITBMISS).
+"""
+
+import enum
+
+
+class EventType(str, enum.Enum):
+    """An event a performance counter can be configured to count."""
+
+    CYCLES = "cycles"
+    IMISS = "imiss"
+    DMISS = "dmiss"
+    BRANCHMP = "branchmp"
+    DTBMISS = "dtbmiss"
+    ITBMISS = "itbmiss"
+
+    def __str__(self):
+        return self.value
+
+
+#: Stall reasons tracked by the simulator's ground-truth accounting and
+#: named by the analysis tools.  Dynamic reasons first, static last.
+DYNAMIC_REASONS = (
+    "icache", "itb", "dcache", "dtb", "branchmp", "wb", "imul", "fdiv",
+)
+STATIC_REASONS = ("slotting", "ra_dep", "rb_dep", "rc_dep", "fu_dep")
+ALL_REASONS = DYNAMIC_REASONS + STATIC_REASONS

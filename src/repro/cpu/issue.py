@@ -1,0 +1,34 @@
+"""Dual-issue slotting rules shared by the pipeline simulator and the
+analysis tools' static scheduler.
+
+Two adjacent instructions may issue in the same cycle only if they can be
+slotted onto two distinct pipes.  Because the same table answers both the
+simulator's "did this pair dual-issue?" and the static scheduler's
+"could this pair dual-issue with no dynamic stalls?", the analysis has no
+model skew relative to the simulated hardware.
+"""
+
+from repro.alpha.opcodes import ISSUE_CLASSES
+
+
+def _compatible(cls_a, cls_b):
+    pipes_a = ISSUE_CLASSES[cls_a].pipes
+    pipes_b = ISSUE_CLASSES[cls_b].pipes
+    for pa in pipes_a:
+        for pb in pipes_b:
+            if pa != pb:
+                return True
+    return False
+
+
+#: (leader class, follower class) -> True if the pair may dual-issue.
+PAIR_OK = {
+    (a, b): _compatible(a, b)
+    for a in ISSUE_CLASSES
+    for b in ISSUE_CLASSES
+}
+
+
+def can_pair(cls_a, cls_b):
+    """Return True if issue classes *cls_a* and *cls_b* can dual-issue."""
+    return PAIR_OK[(cls_a, cls_b)]

@@ -1,0 +1,129 @@
+"""The simulated machine: cores, images, processes, ground truth.
+
+A :class:`Machine` bundles the CPU cores with the loader, a global
+instruction map (for fast fetch), per-run physical page assignment, and
+the ground-truth accounting the validation experiments compare the
+analysis tools against.
+"""
+
+import random
+
+from repro.cpu.pipeline import Core
+from repro.osim.loader import Loader
+from repro.osim.process import Process
+from repro.osim.sched import Scheduler
+
+
+class Machine:
+    """A multiprocessor with private per-core caches and shared images.
+
+    Args:
+        config: :class:`repro.cpu.config.MachineConfig`.
+        seed: per-run seed controlling physical page assignment (the
+            source of run-to-run cache-conflict variance) and any other
+            machine-level randomness.
+    """
+
+    def __init__(self, config, seed=0):
+        self.config = config
+        self.seed = seed
+        self.cores = [Core(i, config, self) for i in range(config.num_cpus)]
+        self.loader = Loader()
+        self.scheduler = Scheduler(self)
+        self.code_map = {}
+        self.processes = []
+        #: Optional callable(image) -> image applied to unlinked images
+        #: at load time (binary instrumentation, e.g. the pixie baseline).
+        self.image_transform = None
+        self._next_pid = 100
+        self._rng = random.Random(seed)
+        self._code_pages = {}
+        # Ground truth (per absolute instruction address).
+        self.gt_count = {}
+        self.gt_head = {}
+        self.gt_stall = {}
+        self.gt_events = {}
+        self.gt_edges = {}
+
+    # -- images and processes ------------------------------------------
+
+    def load_image(self, image):
+        """Link *image* (if needed) and make its code fetchable."""
+        if self.image_transform is not None and image.base is None:
+            image = self.image_transform(image)
+        self.loader.link(image)
+        for inst in image.instructions:
+            self.code_map[inst.addr] = inst
+        return image
+
+    def spawn(self, images, entry=None, name=None, pid=None):
+        """Create a process running *images*, starting at *entry*.
+
+        *entry* may be an absolute address, a ``"image.name:proc"``
+        string, or None (entry of the first image's first procedure).
+        """
+        images = [images] if not isinstance(images, (list, tuple)) else images
+        images = [self.load_image(image) for image in images]
+        if entry is None:
+            entry = images[0].entry()
+        elif isinstance(entry, str):
+            image_name, _, proc_name = entry.partition(":")
+            for image in images:
+                if image.name == image_name and proc_name in image.symbols:
+                    entry = image.symbols.resolve(proc_name)
+                    break
+            else:
+                raise ValueError("entry %r not found" % entry)
+        if pid is None:
+            pid = self._next_pid
+            self._next_pid += 1
+        page_rng = random.Random((self.seed << 20) ^ pid)
+        proc = Process(pid, name or images[0].name, images, entry,
+                       page_rng, self.config.page_bits)
+        self.processes.append(proc)
+        self.loader.notify_exec(pid, images)
+        return proc
+
+    def translate_code(self, vpage):
+        """Map a shared-text virtual page to its per-run physical page."""
+        ppage = self._code_pages.get(vpage)
+        if ppage is None:
+            ppage = self._rng.getrandbits(19)
+            self._code_pages[vpage] = ppage
+        return ppage
+
+    # -- execution --------------------------------------------------------
+
+    @property
+    def instructions_retired(self):
+        return sum(core.instructions_retired for core in self.cores)
+
+    @property
+    def time(self):
+        """Max core-local time (the machine's wall clock)."""
+        return max(core.time for core in self.cores)
+
+    def run(self, max_instructions=None):
+        """Run all spawned, unfinished processes via the scheduler."""
+        for proc in self.processes:
+            if not proc.exited and not getattr(proc, "_submitted", False):
+                self.scheduler.submit(proc)
+                proc._submitted = True
+        return self.scheduler.run(max_instructions=max_instructions)
+
+    def set_sample_sink(self, sink):
+        """Install *sink* on every core (the profiling driver's hook)."""
+        for core in self.cores:
+            core.sample_sink = sink
+
+    # -- ground-truth helpers ----------------------------------------------
+
+    def true_counts_for(self, image):
+        """Exact execution count per instruction address of *image*."""
+        return {inst.addr: self.gt_count.get(inst.addr, 0)
+                for inst in image.instructions}
+
+    def true_head_cycles_for(self, image):
+        """Exact head-of-queue cycles per instruction address of *image*."""
+        return {inst.addr: self.gt_head.get(inst.addr, 0)
+                for inst in image.instructions}

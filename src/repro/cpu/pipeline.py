@@ -1,0 +1,553 @@
+"""The in-order dual-issue pipeline core.
+
+The model follows the paper's abstraction of the 21164: instructions
+stall only at the head of the issue queue, an instruction's CYCLES sample
+count is proportional to the time it spends there, and a dual-issued
+younger instruction spends zero cycles at the head ("0 (dual issue)" in
+the paper's Figure 2 listing).
+
+Per dynamic instruction the core computes:
+
+* ``arrival`` -- the first cycle the instruction can occupy the head
+  (delayed by I-cache/ITB fetch misses, branch-mispredict bubbles, and
+  the profiling interrupt handler's own cycles);
+* ``issue``   -- when its operands are ready and a pipe plus any needed
+  unit (IMUL, FDIV, a write-buffer slot) is available;
+* ``issue - arrival + 1`` cycles at the head, decomposed into the exact
+  stall reasons (the simulator's *ground truth*, which validates the
+  analysis tools but is never shown to them).
+
+Performance-counter overflows are delivered ``interrupt_skew`` cycles
+late and attributed to whatever instruction holds the head at delivery
+time, reproducing the paper's section 4.1.2 semantics (IMISS samples
+land on the missing instruction; DMISS/BRANCHMP samples skew a few
+instructions down the stream).
+"""
+
+from repro.alpha.opcodes import ISSUE_CLASSES, MASK64
+from repro.cpu.caches import Cache, Hierarchy
+from repro.cpu.counters import CounterUnit
+from repro.cpu.branch import BranchPredictor
+from repro.cpu.events import EventType
+from repro.cpu.issue import PAIR_OK
+from repro.cpu.tlb import TLB
+from repro.cpu.writebuffer import WriteBuffer
+
+# Run-status results of Core.run().
+EXITED = "exited"
+QUANTUM = "quantum"
+BUDGET = "budget"
+
+_EV_CYCLES = EventType.CYCLES
+_EV_IMISS = EventType.IMISS
+_EV_DMISS = EventType.DMISS
+_EV_BRANCHMP = EventType.BRANCHMP
+_EV_DTBMISS = EventType.DTBMISS
+_EV_ITBMISS = EventType.ITBMISS
+
+_DEP_REASON = ("ra_dep", "rb_dep", "rc_dep", "rc_dep")
+
+
+class Core:
+    """One simulated CPU: private caches, TLBs, predictor, counters."""
+
+    def __init__(self, cpu_id, config, machine):
+        self.cpu_id = cpu_id
+        self.config = config
+        self.machine = machine
+        self.l2 = Cache(config.l2)
+        self.board = Cache(config.board)
+        self.ihier = Hierarchy(Cache(config.l1i), self.l2, self.board,
+                               config.memory_latency)
+        self.dhier = Hierarchy(Cache(config.l1d), self.l2, self.board,
+                               config.memory_latency)
+        self.itb = TLB(config.itb_entries, config.tlb_miss_penalty)
+        self.dtb = TLB(config.dtb_entries, config.tlb_miss_penalty)
+        self.wb = WriteBuffer(config.write_buffer_entries,
+                              config.write_buffer_drain)
+        self.bp = BranchPredictor(config.branch_table_size)
+        self.counters = CounterUnit()
+        #: callable(cpu_id, pid, pc, event, time) -> handler cost cycles,
+        #: or None when profiling is off.
+        self.sample_sink = None
+        #: callable(cpu_id, pid, from_pc, to_pc, time) for the paper's
+        #: section 7 edge-sample prototypes.  None disables edge
+        #: sampling.
+        self.edge_sink = None
+        #: False -> "double sampling" (a second interrupt captures the
+        #: next executed PC; costs an extra interrupt).  True ->
+        #: "instruction interpretation" (the handler decodes a sampled
+        #: control transfer and evaluates its direction; edge samples
+        #: only arrive when the sample lands on a control instruction,
+        #: but no second interrupt is needed).
+        self.edge_interpret = False
+        self._edge_from = None
+        self.time = 0
+        self.instructions_retired = 0
+        self._pending = []  # (deliver_time, event) interrupt deliveries
+        self._last_fetch_line = -1
+        self._last_code_page = -1
+        self._last_code_ppage = 0
+        # Sequential-prefetch stream buffer (physical line numbers).
+        self._istream = []
+
+    # ------------------------------------------------------------------
+
+    def run(self, proc, cycle_limit=None, inst_limit=None):
+        """Run *proc* on this core until it exits or a budget expires.
+
+        Returns one of EXITED / QUANTUM / BUDGET.  All process state
+        (registers, PC, scoreboard) lives on *proc*, so runs interleave
+        across context switches.
+        """
+        config = self.config
+        machine = self.machine
+        code_map = machine.code_map
+        gt_count = machine.gt_count
+        gt_head = machine.gt_head
+        gt_stall = machine.gt_stall
+        gt_events = machine.gt_events
+        gt_edges = machine.gt_edges
+        counters = self.counters
+        pending = self._pending
+        sink = self.sample_sink
+        edge_sink = self.edge_sink
+        # A pending double-sample does not survive a context switch (the
+        # second PC would belong to a different process).
+        edge_from = None
+        skew = config.interrupt_skew
+        page_bits = config.page_bits
+        page_mask = (1 << page_bits) - 1
+        line_shift = self.ihier.l1._line_shift
+        mispredict_penalty = config.mispredict_penalty
+        classes = ISSUE_CLASSES
+
+        iregs = proc.iregs
+        fregs = proc.fregs
+        mem = proc.memory
+        reg_ready = proc.reg_ready
+        reg_ready_static = proc.reg_ready_static
+        reg_dyn_reason = proc.reg_dyn_reason
+        pc = proc.pc
+        exit_addr = proc.exit_addr
+
+        prev_issue = max(self.time, proc.resume_time)
+        # pair_open: the previous instruction issued alone in its cycle
+        # and a compatible follower could still join it.
+        pair_open = False
+        prev_cls = None
+        leader_pc = proc.last_pc
+        front_extra = 0  # mispredict + handler cycles delaying the front end
+        front_reason = None
+        imul_free = proc.imul_free
+        fdiv_free = proc.fdiv_free
+
+        deadline = None
+        if cycle_limit is not None:
+            deadline = prev_issue + cycle_limit
+        insts_left = inst_limit if inst_limit is not None else -1
+        status = BUDGET
+
+        while True:
+            if pc == exit_addr:
+                status = EXITED
+                break
+            if insts_left == 0:
+                status = BUDGET
+                break
+            if deadline is not None and prev_issue >= deadline:
+                status = QUANTUM
+                break
+            insts_left -= 1
+
+            inst = code_map.get(pc)
+            if inst is None:
+                raise RuntimeError(
+                    "pid %d jumped to unmapped pc %#x" % (proc.pid, pc))
+            if edge_from is not None:
+                # Second half of a double sample: this is the next PC
+                # executed after the first interrupt returned.
+                edge_sink(self.cpu_id, proc.pid, edge_from, pc,
+                          prev_issue)
+                edge_from = None
+            info = inst.info
+            kind = info.kind
+            icls = classes[info.cls]
+            addr = pc
+
+            events_now = None  # [(event, time)] for this instruction
+
+            # ---- fetch --------------------------------------------------
+            itb_fetch_pen = 0
+            icache_pen = 0
+            fline = pc >> line_shift
+            if fline != self._last_fetch_line:
+                self._last_fetch_line = fline
+                vpage = pc >> page_bits
+                if vpage != self._last_code_page:
+                    ppage, itb_pen, itb_miss = self.itb.translate(
+                        0, vpage, machine.translate_code)
+                    self._last_code_page = vpage
+                    self._last_code_ppage = ppage
+                    if itb_miss:
+                        itb_fetch_pen = itb_pen
+                        events_now = [(_EV_ITBMISS, prev_issue + 1)]
+                paddr = (self._last_code_ppage << page_bits) | (pc & page_mask)
+                pline = paddr >> line_shift
+                istream = self._istream
+                if pline in istream:
+                    # Stream-buffer hit: the line was prefetched.  The
+                    # I-cache still missed (the event counts), but the
+                    # fill is nearly free.
+                    istream.remove(pline)
+                    self.ihier.l1.lookup(paddr)  # install in L1
+                    icache_pen = config.istream_hit_latency
+                    imiss = True
+                else:
+                    ilat, imiss = self.ihier.access(paddr)
+                    if imiss:
+                        icache_pen = ilat
+                if imiss:
+                    ev = (_EV_IMISS, prev_issue + 1)
+                    if events_now is None:
+                        events_now = [ev]
+                    else:
+                        events_now.append(ev)
+                    if config.istream_entries:
+                        # Prefetch the next sequential line (within the
+                        # same page -- the prefetcher has no translation
+                        # of its own).
+                        nline = pline + 1
+                        lines_per_page = (1 << page_bits) >> line_shift
+                        if (nline % lines_per_page != 0
+                                and nline not in istream):
+                            istream.append(nline)
+                            if len(istream) > config.istream_entries:
+                                istream.pop(0)
+            fetch_pen = itb_fetch_pen + icache_pen
+
+            # ---- operand readiness --------------------------------------
+            srcs = inst.srcs
+            rdy = 0
+            rdy_static = 0
+            dep_index = 0
+            dyn_reg = -1
+            for index, src in enumerate(srcs):
+                r = reg_ready[src]
+                if r > rdy:
+                    rdy = r
+                    dyn_reg = src
+                rs = reg_ready_static[src]
+                if rs > rdy_static:
+                    rdy_static = rs
+                    dep_index = index
+
+            # ---- resources ----------------------------------------------
+            res = 0
+            res_reason = None
+            cls_name = info.cls
+            if cls_name == "IMUL":
+                if imul_free > res:
+                    res = imul_free
+                    res_reason = "imul"
+            elif cls_name == "FDIV":
+                if fdiv_free > res:
+                    res = fdiv_free
+                    res_reason = "fdiv"
+
+            vaddr = -1
+            if kind == "store" or kind == "fstore":
+                vaddr = (iregs[inst.rb] + inst.imm) & MASK64
+                wb_ready = self.wb.earliest_issue(vaddr, prev_issue + 1)
+                if wb_ready > res:
+                    res = wb_ready
+                    res_reason = "wb"
+            elif kind == "load" or kind == "fload":
+                vaddr = (iregs[inst.rb] + inst.imm) & MASK64
+
+            # ---- issue / pairing ----------------------------------------
+            total_front = fetch_pen + front_extra
+            if (pair_open and total_front == 0 and rdy <= prev_issue
+                    and res <= prev_issue and PAIR_OK[(prev_cls, cls_name)]):
+                issue = prev_issue
+                paired = True
+                cycles_head = 0
+                pair_open = False
+            else:
+                arrival = prev_issue + 1 + total_front
+                issue = arrival
+                if rdy > issue:
+                    issue = rdy
+                if res > issue:
+                    issue = res
+                paired = False
+                cycles_head = issue - arrival + 1
+
+                # ---- ground-truth stall decomposition -------------------
+                if cycles_head > 1 or total_front or fetch_pen:
+                    stall_row = gt_stall.get(addr)
+                    if stall_row is None:
+                        stall_row = {}
+                        gt_stall[addr] = stall_row
+                    if front_extra and front_reason:
+                        stall_row[front_reason] = (
+                            stall_row.get(front_reason, 0) + front_extra)
+                    if itb_fetch_pen:
+                        stall_row["itb"] = (
+                            stall_row.get("itb", 0) + itb_fetch_pen)
+                    if icache_pen:
+                        stall_row["icache"] = (
+                            stall_row.get("icache", 0) + icache_pen)
+                    base = arrival
+                    d_static = min(rdy_static, issue) - base
+                    if d_static > 0:
+                        reason = _DEP_REASON[dep_index]
+                        stall_row[reason] = stall_row.get(reason, 0) + d_static
+                        base += d_static
+                    d_dyn = min(rdy, issue) - base
+                    if d_dyn > 0:
+                        reason = reg_dyn_reason.get(dyn_reg) or "dcache"
+                        stall_row[reason] = stall_row.get(reason, 0) + d_dyn
+                        base = min(rdy, issue)
+                    if res > base and res_reason:
+                        stall_row[res_reason] = (
+                            stall_row.get(res_reason, 0) + (res - base))
+                elif (pair_open and prev_cls is not None
+                      and not PAIR_OK[(prev_cls, cls_name)]):
+                    # Pairing failed purely on pipe assignment: slotting.
+                    stall_row = gt_stall.get(addr)
+                    if stall_row is None:
+                        stall_row = {}
+                        gt_stall[addr] = stall_row
+                    stall_row["slotting"] = stall_row.get("slotting", 0) + 1
+                pair_open = True
+            front_extra = 0
+            front_reason = None
+            prev_cls = cls_name
+
+            # ---- execute -------------------------------------------------
+            next_pc = pc + 4
+            latency = icls.latency
+            if kind == "op":
+                a = iregs[inst.ra]
+                b = iregs[inst.rb] if inst.rb is not None else inst.imm
+                if cls_name == "CMOV":
+                    value = b if info.cond(a) else iregs[inst.rc]
+                else:
+                    value = info.sem(a, b)
+                rc = inst.rc
+                if rc != 31:
+                    iregs[rc] = value
+                    done = issue + latency
+                    reg_ready[rc] = done
+                    reg_ready_static[rc] = done
+                    reg_dyn_reason[rc] = None
+                if cls_name == "IMUL":
+                    imul_free = issue + icls.busy
+            elif kind == "fop":
+                a = fregs[inst.ra - 32] if inst.ra is not None else 0.0
+                b = fregs[inst.rb - 32]
+                value = info.sem(a, b)
+                rc = inst.rc
+                if rc != 63:
+                    fregs[rc - 32] = value
+                    done = issue + latency
+                    reg_ready[rc] = done
+                    reg_ready_static[rc] = done
+                    reg_dyn_reason[rc] = None
+                if cls_name == "FDIV":
+                    fdiv_free = issue + icls.busy
+            elif kind == "lda":
+                base_val = iregs[inst.rb] if inst.rb != 31 else 0
+                imm = inst.imm
+                if inst.op == "ldah":
+                    imm <<= 16
+                value = (base_val + imm) & MASK64
+                ra = inst.ra
+                if ra != 31:
+                    iregs[ra] = value
+                    done = issue + latency
+                    reg_ready[ra] = done
+                    reg_ready_static[ra] = done
+                    reg_dyn_reason[ra] = None
+            elif kind == "load" or kind == "fload":
+                vpage = vaddr >> page_bits
+                ppage, dtb_pen, dtb_miss = self.dtb.translate(
+                    proc.asn, vpage, proc.translate_data)
+                paddr = (ppage << page_bits) | (vaddr & page_mask)
+                dlat, dmiss = self.dhier.access(paddr)
+                total = dtb_pen + dlat
+                ra = inst.ra
+                if kind == "load":
+                    value = mem.get(vaddr & ~7 if inst.op == "ldq"
+                                    else vaddr & ~3, 0)
+                    if inst.op == "ldl":
+                        value &= 0xFFFFFFFF
+                        if value >> 31:
+                            value = (value | ~0xFFFFFFFF) & MASK64
+                    if ra != 31:
+                        iregs[ra] = value
+                else:
+                    value = mem.get(vaddr & ~7, 0)
+                    if not isinstance(value, float):
+                        value = float(value)
+                    if ra != 63:
+                        fregs[ra - 32] = value
+                if ra != 31 and ra != 63:
+                    reg_ready[ra] = issue + total
+                    reg_ready_static[ra] = issue + self.dhier.l1.latency
+                    if dmiss:
+                        reg_dyn_reason[ra] = "dcache"
+                    elif dtb_miss:
+                        reg_dyn_reason[ra] = "dtb"
+                    else:
+                        reg_dyn_reason[ra] = None
+                if dmiss or dtb_miss:
+                    if events_now is None:
+                        events_now = []
+                    if dmiss:
+                        events_now.append((_EV_DMISS, issue))
+                    if dtb_miss:
+                        events_now.append((_EV_DTBMISS, issue))
+            elif kind == "store" or kind == "fstore":
+                vpage = vaddr >> page_bits
+                ppage, dtb_pen, dtb_miss = self.dtb.translate(
+                    proc.asn, vpage, proc.translate_data)
+                paddr = (ppage << page_bits) | (vaddr & page_mask)
+                # Write-through, no-write-allocate: probe without filling.
+                self.dhier.l1.lookup(paddr, allocate=False)
+                self.wb.commit(vaddr, issue)
+                if kind == "fstore":
+                    mem[vaddr & ~7] = fregs[inst.ra - 32]
+                elif inst.op == "stq":
+                    mem[vaddr & ~7] = iregs[inst.ra]
+                else:
+                    mem[vaddr & ~3] = iregs[inst.ra] & 0xFFFFFFFF
+                if dtb_miss:
+                    if events_now is None:
+                        events_now = []
+                    events_now.append((_EV_DTBMISS, issue))
+            elif kind == "cbranch" or kind == "fbranch":
+                if kind == "cbranch":
+                    taken = info.cond(iregs[inst.ra])
+                else:
+                    taken = info.cond(fregs[inst.ra - 32])
+                if taken:
+                    next_pc = inst.target
+                    pair_open = False
+                correct = self.bp.predict_conditional(pc, taken)
+                if not correct:
+                    front_extra = mispredict_penalty
+                    front_reason = "branchmp"
+                    if events_now is None:
+                        events_now = []
+                    events_now.append((_EV_BRANCHMP, issue))
+                edge = (addr, next_pc)
+                gt_edges[edge] = gt_edges.get(edge, 0) + 1
+            elif kind == "br":
+                ra = inst.ra
+                if ra != 31:
+                    iregs[ra] = pc + 4
+                    reg_ready[ra] = issue + 1
+                    reg_ready_static[ra] = issue + 1
+                    reg_dyn_reason[ra] = None
+                if inst.op == "bsr":
+                    self.bp.push_call(pc + 4)
+                next_pc = inst.target
+                pair_open = False
+                edge = (addr, next_pc)
+                gt_edges[edge] = gt_edges.get(edge, 0) + 1
+            elif kind == "jump":
+                target = iregs[inst.rb] & ~3
+                ra = inst.ra
+                if ra != 31:
+                    iregs[ra] = pc + 4
+                    reg_ready[ra] = issue + 1
+                    reg_ready_static[ra] = issue + 1
+                    reg_dyn_reason[ra] = None
+                if inst.op == "jsr":
+                    self.bp.push_call(pc + 4)
+                    correct = self.bp.predict_indirect(pc, target)
+                elif inst.op == "ret":
+                    correct = self.bp.predict_return(target)
+                else:
+                    correct = self.bp.predict_indirect(pc, target)
+                if not correct:
+                    front_extra = mispredict_penalty
+                    front_reason = "branchmp"
+                    if events_now is None:
+                        events_now = []
+                    events_now.append((_EV_BRANCHMP, issue))
+                next_pc = target
+                pair_open = False
+                if target != exit_addr:
+                    edge = (addr, target)
+                    gt_edges[edge] = gt_edges.get(edge, 0) + 1
+
+            # ---- ground truth --------------------------------------------
+            gt_count[addr] = gt_count.get(addr, 0) + 1
+            if cycles_head:
+                gt_head[addr] = gt_head.get(addr, 0) + cycles_head
+
+            # ---- performance counters ------------------------------------
+            delta = issue - prev_issue
+            if delta:
+                for ev, otime in counters.add(_EV_CYCLES, delta, issue):
+                    pending.append((otime + skew, ev))
+            if events_now:
+                for ev, etime in events_now:
+                    row = gt_events.get(addr)
+                    if row is None:
+                        row = {}
+                        gt_events[addr] = row
+                    row[ev] = row.get(ev, 0) + 1
+                    for oev, otime in counters.add(ev, 1, etime):
+                        pending.append((otime + skew, oev))
+            if pending:
+                ready = [p for p in pending if p[0] <= issue]
+                if ready:
+                    pending[:] = [p for p in pending if p[0] > issue]
+                    for dtime, ev in ready:
+                        # Deliveries while the previous instruction still
+                        # held the head belong to it; anything later --
+                        # including the fetch-stall gap, when the issue
+                        # queue is empty -- reports the PC of the next
+                        # instruction to execute (paper section 4.1.2:
+                        # this is what makes IMISS samples land on the
+                        # missing instruction).
+                        if paired or dtime <= prev_issue:
+                            attr_pc = leader_pc
+                        else:
+                            attr_pc = pc
+                        if sink is not None:
+                            cost = sink(self.cpu_id, proc.pid, attr_pc,
+                                        ev, dtime)
+                            if cost:
+                                front_extra += cost
+                        if edge_sink is not None and ev is _EV_CYCLES:
+                            if self.edge_interpret:
+                                # Decode the sampled instruction; if it
+                                # transfers control, its direction is
+                                # computable from register state (we
+                                # executed it already: next_pc).
+                                if attr_pc == pc and inst.is_control:
+                                    edge_sink(self.cpu_id, proc.pid,
+                                              pc, next_pc, dtime)
+                            else:
+                                edge_from = attr_pc
+            if not paired:
+                leader_pc = pc
+
+            # ---- advance ---------------------------------------------------
+            self.instructions_retired += 1
+            prev_issue = issue
+            pc = next_pc
+
+        # Save resumable state.
+        proc.pc = pc
+        proc.last_pc = leader_pc
+        proc.resume_time = prev_issue + 1
+        proc.imul_free = imul_free
+        proc.fdiv_free = fdiv_free
+        self.time = prev_issue + 1
+        return status

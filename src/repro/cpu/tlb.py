@@ -1,0 +1,35 @@
+"""Instruction and data translation buffers (ITB/DTB).
+
+Entries map (ASN, virtual page) to a physical page.  Replacement is
+FIFO, which is what the Alpha PALcode refill effectively produced and is
+cheap to model.  A miss costs a flat PALcode-refill penalty.
+"""
+
+
+class TLB:
+    """A fully-associative FIFO translation buffer."""
+
+    def __init__(self, entries, miss_penalty):
+        self.capacity = entries
+        self.miss_penalty = miss_penalty
+        self._entries = {}
+        self.hits = 0
+        self.misses = 0
+
+    def translate(self, asn, vpage, page_map):
+        """Translate (asn, vpage); return (ppage, penalty_cycles, missed)."""
+        key = (asn, vpage)
+        ppage = self._entries.get(key)
+        if ppage is not None:
+            self.hits += 1
+            return ppage, 0, False
+        self.misses += 1
+        ppage = page_map(vpage)
+        if len(self._entries) >= self.capacity:
+            # FIFO eviction: dict preserves insertion order.
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = ppage
+        return ppage, self.miss_penalty, True
+
+    def flush(self):
+        self._entries.clear()

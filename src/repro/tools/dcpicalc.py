@@ -1,0 +1,89 @@
+"""dcpicalc: per-instruction CPI and stall-culprit listing
+(the paper's Figure 2).
+
+For a procedure, prints the best-case vs actual CPI, then each
+instruction annotated with its sample count, average cycles at the head
+of the issue queue, and *bubbles* above each stalled instruction naming
+the possible culprits with the paper's letter codes:
+
+    d  D-cache miss          w  write-buffer overflow
+    D  DTB miss              p  branch mispredict
+    i  I-cache miss          t  ITB miss
+    m  IMUL busy             f  FDIV busy
+    s  slotting hazard       a/b/c  Ra/Rb/Rc dependency
+    F  FU dependency         u  unexplained
+"""
+
+from repro.core.analyze import analyze_procedure
+
+_DYN_CODE = {
+    "dcache": ("d", "D-cache miss"),
+    "dtb": ("D", "DTB miss"),
+    "wb": ("w", "write-buffer overflow"),
+    "branchmp": ("p", "branch mispredict"),
+    "icache": ("i", "I-cache miss"),
+    "itb": ("t", "ITB miss"),
+    "imul": ("m", "IMUL busy"),
+    "fdiv": ("f", "FDIV busy"),
+    "unexplained": ("u", "unexplained"),
+}
+_STATIC_CODE = {
+    "slotting": ("s", "slotting hazard"),
+    "ra_dep": ("a", "Ra dependency"),
+    "rb_dep": ("b", "Rb dependency"),
+    "rc_dep": ("c", "Rc dependency"),
+    "fu_dep": ("F", "FU dependency"),
+}
+
+
+def _bubbles(row):
+    """Render bubble lines for one analyzed instruction."""
+    lines = []
+    codes = []
+    # Dynamic culprits first (with legend on first occurrence per line).
+    for culprit in row.culprits:
+        code, label = _DYN_CODE[culprit.reason]
+        codes.append(code)
+    dyn_codes = "".join(codes)
+    if dyn_codes:
+        for culprit in row.culprits:
+            code, label = _DYN_CODE[culprit.reason]
+            lines.append("         %-8s (%s = %s)" % (dyn_codes, code, label))
+        if row.dyn_per_exec >= 0.5:
+            lines.append("         %-8s %.1fcy" % (dyn_codes,
+                                                   row.dyn_per_exec))
+    for reason, cycles, culprit_addr in row.static_stalls:
+        code, label = _STATIC_CODE[reason]
+        lines.append("         %-8s (%s = %s)" % (code, code, label))
+    return lines
+
+
+def dcpicalc(image, proc, profile, config=None, analysis=None):
+    """Render the Figure 2-style listing; returns the text."""
+    if analysis is None:
+        analysis = analyze_procedure(image, proc, profile, config)
+    lines = []
+    lines.append("*** Best-case  %d/%d = %.2fCPI"
+                 % (round(analysis.best_case_cycles),
+                    round(analysis.executed_instructions),
+                    analysis.best_case_cpi))
+    lines.append("*** Actual     %d/%d = %.2fCPI"
+                 % (round(analysis.total_cycles),
+                    round(analysis.executed_instructions),
+                    analysis.actual_cpi))
+    lines.append("")
+    lines.append("%8s %-26s %8s %10s  %s"
+                 % ("Addr", "Instruction", "Samples", "CPI", "Culprit"))
+    for row in analysis.instructions:
+        lines.extend(_bubbles(row))
+        if row.paired:
+            cpi_text = "(dual issue)"
+        else:
+            cpi_text = "%.1fcy" % row.cpi
+        sources = sorted({c.source_addr for c in row.culprits
+                          if c.source_addr})
+        culprit_text = " ".join("%x" % s for s in sources)
+        lines.append("%08x %-26s %8d %10s  %s"
+                     % (row.inst.addr, row.inst.disassemble(),
+                        row.samples, cpi_text, culprit_text))
+    return "\n".join(lines)

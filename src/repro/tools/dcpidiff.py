@@ -1,0 +1,59 @@
+"""dcpidiff: highlight the differences between two profiles of the same
+program (one of the paper's "other tools").
+
+Per procedure, reports the sample counts in each profile, the absolute
+delta, and the normalized share change -- sorted by the share change so
+the procedures responsible for a slowdown surface first.
+"""
+
+from repro.cpu.events import EventType
+
+
+def diff_rows(profiles_a, profiles_b, event=EventType.CYCLES):
+    """Compare two profile sets; return rows sorted by share change."""
+    def collect(profiles):
+        totals = {}
+        for profile in profiles:
+            if profile.image is None:
+                continue
+            for name, count in profile.procedure_totals(event).items():
+                totals[(name, profile.image.name)] = count
+        return totals
+
+    a = collect(profiles_a)
+    b = collect(profiles_b)
+    total_a = sum(a.values()) or 1
+    total_b = sum(b.values()) or 1
+    rows = []
+    for key in sorted(set(a) | set(b)):
+        ca = a.get(key, 0)
+        cb = b.get(key, 0)
+        if ca == 0 and cb == 0:
+            continue
+        share_a = ca / total_a
+        share_b = cb / total_b
+        rows.append({
+            "procedure": key[0],
+            "image": key[1],
+            "a": ca,
+            "b": cb,
+            "delta": cb - ca,
+            "share_a": share_a,
+            "share_b": share_b,
+            "share_delta": share_b - share_a,
+        })
+    rows.sort(key=lambda r: -abs(r["share_delta"]))
+    return rows
+
+
+def dcpidiff(profiles_a, profiles_b, event=EventType.CYCLES, limit=None):
+    """Render a textual diff of two profiles; returns the text."""
+    rows = diff_rows(profiles_a, profiles_b, event)
+    lines = ["%10s %10s %10s %8s  %s" % ("before", "after", "delta",
+                                         "share", "procedure")]
+    for row in rows[:limit]:
+        lines.append("%10d %10d %+10d %+7.2f%%  %s (%s)"
+                     % (row["a"], row["b"], row["delta"],
+                        row["share_delta"] * 100.0, row["procedure"],
+                        row["image"]))
+    return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""dcpistats: cross-run variance statistics (the paper's Figure 3).
+
+Reads sample sets from multiple runs of the same workload and, per
+procedure, reports the normalized range ((max - min) / sum), total,
+share of all samples, mean, standard deviation, min and max -- sorted by
+normalized range so the procedure responsible for run-to-run variance
+(the paper's ``smooth_``) tops the list.
+"""
+
+import math
+
+from repro.cpu.events import EventType
+
+
+def procedure_series(profile_sets, event=EventType.CYCLES):
+    """Collect per-procedure sample counts across runs.
+
+    Args:
+        profile_sets: list (one per run) of iterables of ImageProfile.
+
+    Returns ({(procedure, image): [count per run]}, [total per run]).
+    """
+    series = {}
+    run_totals = []
+    for run_index, profiles in enumerate(profile_sets):
+        total = 0
+        for profile in profiles:
+            if profile.image is None:
+                continue
+            for name, count in profile.procedure_totals(event).items():
+                key = (name, profile.image.name)
+                series.setdefault(key, [0] * len(profile_sets))
+                series[key][run_index] = count
+                total += count
+        run_totals.append(total)
+    return series, run_totals
+
+
+def dcpistats(profile_sets, event=EventType.CYCLES, limit=None):
+    """Render the Figure 3-style cross-run statistics; returns text."""
+    series, run_totals = procedure_series(profile_sets, event)
+    grand_total = sum(run_totals)
+    lines = []
+    lines.append("Number of samples of type %s" % event)
+    chunks = ["set %d = %d" % (i + 1, t) for i, t in enumerate(run_totals)]
+    for start in range(0, len(chunks), 4):
+        lines.append("  " + "   ".join(chunks[start:start + 4]))
+    lines.append("  TOTAL %d" % grand_total)
+    lines.append("")
+    lines.append("Statistics calculated using the sample counts for each "
+                 "procedure from %d different sample set(s)" %
+                 len(run_totals))
+    lines.append("")
+    lines.append("%7s %12s %7s %3s %11s %10s %9s %9s  %s"
+                 % ("range%", "sum", "sum%", "N", "mean", "std-dev",
+                    "min", "max", "procedure"))
+
+    rows = []
+    for (name, image), counts in series.items():
+        total = sum(counts)
+        if total == 0:
+            continue
+        n = len(counts)
+        mean = total / n
+        variance = sum((c - mean) ** 2 for c in counts) / (n - 1) if n > 1 else 0.0
+        rows.append({
+            "procedure": name,
+            "image": image,
+            "range_pct": (max(counts) - min(counts)) / total * 100.0,
+            "sum": total,
+            "sum_pct": total / grand_total * 100.0 if grand_total else 0.0,
+            "n": n,
+            "mean": mean,
+            "std": math.sqrt(variance),
+            "min": min(counts),
+            "max": max(counts),
+        })
+    rows.sort(key=lambda r: -r["range_pct"])
+    for row in rows[:limit]:
+        lines.append("%6.2f%% %12.2f %6.2f%% %3d %11.2f %10.2f %9d %9d  %s"
+                     % (row["range_pct"], float(row["sum"]),
+                        row["sum_pct"], row["n"], row["mean"], row["std"],
+                        row["min"], row["max"], row["procedure"]))
+    return "\n".join(lines)
+
+
+def stats_rows(profile_sets, event=EventType.CYCLES):
+    """Structured version of :func:`dcpistats` (for tests/benchmarks)."""
+    series, run_totals = procedure_series(profile_sets, event)
+    grand_total = sum(run_totals)
+    rows = []
+    for (name, image), counts in series.items():
+        total = sum(counts)
+        if total == 0:
+            continue
+        rows.append({
+            "procedure": name,
+            "image": image,
+            "counts": counts,
+            "range_pct": (max(counts) - min(counts)) / total * 100.0,
+            "sum": total,
+            "sum_pct": total / grand_total * 100.0 if grand_total else 0.0,
+        })
+    rows.sort(key=lambda r: -r["range_pct"])
+    return rows

@@ -1,0 +1,69 @@
+"""dcpitopstalls: whole-image stall accounting.
+
+Summarizes "where the cycles went" across all analyzed procedures of an
+image -- the percentage of cycles spent executing vs stalled on each
+cause (the paper's whole-program variant of the Figure 4 summary).
+"""
+
+from repro.cpu.events import DYNAMIC_REASONS, STATIC_REASONS
+from repro.core.analyze import analyze_image
+
+
+def image_stall_totals(image, profile, config=None, top=None):
+    """Aggregate stall categories over the image's hottest procedures.
+
+    Returns (totals, total_cycles) where totals maps each category
+    ("execution", every dynamic reason as (min, max), every static
+    reason) to cycles.
+    """
+    analyses = analyze_image(image, profile, config)
+    names = list(analyses)
+    if top is not None:
+        names = names[:top]
+    dynamic = {reason: [0.0, 0.0] for reason in DYNAMIC_REASONS}
+    static = {reason: 0.0 for reason in STATIC_REASONS}
+    execution = 0.0
+    unexplained = 0.0
+    total_cycles = 0.0
+    for name in names:
+        analysis = analyses[name]
+        summary = analysis.summary()
+        cycles = analysis.total_cycles
+        total_cycles += cycles
+        execution += summary.execution * cycles
+        unexplained += summary.unexplained_stall * cycles
+        for reason in DYNAMIC_REASONS:
+            lo, hi = summary.dynamic[reason]
+            dynamic[reason][0] += lo * cycles
+            dynamic[reason][1] += hi * cycles
+        for reason in STATIC_REASONS:
+            static[reason] += summary.static[reason] * cycles
+    totals = {"execution": execution, "unexplained": unexplained}
+    for reason in DYNAMIC_REASONS:
+        totals[reason] = tuple(dynamic[reason])
+    for reason in STATIC_REASONS:
+        totals[reason] = static[reason]
+    return totals, total_cycles
+
+
+def dcpitopstalls(image, profile, config=None, top=None):
+    """Render the whole-image stall summary; returns the text."""
+    totals, total_cycles = image_stall_totals(image, profile, config, top)
+    lines = ["Cycle accounting for image %s (total %d cycles)"
+             % (image.name, round(total_cycles))]
+    if total_cycles <= 0:
+        return "\n".join(lines)
+    lines.append("%-22s %8.1f%%"
+                 % ("execution", totals["execution"] / total_cycles * 100))
+    for reason in DYNAMIC_REASONS:
+        lo, hi = totals[reason]
+        lines.append("%-22s %8.1f%% to %5.1f%%"
+                     % (reason, lo / total_cycles * 100,
+                        hi / total_cycles * 100))
+    for reason in STATIC_REASONS:
+        lines.append("%-22s %8.1f%%"
+                     % (reason, totals[reason] / total_cycles * 100))
+    lines.append("%-22s %8.1f%%"
+                 % ("unexplained", totals["unexplained"]
+                    / total_cycles * 100))
+    return "\n".join(lines)

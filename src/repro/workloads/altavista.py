@@ -1,0 +1,51 @@
+"""An AltaVista-like multiprocessor search workload (paper Table 2).
+
+Eight outstanding queries against a large in-memory index on a 4-CPU
+server.  The code footprint is tiny and stable (few distinct sampled
+PCs -> very low hash-eviction rate -> the lowest profiling overhead in
+the paper's Table 3) while the data footprint is large (index scans
+dominated by memory latency).
+"""
+
+from repro.alpha.assembler import assemble
+from repro.workloads.asmgen import caller_proc, loop_proc
+from repro.workloads.base import Workload
+
+_IMAGE = "altavista"
+
+
+def _index_image(scale):
+    text = ".image %s\n.data index, 1048576\n.data postings, 262144\n" % _IMAGE
+    # Scan with a 64-byte stride: every access a new cache line.
+    text += loop_proc("ScanIndex", 30 * scale, "mem", buf="index",
+                      wrap=8192, stride=64)
+    text += loop_proc("MergePostings", 8 * scale, "mem", buf="postings",
+                      wrap=2048, stride=16)
+    text += loop_proc("RankResults", 6 * scale, "int")
+    text += caller_proc("query", ["ScanIndex", "MergePostings",
+                                  "RankResults"], rounds=6)
+    return text
+
+
+class AltaVista(Workload):
+    """8 query processes on a 4-CPU server."""
+
+    name = "altavista"
+    num_cpus = 4
+    description = ("AltaVista-style index search: 8 outstanding queries "
+                   "on a 4-CPU server, memory-latency bound")
+
+    def __init__(self, queries=8, scale=10):
+        self.queries = queries
+        self.scale = scale
+
+    def setup(self, machine):
+        image = machine.load_image(
+            assemble(_index_image(self.scale), image_name=_IMAGE))
+        for index in range(self.queries):
+            machine.spawn(image, entry="%s:query" % _IMAGE,
+                          name="query.%d" % index)
+
+
+def build(queries=8, scale=10):
+    return AltaVista(queries, scale)

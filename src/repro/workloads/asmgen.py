@@ -1,0 +1,163 @@
+"""Assembly-text generators shared by the synthetic workloads.
+
+Every generator emits a self-contained ``.proc`` block with labels
+prefixed by the procedure name (labels share one namespace per image).
+Procedures are leaf routines callable with ``jsr ra,(pv)`` unless noted.
+
+Flavors:
+
+* ``int``     -- register arithmetic (dual-issue friendly, no memory);
+* ``mem``     -- load/modify/store sweep over a buffer with wraparound;
+* ``fp``      -- floating add/multiply chains;
+* ``branchy`` -- short data-dependent branches (mispredict pressure);
+* ``stream``  -- the unrolled copy loop of the paper's Figure 2.
+"""
+
+
+def loop_proc(name, iters, flavor="int", buf=None, wrap=512, stride=8):
+    """Emit one looping leaf procedure as assembly text.
+
+    Args:
+        name: procedure name (and label prefix).
+        iters: inner-loop iteration count.
+        flavor: code flavor (see module docstring).
+        buf: data symbol to sweep for memory flavors.
+        wrap: iterations between buffer-pointer resets (bounds footprint).
+        stride: bytes advanced per iteration for memory flavors.
+    """
+    prefix = "L%s" % name
+    if flavor == "int":
+        body = """
+    addq  t4, t0, t4
+    s4addq t0, t4, t5
+    xor   t5, t4, t6
+    srl   t6, 3, t6
+    addq  t6, 1, t4
+    and   t4, 1023, t4
+"""
+        setup = "    lda   t4, 7(zero)"
+        reset = ""
+    elif flavor == "mem":
+        if buf is None:
+            raise ValueError("mem flavor needs a buffer symbol")
+        body = """
+    ldq   t4, 0(t1)
+    addq  t4, t0, t4
+    xor   t4, t0, t5
+    stq   t5, 0(t1)
+    lda   t1, {stride}(t1)
+""".format(stride=stride)
+        setup = "    lda   t1, ={buf}".format(buf=buf)
+        reset = """
+    and   t0, {mask}, t8
+    bne   t8, {prefix}_nowrap
+    lda   t1, ={buf}
+{prefix}_nowrap:
+""".format(mask=wrap - 1, prefix=prefix, buf=buf)
+    elif flavor == "fp":
+        body = """
+    addt  f1, f2, f3
+    mult  f3, f2, f4
+    addt  f4, f1, f1
+    cpys  f1, f1, f2
+"""
+        setup = ""
+        reset = ""
+    elif flavor == "branchy":
+        body = """
+    and   t0, 3, t4
+    beq   t4, {prefix}_even
+    addq  t5, 3, t5
+    br    {prefix}_join
+{prefix}_even:
+    subq  t5, 1, t5
+    and   t5, 255, t5
+{prefix}_join:
+    and   t0, 7, t6
+    cmpeq t6, 5, t6
+    beq   t6, {prefix}_skip
+    addq  t5, t0, t5
+{prefix}_skip:
+""".format(prefix=prefix)
+        setup = "    lda   t5, 0(zero)"
+        reset = ""
+    elif flavor == "stream":
+        if buf is None:
+            raise ValueError("stream flavor needs a buffer symbol")
+        # 4x unrolled copy within one buffer (front half -> back half).
+        return """
+.proc {name}
+    lda   t1, ={buf}
+    lda   t3, ={buf}
+    lda   t2, {half}(t3)
+    lda   t0, 0(zero)
+    lda   v0, {iters}(zero)
+{prefix}_loop:
+    ldq   t4, 0(t1)
+    addq  t0, 4, t0
+    ldq   t5, 8(t1)
+    ldq   t6, 16(t1)
+    ldq   a0, 24(t1)
+    lda   t1, 32(t1)
+    stq   t4, 0(t2)
+    cmpult t0, v0, t4
+    stq   t5, 8(t2)
+    stq   t6, 16(t2)
+    stq   a0, 24(t2)
+    lda   t2, 32(t2)
+    bne   t4, {prefix}_loop
+    ret
+.end
+""".format(name=name, buf=buf, half=(wrap * stride) // 2,
+           iters=iters, prefix=prefix)
+    else:
+        raise ValueError("unknown flavor %r" % flavor)
+
+    return """
+.proc {name}
+{setup}
+    lda   t0, 0(zero)
+    lda   v0, {iters}(zero)
+{prefix}_loop:
+    addq  t0, 1, t0
+{body}{reset}    cmpult t0, v0, t9
+    bne   t9, {prefix}_loop
+    ret
+.end
+""".format(name=name, setup=setup, iters=iters, prefix=prefix,
+           body=body, reset=reset)
+
+
+def caller_proc(name, callees, rounds=1, externs=False):
+    """Emit a procedure that calls *callees* in sequence, *rounds* times.
+
+    Each callee is referenced with ``lda pv, =sym`` (intra- or
+    cross-image; cross-image names must be passed to ``assemble`` via
+    *externs*).  The caller saves/restores ``ra`` so it can itself be
+    called (or be a process entry point).
+    """
+    prefix = "L%s" % name
+    # The round counter lives in s5 (the generated leaf procedures use
+    # s0-s3 for their own loops) and is callee-saved here so callers
+    # can nest.
+    lines = [
+        ".proc %s" % name,
+        "    lda   sp, -16(sp)",
+        "    stq   ra, 0(sp)",
+        "    stq   s5, 8(sp)",
+        "    lda   s5, %d(zero)" % rounds,
+        "%s_round:" % prefix,
+    ]
+    for callee in callees:
+        lines.append("    lda   pv, =%s" % callee)
+        lines.append("    jsr   ra, (pv)")
+    lines.extend([
+        "    subq  s5, 1, s5",
+        "    bgt   s5, %s_round" % prefix,
+        "    ldq   s5, 8(sp)",
+        "    ldq   ra, 0(sp)",
+        "    lda   sp, 16(sp)",
+        "    ret",
+        ".end",
+    ])
+    return "\n".join(lines) + "\n"

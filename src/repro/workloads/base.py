@@ -1,0 +1,27 @@
+"""Workload protocol shared by all synthetic benchmarks.
+
+A workload builds fresh images and spawns processes when ``setup`` is
+called (linking fixes absolute addresses per machine, so images are
+never reused across machines).
+"""
+
+
+class Workload:
+    """Base class for synthetic workloads."""
+
+    #: registry name
+    name = "workload"
+    #: CPUs the workload expects (Table 2's platform column)
+    num_cpus = 1
+    #: one-line description (Table 2's description column)
+    description = ""
+
+    def setup(self, machine):
+        """Build images and spawn processes on *machine*."""
+        raise NotImplementedError
+
+    def __call__(self, machine):
+        self.setup(machine)
+
+    def __repr__(self):
+        return "<Workload %s (%d cpu)>" % (self.name, self.num_cpus)

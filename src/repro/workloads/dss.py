@@ -1,0 +1,50 @@
+"""A decision-support (TPC-D-style) workload (paper Table 2).
+
+One scan/join/aggregate query pipeline per CPU of an 8-CPU server:
+sequential table scans (streaming loads), hash-join probes and a small
+aggregation loop.  Like the paper's DSS run it has a small, hot code
+footprint (low eviction rate, cheapest interrupt handling in Table 4).
+"""
+
+from repro.alpha.assembler import assemble
+from repro.workloads.asmgen import caller_proc, loop_proc
+from repro.workloads.base import Workload
+
+_IMAGE = "dssquery"
+
+
+def _query_image(scale):
+    text = (".image %s\n.data lineitem, 524288\n"
+            ".data hashtbl, 131072\n" % _IMAGE)
+    text += loop_proc("ScanLineitem", 30 * scale, "mem", buf="lineitem",
+                      wrap=8192, stride=32)
+    text += loop_proc("ProbeHashJoin", 10 * scale, "mem", buf="hashtbl",
+                      wrap=4096, stride=8)
+    text += loop_proc("Aggregate", 8 * scale, "int")
+    text += caller_proc("run_query", ["ScanLineitem", "ProbeHashJoin",
+                                      "Aggregate"], rounds=5)
+    return text
+
+
+class DSS(Workload):
+    """A TPC-D-style decision-support query on an 8-CPU server."""
+
+    name = "dss"
+    num_cpus = 8
+    description = ("decision-support (TPC-D-style) query: parallel scans, "
+                   "hash joins and aggregation on an 8-CPU server")
+
+    def __init__(self, workers=8, scale=8):
+        self.workers = workers
+        self.scale = scale
+
+    def setup(self, machine):
+        image = machine.load_image(
+            assemble(_query_image(self.scale), image_name=_IMAGE))
+        for index in range(self.workers):
+            machine.spawn(image, entry="%s:run_query" % _IMAGE,
+                          name="dss.%d" % index)
+
+
+def build(workers=8, scale=8):
+    return DSS(workers, scale)

@@ -1,0 +1,67 @@
+"""A gcc-like compile workload (paper Table 2, Figure 6, Table 4).
+
+The paper's gcc workload compiles 56 files, each in its own process
+with a distinct PID; since hash-table keys include the PID, samples
+never aggregate across invocations and the driver's eviction rate -- and
+hence profiling overhead -- is the highest of all workloads.  This
+stand-in has the same signature: many short-lived processes with
+distinct PIDs running over a large shared text image (instruction-cache
+pressure included).
+"""
+
+from repro.alpha.assembler import assemble
+from repro.workloads.asmgen import caller_proc, loop_proc
+from repro.workloads.base import Workload
+
+_IMAGE = "cc1"
+_PHASES = ("lex", "parse", "tree", "rtlgen", "jump", "cse", "loop",
+           "flow", "combine", "sched", "regalloc", "final")
+
+
+def _cc1_image(scale):
+    """A compiler-sized image: 48 pass procedures plus 8 drivers."""
+    text = ".image %s\n.data symtab, 131072\n.data insns, 65536\n" % _IMAGE
+    flavors = ("branchy", "int", "mem", "branchy")
+    for phase_index, phase in enumerate(_PHASES):
+        for variant in range(4):
+            flavor = flavors[(phase_index + variant) % len(flavors)]
+            kwargs = {}
+            if flavor == "mem":
+                kwargs = {"buf": "symtab" if variant % 2 else "insns",
+                          "wrap": 1024, "stride": 8}
+            text += loop_proc("%s_%d" % (phase, variant),
+                              scale + phase_index % 3, flavor, **kwargs)
+    # Eight drivers, each exercising a different slice of the passes
+    # (different source files stress different compiler paths).
+    for driver in range(8):
+        callees = []
+        for phase_index, phase in enumerate(_PHASES):
+            variant = (driver + phase_index) % 4
+            if (phase_index + driver) % 3 != 2:
+                callees.append("%s_%d" % (phase, variant))
+        text += caller_proc("compile_%d" % driver, callees, rounds=2)
+    return text
+
+
+class Gcc(Workload):
+    """56 short compiles, each a fresh PID."""
+
+    name = "gcc"
+    num_cpus = 1
+    description = ("gcc-style compile driver: 56 separate processes over "
+                   "a large shared text image (high hash-eviction rate)")
+
+    def __init__(self, files=56, scale=40):
+        self.files = files
+        self.scale = scale
+
+    def setup(self, machine):
+        image = machine.load_image(
+            assemble(_cc1_image(self.scale), image_name=_IMAGE))
+        for index in range(self.files):
+            entry = "%s:compile_%d" % (_IMAGE, index % 8)
+            machine.spawn(image, entry=entry, name="cc1.%d" % index)
+
+
+def build(files=56, scale=40):
+    return Gcc(files, scale)

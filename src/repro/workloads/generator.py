@@ -1,0 +1,160 @@
+"""Random structured-program generator (paper section 6.2's experiment).
+
+The paper evaluates frequency-estimate accuracy by comparing estimates
+against instrumented execution counts over a program suite.  Our suite
+is generated: structured procedures built from straight-line chunks,
+counted loops and if/else splits whose conditions depend on an
+induction variable -- deterministic (a given seed always executes
+identically) but with irregular, program-like block frequencies, which
+is exactly what Figures 8 and 9 need.
+"""
+
+import random
+
+from repro.alpha.assembler import assemble
+from repro.workloads.asmgen import caller_proc
+from repro.workloads.base import Workload
+
+_CHUNK_OPS = (
+    "    addq  t0, t1, t2",
+    "    s4addq t1, t2, t3",
+    "    xor   t2, t3, t0",
+    "    sll   t0, 2, t4",
+    "    srl   t4, 1, t1",
+    "    cmpult t1, t2, t5",
+    "    addq  t5, t3, t1",
+    "    subq  t2, t1, t3",
+    "    and   t3, 1023, t2",
+    "    bis   t0, t4, t0",
+)
+
+_LOOP_REGS = ("s0", "s1", "s2", "s3")
+
+
+class _Emitter:
+    """Recursive structured-code emitter for one procedure."""
+
+    def __init__(self, rng, max_depth=3, budget=120, prefix="G"):
+        self.rng = rng
+        self.max_depth = max_depth
+        self.budget = budget
+        self.prefix = prefix
+        self.lines = []
+        self.label_counter = 0
+        self.emitted = 0
+
+    def _label(self, hint):
+        self.label_counter += 1
+        return "%s_%s_%d" % (self.prefix, hint, self.label_counter)
+
+    def emit(self, line):
+        self.lines.append(line)
+        if not line.rstrip().endswith(":"):
+            self.emitted += 1
+
+    def chunk(self):
+        n = self.rng.randint(2, 5)
+        for _ in range(n):
+            self.emit(self.rng.choice(_CHUNK_OPS))
+        self.emit("    addq  a5, 1, a5")
+
+    def memop(self):
+        # A bounded buffer walk: index derived from the induction var.
+        self.emit("    and   a5, 511, t6")
+        self.emit("    s8addq t6, a4, t7")
+        if self.rng.random() < 0.5:
+            self.emit("    ldq   t8, 0(t7)")
+            self.emit("    addq  t8, a5, t8")
+        else:
+            self.emit("    stq   a5, 0(t7)")
+
+    def loop(self, depth):
+        reg = _LOOP_REGS[depth]
+        trip = self.rng.randint(2, 9)
+        top = self._label("loop")
+        self.emit("    lda   %s, %d(zero)" % (reg, trip))
+        self.emit("%s:" % top)
+        self.body(depth + 1, top_level=False)
+        self.emit("    subq  %s, 1, %s" % (reg, reg))
+        self.emit("    bgt   %s, %s" % (reg, top))
+
+    def branch(self, depth):
+        mask = self.rng.choice((1, 3, 7))
+        sense = self.rng.choice(("beq", "bne"))
+        else_label = self._label("else")
+        end_label = self._label("end")
+        self.emit("    and   a5, %d, t9" % mask)
+        self.emit("    %s   t9, %s" % (sense, else_label))
+        self.body(depth + 1, top_level=False)
+        if self.rng.random() < 0.7:
+            self.emit("    br    %s" % end_label)
+            self.emit("%s:" % else_label)
+            self.body(depth + 1, top_level=False)
+            self.emit("%s:" % end_label)
+        else:
+            # if-without-else
+            self.emit("%s:" % else_label)
+
+    def body(self, depth, top_level=True):
+        items = self.rng.randint(1, 3 if not top_level else 4)
+        for _ in range(items):
+            if self.emitted >= self.budget:
+                break
+            roll = self.rng.random()
+            if depth < self.max_depth and roll < 0.35:
+                self.loop(depth)
+            elif depth < self.max_depth and roll < 0.6:
+                self.branch(depth)
+            elif roll < 0.75:
+                self.memop()
+            else:
+                self.chunk()
+        if top_level and self.emitted < 4:
+            self.chunk()
+
+
+def generate_procedure(name, rng, max_depth=3, budget=120):
+    """Emit one random procedure as assembly text."""
+    emitter = _Emitter(rng, max_depth, budget, prefix=name)
+    emitter.emit("    lda   a4, =heap")
+    emitter.emit("    lda   a5, 0(zero)")
+    emitter.body(0)
+    body = "\n".join(emitter.lines)
+    return ".proc %s\n%s\n    ret\n.end\n" % (name, body)
+
+
+class GeneratedProgram(Workload):
+    """One random program: a few procedures plus a driver."""
+
+    num_cpus = 1
+    description = "randomly generated structured program"
+
+    def __init__(self, seed, procedures=3, rounds=40, max_depth=3):
+        self.seed = seed
+        self.procedures = procedures
+        self.rounds = rounds
+        self.max_depth = max_depth
+        self.name = "gen%04d" % seed
+
+    def _asm(self):
+        rng = random.Random(self.seed)
+        text = ".image %s\n.data heap, 8192\n" % self.name
+        names = []
+        for index in range(self.procedures):
+            name = "proc_%d_%d" % (self.seed, index)
+            names.append(name)
+            text += generate_procedure(name, rng, self.max_depth)
+        text += caller_proc("main_%d" % self.seed, names,
+                            rounds=self.rounds)
+        return text
+
+    def setup(self, machine):
+        image = assemble(self._asm(), image_name=self.name)
+        machine.spawn(image, entry="%s:main_%d" % (self.name, self.seed),
+                      name=self.name)
+
+
+def generate_suite(count=12, base_seed=100, rounds=40):
+    """Return *count* generated workloads with distinct seeds."""
+    return [GeneratedProgram(base_seed + i, rounds=rounds)
+            for i in range(count)]

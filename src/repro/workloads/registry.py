@@ -1,0 +1,54 @@
+"""Registry of the paper's Table 2 workloads."""
+
+from repro.workloads import (altavista, bigcode, dss, gcc, mccalpin,
+                             specfp, specint, timesharing, wave5, x11perf)
+
+#: name -> zero-argument factory producing a fresh Workload.
+_FACTORIES = {
+    "specint95": specint.build,
+    "specfp95": specfp.build,
+    "parallel-specfp": lambda: specfp.build(parallel=True),
+    "bigcode": bigcode.build,
+    "mccalpin": lambda: mccalpin.build("assign"),
+    "mccalpin-assign": lambda: mccalpin.build("assign"),
+    "mccalpin-scale": lambda: mccalpin.build("scale"),
+    "mccalpin-sum": lambda: mccalpin.build("sum"),
+    "mccalpin-saxpy": lambda: mccalpin.build("saxpy"),
+    "x11perf": x11perf.build,
+    "wave5": wave5.build,
+    "gcc": gcc.build,
+    "altavista": altavista.build,
+    "dss": dss.build,
+    "timesharing": timesharing.build,
+}
+
+#: The Table 2 lineup (uniprocessor first, like the paper).
+WORKLOADS = (
+    "specint95",
+    "specfp95",
+    "x11perf",
+    "mccalpin-assign",
+    "mccalpin-scale",
+    "mccalpin-sum",
+    "mccalpin-saxpy",
+    "wave5",
+    "gcc",
+    "altavista",
+    "dss",
+    "parallel-specfp",
+    "timesharing",
+)
+
+
+def workload_names():
+    return sorted(_FACTORIES)
+
+
+def get_workload(name):
+    """Instantiate the workload registered under *name*."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError("unknown workload %r; known: %s"
+                       % (name, ", ".join(workload_names())))
+    return factory()

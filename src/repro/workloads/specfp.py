@@ -1,0 +1,111 @@
+"""A SPECfp95-like workload suite (paper Table 2's SPECfp95 row).
+
+Four floating-point archetypes under a runspec-style driver:
+
+* ``swim_``    -- a 2-D stencil sweep (neighbouring loads, FP adds);
+* ``tomcatv_`` -- strided vector updates with multiplies;
+* ``su2cor_``  -- FP compute with periodic divides (FDIV pressure);
+* ``mgrid_``   -- blocked grid relaxation (mixed loads and FP chains).
+
+There is also a ``parallel`` variant mirroring the paper's
+SUIF-parallelized SPECfp on a 4-CPU server: the same kernels run as one
+process per CPU.
+"""
+
+from repro.alpha.assembler import assemble
+from repro.workloads.asmgen import caller_proc, loop_proc
+from repro.workloads.base import Workload
+
+_IMAGE = "specfp95"
+
+_SWIM = """
+.proc swim_
+    lda   t1, =grid
+    lda   t0, 0(zero)
+    lda   v0, {iters}(zero)
+Lswim_loop:
+    addq  t0, 1, t0
+    ldt   f1, 0(t1)
+    ldt   f2, 8(t1)
+    ldt   f3, 1024(t1)
+    addt  f1, f2, f4
+    addt  f4, f3, f5
+    mult  f5, f2, f6
+    stt   f6, 0(t1)
+    lda   t1, 8(t1)
+    and   t0, 2047, t8
+    bne   t8, Lswim_nowrap
+    lda   t1, =grid
+Lswim_nowrap:
+    cmpult t0, v0, t9
+    bne   t9, Lswim_loop
+    ret
+.end
+"""
+
+_SU2COR = """
+.proc su2cor_
+    lda   t7, 7(zero)
+    lda   t8, =scratch
+    stq   t7, 0(t8)
+    ldt   f0, 0(t8)
+    lda   t0, 0(zero)
+    lda   v0, {iters}(zero)
+Lsu2_loop:
+    addq  t0, 1, t0
+    addt  f1, f0, f1
+    mult  f1, f0, f2
+    and   t0, 15, t5
+    bne   t5, Lsu2_nodiv
+    divt  f2, f0, f3
+    addt  f3, f1, f1
+Lsu2_nodiv:
+    cmpult t0, v0, t9
+    bne   t9, Lsu2_loop
+    ret
+.end
+"""
+
+
+def _image(scale):
+    text = (".image %s\n.data grid, 131072\n.data scratch, 64\n"
+            ".data mesh, 65536\n" % _IMAGE)
+    text += _SWIM.format(iters=10 * scale)
+    text += loop_proc("tomcatv_", 8 * scale, "fp")
+    text += _SU2COR.format(iters=6 * scale)
+    text += loop_proc("mgrid_", 6 * scale, "mem", buf="mesh",
+                      wrap=4096, stride=8)
+    text += caller_proc("runspec",
+                        ["swim_", "tomcatv_", "su2cor_", "mgrid_"],
+                        rounds=3)
+    return text
+
+
+class SpecFp(Workload):
+    """The FP suite under a runspec-style driver."""
+
+    name = "specfp95"
+    num_cpus = 1
+    description = ("SPECfp95 stand-in: swim/tomcatv/su2cor/mgrid "
+                   "archetypes under one driver (paper ref [22])")
+
+    def __init__(self, scale=60, parallel=False, cpus=4):
+        self.scale = scale
+        self.parallel = parallel
+        if parallel:
+            self.num_cpus = cpus
+            self.name = "parallel-specfp"
+            self.description = ("SPECfp95 parallelized SUIF-style: one "
+                                "worker per CPU (paper ref [12])")
+
+    def setup(self, machine):
+        image = machine.load_image(
+            assemble(_image(self.scale), image_name=_IMAGE))
+        workers = self.num_cpus if self.parallel else 1
+        for index in range(workers):
+            machine.spawn(image, entry="%s:runspec" % _IMAGE,
+                          name="specfp.%d" % index)
+
+
+def build(scale=60, parallel=False):
+    return SpecFp(scale, parallel=parallel)

@@ -1,0 +1,105 @@
+"""A SPECint95-like workload suite (paper Table 2's SPECint95 row).
+
+Five synthetic programs mimicking the integer suite's behavioural
+archetypes, run back to back under one driver process (the paper ran
+the suite with its runspec driver):
+
+* ``compress_``  -- bit-twiddling over a sliding window (shift/mask
+  heavy, modest memory);
+* ``li_``        -- a list-interpreter loop chasing cons cells
+  (dependent loads);
+* ``perl_``      -- dispatch-heavy interpretation (indirect-ish
+  branching via dense conditional ladders);
+* ``ijpeg_``     -- blocked array transforms (strided loads/stores,
+  multiplies);
+* ``vortex_``    -- an object store: hash probes over a large table.
+"""
+
+from repro.alpha.assembler import assemble
+from repro.workloads.asmgen import caller_proc, loop_proc
+from repro.workloads.base import Workload
+
+_IMAGE = "specint95"
+
+_COMPRESS = """
+.proc compress_
+    lda   t4, 12345(zero)
+    lda   t0, 0(zero)
+    lda   v0, {iters}(zero)
+Lcompress_loop:
+    addq  t0, 1, t0
+    sll   t4, 3, t5
+    srl   t4, 11, t6
+    xor   t5, t6, t4
+    and   t4, 0xff, t7
+    s4addq t7, t4, t4
+    and   t4, 65535, t8
+    bis   t8, 1, t4
+    cmpult t0, v0, t9
+    bne   t9, Lcompress_loop
+    ret
+.end
+"""
+
+_LI = """
+.proc li_
+    lda   t1, =cells
+    lda   t2, 0(t1)
+    lda   t0, 0(zero)
+    lda   v0, {cells}(zero)
+Lli_init:
+    addq  t0, 1, t0
+    s8addq t0, t1, t3
+    and   t0, {mask}, t5
+    s8addq t5, t1, t5
+    stq   t5, -8(t3)
+    cmpult t0, v0, t9
+    bne   t9, Lli_init
+    lda   t0, 0(zero)
+    lda   v0, {iters}(zero)
+    bis   t1, t1, t2
+Lli_chase:
+    addq  t0, 1, t0
+    ldq   t2, 0(t2)
+    cmpult t0, v0, t9
+    bne   t9, Lli_chase
+    ret
+.end
+"""
+
+
+def _image(scale):
+    text = (".image %s\n.data cells, 65536\n.data objstore, 262144\n"
+            ".data pixels, 131072\n" % _IMAGE)
+    text += _COMPRESS.format(iters=8 * scale)
+    text += _LI.format(cells=4000, mask=4095, iters=6 * scale)
+    text += loop_proc("perl_", 6 * scale, "branchy")
+    text += loop_proc("ijpeg_", 5 * scale, "mem", buf="pixels",
+                      wrap=4096, stride=16)
+    text += loop_proc("vortex_", 5 * scale, "mem", buf="objstore",
+                      wrap=8192, stride=32)
+    text += caller_proc("runspec",
+                        ["compress_", "li_", "perl_", "ijpeg_",
+                         "vortex_"], rounds=3)
+    return text
+
+
+class SpecInt(Workload):
+    """The integer suite under a runspec-style driver."""
+
+    name = "specint95"
+    num_cpus = 1
+    description = ("SPECint95 stand-in: compress/li/perl/ijpeg/vortex "
+                   "archetypes under one driver (paper ref [22])")
+
+    def __init__(self, scale=60):
+        self.scale = scale
+
+    def setup(self, machine):
+        image = assemble(_image(self.scale), image_name=_IMAGE)
+        machine.spawn(image, entry="%s:runspec" % _IMAGE,
+                      name="specint95")
+
+
+def build(scale=60):
+    return SpecInt(scale)

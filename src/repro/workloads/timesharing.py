@@ -1,0 +1,61 @@
+"""A timesharing workload (paper Table 2's week-long server trace).
+
+A 4-CPU compute server running an office/technical mix: editors,
+compiles, mail filters and number crunching, timeshared with many
+active PIDs.  Used for long-profile statistics (daemon memory, disk
+usage, unknown-sample fraction).
+"""
+
+from repro.alpha.assembler import assemble
+from repro.workloads.asmgen import caller_proc, loop_proc
+from repro.workloads.base import Workload
+
+_MIX = (
+    # (image name, flavor, relative weight)
+    ("editor", "branchy", 2),
+    ("mailfilter", "int", 1),
+    ("build", "mem", 3),
+    ("crunch", "fp", 3),
+    ("shell", "branchy", 1),
+)
+
+
+def _mix_image(name, flavor, scale):
+    text = ".image %s\n.data heap, 65536\n" % name
+    kwargs = {"buf": "heap", "wrap": 2048, "stride": 8} \
+        if flavor == "mem" else {}
+    text += loop_proc("%s_inner" % name, 4 * scale, flavor, **kwargs)
+    text += loop_proc("%s_aux" % name, scale, "int")
+    text += caller_proc("%s_main" % name,
+                        ["%s_inner" % name, "%s_aux" % name], rounds=6)
+    return assemble(text, image_name=name)
+
+
+class Timesharing(Workload):
+    """A multi-user compute server with many small processes."""
+
+    name = "timesharing"
+    num_cpus = 4
+    description = ("timeshared office/technical server: many PIDs over "
+                   "several small images (the paper's week-long profile)")
+
+    def __init__(self, processes=20, scale=15):
+        self.processes = processes
+        self.scale = scale
+
+    def setup(self, machine):
+        images = [machine.load_image(_mix_image(name, flavor, self.scale))
+                  for name, flavor, _ in _MIX]
+        weights = []
+        for index, (_, _, weight) in enumerate(_MIX):
+            weights.extend([index] * weight)
+        for index in range(self.processes):
+            choice = weights[index % len(weights)]
+            image = images[choice]
+            machine.spawn(image, entry="%s:%s_main"
+                          % (image.name, image.name),
+                          name="%s.%d" % (image.name, index))
+
+
+def build(processes=20, scale=15):
+    return Timesharing(processes, scale)

@@ -1,0 +1,100 @@
+"""A wave5-like SPECfp workload (paper Figures 3 and 4).
+
+The paper used wave5 to demonstrate dcpistats: run-to-run variance was
+concentrated in the ``smooth_`` procedure and traced to D-cache/DTB/
+write-buffer behaviour that depends on the virtual-to-physical page
+mapping of each run.  This stand-in has the same structure:
+
+* ``parmvr_`` dominates total time (compute-heavy FP loops);
+* ``smooth_`` sweeps several large arrays whose *physically-indexed*
+  board-cache conflicts -- and DTB pressure -- vary with the per-run
+  page assignment, producing genuine cross-run variance;
+* ``fftb_``, ``ffef_``, ``putb_`` and ``vslvip_`` fill out the profile.
+"""
+
+from repro.alpha.assembler import assemble
+from repro.workloads.asmgen import caller_proc, loop_proc
+from repro.workloads.base import Workload
+
+_IMAGE = "wave5"
+
+# smooth_ touches four arrays with a page-sized stride, so each iteration
+# hits a new page (DTB pressure) and the interleaving of physical pages
+# decides board-cache conflicts.
+_SMOOTH = """
+.proc smooth_
+    lda   t1, =grid1
+    lda   t2, =grid2
+    lda   t3, =grid3
+    lda   a1, =grid4
+    lda   t0, 0(zero)
+    lda   v0, {iters}(zero)
+Lsmooth_loop:
+    ldt   f1, 0(t1)
+    addq  t0, 1, t0
+    ldt   f2, 0(t2)
+    ldt   f3, 0(t3)
+    addt  f1, f2, f4
+    mult  f4, f3, f5
+    addt  f5, f1, f6
+    stt   f6, 0(a1)
+    lda   t1, {stride}(t1)
+    lda   t2, {stride}(t2)
+    lda   t3, {stride}(t3)
+    lda   a1, {stride}(a1)
+    and   t0, {mask}, t8
+    bne   t8, Lsmooth_nowrap
+    lda   t1, =grid1
+    lda   t2, =grid2
+    lda   t3, =grid3
+    lda   a1, =grid4
+Lsmooth_nowrap:
+    cmpult t0, v0, t9
+    bne   t9, Lsmooth_loop
+    ret
+.end
+"""
+
+
+class Wave5(Workload):
+    """Sequential SPECfp95 wave5 stand-in."""
+
+    name = "wave5"
+    num_cpus = 1
+    description = ("SPECfp95 wave5 stand-in: parmvr_-dominated FP code "
+                   "with a page-mapping-sensitive smooth_ procedure")
+
+    def __init__(self, scale=10, rounds=12, smooth_pages=24):
+        self.scale = scale
+        self.rounds = rounds
+        self.smooth_pages = smooth_pages
+
+    def _image(self):
+        pages = self.smooth_pages
+        stride = 4096  # half a page: two iterations per page, new page fast
+        nbytes = pages * 8192 + stride
+        text = ".image %s\n" % _IMAGE
+        for sym in ("grid1", "grid2", "grid3", "grid4"):
+            text += ".data %s, %d\n" % (sym, nbytes)
+        text += ".data work, 65536\n"
+        text += _SMOOTH.format(iters=6 * self.scale, stride=stride,
+                               mask=2 * pages - 1)
+        text += loop_proc("parmvr_", 60 * self.scale, "fp")
+        text += loop_proc("fftb_", self.scale, "fp")
+        text += loop_proc("ffef_", self.scale, "fp")
+        text += loop_proc("putb_", 5 * self.scale, "mem", buf="work",
+                          wrap=2048, stride=8)
+        text += loop_proc("vslvip_", 6 * self.scale, "int")
+        text += caller_proc(
+            "MAIN__",
+            ["parmvr_", "smooth_", "fftb_", "ffef_", "putb_", "vslvip_"],
+            rounds=self.rounds)
+        return assemble(text, image_name=_IMAGE)
+
+    def setup(self, machine):
+        machine.spawn(self._image(), entry="%s:MAIN__" % _IMAGE,
+                      name="wave5")
+
+
+def build(scale=10, rounds=12, smooth_pages=24):
+    return Wave5(scale, rounds, smooth_pages)

@@ -1,0 +1,92 @@
+"""An x11perf-like X server workload (paper Table 2 and Figure 1).
+
+Reproduces the *shape* of the paper's Figure 1 dcpiprof listing: one hot
+graphics routine (``ffb8ZeroPolyArc``) dominating, request parsing and
+arc setup next, and visible kernel (``/vmunix``) time -- spread over an
+application image, three shared libraries and the kernel image, so the
+profile demonstrates full-system attribution.
+"""
+
+from repro.alpha.assembler import assemble
+from repro.workloads.asmgen import caller_proc, loop_proc
+from repro.workloads.base import Workload
+
+_FFB_LIB = "/usr/shlib/X11/lib_dec_ffb_ev5.so"
+_OS_LIB = "/usr/shlib/X11/libos.so"
+_MI_LIB = "/usr/shlib/X11/libmi.so"
+_KERNEL = "/vmunix"
+_APP = "x11perf"
+
+
+def _ffb_image(scale):
+    text = ".image %s\n.data fbuf, 65536\n" % _FFB_LIB
+    text += loop_proc("ffb8ZeroPolyArc", 48 * scale, "mem", buf="fbuf",
+                      wrap=2048, stride=16)
+    text += loop_proc("ffb8FillPolygon", 5 * scale, "mem", buf="fbuf",
+                      wrap=512, stride=32)
+    return assemble(text, image_name=_FFB_LIB)
+
+
+def _os_image(scale):
+    text = ".image %s\n.data reqbuf, 16384\n" % _OS_LIB
+    text += loop_proc("ReadRequestFromClient", 11 * scale, "branchy")
+    text += loop_proc("Dispatch", 5 * scale, "branchy")
+    return assemble(text, image_name=_OS_LIB)
+
+
+def _mi_image(scale):
+    text = ".image %s\n.data edgebuf, 32768\n" % _MI_LIB
+    text += loop_proc("miCreateETandAET", 7 * scale, "mem", buf="edgebuf",
+                      wrap=1024, stride=8)
+    text += loop_proc("miZeroArcSetup", 6 * scale, "int")
+    text += loop_proc("miInsertEdgeInET", 4 * scale, "mem", buf="edgebuf",
+                      wrap=256, stride=8)
+    text += loop_proc("miX1Y1X2Y2InRegion", 3 * scale, "branchy")
+    return assemble(text, image_name=_MI_LIB)
+
+
+def _kernel_image(scale):
+    text = ".image %s\n.data netbuf, 32768\n" % _KERNEL
+    text += loop_proc("in_checksum", 4 * scale, "mem", buf="netbuf",
+                      wrap=1024, stride=8)
+    text += loop_proc("bcopy", 6 * scale, "stream", buf="netbuf",
+                      wrap=2048, stride=8)
+    return assemble(text, image_name=_KERNEL)
+
+
+class X11Perf(Workload):
+    """CPU-bound X server tests: one client process driving the server
+    procedure mix."""
+
+    name = "x11perf"
+    num_cpus = 1
+    description = ("x11perf-style X server tests; CPU-bound drawing and "
+                   "request dispatch across app, libraries and kernel")
+
+    def __init__(self, scale=8, rounds=50):
+        self.scale = scale
+        self.rounds = rounds
+
+    def setup(self, machine):
+        scale = self.scale
+        ffb = machine.load_image(_ffb_image(scale))
+        oslib = machine.load_image(_os_image(scale))
+        mi = machine.load_image(_mi_image(scale))
+        kernel = machine.load_image(_kernel_image(scale))
+        externs = {}
+        for image in (ffb, oslib, mi, kernel):
+            for name, addr in image.symbols.items():
+                externs[name] = addr
+        app_text = ".image %s\n" % _APP + caller_proc(
+            "main",
+            ["ReadRequestFromClient", "Dispatch", "miZeroArcSetup",
+             "miCreateETandAET", "ffb8ZeroPolyArc", "miInsertEdgeInET",
+             "miX1Y1X2Y2InRegion", "ffb8FillPolygon", "in_checksum",
+             "bcopy"],
+            rounds=self.rounds)
+        app = assemble(app_text, image_name=_APP, externs=externs)
+        machine.spawn([app, ffb, oslib, mi, kernel], name="x11perf")
+
+
+def build(scale=8, rounds=50):
+    return X11Perf(scale, rounds)

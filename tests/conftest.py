@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.alpha.assembler import assemble
+from repro.cpu.config import MachineConfig
+from repro.cpu.machine import Machine
+from repro.collect.session import ProfileSession, SessionConfig
+
+#: The paper's Figure 2 copy loop (4x unrolled), used by many tests.
+COPY_LOOP_ASM = """
+.image copy.prog
+.data src, 64000
+.data dst, 64000
+.proc copy
+    lda   t1, =src
+    lda   t2, =dst
+    lda   t0, 0(zero)
+    lda   v0, {n}(zero)
+loop:
+    ldq   t4, 0(t1)
+    addq  t0, 4, t0
+    ldq   t5, 8(t1)
+    ldq   t6, 16(t1)
+    ldq   a0, 24(t1)
+    lda   t1, 32(t1)
+    stq   t4, 0(t2)
+    cmpult t0, v0, t4
+    stq   t5, 8(t2)
+    stq   t6, 16(t2)
+    stq   a0, 24(t2)
+    lda   t2, 32(t2)
+    bne   t4, loop
+    ret
+.end
+"""
+
+
+def make_copy_workload(n=4000):
+    def workload(machine):
+        image = assemble(COPY_LOOP_ASM.format(n=n))
+        machine.spawn(image, name="copy")
+    return workload
+
+
+@pytest.fixture
+def machine():
+    return Machine(MachineConfig(), seed=1)
+
+
+@pytest.fixture
+def copy_session_result():
+    """A profiled run of the copy loop with dense sampling."""
+    session = ProfileSession(
+        MachineConfig(),
+        SessionConfig(cycles_period=(120, 128), event_period=64, seed=3))
+    return session.run(make_copy_workload())
+
+
+def run_asm(asm, max_instructions=None, seed=1, config=None, **spawn_args):
+    """Assemble *asm*, run it on a fresh machine, return (machine, image)."""
+    machine = Machine(config or MachineConfig(), seed=seed)
+    image = machine.load_image(assemble(asm))
+    machine.spawn(image, **spawn_args)
+    machine.run(max_instructions=max_instructions)
+    return machine, image

@@ -1,0 +1,127 @@
+"""Unit tests for the assembly generators and workload internals."""
+
+import pytest
+
+from repro.alpha.assembler import assemble
+from repro.cpu.config import MachineConfig
+from repro.cpu.machine import Machine
+from repro.workloads.asmgen import caller_proc, loop_proc
+from repro.workloads.bigcode import BigCode, straightline_proc
+
+
+def run_proc(text, data="", entry=None):
+    machine = Machine(MachineConfig(), seed=1)
+    image = machine.load_image(assemble(".image t\n%s%s" % (data, text)))
+    machine.spawn(image, entry=entry)
+    machine.run(max_instructions=500_000)
+    return machine, image
+
+
+class TestLoopProc:
+    def test_int_flavor_iterates_exactly(self):
+        machine, image = run_proc(loop_proc("work", 37, "int"))
+        loop_head = None
+        # The counter increment executes once per iteration.
+        for inst in image.instructions:
+            if inst.op == "addq" and inst.imm == 1:
+                loop_head = inst
+                break
+        assert machine.gt_count[loop_head.addr] == 37
+
+    def test_mem_flavor_stays_in_buffer(self):
+        text = loop_proc("sweep", 5000, "mem", buf="heap", wrap=64,
+                         stride=8)
+        machine, image = run_proc(text, data=".data heap, 1024\n")
+        base = image.symbols.resolve("heap")
+        touched = [addr for addr in machine.processes[0].memory
+                   if base <= addr < base + 4096]
+        assert touched
+        assert max(touched) < base + 64 * 8
+
+    def test_fp_flavor_uses_float_units(self):
+        machine, image = run_proc(loop_proc("fp", 10, "fp"))
+        assert any(inst.info.cls in ("FADD", "FMUL")
+                   for inst in image.instructions)
+        assert machine.processes[0].exited
+
+    def test_branchy_flavor_mispredicts(self):
+        machine, image = run_proc(loop_proc("br", 500, "branchy"))
+        assert machine.cores[0].bp.mispredictions > 20
+
+    def test_stream_flavor_copies(self):
+        text = loop_proc("cp", 64, "stream", buf="heap", wrap=256,
+                         stride=8)
+        machine, image = run_proc(text, data=".data heap, 4096\n")
+        assert machine.processes[0].exited
+
+    def test_unknown_flavor_rejected(self):
+        with pytest.raises(ValueError):
+            loop_proc("x", 10, "quantum")
+
+    def test_mem_needs_buffer(self):
+        with pytest.raises(ValueError):
+            loop_proc("x", 10, "mem")
+
+
+class TestCallerProc:
+    def test_rounds_multiply_callee_executions(self):
+        text = (loop_proc("leaf", 10, "int")
+                + caller_proc("main", ["leaf", "leaf"], rounds=5))
+        machine, image = run_proc(text, entry="t:main")
+        leaf_entry = image.procedure("leaf").start
+        assert machine.gt_count[leaf_entry] == 10
+
+    def test_counter_survives_callee_clobbering(self):
+        # Callees that use s0-s3 (like generated procedures) must not
+        # break the caller's round counter (regression test).
+        clobber = """
+.proc clobber
+    lda s0, 1(zero)
+    lda s1, 1(zero)
+    lda s2, 1(zero)
+    lda s3, 1(zero)
+    ret
+.end
+"""
+        text = clobber + caller_proc("main", ["clobber"], rounds=7)
+        machine, image = run_proc(text, entry="t:main")
+        assert machine.gt_count[image.procedure("clobber").start] == 7
+
+    def test_nested_callers(self):
+        text = (loop_proc("leaf", 3, "int")
+                + caller_proc("inner", ["leaf"], rounds=2)
+                + caller_proc("outer", ["inner"], rounds=3))
+        machine, image = run_proc(text, entry="t:outer")
+        # s5 is callee-saved, so nesting works: leaf runs 3 * 2 times.
+        assert machine.processes[0].exited
+        assert machine.gt_count[image.procedure("leaf").start] == 6
+
+
+class TestBigCode:
+    def test_straightline_proc_size(self):
+        import random
+
+        text = ".image t\n" + straightline_proc("big", 200,
+                                                random.Random(1))
+        image = assemble(text)
+        assert len(image.instructions) == 201  # + ret
+
+    def test_code_exceeds_icache(self):
+        workload = BigCode(procedures=10, min_insts=300, max_insts=600,
+                           rounds=2)
+        machine = Machine(MachineConfig(), seed=1)
+        workload.setup(machine)
+        image = machine.processes[0].images[0]
+        assert image.code_size > 8192  # larger than L1 I-cache
+
+    def test_generates_imiss_events(self):
+        from repro.cpu.events import EventType
+
+        workload = BigCode(procedures=10, min_insts=300, max_insts=600,
+                           rounds=3)
+        machine = Machine(MachineConfig(), seed=1)
+        workload.setup(machine)
+        machine.run(max_instructions=100_000)
+        imisses = sum(row.get(EventType.IMISS, 0)
+                      for row in machine.gt_events.values())
+        assert imisses > 1000

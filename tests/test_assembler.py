@@ -1,0 +1,155 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+
+from repro.alpha import regs
+from repro.alpha.assembler import AssemblerError, assemble
+
+SIMPLE = """
+.image prog
+.proc main
+    addq  t0, 1, t1
+    ldq   t2, 8(sp)
+    stq   t2, 16(sp)
+    beq   t1, done
+    br    main
+done:
+    ret
+.end
+"""
+
+
+class TestBasicParsing:
+    def test_assembles_and_counts_instructions(self):
+        image = assemble(SIMPLE)
+        assert len(image.instructions) == 6
+
+    def test_image_directive_sets_name(self):
+        assert assemble(SIMPLE).name == "prog"
+
+    def test_default_image_name(self):
+        assert assemble(".proc p\n    ret\n.end").name == "a.out"
+
+    def test_operate_registers(self):
+        inst = assemble(SIMPLE).instructions[0]
+        assert inst.op == "addq"
+        assert inst.ra == regs.parse_register("t0")
+        assert inst.imm == 1
+        assert inst.rc == regs.parse_register("t1")
+
+    def test_memory_operand(self):
+        inst = assemble(SIMPLE).instructions[1]
+        assert inst.rb == regs.parse_register("sp")
+        assert inst.imm == 8
+
+    def test_negative_displacement(self):
+        image = assemble(".proc p\n    ldq t0, -16(sp)\n    ret\n.end")
+        assert image.instructions[0].imm == -16
+
+    def test_hex_immediate(self):
+        image = assemble(".proc p\n    addq t0, 0x10, t0\n    ret\n.end")
+        assert image.instructions[0].imm == 16
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# leading\n\n.proc p\n    nop  # trailing\n    ret\n.end\n"
+        assert len(assemble(text).instructions) == 2
+
+    def test_register_operand_form(self):
+        image = assemble(".proc p\n    addq t0, t1, t2\n    ret\n.end")
+        assert image.instructions[0].rb == regs.parse_register("t1")
+        assert image.instructions[0].imm is None
+
+
+class TestLabelsAndBranches:
+    def test_forward_branch_resolves(self):
+        image = assemble(SIMPLE, base=0x1000)
+        beq = image.instructions[3]
+        assert beq.target == 0x1000 + 5 * 4  # 'done' label
+
+    def test_backward_branch_resolves(self):
+        image = assemble(SIMPLE, base=0x1000)
+        br = image.instructions[4]
+        assert br.target == 0x1000
+
+    def test_undefined_label_raises(self):
+        with pytest.raises(AssemblerError, match="undefined label"):
+            assemble(".proc p\n    br nowhere\n.end")
+
+    def test_duplicate_label_raises(self):
+        text = ".proc p\nx:\n    nop\nx:\n    ret\n.end"
+        with pytest.raises(AssemblerError, match="duplicate label"):
+            assemble(text)
+
+    def test_cross_procedure_branch_allowed(self):
+        text = (".proc a\n    br helper\n.end\n"
+                ".proc helper\n    ret\n.end")
+        image = assemble(text, base=0)
+        assert image.instructions[0].target == 4
+
+
+class TestDataAndSymbols:
+    def test_data_reserves_space(self):
+        image = assemble(".data buf, 4096\n.proc p\n    ret\n.end")
+        assert image.data_size >= 4096
+
+    def test_lda_symbol_fixup_after_link(self):
+        text = ".data buf, 64\n.proc p\n    lda t0, =buf\n    ret\n.end"
+        image = assemble(text, base=0x10000)
+        assert image.instructions[0].imm == image.data_base
+
+    def test_lda_numeric_pseudo(self):
+        text = ".proc p\n    lda t0, =0x2000\n    ret\n.end"
+        assert assemble(text).instructions[0].imm == 0x2000
+
+    def test_extern_symbol_resolution(self):
+        text = ".proc p\n    lda pv, =helper\n    ret\n.end"
+        image = assemble(text, externs={"helper": 0xBEEF0})
+        assert image.instructions[0].imm == 0xBEEF0
+
+    def test_unknown_symbol_raises(self):
+        text = ".proc p\n    lda pv, =nosuch\n    ret\n.end"
+        with pytest.raises(AssemblerError, match="undefined symbol"):
+            assemble(text)
+
+    def test_data_symbols_page_separated_from_code(self):
+        text = ".data buf, 8\n.proc p\n    ret\n.end"
+        image = assemble(text, base=0x10000)
+        assert image.data_base % 8192 == 0
+        assert image.data_base >= image.end
+
+
+class TestJumps:
+    def test_ret_defaults_to_ra(self):
+        image = assemble(".proc p\n    ret\n.end")
+        assert image.instructions[0].rb == regs.parse_register("ra")
+
+    def test_ret_explicit_register(self):
+        image = assemble(".proc p\n    ret (t9)\n.end")
+        assert image.instructions[0].rb == regs.parse_register("t9")
+
+    def test_jsr(self):
+        image = assemble(".proc p\n    jsr ra, (pv)\n    ret\n.end")
+        inst = image.instructions[0]
+        assert inst.ra == regs.parse_register("ra")
+        assert inst.rb == regs.parse_register("pv")
+
+    def test_jmp_single_operand(self):
+        image = assemble(".proc p\n    jmp (t0)\n.end")
+        assert image.instructions[0].rb == regs.parse_register("t0")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("text,pattern", [
+        ("    nop", "outside .proc"),
+        (".proc a\n.proc b\n.end\n.end", "nested"),
+        (".end", ".end without"),
+        (".proc p\n    nop\n", "missing .end"),
+        (".proc p\n    frobnicate t0\n.end", "unknown opcode"),
+        (".proc p\n    addq t0, t1\n.end", "3 operands"),
+        (".proc p\n    ldq t0, t1\n.end", "bad memory operand"),
+        (".proc p\n    addq t0, 1, qq9\n.end", "unknown register"),
+        (".bogus x\n.proc p\n    ret\n.end", "unknown directive"),
+    ])
+    def test_syntax_errors(self, text, pattern):
+        with pytest.raises(AssemblerError, match=pattern):
+            assemble(text)

@@ -1,0 +1,118 @@
+"""Tests for the Table 1 baseline profilers."""
+
+import pytest
+
+from repro.alpha.assembler import assemble
+from repro.baselines import (ClockProfiler, GprofProfiler, IprobeProfiler,
+                             PixieProfiler)
+from repro.baselines.instrument import (COUNTER_SYMBOL, instrument_image,
+                                        read_counts)
+from repro.cpu.config import MachineConfig
+from repro.cpu.machine import Machine
+from repro.workloads import mccalpin
+
+LOOPY = """
+.image loopy
+.data buf, 1024
+.proc main
+    lda t0, 50(zero)
+top:
+    and t0, 1, t2
+    beq t2, skip
+    addq t3, 1, t3
+skip:
+    subq t0, 1, t0
+    bgt t0, top
+    ret
+.end
+"""
+
+
+class TestInstrumentation:
+    def test_rewritten_image_bigger(self):
+        image = assemble(LOOPY)
+        new, block_map = instrument_image(image)
+        assert len(new.instructions) > len(image.instructions)
+        # Leaders: entry, loop head, taken arm, join, and the ret after
+        # the loop-back branch.
+        assert len(block_map) == 5
+
+    def test_counts_match_ground_truth(self):
+        machine = Machine(MachineConfig(), seed=1)
+        new, block_map = instrument_image(assemble(LOOPY))
+        machine.load_image(new)
+        proc = machine.spawn(new)
+        machine.run()
+        counts = read_counts(proc, new, block_map)
+        # The simulator's own ground truth for the same run: the count
+        # of each block equals the count of its first real instruction
+        # (which sits right after the 4-instruction preamble).
+        for addr, count in counts.items():
+            first_real = addr + 16
+            assert machine.gt_count[first_real] == count
+
+    def test_rewritten_program_computes_same_result(self):
+        plain = Machine(MachineConfig(), seed=1)
+        image = plain.load_image(assemble(LOOPY))
+        p1 = plain.spawn(image)
+        plain.run()
+
+        instrumented = Machine(MachineConfig(), seed=1)
+        new, _ = instrument_image(assemble(LOOPY))
+        instrumented.load_image(new)
+        p2 = instrumented.spawn(new)
+        instrumented.run()
+        # t3 counts the taken-arm executions in both runs.
+        assert p1.iregs[4] == p2.iregs[4]
+
+    def test_procedures_only_mode(self):
+        image = assemble(LOOPY)
+        new, block_map = instrument_image(image, procedures_only=True)
+        assert len(block_map) == 1
+
+    def test_counter_symbol_reserved(self):
+        new, _ = instrument_image(assemble(LOOPY))
+        assert COUNTER_SYMBOL in new.symbols
+
+    def test_linked_image_rejected(self):
+        with pytest.raises(ValueError):
+            instrument_image(assemble(LOOPY, base=0x1000))
+
+
+class TestProfilers:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return mccalpin.build("assign", n=1024, iterations=2)
+
+    def test_pixie_overhead_positive_exact_counts(self, workload):
+        result = PixieProfiler(MachineConfig()).profile(workload)
+        assert result.overhead > 0.01
+        counts = result.data["block_counts"]
+        # The unrolled loop block runs n/4 * iterations times.
+        assert max(counts.values()) == 512
+
+    def test_prof_low_overhead(self, workload):
+        result = ClockProfiler(MachineConfig()).profile(workload)
+        assert result.overhead < 0.02
+        assert result.data["histogram"]
+
+    def test_prof_scope_is_app_only(self):
+        result = ClockProfiler(MachineConfig()).profile(
+            mccalpin.build("assign", n=1024, iterations=2))
+        assert result.scope == "App"
+
+    def test_gprof_counts_calls(self, workload):
+        result = GprofProfiler(MachineConfig()).profile(workload)
+        calls = result.data["call_counts"]
+        assert calls[("assign", "mccalpin")] == 1
+
+    def test_iprobe_memory_grows_linearly(self, workload):
+        result = IprobeProfiler(MachineConfig()).profile(workload)
+        assert result.data["buffer_bytes"] == result.data["samples"] * 16
+        assert result.data["bytes_per_mcycle"] > 0
+
+    def test_rows_have_table1_columns(self, workload):
+        result = ClockProfiler(MachineConfig()).profile(workload)
+        row = result.row()
+        assert set(row) == {"system", "overhead_pct", "scope", "grain",
+                            "stalls"}

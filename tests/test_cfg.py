@@ -1,0 +1,120 @@
+"""Tests for CFG construction."""
+
+from repro.alpha.assembler import assemble
+from repro.core.cfg import EXIT, build_cfg
+
+
+def cfg_for(body, data=""):
+    image = assemble(".image t\n%s.proc main\n%s\n.end" % (data, body),
+                     base=0x1000)
+    return build_cfg(image.procedure("main")), image
+
+
+class TestBlocks:
+    def test_straight_line_single_block(self):
+        cfg, _ = cfg_for("    addq t0, 1, t0\n    nop\n    ret")
+        assert len(cfg.blocks) == 1
+        assert len(cfg.blocks[0].instructions) == 3
+
+    def test_branch_splits_blocks(self):
+        body = """
+    lda t0, 3(zero)
+top:
+    subq t0, 1, t0
+    bgt t0, top
+    ret
+"""
+        cfg, _ = cfg_for(body)
+        assert len(cfg.blocks) == 3
+        starts = [b.start for b in cfg.blocks]
+        assert starts == sorted(starts)
+
+    def test_if_else_diamond(self):
+        body = """
+    beq t0, else_
+    addq t1, 1, t1
+    br end_
+else_:
+    addq t2, 1, t2
+end_:
+    ret
+"""
+        cfg, _ = cfg_for(body)
+        assert len(cfg.blocks) == 4
+
+    def test_jsr_does_not_end_block(self):
+        body = "    jsr ra, (pv)\n    addq t0, 1, t0\n    ret"
+        cfg, _ = cfg_for(body)
+        assert len(cfg.blocks) == 1
+
+    def test_ret_ends_block_with_exit_edge(self):
+        cfg, _ = cfg_for("    ret")
+        assert cfg.blocks[0].succs[0].dst == EXIT
+
+    def test_block_at(self):
+        body = """
+    lda t0, 3(zero)
+top:
+    subq t0, 1, t0
+    bgt t0, top
+    ret
+"""
+        cfg, image = cfg_for(body)
+        loop_block = cfg.block_at(0x1004)
+        assert loop_block.start == 0x1004
+
+
+class TestEdges:
+    def test_conditional_has_taken_and_fall(self):
+        body = """
+top:
+    subq t0, 1, t0
+    bgt t0, top
+    ret
+"""
+        cfg, _ = cfg_for(body)
+        kinds = sorted(e.kind for e in cfg.blocks[0].succs)
+        assert kinds == ["fall", "taken"]
+
+    def test_preds_populated(self):
+        body = """
+top:
+    subq t0, 1, t0
+    bgt t0, top
+    ret
+"""
+        cfg, _ = cfg_for(body)
+        loop = cfg.blocks[0]
+        assert any(e.src == loop.index for e in loop.preds)
+
+    def test_branch_out_of_procedure_is_exit(self):
+        image = assemble(
+            ".image t\n.proc main\n    br helper\n.end\n"
+            ".proc helper\n    ret\n.end", base=0x1000)
+        cfg = build_cfg(image.procedure("main"))
+        assert cfg.blocks[0].succs[0].dst == EXIT
+
+    def test_indirect_jump_sets_missing_edges(self):
+        cfg, _ = cfg_for("    lda t0, =0x1000\n    jmp (t0)")
+        assert cfg.missing_edges is True
+
+    def test_ret_does_not_set_missing_edges(self):
+        cfg, _ = cfg_for("    ret")
+        assert cfg.missing_edges is False
+
+    def test_bsr_falls_through(self):
+        image = assemble(
+            ".image t\n.proc main\n    bsr ra, helper\n    ret\n.end\n"
+            ".proc helper\n    ret\n.end", base=0x1000)
+        cfg = build_cfg(image.procedure("main"))
+        assert len(cfg.blocks) == 1  # bsr doesn't split; ret ends it
+
+    def test_infinite_loop(self):
+        body = """
+spin:
+    addq t0, 1, t0
+    br spin
+"""
+        cfg, _ = cfg_for(body)
+        assert len(cfg.blocks) == 1
+        assert cfg.blocks[0].succs[0].dst == cfg.blocks[0].index

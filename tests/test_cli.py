@@ -1,0 +1,90 @@
+"""Tests for the command-line entry points."""
+
+import pytest
+
+from repro.tools.cli import (main_dcpicalc, main_dcpid, main_dcpiprof,
+                             main_dcpistats)
+
+
+@pytest.fixture(scope="module")
+def bundle(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("cli") / "session")
+    rc = main_dcpid(["--workload", "mccalpin", "--out", path,
+                     "--max-instructions", "60000", "--period", "128"])
+    assert rc == 0
+    return path
+
+
+class TestDcpid:
+    def test_creates_bundle_layout(self, bundle):
+        import os
+
+        assert os.path.exists(os.path.join(bundle, "images.json"))
+        assert os.path.exists(os.path.join(bundle, "meta.json"))
+        assert os.path.isdir(os.path.join(bundle, "db"))
+
+    def test_unknown_workload_exits_nonzero(self, tmp_path):
+        with pytest.raises((KeyError, SystemExit)):
+            main_dcpid(["--workload", "quake3",
+                        "--out", str(tmp_path / "x")])
+
+
+class TestDcpiprofCli:
+    def test_lists_procedures(self, bundle, capsys):
+        assert main_dcpiprof([bundle]) == 0
+        out = capsys.readouterr().out
+        assert "assign" in out
+        assert "Total samples" in out
+
+    def test_limit_flag(self, bundle, capsys):
+        assert main_dcpiprof([bundle, "--limit", "1"]) == 0
+
+
+class TestDcpicalcCli:
+    def test_renders_listing(self, bundle, capsys):
+        assert main_dcpicalc([bundle, "--procedure", "assign"]) == 0
+        out = capsys.readouterr().out
+        assert "Best-case" in out
+        assert "ldq" in out
+
+    def test_missing_procedure_fails(self, bundle, capsys):
+        assert main_dcpicalc([bundle, "--procedure", "nosuch"]) == 1
+
+
+class TestDcpistatsCli:
+    def test_multiple_bundles(self, bundle, tmp_path, capsys):
+        other = str(tmp_path / "second")
+        main_dcpid(["--workload", "mccalpin", "--out", other,
+                    "--max-instructions", "60000", "--seed", "5",
+                    "--period", "128"])
+        assert main_dcpistats([bundle, other]) == 0
+        out = capsys.readouterr().out
+        assert "range%" in out
+        assert "set 1" in out and "set 2" in out
+
+
+class TestDcpixCli:
+    def test_block_counts(self, bundle, capsys):
+        from repro.tools.cli import main_dcpix
+
+        assert main_dcpix([bundle, "--image", "mccalpin"]) == 0
+        out = capsys.readouterr().out
+        assert "# dcpix" in out
+
+    def test_unknown_image(self, bundle):
+        from repro.tools.cli import main_dcpix
+
+        assert main_dcpix([bundle, "--image", "nosuch"]) == 1
+
+
+class TestDcpicfgCli:
+    def test_dot_output(self, bundle, capsys):
+        from repro.tools.cli import main_dcpicfg
+
+        assert main_dcpicfg([bundle, "--procedure", "assign"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_unknown_procedure(self, bundle):
+        from repro.tools.cli import main_dcpicfg
+
+        assert main_dcpicfg([bundle, "--procedure", "nosuch"]) == 1

@@ -1,0 +1,255 @@
+"""Tests for guilty-until-proven-innocent culprit analysis."""
+
+import pytest
+
+from repro.alpha.assembler import assemble
+from repro.cpu.events import EventType
+from repro.collect.database import ImageProfile
+from repro.core.cfg import build_cfg
+from repro.core.culprits import identify_culprits
+from repro.core.frequency import estimate_frequencies
+from repro.core.schedule import schedule_cfg
+
+
+def run_culprits(body, samples, events=None, period=100.0):
+    image = assemble(".image t\n.proc main\n%s\n.end" % body, base=0x1000)
+    proc = image.procedure("main")
+    cfg = build_cfg(proc)
+    schedules = schedule_cfg(cfg)
+    freq = estimate_frequencies(cfg, schedules, samples, period)
+    profile = ImageProfile(image, periods={EventType.CYCLES: period,
+                                           EventType.IMISS: 10.0,
+                                           EventType.DTBMISS: 10.0})
+    for addr, count in samples.items():
+        profile.add(EventType.CYCLES, addr - image.base, count)
+    for event, table in (events or {}).items():
+        for addr, count in table.items():
+            profile.add(event, addr - image.base, count)
+    return identify_culprits(cfg, schedules, freq, samples, profile,
+                             proc), image
+
+
+LOOP_WITH_LOAD = """
+    lda t1, =buf
+    lda t0, 100(zero)
+top:
+    ldq t4, 0(t1)
+    addq t4, 1, t5
+    stq t5, 0(t1)
+    lda t1, 8(t1)
+    subq t0, 1, t0
+    bgt t0, top
+    ret
+"""
+
+
+def _body_with_data(body):
+    return body  # readability alias
+
+
+class TestDCacheRule:
+    def make(self, samples, events=None):
+        image_text = (".image t\n.data buf, 8192\n.proc main\n%s\n.end"
+                      % LOOP_WITH_LOAD)
+        image = assemble(image_text, base=0x1000)
+        proc = image.procedure("main")
+        cfg = build_cfg(proc)
+        schedules = schedule_cfg(cfg)
+        freq = estimate_frequencies(cfg, schedules, samples, 100.0)
+        profile = ImageProfile(image, periods={EventType.CYCLES: 100.0})
+        for addr, count in samples.items():
+            profile.add(EventType.CYCLES, addr - image.base, count)
+        return identify_culprits(cfg, schedules, freq, samples, profile,
+                                 proc), image
+
+    def test_load_consumer_gets_dcache_culprit_with_source(self):
+        # addq (0x100c) stalls hugely; its operand comes from the ldq.
+        samples = {0x1008: 50, 0x100C: 500, 0x1010: 50, 0x1014: 50,
+                   0x1018: 50, 0x101C: 50}
+        culprits, image = self.make(samples)
+        assert 0x100C in culprits
+        reasons = {c.reason: c for c in culprits[0x100C]}
+        assert "dcache" in reasons
+        assert reasons["dcache"].source_addr == 0x1008  # the ldq
+
+    def test_store_of_loaded_value_gets_dcache_and_wb(self):
+        samples = {0x1008: 50, 0x100C: 50, 0x1010: 500, 0x1014: 50,
+                   0x1018: 50, 0x101C: 50}
+        culprits, _ = self.make(samples)
+        reasons = {c.reason for c in culprits[0x1010]}
+        assert "wb" in reasons
+        assert "dcache" in reasons
+
+    def test_alu_with_local_nonload_operands_no_dcache(self):
+        body = """
+    lda t0, 100(zero)
+top:
+    addq t1, 1, t1
+    xor t1, t0, t2
+    sll t2, 2, t3
+    subq t0, 1, t0
+    bgt t0, top
+    ret
+"""
+        samples = {0x1004: 50, 0x1008: 50, 0x100C: 500, 0x1010: 50,
+                   0x1014: 50}
+        culprits, _ = run_culprits(body, samples)
+        if 0x100C in culprits:
+            reasons = {c.reason for c in culprits[0x100C]}
+            assert "dcache" not in reasons
+            assert "wb" not in reasons
+
+
+class TestICacheRule:
+    def test_mid_block_off_line_instruction_ruled_out(self):
+        body = """
+    lda t0, 100(zero)
+top:
+    addq t1, 1, t1
+    xor t1, t0, t2
+    sll t2, 2, t3
+    subq t0, 1, t0
+    bgt t0, top
+    ret
+"""
+        # 0x1008 is mid-block, not at a 32-byte boundary.
+        samples = {0x1004: 50, 0x1008: 500, 0x100C: 50, 0x1010: 50,
+                   0x1014: 50}
+        culprits, _ = run_culprits(body, samples)
+        reasons = {c.reason for c in culprits.get(0x1008, [])}
+        assert "icache" not in reasons
+
+    def test_line_start_instruction_possible(self):
+        # Pad so a mid-block instruction falls at a line boundary
+        # (0x1020 = 32-byte aligned).
+        body = """
+    lda t0, 100(zero)
+top:
+    addq t1, 1, t1
+    xor t1, t0, t2
+    sll t2, 2, t3
+    addq t1, t2, t4
+    xor t4, t3, t5
+    addq t5, 1, t6
+    srl t6, 1, t7
+    subq t0, 1, t0
+    bgt t0, top
+    ret
+"""
+        samples = {addr: 50 for addr in range(0x1004, 0x102C, 4)}
+        samples[0x1020] = 500
+        culprits, _ = run_culprits(body, samples)
+        reasons = {c.reason for c in culprits.get(0x1020, [])}
+        assert "icache" in reasons
+
+    def test_imiss_samples_bound_icache(self):
+        body = """
+    lda t0, 100(zero)
+top:
+    addq t1, 1, t1
+    xor t1, t0, t2
+    sll t2, 2, t3
+    addq t1, t2, t4
+    xor t4, t3, t5
+    addq t5, 1, t6
+    srl t6, 1, t7
+    subq t0, 1, t0
+    bgt t0, top
+    ret
+"""
+        samples = {addr: 50 for addr in range(0x1004, 0x102C, 4)}
+        samples[0x1020] = 500
+        # IMISS samples collected, none at 0x1020: icache ruled out.
+        culprits, _ = run_culprits(
+            body, samples, events={EventType.IMISS: {0x1004: 1}})
+        reasons = {c.reason for c in culprits.get(0x1020, [])}
+        assert "icache" not in reasons
+
+
+class TestBranchRule:
+    def test_block_head_after_conditional_gets_branchmp(self):
+        body = """
+    lda t0, 100(zero)
+top:
+    and t0, 1, t1
+    beq t1, skip
+    addq t2, 1, t2
+skip:
+    subq t0, 1, t0
+    bgt t0, top
+    ret
+"""
+        samples = {0x1004: 50, 0x1008: 50, 0x100C: 50,
+                   0x1010: 400, 0x1014: 50, 0x1018: 50}
+        culprits, _ = run_culprits(body, samples)
+        reasons = {c.reason for c in culprits.get(0x1010, [])}
+        assert "branchmp" in reasons
+
+    def test_branchmp_bounded_by_penalty(self):
+        body = """
+    lda t0, 100(zero)
+top:
+    and t0, 1, t1
+    beq t1, skip
+    addq t2, 1, t2
+skip:
+    subq t0, 1, t0
+    bgt t0, top
+    ret
+"""
+        samples = {0x1004: 50, 0x1008: 50, 0x100C: 50,
+                   0x1010: 4000, 0x1014: 50, 0x1018: 50}
+        culprits, _ = run_culprits(body, samples)
+        branch = next(c for c in culprits[0x1010]
+                      if c.reason == "branchmp")
+        dcache_like = [c for c in culprits[0x1010]
+                       if c.reason != "branchmp"]
+        # Mispredicts can explain at most penalty * executions.
+        assert branch.max_cycles < max(
+            (c.max_cycles for c in dcache_like), default=float("inf"))
+
+
+class TestUnexplained:
+    def test_stall_with_no_candidates_marked_unexplained(self):
+        body = """
+    lda t0, 100(zero)
+top:
+    addq t1, 1, t1
+    xor t1, t0, t2
+    sll t2, 2, t3
+    subq t0, 1, t0
+    bgt t0, top
+    ret
+"""
+        samples = {0x1004: 50, 0x1008: 50, 0x100C: 500, 0x1010: 50,
+                   0x1014: 50}
+        culprits, _ = run_culprits(body, samples)
+        if 0x100C in culprits:
+            reasons = {c.reason for c in culprits[0x100C]}
+            assert "unexplained" in reasons or "dtb" in reasons
+
+    def test_no_stall_no_culprits(self):
+        body = """
+    lda t0, 100(zero)
+top:
+    addq t1, 1, t1
+    subq t0, 1, t0
+    bgt t0, top
+    ret
+"""
+        # Samples land on the leaders only (the paired subq gets none),
+        # consistent with ~1 cycle at the head per execution.
+        samples = {0x1004: 50, 0x100C: 50}
+        culprits, _ = run_culprits(body, samples)
+        assert 0x1004 not in culprits  # no dynamic stall: no culprits
+        assert 0x1008 not in culprits  # no samples at all
+
+    def test_min_cycles_pessimistic(self):
+        samples = {0x1008: 50, 0x100C: 50, 0x1010: 500, 0x1014: 50,
+                   0x1018: 50, 0x101C: 50}
+        culprits, _ = TestDCacheRule().make(samples)
+        rows = culprits[0x1010]
+        total_dyn_upper = max(c.max_cycles for c in rows)
+        for culprit in rows:
+            assert 0.0 <= culprit.min_cycles <= culprit.max_cycles
+            assert culprit.max_cycles <= total_dyn_upper + 1e-9

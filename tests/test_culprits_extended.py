@@ -1,0 +1,134 @@
+"""Extended culprit-rule tests: FU-busy candidates, the rare-predecessor
+I-cache rule, and DTBMISS-based elimination."""
+
+import pytest
+
+from repro.alpha.assembler import assemble
+from repro.collect.database import ImageProfile
+from repro.core.cfg import build_cfg
+from repro.core.culprits import identify_culprits
+from repro.core.frequency import estimate_frequencies
+from repro.core.schedule import schedule_cfg
+from repro.cpu.events import EventType
+
+
+def run_culprits(text, samples, events=None):
+    image = assemble(".image t\n" + text, base=0x1000)
+    proc = image.procedure("main")
+    cfg = build_cfg(proc)
+    schedules = schedule_cfg(cfg)
+    freq = estimate_frequencies(cfg, schedules, samples, 100.0)
+    periods = {EventType.CYCLES: 100.0, EventType.IMISS: 10.0,
+               EventType.DTBMISS: 10.0}
+    profile = ImageProfile(image, periods=periods)
+    for addr, count in samples.items():
+        profile.add(EventType.CYCLES, addr - image.base, count)
+    for event, table in (events or {}).items():
+        for addr, count in table.items():
+            profile.add(event, addr - image.base, count)
+    return identify_culprits(cfg, schedules, freq, samples, profile,
+                             proc), image
+
+
+class TestFunctionalUnitRules:
+    MUL_LOOP = """
+.proc main
+    lda t0, 100(zero)
+top:
+    mulq t1, t1, t2
+    mulq t3, t3, t4
+    subq t0, 1, t0
+    bgt t0, top
+    ret
+.end
+"""
+
+    def test_second_multiply_gets_imul_candidate(self):
+        # The second mulq is stalled well beyond its static M (which
+        # already accounts for the unit): pessimistic extra contention.
+        samples = {0x1004: 50, 0x1008: 600, 0x100C: 50, 0x1010: 50}
+        culprits, image = run_culprits(self.MUL_LOOP, samples)
+        reasons = {c.reason for c in culprits.get(0x1008, [])}
+        assert "imul" in reasons
+        imul = next(c for c in culprits[0x1008] if c.reason == "imul")
+        assert imul.source_addr == 0x1004
+
+    def test_multiply_without_predecessor_not_imul(self):
+        samples = {0x1004: 600, 0x1008: 50, 0x100C: 50, 0x1010: 50}
+        culprits, _ = run_culprits(self.MUL_LOOP, samples)
+        reasons = {c.reason for c in culprits.get(0x1004, [])}
+        assert "imul" not in reasons  # no earlier mul in the block
+
+
+class TestDtbElimination:
+    LOAD_LOOP = """
+.data buf, 8192
+.proc main
+    lda t1, =buf
+    lda t0, 100(zero)
+top:
+    ldq t4, 0(t1)
+    addq t4, 1, t5
+    lda t1, 8(t1)
+    subq t0, 1, t0
+    bgt t0, top
+    ret
+.end
+"""
+
+    def test_dtbmiss_samples_bound_dtb(self):
+        samples = {0x1008: 50, 0x100C: 800, 0x1010: 50, 0x1014: 50,
+                   0x1018: 50}
+        # DTBMISS monitored, zero samples at the consumer: dtb's upper
+        # bound collapses to zero and the candidate disappears.
+        culprits, _ = run_culprits(
+            self.LOAD_LOOP, samples,
+            events={EventType.DTBMISS: {0x1004: 1}})
+        reasons = {c.reason for c in culprits[0x100C]}
+        assert "dcache" in reasons
+        assert "dtb" not in reasons
+
+    def test_without_dtbmiss_samples_dtb_stays(self):
+        samples = {0x1008: 50, 0x100C: 800, 0x1010: 50, 0x1014: 50,
+                   0x1018: 50}
+        culprits, _ = run_culprits(self.LOAD_LOOP, samples)
+        reasons = {c.reason for c in culprits[0x100C]}
+        assert "dtb" in reasons  # pessimistic when information is limited
+
+
+class TestRarePredecessorRule:
+    SKEWED = """
+.proc main
+    lda t0, 1000(zero)
+top:
+    addq t1, 1, t1
+    xor t1, t0, t2
+    and t0, 255, t3
+    bne t3, hot
+    addq t4, 1, t4
+    addq t4, 2, t4
+    addq t4, 3, t4
+    addq t4, 4, t4
+hot:
+    sll t2, 1, t5
+    subq t0, 1, t0
+    bgt t0, top
+    ret
+.end
+"""
+
+    def test_rare_cold_path_predecessor_ignored(self):
+        # 'hot' (0x1024) is entered from the bne at 0x1010 and from the
+        # rarely-executed cold path; the rare predecessor must not stop
+        # the analysis.  The hot join's candidates include the
+        # block-head reasons (branch mispredict, I-cache) and the
+        # pessimistic dcache (its operand producer lies outside the
+        # block) -- but never wb (it is not a store).
+        samples = {0x1004: 500, 0x1008: 500, 0x100C: 500, 0x1010: 500,
+                   0x1014: 3, 0x1018: 2, 0x101C: 2, 0x1020: 2,
+                   0x1024: 2500, 0x1028: 500, 0x102C: 500}
+        culprits, image = run_culprits(self.SKEWED, samples)
+        assert 0x1024 in culprits
+        reasons = {c.reason for c in culprits[0x1024]}
+        assert "wb" not in reasons
+        assert "branchmp" in reasons

@@ -1,0 +1,136 @@
+"""Tests for the on-disk profile database and binary formats."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cpu.events import EventType
+from repro.collect.database import (FORMAT_COMPACT, FORMAT_RAW,
+                                    ImageProfile, ProfileDatabase,
+                                    decode_profile, encode_profile)
+
+counts_strategy = st.dictionaries(
+    st.integers(min_value=0, max_value=1 << 24).map(lambda x: x * 4),
+    st.integers(min_value=1, max_value=1 << 30),
+    max_size=200)
+
+
+class TestEncoding:
+    @given(counts_strategy)
+    def test_compact_roundtrip(self, counts):
+        data = encode_profile(counts, "/bin/app", EventType.CYCLES, 62000)
+        decoded, name, event, period, epoch = decode_profile(data)
+        assert decoded == counts
+        assert name == "/bin/app"
+        assert event is EventType.CYCLES
+        assert period == 62000
+
+    @given(counts_strategy)
+    def test_raw_roundtrip(self, counts):
+        data = encode_profile(counts, "app", EventType.IMISS, 100,
+                              fmt=FORMAT_RAW)
+        decoded, _, event, _, _ = decode_profile(data)
+        assert decoded == counts
+        assert event is EventType.IMISS
+
+    def test_compact_is_smaller_for_dense_profiles(self):
+        # Typical profile: consecutive offsets, modest counts -- the
+        # paper's "factor of three" compression claim.
+        counts = {4 * i: 50 + (i % 100) for i in range(5000)}
+        raw = encode_profile(counts, "app", EventType.CYCLES, 62000,
+                             fmt=FORMAT_RAW)
+        compact = encode_profile(counts, "app", EventType.CYCLES, 62000,
+                                 fmt=FORMAT_COMPACT)
+        assert len(raw) / len(compact) > 2.5
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="not a DCPI"):
+            decode_profile(b"XXXX" + b"\0" * 30)
+
+    def test_truncated_data_rejected(self):
+        data = encode_profile({4: 1}, "app", EventType.CYCLES, 100)
+        with pytest.raises(Exception):
+            decode_profile(data[:-1])
+
+
+class TestDatabase:
+    def test_save_and_load(self, tmp_path):
+        db = ProfileDatabase(str(tmp_path))
+        db.save("/bin/app", EventType.CYCLES, {0: 5, 8: 2}, 62000)
+        counts, period = db.load("/bin/app", EventType.CYCLES)
+        assert counts == {0: 5, 8: 2}
+
+    def test_save_merges_counts(self, tmp_path):
+        db = ProfileDatabase(str(tmp_path))
+        db.save("app", EventType.CYCLES, {0: 5}, 100)
+        db.save("app", EventType.CYCLES, {0: 3, 4: 1}, 100)
+        counts, _ = db.load("app", EventType.CYCLES)
+        assert counts == {0: 8, 4: 1}
+
+    def test_epochs_are_separate(self, tmp_path):
+        db = ProfileDatabase(str(tmp_path))
+        db.save("app", EventType.CYCLES, {0: 1}, 100, epoch=0)
+        db.save("app", EventType.CYCLES, {0: 9}, 100, epoch=1)
+        assert db.load("app", EventType.CYCLES, epoch=0)[0] == {0: 1}
+        assert db.load("app", EventType.CYCLES, epoch=1)[0] == {0: 9}
+        assert db.epochs() == [0, 1]
+
+    def test_profiles_listing(self, tmp_path):
+        db = ProfileDatabase(str(tmp_path))
+        db.save("app", EventType.CYCLES, {0: 1}, 100)
+        db.save("app", EventType.IMISS, {0: 1}, 50)
+        listed = list(db.profiles())
+        assert ("app", EventType.CYCLES) in listed
+        assert ("app", EventType.IMISS) in listed
+
+    def test_disk_bytes(self, tmp_path):
+        db = ProfileDatabase(str(tmp_path))
+        assert db.disk_bytes() == 0
+        db.save("app", EventType.CYCLES, {4 * i: 1 for i in range(100)},
+                100)
+        assert db.disk_bytes() > 100
+
+    def test_image_names_with_slashes(self, tmp_path):
+        db = ProfileDatabase(str(tmp_path))
+        db.save("/usr/shlib/X11/libos.so", EventType.CYCLES, {0: 1}, 100)
+        counts, _ = db.load("/usr/shlib/X11/libos.so", EventType.CYCLES)
+        assert counts == {0: 1}
+
+
+class TestImageProfile:
+    def make(self):
+        from repro.alpha.assembler import assemble
+
+        image = assemble(
+            ".image app\n.proc a\n    nop\n    nop\n    ret\n.end\n"
+            ".proc b\n    nop\n    ret\n.end", base=0x1000)
+        profile = ImageProfile(image, periods={EventType.CYCLES: 100.0})
+        profile.add(EventType.CYCLES, 0, 10)
+        profile.add(EventType.CYCLES, 4, 5)
+        profile.add(EventType.CYCLES, 12, 3)
+        return image, profile
+
+    def test_total(self):
+        _, profile = self.make()
+        assert profile.total(EventType.CYCLES) == 18
+        assert profile.total(EventType.IMISS) == 0
+
+    def test_add_accumulates(self):
+        _, profile = self.make()
+        profile.add(EventType.CYCLES, 0, 1)
+        assert profile.counts[EventType.CYCLES][0] == 11
+
+    def test_samples_by_addr(self):
+        image, profile = self.make()
+        samples = profile.samples_by_addr(EventType.CYCLES)
+        assert samples[0x1000] == 10
+
+    def test_samples_for_procedure(self):
+        image, profile = self.make()
+        proc_b = image.procedure("b")
+        samples = profile.samples_for(proc_b, EventType.CYCLES)
+        assert samples == {0x100C: 3}
+
+    def test_procedure_totals(self):
+        image, profile = self.make()
+        totals = profile.procedure_totals(EventType.CYCLES)
+        assert totals == {"a": 15, "b": 3}

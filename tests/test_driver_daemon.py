@@ -1,0 +1,185 @@
+"""Tests for the device driver and the user-mode daemon."""
+
+import pytest
+
+from repro.alpha.assembler import assemble
+from repro.cpu.events import EventType
+from repro.collect.daemon import Daemon
+from repro.collect.driver import (Driver, DriverConfig, EVENT_ORDINAL,
+                                  INTERRUPT_SETUP)
+from repro.osim.loader import Loader
+
+
+def make_driver(**overrides):
+    defaults = dict(buckets=16, assoc=4, overflow_capacity=8,
+                    cost_scale=1.0)
+    defaults.update(overrides)
+    return Driver(1, DriverConfig(**defaults))
+
+
+class TestDriverRecord:
+    def test_cost_includes_setup(self):
+        driver = make_driver()
+        cost = driver.record(0, 1, 0x100, EventType.CYCLES, 0)
+        assert cost >= INTERRUPT_SETUP
+
+    def test_hit_cheaper_than_eviction(self):
+        driver = make_driver(buckets=1)
+        driver.record(0, 1, 0x100, EventType.CYCLES, 0)
+        hit_cost = driver.record(0, 1, 0x100, EventType.CYCLES, 1)
+        for i in range(4):
+            driver.record(0, 10 + i, 0x100, EventType.CYCLES, 2 + i)
+        evict_cost = driver.record(0, 99, 0x100, EventType.CYCLES, 10)
+        assert evict_cost > hit_cost
+
+    def test_charge_overhead_false_returns_zero(self):
+        driver = make_driver(charge_overhead=False)
+        assert driver.record(0, 1, 0x100, EventType.CYCLES, 0) == 0
+        # ... but statistics still accumulate.
+        assert driver.stats()["samples"] == 1
+
+    def test_cost_scaling(self):
+        full = make_driver(cost_scale=1.0)
+        scaled = make_driver(cost_scale=0.1)
+        c_full = full.record(0, 1, 0x100, EventType.CYCLES, 0)
+        c_scaled = scaled.record(0, 1, 0x100, EventType.CYCLES, 0)
+        assert c_scaled <= c_full * 0.11 + 1
+
+    def test_event_sample_accounting(self):
+        driver = make_driver()
+        driver.record(0, 1, 0x100, EventType.CYCLES, 0)
+        driver.record(0, 1, 0x100, EventType.IMISS, 1)
+        assert driver.event_samples[EventType.CYCLES] == 1
+        assert driver.event_samples[EventType.IMISS] == 1
+
+    def test_trace_logging(self):
+        driver = make_driver(log_trace=True)
+        driver.record(0, 7, 0x104, EventType.CYCLES, 0)
+        assert driver.trace == [(0, 7, 0x104,
+                                 EVENT_ORDINAL[EventType.CYCLES])]
+
+    def test_overflow_buffer_fills_and_notifies(self):
+        driver = make_driver(buckets=1, assoc=1, overflow_capacity=2)
+        notified = []
+        driver.add_overflow_listener(notified.append)
+        for i in range(10):
+            driver.record(0, i, 0x100, EventType.CYCLES, i)
+        assert notified  # at least one buffer-full notification
+
+    def test_flush_returns_everything_once(self):
+        driver = make_driver(buckets=1, assoc=2, overflow_capacity=4)
+        for i in range(10):
+            driver.record(0, i, 0x100, EventType.CYCLES, i)
+        entries = driver.flush(0)
+        total = sum(count for _, count in entries)
+        assert total + driver.cpus[0].dropped == 10
+        assert driver.flush(0) == []
+
+    def test_stats_shape(self):
+        driver = make_driver()
+        for i in range(5):
+            driver.record(0, 1, 0x100 + 4 * i, EventType.CYCLES, i)
+        stats = driver.stats()
+        assert stats["samples"] == 5
+        assert 0.0 <= stats["miss_rate"] <= 1.0
+        assert stats["avg_miss_cost"] >= stats["avg_hit_cost"] >= 0
+
+    def test_kernel_memory_matches_paper_scale(self):
+        # Paper section 5.3: 512 KB of kernel memory per processor with
+        # 16K-entry tables and 8K-sample overflow buffers.
+        driver = Driver(1, DriverConfig(buckets=4096, assoc=4,
+                                        overflow_capacity=8192))
+        assert driver.kernel_memory_bytes() == 512 * 1024
+
+
+class TestDaemon:
+    def make_env(self):
+        loader = Loader()
+        daemon = Daemon(loader, periods={EventType.CYCLES: 100.0})
+        image = loader.link(assemble(
+            ".image app\n.proc main\n    nop\n    ret\n.end"))
+        loader.notify_exec(7, [image])
+        return loader, daemon, image
+
+    def test_samples_mapped_to_image(self):
+        loader, daemon, image = self.make_env()
+        driver = make_driver()
+        driver.record(0, 7, image.base + 4, EventType.CYCLES, 0)
+        daemon.drain(driver)
+        profile = daemon.profiles["app"]
+        assert profile.counts[EventType.CYCLES][4] == 1
+
+    def test_unknown_pc_counted(self):
+        loader, daemon, image = self.make_env()
+        driver = make_driver()
+        driver.record(0, 7, 0xDEAD0000, EventType.CYCLES, 0)
+        daemon.drain(driver)
+        assert daemon.unknown_samples == 1
+        assert "app" not in daemon.profiles
+
+    def test_fallback_to_global_map_for_unknown_pid(self):
+        loader, daemon, image = self.make_env()
+        driver = make_driver()
+        driver.record(0, 999, image.base, EventType.CYCLES, 0)
+        daemon.drain(driver)
+        assert daemon.profiles["app"].total(EventType.CYCLES) == 1
+
+    def test_reap_forgets_mappings(self):
+        loader, daemon, image = self.make_env()
+        daemon.reap(7)
+        assert 7 not in daemon._maps
+
+    def test_aggregated_counts_preserved(self):
+        loader, daemon, image = self.make_env()
+        driver = make_driver()
+        for _ in range(17):
+            driver.record(0, 7, image.base, EventType.CYCLES, 0)
+        daemon.drain(driver)
+        assert daemon.profiles["app"].total(EventType.CYCLES) == 17
+        assert daemon.total_samples == 17
+        assert daemon.entries_processed < 17  # aggregation worked
+
+    def test_cost_per_sample_decreases_with_aggregation(self):
+        loader, daemon, image = self.make_env()
+        driver = make_driver()
+        for _ in range(100):
+            driver.record(0, 7, image.base, EventType.CYCLES, 0)
+        daemon.drain(driver)
+        aggregated_cost = daemon.stats()["cost_per_sample"]
+
+        loader2 = Loader()
+        daemon2 = Daemon(loader2, periods={EventType.CYCLES: 100.0})
+        image2 = loader2.link(assemble(
+            ".image app2\n.proc main\n" + "    nop\n" * 120 + "    ret\n.end"))
+        loader2.notify_exec(8, [image2])
+        driver2 = make_driver(buckets=4, assoc=1)
+        for i in range(100):
+            driver2.record(0, 8, image2.base + (i % 100) * 4,
+                           EventType.CYCLES, i)
+        daemon2.drain(driver2)
+        spread_cost = daemon2.stats()["cost_per_sample"]
+        assert spread_cost > aggregated_cost
+
+    def test_resident_memory_grows_with_profiles(self):
+        loader, daemon, image = self.make_env()
+        before = daemon.resident_bytes()
+        driver = make_driver()
+        for i in range(50):
+            driver.record(0, 7, image.base + 4 * (i % 2),
+                          EventType.CYCLES, i)
+        daemon.drain(driver)
+        assert daemon.resident_bytes() > before
+        assert daemon.peak_resident_bytes() >= daemon.resident_bytes()
+
+    def test_merge_to_disk(self, tmp_path):
+        from repro.collect.database import ProfileDatabase
+
+        loader, daemon, image = self.make_env()
+        driver = make_driver()
+        driver.record(0, 7, image.base, EventType.CYCLES, 0)
+        daemon.drain(driver)
+        db = ProfileDatabase(str(tmp_path / "db"))
+        daemon.merge_to_disk(db)
+        counts, period = db.load("app", EventType.CYCLES)
+        assert counts == {0: 1}
+        assert period == 100

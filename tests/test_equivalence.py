@@ -1,0 +1,126 @@
+"""Tests for cycle-equivalence (frequency equivalence) classes."""
+
+from repro.alpha.assembler import assemble
+from repro.core.cfg import build_cfg
+from repro.core.equivalence import compute_equivalence
+
+
+def classes_for(body):
+    image = assemble(".image t\n.proc main\n%s\n.end" % body, base=0x1000)
+    cfg = build_cfg(image.procedure("main"))
+    return cfg, compute_equivalence(cfg)
+
+
+class TestLoops:
+    def test_loop_body_not_equivalent_to_entry(self):
+        body = """
+    lda t0, 5(zero)
+top:
+    subq t0, 1, t0
+    bgt t0, top
+    ret
+"""
+        cfg, classes = classes_for(body)
+        entry = cfg.block_at(0x1000).index
+        loop = cfg.block_at(0x1004).index
+        assert classes.class_of[entry] != classes.class_of[loop]
+
+    def test_entry_and_exit_blocks_equivalent(self):
+        body = """
+    lda t0, 5(zero)
+top:
+    subq t0, 1, t0
+    bgt t0, top
+    addq t1, 1, t1
+    ret
+"""
+        cfg, classes = classes_for(body)
+        entry = cfg.block_at(0x1000).index
+        tail = cfg.block_at(0x1010).index
+        assert classes.class_of[entry] == classes.class_of[tail]
+
+    def test_back_edge_not_equivalent_to_exit_edge(self):
+        body = """
+top:
+    subq t0, 1, t0
+    bgt t0, top
+    ret
+"""
+        cfg, classes = classes_for(body)
+        taken = next(e for e in cfg.edges if e.kind == "taken")
+        fall = next(e for e in cfg.edges if e.kind == "fall")
+        assert (classes.class_of[("e", taken.index)]
+                != classes.class_of[("e", fall.index)])
+
+    def test_nested_loops_three_classes(self):
+        body = """
+    lda s0, 3(zero)
+outer:
+    lda s1, 4(zero)
+inner:
+    subq s1, 1, s1
+    bgt s1, inner
+    subq s0, 1, s0
+    bgt s0, outer
+    ret
+"""
+        cfg, classes = classes_for(body)
+        entry = cfg.block_at(0x1000).index
+        outer = cfg.block_at(0x1004).index
+        inner = cfg.block_at(0x1008).index
+        ids = {classes.class_of[entry], classes.class_of[outer],
+               classes.class_of[inner]}
+        assert len(ids) == 3
+
+
+class TestBranches:
+    DIAMOND = """
+    and t0, 1, t1
+    beq t1, else_
+    addq t2, 1, t2
+    br end_
+else_:
+    addq t3, 1, t3
+end_:
+    ret
+"""
+
+    def test_diamond_arms_not_equivalent(self):
+        cfg, classes = classes_for(self.DIAMOND)
+        then_block = cfg.block_at(0x1008).index
+        else_block = cfg.block_at(0x1010).index
+        assert classes.class_of[then_block] != classes.class_of[else_block]
+
+    def test_diamond_head_and_join_equivalent(self):
+        cfg, classes = classes_for(self.DIAMOND)
+        head = cfg.block_at(0x1000).index
+        join = cfg.block_at(0x1014).index
+        assert classes.class_of[head] == classes.class_of[join]
+
+    def test_arm_edge_equivalent_to_arm_block(self):
+        cfg, classes = classes_for(self.DIAMOND)
+        then_block = cfg.block_at(0x1008)
+        in_edge = then_block.preds[0]
+        assert (classes.class_of[then_block.index]
+                == classes.class_of[("e", in_edge.index)])
+
+
+class TestDegenerateCases:
+    def test_missing_edges_gives_singleton_classes(self):
+        body = "    lda t0, =0x1000\n    jmp (t0)"
+        cfg, classes = classes_for(body)
+        sizes = [len(m) for m in classes.members.values()]
+        assert all(size == 1 for size in sizes)
+
+    def test_straight_line_all_one_class(self):
+        cfg, classes = classes_for("    nop\n    nop\n    ret")
+        assert len({classes.class_of[b.index] for b in cfg.blocks}) == 1
+
+    def test_infinite_loop_handled(self):
+        body = """
+spin:
+    addq t0, 1, t0
+    br spin
+"""
+        cfg, classes = classes_for(body)
+        assert cfg.blocks[0].index in classes.class_of

@@ -1,0 +1,37 @@
+"""Smoke tests: the shipped examples must run to completion.
+
+Only the fast examples run here (the variance study takes minutes);
+each runs in a subprocess so a crash cannot take the test runner down.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+FAST_EXAMPLES = ("quickstart.py", "continuous_daemon.py",
+                 "binary_workflow.py")
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name):
+    path = os.path.join(EXAMPLES, name)
+    result = subprocess.run(
+        [sys.executable, path], capture_output=True, text=True,
+        timeout=240)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout  # every example narrates its findings
+
+
+def test_quickstart_output_shape():
+    path = os.path.join(EXAMPLES, "quickstart.py")
+    result = subprocess.run(
+        [sys.executable, path], capture_output=True, text=True,
+        timeout=240)
+    out = result.stdout
+    for needle in ("dcpiprof", "dcpicalc", "Best-case",
+                   "stall summary", "Total tallied"):
+        assert needle in out

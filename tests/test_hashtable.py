@@ -1,0 +1,117 @@
+"""Tests for the driver's sample-aggregation hash table."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.collect.hashtable import (LRU, MOD_COUNTER, SWAP_TO_FRONT,
+                                     SampleHashTable)
+
+
+def fill_bucket(table, pid_base=0):
+    """Insert enough distinct keys with one hash bucket to fill it."""
+    # With one bucket (buckets=1) everything collides.
+    for i in range(table.assoc):
+        table.record(pid_base + i, 0x1000, 0)
+
+
+class TestAggregation:
+    def test_hit_increments_count(self):
+        table = SampleHashTable(buckets=16, assoc=4)
+        table.record(1, 0x100, 0)
+        table.record(1, 0x100, 0)
+        entries = table.flush()
+        assert entries == [((1, 0x100, 0), 2)]
+
+    def test_distinct_keys_do_not_merge(self):
+        table = SampleHashTable(buckets=16, assoc=4)
+        table.record(1, 0x100, 0)
+        table.record(2, 0x100, 0)  # different PID
+        table.record(1, 0x100, 1)  # different event
+        assert len(table.flush()) == 3
+
+    def test_flush_clears(self):
+        table = SampleHashTable(buckets=16, assoc=4)
+        table.record(1, 0x100, 0)
+        table.flush()
+        assert table.flush() == []
+
+    def test_eviction_returns_victim(self):
+        table = SampleHashTable(buckets=1, assoc=4)
+        fill_bucket(table)
+        victim = table.record(99, 0x1000, 0)
+        assert victim is not None
+        key, count = victim
+        assert count == 1
+
+    def test_mod_counter_rotates_victims(self):
+        table = SampleHashTable(buckets=1, assoc=4, policy=MOD_COUNTER)
+        fill_bucket(table)
+        victims = [table.record(100 + i, 0x1000, 0)[0] for i in range(4)]
+        slots = {v[0] for v in victims}
+        assert len(slots) == 4  # four distinct victims
+
+    def test_swap_to_front_protects_hot_entry(self):
+        table = SampleHashTable(buckets=1, assoc=2, policy=SWAP_TO_FRONT)
+        table.record(1, 0x100, 0)
+        table.record(2, 0x100, 0)
+        table.record(1, 0x100, 0)  # hot key moves to front
+        victim = table.record(3, 0x100, 0)
+        assert victim[0][0] == 2  # the cold key was evicted
+
+    def test_lru_policy(self):
+        table = SampleHashTable(buckets=1, assoc=2, policy=LRU)
+        table.record(1, 0x100, 0)
+        table.record(2, 0x100, 0)
+        table.record(1, 0x100, 0)
+        victim = table.record(3, 0x100, 0)
+        assert victim[0][0] == 2
+
+    def test_miss_rate(self):
+        table = SampleHashTable(buckets=16, assoc=4)
+        table.record(1, 0x100, 0)
+        table.record(1, 0x100, 0)
+        assert table.miss_rate == pytest.approx(0.5)
+
+    def test_aggregation_factor(self):
+        table = SampleHashTable(buckets=16, assoc=4)
+        for _ in range(20):
+            table.record(1, 0x100, 0)
+        assert table.aggregation_factor == pytest.approx(20.0)
+
+    def test_last_was_hit_flag(self):
+        table = SampleHashTable(buckets=16, assoc=4)
+        table.record(1, 0x100, 0)
+        assert table.last_was_hit is False
+        table.record(1, 0x100, 0)
+        assert table.last_was_hit is True
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SampleHashTable(buckets=3)
+        with pytest.raises(ValueError):
+            SampleHashTable(policy="random")
+
+
+class TestConservation:
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 40)),
+                    min_size=1, max_size=300))
+    def test_no_sample_lost(self, stream):
+        """Property: every recorded sample is either resident in the
+        table or was returned in an eviction."""
+        table = SampleHashTable(buckets=4, assoc=2)
+        evicted_total = 0
+        for pid, pc_index in stream:
+            victim = table.record(pid, 0x1000 + pc_index * 4, 0)
+            if victim is not None:
+                evicted_total += victim[1]
+        resident = sum(count for _, count in table.flush())
+        assert evicted_total + resident == len(stream)
+
+    @given(st.integers(1, 4), st.sampled_from([MOD_COUNTER, SWAP_TO_FRONT,
+                                               LRU]))
+    def test_policies_never_exceed_capacity(self, assoc, policy):
+        table = SampleHashTable(buckets=2, assoc=assoc, policy=policy)
+        for i in range(100):
+            table.record(i, 0x100, 0)
+        resident = len(table.flush())
+        assert resident <= 2 * assoc

@@ -1,0 +1,103 @@
+"""Tests for images, linking, symbol tables and serialization."""
+
+import pytest
+
+from repro.alpha.assembler import assemble
+from repro.alpha.serialize import image_from_dict, image_to_dict
+
+TWO_PROCS = """
+.image libx
+.data table, 256
+.proc alpha
+    nop
+    br alpha
+.end
+.proc beta
+    addq t0, 1, t0
+    ret
+.end
+"""
+
+
+@pytest.fixture
+def image():
+    return assemble(TWO_PROCS, base=0x20000)
+
+
+class TestLinking:
+    def test_base_and_end(self, image):
+        assert image.base == 0x20000
+        assert image.end == 0x20000 + 4 * 4
+
+    def test_instruction_addresses_sequential(self, image):
+        addrs = [inst.addr for inst in image.instructions]
+        assert addrs == [0x20000, 0x20004, 0x20008, 0x2000C]
+
+    def test_procedure_ranges(self, image):
+        alpha = image.procedure("alpha")
+        beta = image.procedure("beta")
+        assert (alpha.start, alpha.end) == (0x20000, 0x20008)
+        assert (beta.start, beta.end) == (0x20008, 0x20010)
+
+    def test_contains(self, image):
+        assert 0x20008 in image
+        assert 0x20010 not in image
+
+    def test_branch_target_rebased(self, image):
+        assert image.instructions[1].target == 0x20000
+
+    def test_symbols_resolved(self, image):
+        assert image.symbols.resolve("alpha") == 0x20000
+        assert image.symbols.resolve("table") == image.data_base
+
+    def test_duplicate_symbol_rejected(self):
+        text = ".data x, 8\n.proc x\n    ret\n.end"
+        with pytest.raises(ValueError, match="duplicate"):
+            assemble(text)
+
+
+class TestLookup:
+    def test_instruction_at(self, image):
+        assert image.instruction_at(0x20004).op == "br"
+
+    def test_offset_of(self, image):
+        assert image.offset_of(0x2000C) == 12
+
+    def test_procedure_at(self, image):
+        assert image.procedure_at(0x2000C).name == "beta"
+        assert image.procedure_at(0x20000).name == "alpha"
+
+    def test_procedure_at_outside_returns_none(self, image):
+        assert image.procedure_at(0x90000) is None
+
+    def test_entry_defaults_to_first_procedure(self, image):
+        assert image.entry() == 0x20000
+        assert image.entry("beta") == 0x20008
+
+    def test_slice(self, image):
+        insts = image.slice(0x20008, 0x20010)
+        assert [i.op for i in insts] == ["addq", "ret"]
+
+    def test_procedure_instructions(self, image):
+        beta = image.procedure("beta")
+        assert [i.op for i in beta.instructions()] == ["addq", "ret"]
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_everything(self, image):
+        clone = image_from_dict(image_to_dict(image))
+        assert clone.name == image.name
+        assert clone.base == image.base
+        assert len(clone.instructions) == len(image.instructions)
+        assert clone.instructions[1].target == 0x20000
+        assert clone.procedure("beta").start == 0x20008
+        assert clone.symbols.resolve("table") == image.data_base
+
+    def test_unlinked_image_rejected(self):
+        with pytest.raises(ValueError, match="unlinked"):
+            image_to_dict(assemble(TWO_PROCS))
+
+    def test_roundtrip_instruction_semantics_preserved(self, image):
+        clone = image_from_dict(image_to_dict(image))
+        addq = clone.instructions[2]
+        assert addq.info.sem(5, 1) == 6

@@ -1,0 +1,135 @@
+"""Unit and property tests for the opcode semantics table."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.alpha.opcodes import (ISSUE_CLASSES, MASK64, OPCODES,
+                                 issue_class, _s64)
+
+u64 = st.integers(min_value=0, max_value=MASK64)
+s_small = st.integers(min_value=-(1 << 40), max_value=1 << 40)
+
+
+def sem(name):
+    return OPCODES[name].sem
+
+
+def cond(name):
+    return OPCODES[name].cond
+
+
+class TestIntegerOps:
+    def test_addq_basic(self):
+        assert sem("addq")(2, 3) == 5
+
+    def test_addq_wraps_64_bits(self):
+        assert sem("addq")(MASK64, 1) == 0
+
+    def test_subq_borrow_wraps(self):
+        assert sem("subq")(0, 1) == MASK64
+
+    def test_addl_sign_extends_32_bit_result(self):
+        # 0x7fffffff + 1 overflows 32 bits -> negative longword.
+        result = sem("addl")(0x7FFFFFFF, 1)
+        assert _s64(result) == -(1 << 31)
+
+    def test_mulq_signed(self):
+        minus_two = MASK64 - 1  # -2
+        assert _s64(sem("mulq")(minus_two, 3)) == -6
+
+    def test_s4addq(self):
+        assert sem("s4addq")(10, 3) == 43
+
+    def test_s8addq(self):
+        assert sem("s8addq")(10, 3) == 83
+
+    def test_logicals(self):
+        assert sem("and")(0b1100, 0b1010) == 0b1000
+        assert sem("bis")(0b1100, 0b1010) == 0b1110
+        assert sem("xor")(0b1100, 0b1010) == 0b0110
+        assert sem("bic")(0b1111, 0b0101) == 0b1010
+
+    def test_shifts(self):
+        assert sem("sll")(1, 63) == 1 << 63
+        assert sem("srl")(1 << 63, 63) == 1
+        # sra preserves sign.
+        assert sem("sra")(MASK64, 5) == MASK64
+
+    def test_shift_count_masked_to_6_bits(self):
+        assert sem("sll")(1, 64) == 1  # 64 & 63 == 0
+
+    @given(u64, u64)
+    def test_addq_subq_inverse(self, a, b):
+        assert sem("subq")(sem("addq")(a, b), b) == a
+
+    @given(u64, u64)
+    def test_xor_self_inverse(self, a, b):
+        assert sem("xor")(sem("xor")(a, b), b) == a
+
+    @given(s_small, s_small)
+    def test_cmplt_matches_python(self, a, b):
+        assert sem("cmplt")(a & MASK64, b & MASK64) == int(a < b)
+
+    @given(u64, u64)
+    def test_cmpult_unsigned(self, a, b):
+        assert sem("cmpult")(a, b) == int(a < b)
+
+    @given(u64, u64)
+    def test_cmpule_consistent_with_cmpult_and_cmpeq(self, a, b):
+        ule = sem("cmpule")(a, b)
+        assert ule == (sem("cmpult")(a, b) | sem("cmpeq")(a, b))
+
+
+class TestFloatOps:
+    def test_addt(self):
+        assert sem("addt")(1.5, 2.25) == 3.75
+
+    def test_mult(self):
+        assert sem("mult")(3.0, -2.0) == -6.0
+
+    def test_divt_by_zero_is_quiet(self):
+        assert sem("divt")(1.0, 0.0) == 0.0
+
+    def test_cpys_as_move(self):
+        assert sem("cpys")(-2.0, 2.0) == -2.0
+        assert sem("cpys")(3.0, -5.0) == 5.0
+
+
+class TestBranchConditions:
+    @pytest.mark.parametrize("name,value,expected", [
+        ("beq", 0, True), ("beq", 1, False),
+        ("bne", 0, False), ("bne", 5, True),
+        ("blt", MASK64, True), ("blt", 1, False),
+        ("ble", 0, True), ("bgt", 0, False),
+        ("bge", 0, True), ("bge", MASK64, False),
+        ("blbc", 2, True), ("blbc", 3, False),
+        ("blbs", 3, True), ("blbs", 2, False),
+    ])
+    def test_conditions(self, name, value, expected):
+        assert cond(name)(value) is expected
+
+    @given(u64)
+    def test_beq_bne_complementary(self, value):
+        assert cond("beq")(value) != cond("bne")(value)
+
+    @given(u64)
+    def test_blt_bge_complementary(self, value):
+        assert cond("blt")(value) != cond("bge")(value)
+
+
+class TestIssueClasses:
+    def test_every_opcode_has_issue_class(self):
+        for name, info in OPCODES.items():
+            assert info.cls in ISSUE_CLASSES, name
+
+    def test_load_latency_exceeds_alu(self):
+        assert ISSUE_CLASSES["LD"].latency > ISSUE_CLASSES["IADD"].latency
+
+    def test_fdiv_not_pipelined(self):
+        assert ISSUE_CLASSES["FDIV"].busy > 0
+
+    def test_stores_single_pipe(self):
+        assert ISSUE_CLASSES["ST"].pipes == ("E0",)
+
+    def test_issue_class_helper(self):
+        assert issue_class("ldq") is ISSUE_CLASSES["LD"]

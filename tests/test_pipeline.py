@@ -1,0 +1,277 @@
+"""Tests for the pipeline core: issue, stalls, events, ground truth."""
+
+import pytest
+
+from repro.alpha.assembler import assemble
+from repro.cpu.config import MachineConfig
+from repro.cpu.events import EventType
+from repro.cpu.machine import Machine
+
+from conftest import run_asm
+
+
+def wrap(body, name="main", image="t.prog", data=""):
+    return ".image %s\n%s.proc %s\n%s\n    ret\n.end" % (
+        image, data, name, body)
+
+
+def gt_for(machine, image, op_index):
+    inst = image.instructions[op_index]
+    return (machine.gt_count.get(inst.addr, 0),
+            machine.gt_head.get(inst.addr, 0),
+            machine.gt_stall.get(inst.addr, {}))
+
+
+class TestBasicExecution:
+    def test_straight_line_executes_once(self):
+        machine, image = run_asm(wrap("    addq t0, 1, t0\n    addq t0, 2, t1"))
+        assert machine.gt_count[image.instructions[0].addr] == 1
+        assert machine.processes[0].exited
+
+    def test_register_semantics(self):
+        machine, image = run_asm(wrap(
+            "    lda t0, 5(zero)\n    addq t0, 7, t1\n    subq t1, t0, t2"))
+        proc = machine.processes[0]
+        assert proc.iregs[1] == 5   # t0
+        assert proc.iregs[2] == 12  # t1
+        assert proc.iregs[3] == 7   # t2
+
+    def test_memory_roundtrip(self):
+        machine, image = run_asm(wrap(
+            "    lda t1, =buf\n    lda t0, 42(zero)\n"
+            "    stq t0, 8(t1)\n    ldq t2, 8(t1)",
+            data=".data buf, 64\n"))
+        assert machine.processes[0].iregs[3] == 42
+
+    def test_ldl_sign_extends(self):
+        machine, image = run_asm(wrap(
+            "    lda t1, =buf\n    lda t0, -1(zero)\n"
+            "    stl t0, 0(t1)\n    ldl t2, 0(t1)",
+            data=".data buf, 64\n"))
+        assert machine.processes[0].iregs[3] == (1 << 64) - 1
+
+    def test_fp_roundtrip(self):
+        machine, image = run_asm(wrap(
+            "    lda t0, 3(zero)\n    lda t1, =buf\n    stq t0, 0(t1)\n"
+            "    ldt f1, 0(t1)\n    addt f1, f1, f2\n    stt f2, 8(t1)",
+            data=".data buf, 64\n"))
+        proc = machine.processes[0]
+        assert proc.memory[image.data_base + 8] == 6.0
+
+    def test_loop_counts(self):
+        body = """
+    lda t0, 10(zero)
+top:
+    subq t0, 1, t0
+    bgt t0, top
+"""
+        machine, image = run_asm(wrap(body))
+        subq_addr = image.instructions[1].addr
+        assert machine.gt_count[subq_addr] == 10
+
+    def test_exit_via_top_level_ret(self):
+        machine, image = run_asm(wrap("    nop"))
+        assert machine.processes[0].exited
+        assert machine.processes[0].pc == machine.processes[0].exit_addr
+
+
+class TestDualIssue:
+    def test_independent_pair_dual_issues(self):
+        body = "    addq t0, 1, t1\n    addq t2, 1, t3"
+        machine, image = run_asm(wrap(body))
+        _, head0, _ = gt_for(machine, image, 0)
+        _, head1, _ = gt_for(machine, image, 1)
+        assert head1 == 0  # younger of the pair: zero head cycles
+
+    def test_dependent_pair_cannot_pair(self):
+        body = "    addq t0, 1, t1\n    addq t1, 1, t2"
+        machine, image = run_asm(wrap(body))
+        _, head1, _ = gt_for(machine, image, 1)
+        assert head1 >= 1
+
+    def test_two_stores_slotting_hazard(self):
+        body = ("    lda t1, =buf\n    lda t9, 1(zero)\n"
+                "    stq t9, 0(t1)\n    stq t9, 64(t1)")
+        machine, image = run_asm(wrap(body, data=".data buf, 256\n"))
+        _, head, stalls = gt_for(machine, image, 3)
+        assert head >= 1
+        assert stalls.get("slotting", 0) == 1
+
+    def test_store_load_can_pair(self):
+        body = ("    lda t1, =buf\n    lda t9, 1(zero)\n"
+                "    stq t9, 0(t1)\n    ldq t8, 128(t1)")
+        machine, image = run_asm(wrap(body, data=".data buf, 256\n"))
+        _, head, _ = gt_for(machine, image, 3)
+        assert head == 0  # ST(E0) + LD(E1) dual-issue
+
+
+class TestStalls:
+    def test_load_use_stall_attributed_to_consumer(self):
+        body = ("    lda t1, =buf\n"
+                "    ldq t2, 0(t1)\n"
+                "    addq t2, 1, t3")
+        machine, image = run_asm(wrap(body, data=".data buf, 64\n"))
+        _, _, stalls = gt_for(machine, image, 2)
+        # Cold D-cache miss: consumer waits on the dcache fill.
+        assert stalls.get("dcache", 0) > 0 or stalls.get("dtb", 0) > 0
+
+    def test_l1_hit_has_short_latency(self):
+        body = ("    lda t1, =buf\n"
+                "    ldq t2, 0(t1)\n"   # warm the line (cold miss)
+                "    ldq t4, 0(t1)\n"   # hit
+                "    addq t4, 1, t5")
+        machine, image = run_asm(wrap(body, data=".data buf, 64\n"))
+        _, head, stalls = gt_for(machine, image, 3)
+        assert stalls.get("dcache", 0) == 0
+        assert head <= 2  # only the 2-cycle hit latency remains
+
+    def test_imul_latency_stalls_consumer(self):
+        body = ("    lda t1, 3(zero)\n    mulq t1, t1, t2\n"
+                "    addq t2, 1, t3")
+        machine, image = run_asm(wrap(body))
+        _, head, stalls = gt_for(machine, image, 2)
+        assert head >= 7  # IMUL latency 8
+        assert stalls.get("ra_dep", 0) > 0
+
+    def test_branch_mispredict_penalizes_target(self):
+        # A data-dependent alternating branch mispredicts regularly;
+        # the penalty lands on the instruction after the branch.
+        body = """
+    lda t0, 40(zero)
+top:
+    subq t0, 1, t0
+    and t0, 1, t2
+    beq t2, skip
+    addq t3, 1, t3
+skip:
+    bgt t0, top
+"""
+        machine, image = run_asm(wrap(body))
+        total_branchmp = sum(row.get("branchmp", 0)
+                             for row in machine.gt_stall.values())
+        assert total_branchmp > 0
+
+    def test_write_buffer_overflow_stall(self):
+        # Stores to distinct blocks overflow the 6-entry buffer.
+        body = """
+    lda t1, =buf
+    lda t0, 40(zero)
+top:
+    stq t0, 0(t1)
+    lda t1, 64(t1)
+    subq t0, 1, t0
+    bgt t0, top
+"""
+        machine, image = run_asm(wrap(body, data=".data buf, 4096\n"))
+        total_wb = sum(row.get("wb", 0)
+                       for row in machine.gt_stall.values())
+        assert total_wb > 0
+
+
+class TestEvents:
+    def test_imiss_counted_once_per_cold_line(self):
+        machine, image = run_asm(wrap("    nop\n" * 20))
+        imisses = sum(row.get(EventType.IMISS, 0)
+                      for row in machine.gt_events.values())
+        # 22 instructions spanning ceil(22*4/32) = 3 lines.
+        assert imisses == 3
+
+    def test_dmiss_recorded_for_cold_load(self):
+        body = "    lda t1, =buf\n    ldq t2, 0(t1)"
+        machine, image = run_asm(wrap(body, data=".data buf, 64\n"))
+        load_addr = image.instructions[1].addr
+        assert machine.gt_events[load_addr][EventType.DMISS] == 1
+
+    def test_branchmp_event_recorded(self):
+        body = """
+    lda t0, 64(zero)
+top:
+    subq t0, 1, t0
+    and t0, 1, t2
+    bne t2, top
+    bgt t0, top
+"""
+        machine, image = run_asm(wrap(body))
+        total = sum(row.get(EventType.BRANCHMP, 0)
+                    for row in machine.gt_events.values())
+        assert total > 0
+
+    def test_edges_recorded(self):
+        body = """
+    lda t0, 5(zero)
+top:
+    subq t0, 1, t0
+    bgt t0, top
+"""
+        machine, image = run_asm(wrap(body))
+        bgt = image.instructions[2]
+        top = image.instructions[1].addr
+        assert machine.gt_edges[(bgt.addr, top)] == 4
+        assert machine.gt_edges[(bgt.addr, bgt.addr + 4)] == 1
+
+
+class TestSampling:
+    def test_cycles_samples_proportional_to_head_time(self):
+        from repro.collect.session import ProfileSession, SessionConfig
+        from conftest import make_copy_workload
+
+        session = ProfileSession(
+            MachineConfig(),
+            SessionConfig(cycles_period=(60, 64), event_period=32, seed=5))
+        result = session.run(make_copy_workload(n=4000))
+        machine = result.machine
+        image = result.daemon.images["copy.prog"]
+        profile = result.profile_for("copy.prog")
+        samples = profile.samples_by_addr(EventType.CYCLES)
+        period = 62.0
+        # For the hottest instruction, samples * period should be within
+        # 25% of the true head cycles.
+        hot_addr = max(samples, key=samples.get)
+        true_head = machine.gt_head[hot_addr]
+        assert abs(samples[hot_addr] * period - true_head) / true_head < 0.25
+
+    def test_total_samples_close_to_cycles_over_period(self):
+        from repro.collect.session import ProfileSession, SessionConfig
+        from conftest import make_copy_workload
+
+        session = ProfileSession(
+            MachineConfig(),
+            SessionConfig(cycles_period=(100, 100), event_period=64))
+        result = session.run(make_copy_workload(n=2000))
+        expected = result.cycles / 100.0
+        actual = result.driver.event_samples[EventType.CYCLES]
+        assert abs(actual - expected) / expected < 0.05
+
+
+class TestBudgets:
+    def test_instruction_budget_respected(self):
+        body = """
+top:
+    addq t0, 1, t0
+    br top
+"""
+        machine = Machine(MachineConfig(), seed=1)
+        image = machine.load_image(assemble(wrap(body)))
+        machine.spawn(image)
+        ran = machine.run(max_instructions=1000)
+        assert 900 <= ran <= 1100
+        assert not machine.processes[0].exited
+
+    def test_run_resumes_after_budget(self):
+        body = """
+    lda t0, 2000(zero)
+top:
+    subq t0, 1, t0
+    bgt t0, top
+"""
+        machine = Machine(MachineConfig(), seed=1)
+        image = machine.load_image(assemble(wrap(body)))
+        machine.spawn(image)
+        machine.run(max_instructions=100)
+        machine.run()
+        assert machine.processes[0].exited
+
+    def test_unmapped_pc_raises(self):
+        body = "    lda t0, =0x900000\n    jmp (t0)"
+        with pytest.raises(RuntimeError, match="unmapped"):
+            run_asm(wrap(body))

@@ -1,0 +1,53 @@
+"""Tests for the instruction stream buffer (sequential prefetch)."""
+
+import pytest
+
+from repro.alpha.assembler import assemble
+from repro.cpu.config import MachineConfig
+from repro.cpu.events import EventType
+from repro.cpu.machine import Machine
+
+STRAIGHT = ".image p\n.proc main\n" + "    addq t0, 1, t0\n" * 400 \
+    + "    ret\n.end"
+
+
+def run(istream_entries):
+    config = MachineConfig()
+    config.istream_entries = istream_entries
+    machine = Machine(config, seed=1)
+    machine.load_image(assemble(STRAIGHT))
+    machine.spawn(machine.loader.images[0])
+    machine.run()
+    imisses = sum(row.get(EventType.IMISS, 0)
+                  for row in machine.gt_events.values())
+    icache_stall = sum(row.get("icache", 0)
+                       for row in machine.gt_stall.values())
+    return machine, imisses, icache_stall
+
+
+class TestStreamBuffer:
+    def test_prefetch_cuts_stall_not_events(self):
+        _, imiss_off, stall_off = run(0)
+        _, imiss_on, stall_on = run(4)
+        # The counter still sees (almost) every miss...
+        assert imiss_on >= imiss_off * 0.9
+        # ...but straight-line fetch stall collapses.
+        assert stall_on < stall_off * 0.5
+
+    def test_prefetch_speeds_up_straightline_code(self):
+        machine_off, _, _ = run(0)
+        machine_on, _, _ = run(4)
+        assert machine_on.time < machine_off.time
+
+    def test_disabled_by_default(self):
+        assert MachineConfig().istream_entries == 0
+
+    def test_stream_buffer_bounded(self):
+        machine, _, _ = run(2)
+        assert len(machine.cores[0]._istream) <= 2
+
+    def test_architectural_results_unchanged(self):
+        machine_off, _, _ = run(0)
+        machine_on, _, _ = run(4)
+        assert (machine_off.processes[0].iregs
+                == machine_on.processes[0].iregs)

@@ -1,0 +1,96 @@
+"""Tests for the static scheduler (M_i computation)."""
+
+from repro.alpha.assembler import assemble
+from repro.core.cfg import build_cfg
+from repro.core.schedule import schedule_block, schedule_cfg
+
+
+def schedule_for(body):
+    image = assemble(".image t\n.proc main\n%s\n.end" % body, base=0x1000)
+    cfg = build_cfg(image.procedure("main"))
+    return cfg, schedule_cfg(cfg)
+
+
+class TestPairing:
+    def test_independent_pair_m_values(self):
+        cfg, schedules = schedule_for(
+            "    addq t0, 1, t1\n    addq t2, 1, t3\n    ret")
+        rows = schedules[0].rows
+        assert rows[0].m == 1
+        assert rows[1].m == 0
+        assert rows[1].paired
+
+    def test_dependent_pair_does_not_pair(self):
+        cfg, schedules = schedule_for(
+            "    addq t0, 1, t1\n    addq t1, 1, t2\n    ret")
+        rows = schedules[0].rows
+        assert rows[1].m == 1
+        assert not rows[1].paired
+
+    def test_two_stores_slot(self):
+        cfg, schedules = schedule_for(
+            "    stq t0, 0(sp)\n    stq t1, 8(sp)\n    ret")
+        rows = schedules[0].rows
+        assert rows[1].m == 1
+        assert ("slotting", 1, None) in rows[1].stalls
+
+    def test_issue_points_are_m_positive(self):
+        cfg, schedules = schedule_for(
+            "    addq t0, 1, t1\n    addq t2, 1, t3\n"
+            "    addq t4, 1, t5\n    addq t6, 1, t7\n    ret")
+        ms = [r.m for r in schedules[0].rows]
+        assert ms == [1, 0, 1, 0, 1]
+
+
+class TestDependencies:
+    def test_load_consumer_static_stall(self):
+        cfg, schedules = schedule_for(
+            "    ldq t1, 0(sp)\n    addq t1, 1, t2\n    ret")
+        rows = schedules[0].rows
+        # Load latency 2: consumer waits one extra cycle statically.
+        assert rows[1].m == 2
+        assert rows[1].stalls[0][0] == "ra_dep"
+        assert rows[1].dep_source == rows[0].inst.addr
+
+    def test_imul_consumer_fu_dependency(self):
+        cfg, schedules = schedule_for(
+            "    mulq t0, t1, t2\n    addq t2, 1, t3\n    ret")
+        rows = schedules[0].rows
+        assert rows[1].m == 8
+        assert rows[1].stalls[0][0] == "fu_dep"
+
+    def test_second_operand_rb_dep(self):
+        cfg, schedules = schedule_for(
+            "    ldq t1, 0(sp)\n    addq t0, t1, t2\n    ret")
+        rows = schedules[0].rows
+        assert rows[1].stalls[0][0] == "rb_dep"
+
+    def test_back_to_back_divides_fu_busy(self):
+        cfg, schedules = schedule_for(
+            "    divt f1, f2, f3\n    divt f4, f5, f6\n    ret")
+        rows = schedules[0].rows
+        assert rows[1].m > 8
+        assert any(r == "fu_dep" for r, _, _ in rows[1].stalls)
+
+    def test_blocks_scheduled_independently(self):
+        body = """
+    ldq t1, 0(sp)
+top:
+    addq t1, 1, t1
+    bgt t0, top
+    ret
+"""
+        cfg, schedules = schedule_for(body)
+        loop_block = cfg.block_at(0x1004)
+        rows = schedules[loop_block.index].rows
+        # In isolation the addq has no producers: no static stall.
+        assert rows[0].m == 1
+
+    def test_best_case_cycles(self):
+        cfg, schedules = schedule_for(
+            "    addq t0, 1, t1\n    addq t2, 1, t3\n    ret")
+        assert schedules[0].best_case_cycles == 2  # pair + ret
+
+    def test_by_addr_lookup(self):
+        cfg, schedules = schedule_for("    nop\n    ret")
+        assert schedules[0].m_of(0x1000) == 1

@@ -1,0 +1,114 @@
+"""Tests for the global flow-constraint solver (section 6.1.4)."""
+
+import pytest
+
+from repro.alpha.assembler import assemble
+from repro.core.cfg import build_cfg
+from repro.core.frequency import estimate_frequencies
+from repro.core.schedule import schedule_cfg
+from repro.core.solver import flow_residual, refine_global
+
+DIAMOND = """
+.image d
+.proc main
+    lda t0, 200(zero)
+head:
+    and t0, 1, t1
+    beq t1, else_
+    addq t2, 1, t2
+    addq t3, 1, t3
+    xor t2, t3, t4
+    br join
+else_:
+    nop
+join:
+    subq t0, 1, t0
+    bgt t0, head
+    ret
+.end
+"""
+
+
+def setup_freq(samples):
+    image = assemble(DIAMOND, base=0x1000)
+    cfg = build_cfg(image.procedure("main"))
+    schedules = schedule_cfg(cfg)
+    freq = estimate_frequencies(cfg, schedules, samples, 100.0)
+    return cfg, freq
+
+
+CONSISTENT = {
+    0x1004: 100, 0x1008: 100,
+    0x100C: 50, 0x1010: 50, 0x1014: 50, 0x1018: 50,
+    0x1020: 100, 0x1024: 100,
+}
+
+# The then-arm's samples imply more executions than its parent block:
+# the flow constraints are violated.
+INCONSISTENT = {
+    0x1004: 100, 0x1008: 100,
+    0x100C: 90, 0x1010: 90, 0x1014: 90, 0x1018: 90,
+    0x101C: 60,  # else-arm also over-sampled
+    0x1020: 100, 0x1024: 100,
+}
+
+
+class TestSolver:
+    def test_reduces_flow_residual(self):
+        cfg, freq = setup_freq(INCONSISTENT)
+        before = flow_residual(cfg, freq.classes, freq)
+        refine_global(cfg, freq.classes, freq)
+        after = flow_residual(cfg, freq.classes, freq)
+        assert after < before * 0.5
+
+    def test_consistent_estimates_barely_move(self):
+        cfg, freq = setup_freq(CONSISTENT)
+        head = cfg.block_at(0x1004)
+        before = freq.block_count(head.index)
+        shift = refine_global(cfg, freq.classes, freq)
+        after = freq.block_count(head.index)
+        assert abs(after - before) / before < 0.10
+        assert shift < 0.25
+
+    def test_counts_stay_nonnegative(self):
+        cfg, freq = setup_freq(INCONSISTENT)
+        refine_global(cfg, freq.classes, freq)
+        for block in cfg.blocks:
+            assert freq.block_count(block.index) >= 0.0
+        for edge in cfg.edges:
+            assert freq.edge_count(edge.index) >= 0.0
+
+    def test_arm_sum_approximates_head_after_solving(self):
+        cfg, freq = setup_freq(INCONSISTENT)
+        refine_global(cfg, freq.classes, freq)
+        head = freq.block_count(cfg.block_at(0x1004).index)
+        then = freq.block_count(cfg.block_at(0x100C).index)
+        els = freq.block_count(cfg.block_at(0x101C).index)
+        assert then + els == pytest.approx(head, rel=0.15)
+
+    def test_unknown_classes_get_values(self):
+        samples = {0x1004: 100, 0x1008: 100,
+                   0x100C: 50, 0x1010: 50, 0x1014: 50, 0x1018: 50}
+        cfg, freq = setup_freq(samples)
+        refine_global(cfg, freq.classes, freq)
+        for block in cfg.blocks:
+            assert freq.block_count(block.index) is not None
+
+    def test_integration_via_analysis_config(self):
+        from repro.collect.database import ImageProfile
+        from repro.core.analyze import AnalysisConfig, analyze_procedure
+        from repro.cpu.events import EventType
+
+        image = assemble(DIAMOND, base=0x1000)
+        profile = ImageProfile(image,
+                               periods={EventType.CYCLES: 100.0})
+        for addr, count in INCONSISTENT.items():
+            profile.add(EventType.CYCLES, addr - image.base, count)
+        plain = analyze_procedure(image, "main", profile)
+        solved = analyze_procedure(
+            image, "main", profile, AnalysisConfig(global_solver=True))
+        residual_plain = flow_residual(plain.cfg, plain.freq.classes,
+                                       plain.freq)
+        residual_solved = flow_residual(solved.cfg, solved.freq.classes,
+                                        solved.freq)
+        assert residual_solved <= residual_plain

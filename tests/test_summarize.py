@@ -1,0 +1,80 @@
+"""Unit tests for the Figure 4-style stall summaries."""
+
+import pytest
+
+from repro.alpha.assembler import assemble
+from repro.collect.database import ImageProfile
+from repro.core.analyze import analyze_procedure
+from repro.cpu.events import DYNAMIC_REASONS, EventType
+
+LOOP = """
+.image s
+.data buf, 8192
+.proc main
+    lda t1, =buf
+    lda t0, 500(zero)
+top:
+    ldq t4, 0(t1)
+    addq t4, 1, t5
+    stq t5, 0(t1)
+    lda t1, 8(t1)
+    subq t0, 1, t0
+    bgt t0, top
+    ret
+.end
+"""
+
+
+def make_analysis(samples):
+    image = assemble(LOOP, base=0x1000)
+    profile = ImageProfile(image, periods={EventType.CYCLES: 100.0})
+    for addr, count in samples.items():
+        profile.add(EventType.CYCLES, addr - image.base, count)
+    return analyze_procedure(image, "main", profile)
+
+
+# Loop body at 0x1008..0x101c; consumer addq stalls on dcache.
+SAMPLES = {0x1008: 50, 0x100C: 400, 0x1010: 60, 0x1014: 50, 0x101C: 50}
+
+
+class TestStallSummary:
+    def test_identity_tally(self):
+        summary = make_analysis(SAMPLES).summary()
+        total = (summary.subtotal_dynamic + summary.subtotal_static
+                 + summary.execution + summary.net_error)
+        assert total == pytest.approx(1.0)
+
+    def test_all_dynamic_reasons_present(self):
+        summary = make_analysis(SAMPLES).summary()
+        assert set(summary.dynamic) == set(DYNAMIC_REASONS)
+        for lo, hi in summary.dynamic.values():
+            assert 0.0 <= lo <= hi <= 1.0
+
+    def test_memory_bound_loop_blames_memory(self):
+        summary = make_analysis(SAMPLES).summary()
+        assert summary.dynamic["dcache"][1] > 0.3
+        assert summary.subtotal_dynamic > 0.3
+
+    def test_stall_free_profile(self):
+        # Samples exactly proportional to M: no dynamic stalls at all.
+        analysis = make_analysis(
+            {0x1008: 50, 0x100C: 100, 0x1014: 50, 0x101C: 50})
+        summary = analysis.summary()
+        assert summary.subtotal_dynamic < 0.35
+
+    def test_empty_profile(self):
+        summary = make_analysis({}).summary()
+        assert summary.total_cycles == 0
+        assert summary.execution == 0.0
+        assert summary.render()  # renders without dividing by zero
+
+    def test_render_layout(self):
+        text = make_analysis(SAMPLES).summary().render()
+        assert text.count("%") > 15
+        for section in ("Subtotal dynamic", "Subtotal static",
+                        "Total stall", "Net sampling error"):
+            assert section in text
+
+    def test_unexplained_gain_nonpositive(self):
+        summary = make_analysis(SAMPLES).summary()
+        assert summary.unexplained_gain <= 0.0

@@ -1,0 +1,121 @@
+"""Tests for the validation helpers used by the accuracy experiments."""
+
+import pytest
+
+from repro.core.validate import (BUCKETS, bucketize, correlation,
+                                 frequency_errors, true_edge_count,
+                                 weight_within)
+from repro.core.cfg import build_cfg
+from repro.cpu.config import MachineConfig
+from repro.cpu.machine import Machine
+from repro.alpha.assembler import assemble
+
+BRANCHY = """
+.image v
+.proc main
+    lda t0, 20(zero)
+top:
+    and t0, 1, t1
+    beq t1, skip
+    addq t2, 1, t2
+skip:
+    subq t0, 1, t0
+    bgt t0, top
+    ret
+.end
+"""
+
+
+@pytest.fixture(scope="module")
+def run():
+    machine = Machine(MachineConfig(), seed=1)
+    image = machine.load_image(assemble(BRANCHY))
+    machine.spawn(image)
+    machine.run()
+    return machine, image
+
+
+class TestTrueEdgeCount:
+    def test_conditional_edges(self, run):
+        machine, image = run
+        cfg = build_cfg(image.procedure("main"))
+        beq_block = cfg.block_at(image.base + 4)
+        taken = next(e for e in beq_block.succs if e.kind == "taken")
+        fall = next(e for e in beq_block.succs if e.kind == "fall")
+        # t0 runs 20..1; t0&1==0 ten times (taken), odd ten times.
+        assert true_edge_count(machine, cfg, taken) == 10
+        assert true_edge_count(machine, cfg, fall) == 10
+
+    def test_fallthrough_block_edge(self, run):
+        machine, image = run
+        cfg = build_cfg(image.procedure("main"))
+        entry = cfg.blocks[0]
+        edge = entry.succs[0]
+        assert true_edge_count(machine, cfg, edge) == 1
+
+    def test_back_edge(self, run):
+        machine, image = run
+        cfg = build_cfg(image.procedure("main"))
+        bgt_block = cfg.block_at(image.base + 0x10)
+        taken = next(e for e in bgt_block.succs if e.kind == "taken")
+        assert true_edge_count(machine, cfg, taken) == 19
+
+
+class TestStatistics:
+    def test_correlation_perfect_line(self):
+        assert correlation([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_correlation_anticorrelated(self):
+        assert correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_correlation_degenerate(self):
+        assert correlation([1, 1, 1], [1, 2, 3]) == 0.0
+        assert correlation([1], [2]) == 0.0
+
+    def test_weight_within(self):
+        points = [(0.04, 10, "high"), (0.2, 10, "low")]
+        assert weight_within(points, 5) == pytest.approx(0.5)
+        assert weight_within(points, 25) == pytest.approx(1.0)
+        assert weight_within([], 5) == 0.0
+
+    def test_bucketize_fractions_sum_to_one(self):
+        points = [(-0.5, 5, "low"), (0.0, 10, "medium"),
+                  (0.07, 5, "high"), (2.0, 5, "low")]
+        histogram, total = bucketize(points)
+        assert total == 25
+        share = sum(sum(row.values()) for row in histogram.values())
+        assert share == pytest.approx(1.0)
+
+    def test_bucketize_extreme_buckets_open(self):
+        histogram, _ = bucketize([(-0.99, 1, "low"), (0.99, 1, "low")])
+        assert BUCKETS[0] in histogram          # <= -45%
+        assert BUCKETS[-1] + 10 in histogram    # > +45%
+
+
+class TestFrequencyErrors:
+    def test_against_dense_profile(self):
+        from repro.collect.session import ProfileSession, SessionConfig
+
+        def workload(machine):
+            machine.spawn(assemble(BRANCHY.replace("20(zero)",
+                                                   "4000(zero)")),
+                          name="v")
+
+        session = ProfileSession(
+            MachineConfig(),
+            SessionConfig(mode="cycles", cycles_period=(60, 64)))
+        result = session.run(workload)
+        image = result.daemon.images["v"]
+        points = frequency_errors(result.machine, image,
+                                  result.profile_for("v"))
+        assert points
+        # This loop mispredicts nearly every iteration, so blocks whose
+        # only issue point eats the mispredict bubble are overestimated
+        # -- the paper's documented failure mode.  The accuracy
+        # heuristic must flag exactly those as low confidence, and the
+        # well-conditioned (medium+) estimates must be decent.
+        bad = [p for p in points if abs(p[0]) > 0.5]
+        assert all(conf == "low" for _, _, conf in bad)
+        good = [p for p in points if p[2] in ("medium", "high")]
+        assert good
+        assert weight_within(good, 30) > 0.7
