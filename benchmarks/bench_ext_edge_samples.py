@@ -14,14 +14,13 @@ analysis".  This benchmark measures that prediction:
    sampling overhead.
 """
 
+from conftest import profile_workload, run_once, write_result
 from repro.core.cfg import EXIT, build_cfg
 from repro.core.frequency import estimate_frequencies
 from repro.core.schedule import schedule_cfg
 from repro.core.validate import true_edge_count, weight_within
 from repro.cpu.events import EventType
 from repro.workloads.generator import generate_suite
-
-from conftest import profile_workload, run_once, write_result
 
 SUITE = 8
 BUDGET = 400_000

@@ -8,14 +8,13 @@ measures the effect on the Figure 8 experiment: flow residuals drop to
 not regress -- quantifying whether the experiment was worth shipping.
 """
 
+from conftest import profile_workload, run_once, write_result
 from repro.core.analyze import AnalysisConfig
+from repro.core.analyze import analyze_procedure
 from repro.core.solver import flow_residual
 from repro.core.validate import frequency_errors, weight_within
 from repro.cpu.events import EventType
-from repro.core.analyze import analyze_procedure
 from repro.workloads.generator import generate_suite
-
-from conftest import profile_workload, run_once, write_result
 
 SUITE = 8
 BUDGET = 400_000

@@ -13,12 +13,11 @@ relationships that make the substitution sound:
   periods while overhead benchmarks may use any.
 """
 
+from conftest import (baseline_workload, profile_workload, run_once,
+                      write_result)
 from repro.core.validate import frequency_errors, weight_within
 from repro.workloads import mccalpin
 from repro.workloads.generator import GeneratedProgram
-
-from conftest import baseline_workload, profile_workload, run_once, \
-    write_result
 
 PERIODS = (64, 128, 256, 512)
 

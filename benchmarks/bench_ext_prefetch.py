@@ -9,12 +9,10 @@ counts barely move while attributed I-cache stall cycles per miss
 collapse -- the points slide below the correlation line.
 """
 
+from conftest import profile_workload, run_once, write_result
 from repro.core.validate import icache_correlation_points
 from repro.cpu.config import MachineConfig
-from repro.cpu.events import EventType
 from repro.workloads import bigcode
-
-from conftest import profile_workload, run_once, write_result
 
 BUDGET = 600_000
 PERIOD = (60, 64)

@@ -14,12 +14,11 @@ histogram and the normalized true head-cycle distribution (0 = perfect,
 1 = disjoint).
 """
 
+from conftest import run_once, write_result
 from repro.alpha.assembler import assemble
+from repro.collect.session import ProfileSession, SessionConfig
 from repro.cpu.config import MachineConfig
 from repro.cpu.events import EventType
-from repro.collect.session import ProfileSession, SessionConfig
-
-from conftest import run_once, write_result
 
 # A loop with a deterministic, cache-resident body: iteration time is
 # constant, so any period that is a multiple of it aliases perfectly.

@@ -9,10 +9,9 @@ correlate strongly (coefficients 0.91 / 0.86 / 0.90 for top / bottom /
 midpoint); this benchmark reruns that validation.
 """
 
+from conftest import profile_workload, run_once, write_result
 from repro.core.validate import correlation, icache_correlation_points
 from repro.workloads import bigcode
-
-from conftest import profile_workload, run_once, write_result
 
 BUDGET = 1_000_000
 PERIOD = (60, 64)

@@ -7,11 +7,9 @@ shared-library and kernel images.  Paper shape: one drawing routine
 kernel (/vmunix) procedures appear in the listing.
 """
 
-from repro.cpu.events import EventType
+from conftest import profile_workload, run_once, write_result
 from repro.tools.dcpiprof import dcpiprof, procedure_table
 from repro.workloads import x11perf
-
-from conftest import profile_workload, run_once, write_result
 
 
 def run_fig1():

@@ -6,11 +6,10 @@ culprit bubbles (D-cache miss / write-buffer overflow / DTB miss) on
 the stalled stores, with the culprit column naming the feeding load.
 """
 
+from conftest import profile_workload, run_once, write_result
 from repro.core import analyze_procedure
 from repro.tools.dcpicalc import dcpicalc
 from repro.workloads import mccalpin
-
-from conftest import profile_workload, run_once, write_result
 
 
 def run_fig2():

@@ -12,11 +12,10 @@ collisions are then the exception that differentiates runs, exactly the
 regime the paper describes.
 """
 
+from conftest import profile_workload, run_once, write_result
 from repro.cpu.config import CacheConfig, MachineConfig
 from repro.tools.dcpistats import dcpistats, stats_rows
 from repro.workloads import wave5
-
-from conftest import profile_workload, run_once, write_result
 
 RUNS = 8
 BUDGET = 400_000

@@ -8,12 +8,12 @@ DTB + write buffer), and the tallied fractions account for the whole
 procedure with a small residual error.
 """
 
+from bench_fig3_dcpistats import wave5_machine_config, wave5_workload
+
+from conftest import profile_workload, run_once, write_result
 from repro.core import analyze_procedure
 from repro.cpu.events import EventType
 from repro.workloads import wave5
-
-from bench_fig3_dcpistats import wave5_machine_config, wave5_workload
-from conftest import profile_workload, run_once, write_result
 
 RUNS = 4
 BUDGET = 400_000

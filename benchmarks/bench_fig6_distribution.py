@@ -10,10 +10,9 @@ most, and the run-to-run variance of the workload itself is comparable
 to (or exceeds) the profiling overhead.
 """
 
+from conftest import (baseline_workload, mean_ci95, profile_workload, run_once,
+                      write_result)
 from repro.workloads.registry import get_workload
-
-from conftest import (baseline_workload, mean_ci95, profile_workload,
-                      run_once, write_result)
 
 WORKLOADS = ("altavista", "gcc", "wave5")
 CONFIGS = ("base", "cycles", "default", "mux")

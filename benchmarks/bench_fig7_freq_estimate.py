@@ -8,13 +8,12 @@ compared against the true execution count from the simulator (the
 paper compared 1527 estimated vs 1575.1 true -- about 3% low).
 """
 
+from conftest import profile_workload, run_once, write_result
 from repro.core.cfg import build_cfg
 from repro.core.frequency import estimate_frequencies
 from repro.core.schedule import schedule_cfg
 from repro.cpu.events import EventType
 from repro.workloads import mccalpin
-
-from conftest import profile_workload, run_once, write_result
 
 
 def run_fig7():

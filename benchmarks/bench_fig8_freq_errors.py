@@ -12,12 +12,11 @@ paper's section 6.2 single-run vs many-run comparison: aggregating
 profiles over more runs tightens the distribution.
 """
 
+from conftest import profile_workload, run_once, write_result
 from repro.core.validate import (BUCKETS, bucketize, frequency_errors,
                                  weight_within)
 from repro.cpu.events import EventType
 from repro.workloads.generator import generate_suite
-
-from conftest import profile_workload, run_once, write_result
 
 SUITE = 10
 BUDGET = 400_000

@@ -7,11 +7,9 @@ block estimates (58% of edge executions within 10% in the paper).
 Weights are true edge executions, as in the paper.
 """
 
-from repro.core.validate import (BUCKETS, bucketize, edge_errors,
-                                 weight_within)
-from repro.workloads.generator import generate_suite
-
 from conftest import profile_workload, run_once, write_result
+from repro.core.validate import BUCKETS, bucketize, edge_errors, weight_within
+from repro.workloads.generator import generate_suite
 
 SUITE = 10
 BUDGET = 400_000

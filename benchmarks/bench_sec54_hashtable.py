@@ -12,12 +12,11 @@ runs of gcc (the eviction-heavy workload) and the timesharing mix, then
 replayed through every configuration.
 """
 
+from conftest import profile_workload, run_once, write_result
 from repro.collect.driver import HIT_PATH, INTERRUPT_SETUP, MISS_PATH
 from repro.collect.hashtable import (LRU, MOD_COUNTER, SWAP_TO_FRONT,
                                      SampleHashTable)
 from repro.workloads.registry import get_workload
-
-from conftest import profile_workload, run_once, write_result
 
 BUDGET = 250_000
 

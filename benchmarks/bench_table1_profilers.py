@@ -8,13 +8,12 @@ are cheap, and only DCPI combines low overhead with system scope and
 accurate stall attribution.
 """
 
+from conftest import (baseline_workload, profile_workload, run_once,
+                      write_result)
 from repro.baselines import (ClockProfiler, GprofProfiler, IprobeProfiler,
                              PixieProfiler)
 from repro.cpu.config import MachineConfig
 from repro.workloads import mccalpin
-
-from conftest import baseline_workload, profile_workload, run_once, \
-    write_result
 
 
 def _dcpi_row():

@@ -5,9 +5,8 @@ mean base runtime in simulated cycles with a 95% confidence interval
 over several runs -- the analog of the paper's seconds-per-run column.
 """
 
-from repro.workloads.registry import WORKLOADS, get_workload
-
 from conftest import baseline_workload, mean_ci95, run_once, write_result
+from repro.workloads.registry import WORKLOADS, get_workload
 
 SEEDS = (1, 2, 3)
 BUDGET = 50_000

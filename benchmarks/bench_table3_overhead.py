@@ -13,12 +13,10 @@ Paper shape to reproduce: overhead is a few percent or less everywhere,
 the most expensive workload (hash evictions).
 """
 
-from repro.collect.driver import PAPER_MEAN_PERIOD
-
-from repro.workloads.registry import get_workload
-
 from conftest import (FAST_PERIOD, baseline_workload, mean_ci95,
                       profile_workload, run_once, write_result)
+from repro.collect.driver import PAPER_MEAN_PERIOD
+from repro.workloads.registry import get_workload
 
 WORKLOADS = ("specint95", "specfp95", "x11perf", "mccalpin-assign",
              "mccalpin-scale", "wave5", "gcc", "altavista", "dss",

@@ -8,9 +8,8 @@ high eviction rate drives both costs up by an order of magnitude on
 the daemon side.
 """
 
-from repro.workloads.registry import get_workload
-
 from conftest import profile_workload, run_once, write_result
+from repro.workloads.registry import get_workload
 
 WORKLOADS = ("x11perf", "gcc", "wave5", "mccalpin-assign", "altavista",
              "dss")

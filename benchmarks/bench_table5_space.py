@@ -10,10 +10,9 @@ import os
 import shutil
 import tempfile
 
+from conftest import profile_workload, run_once, write_result
 from repro.collect.database import FORMAT_RAW, ProfileDatabase
 from repro.workloads.registry import get_workload
-
-from conftest import profile_workload, run_once, write_result
 
 WORKLOADS = ("x11perf", "gcc", "wave5", "mccalpin-assign", "altavista",
              "timesharing")

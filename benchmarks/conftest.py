@@ -7,23 +7,76 @@ and asserts the qualitative shape the paper claims (who wins, by
 roughly what factor).  Absolute numbers differ -- the substrate is a
 simulator, not the authors' AlphaStations -- as documented in
 EXPERIMENTS.md.
+
+Besides the historical free-text ``.txt`` renderings, this conftest is
+the machine-readable half of the ``dcpibench`` harness
+(:mod:`repro.tools.benchrunner`): it records every profiling session a
+benchmark runs, captures per-test outcomes and durations, and writes a
+``BENCH_<name>.json`` result per benchmark module at session end (see
+EXPERIMENTS.md for the schema).  Two environment knobs drive it:
+
+* ``DCPIBENCH_MAX_INSTRUCTIONS`` -- clamp every explicit instruction
+  budget (quick/CI mode); run-to-completion runs are left alone.
+* ``DCPIBENCH_RESULTS`` -- where to write results (default
+  ``benchmarks/results``).
 """
 
+import json
 import math
 import os
+import platform
 
 import pytest
 
-from repro.cpu.config import MachineConfig
 from repro.collect.session import ProfileSession, SessionConfig
+from repro.cpu.config import MachineConfig
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+RESULTS_DIR = os.environ.get(
+    "DCPIBENCH_RESULTS",
+    os.path.join(os.path.dirname(__file__), "results"))
 
 #: Default scaled sampling configuration (see DESIGN.md substitution
 #: table): mean period 248 cycles vs the paper's 62K; overhead numbers
 #: are charged at the 62K-equivalent rate via the driver's cost scale.
 FAST_PERIOD = (240, 256)
 EVENT_PERIOD = 64
+
+#: Schema version stamped into every BENCH_*.json result.
+BENCH_SCHEMA = 1
+
+QUICK = os.environ.get("DCPIBENCH_QUICK") == "1"
+_CLAMP = int(os.environ.get("DCPIBENCH_MAX_INSTRUCTIONS", "0")) or None
+
+# Per-session state feeding the JSON results: which test is running,
+# every profiling session it executed, per-test outcomes, and the .txt
+# rendering each module produced.
+_CURRENT = {"nodeid": None}
+_SESSIONS = []
+_REPORTS = {}
+_TEXTS = {}
+
+
+def clamp_budget(requested):
+    """Apply the quick-mode instruction-budget clamp, if any.
+
+    ``None`` budgets mean "run the workload to completion" and are not
+    clamped: those workloads are small by construction, and truncating
+    them would change what the benchmark measures.
+    """
+    if _CLAMP is None or requested is None:
+        return requested
+    return min(requested, _CLAMP)
+
+
+def _module_stem(nodeid):
+    """'.../bench_table3_overhead.py::test' -> 'table3_overhead'."""
+    path = (nodeid or "").split("::", 1)[0]
+    stem = os.path.basename(path)
+    if stem.endswith(".py"):
+        stem = stem[:-3]
+    if stem.startswith("bench_"):
+        stem = stem[len("bench_"):]
+    return stem or "unknown"
 
 
 def write_result(name, text):
@@ -33,7 +86,30 @@ def write_result(name, text):
     with open(path, "w") as handle:
         handle.write(text if text.endswith("\n") else text + "\n")
     print("\n" + text)
+    _TEXTS.setdefault(_module_stem(_CURRENT["nodeid"]), []).append(
+        os.path.basename(path))
     return path
+
+
+def _record_session(kind, workload, mode, seed, result):
+    record = {
+        "test": _CURRENT["nodeid"],
+        "kind": kind,
+        "workload": getattr(workload, "name", str(workload)),
+        "mode": mode,
+        "seed": seed,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+    }
+    if kind == "profile":
+        record["samples"] = sum(result.driver.event_samples.values())
+        # Table 3's adjusted cycles: the daemon's share, period-scaled
+        # and amortized across CPUs, charged on top of machine time.
+        record["adjusted_cycles"] = (
+            result.cycles + result.daemon.cycles * result.driver.cost_scale
+            / len(result.machine.cores))
+    _SESSIONS.append(record)
+    return result
 
 
 def profile_workload(workload, mode="default", seed=1,
@@ -47,13 +123,17 @@ def profile_workload(workload, mode="default", seed=1,
         SessionConfig(mode=mode, cycles_period=period,
                       event_period=event_period, seed=seed,
                       **session_overrides))
-    return session.run(workload, max_instructions=max_instructions)
+    result = session.run(workload,
+                         max_instructions=clamp_budget(max_instructions))
+    return _record_session("profile", workload, mode, seed, result)
 
 
 def baseline_workload(workload, seed=1, max_instructions=80_000):
     config = MachineConfig(num_cpus=workload.num_cpus)
     session = ProfileSession(config, SessionConfig(seed=seed))
-    return session.run_baseline(workload, max_instructions=max_instructions)
+    result = session.run_baseline(
+        workload, max_instructions=clamp_budget(max_instructions))
+    return _record_session("baseline", workload, None, seed, result)
 
 
 def mean_ci95(values):
@@ -76,3 +156,89 @@ def run_once(benchmark, func):
 def results_dir():
     os.makedirs(RESULTS_DIR, exist_ok=True)
     return RESULTS_DIR
+
+
+# -- the machine-readable result harness (dcpibench) -----------------------
+
+
+def pytest_runtest_setup(item):
+    _CURRENT["nodeid"] = item.nodeid
+
+
+def pytest_runtest_logreport(report):
+    record = _REPORTS.setdefault(
+        report.nodeid, {"outcome": "passed", "duration_s": 0.0})
+    record["duration_s"] += report.duration
+    # A failed setup/teardown (error) or call (failure) both count.
+    if report.outcome != "passed":
+        record["outcome"] = report.outcome
+
+
+def _overheads(records):
+    """Pair profiled and baseline runs; return overhead %s per pair."""
+    baselines = {}
+    for record in records:
+        if record["kind"] == "baseline":
+            baselines[(record["workload"], record["seed"])] = record
+    overheads = []
+    for record in records:
+        if record["kind"] != "profile":
+            continue
+        base = baselines.get((record["workload"], record["seed"]))
+        if base is None or not base["cycles"]:
+            continue
+        overheads.append(
+            (record["adjusted_cycles"] - base["cycles"])
+            / base["cycles"] * 100.0)
+    return overheads
+
+
+def _bench_payload(stem, tests, records):
+    profiled = [r for r in records if r["kind"] == "profile"]
+    overheads = _overheads(records)
+    metrics = {
+        "elapsed_s": round(sum(t["duration_s"] for t in tests), 4),
+        "tests": len(tests),
+        "sessions": len(records),
+        "instructions": sum(r["instructions"] for r in records),
+        "cycles": sum(r["cycles"] for r in records),
+        "samples": sum(r.get("samples", 0) for r in profiled),
+    }
+    if overheads:
+        metrics["overhead_pct_mean"] = round(
+            sum(overheads) / len(overheads), 4)
+    return {
+        "schema": BENCH_SCHEMA,
+        "benchmark": stem,
+        "file": "bench_%s.py" % stem,
+        "quick": QUICK,
+        "max_instructions_clamp": _CLAMP,
+        "python": platform.python_version(),
+        "passed": all(t["outcome"] == "passed" for t in tests),
+        "tests": tests,
+        "metrics": metrics,
+        "text_results": sorted(set(_TEXTS.get(stem, []))),
+    }
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write one BENCH_<name>.json per benchmark module that ran."""
+    by_module = {}
+    for nodeid, record in _REPORTS.items():
+        stem = _module_stem(nodeid)
+        by_module.setdefault(stem, []).append(dict(record, id=nodeid))
+    if not by_module:
+        return
+    sessions_by_module = {}
+    for record in _SESSIONS:
+        sessions_by_module.setdefault(
+            _module_stem(record["test"]), []).append(record)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    for stem, tests in sorted(by_module.items()):
+        payload = _bench_payload(
+            stem, sorted(tests, key=lambda t: t["id"]),
+            sessions_by_module.get(stem, []))
+        path = os.path.join(RESULTS_DIR, "BENCH_%s.json" % stem)
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")

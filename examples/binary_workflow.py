@@ -23,6 +23,10 @@ from repro.baselines import PixieProfiler
 from repro.tools import dcpix
 from repro.workloads import mccalpin
 
+#: CI smoke runs set DCPI_EXAMPLE_BUDGET to cap simulated instructions;
+#: unset (0) means run the workload to completion.
+BUDGET = int(os.environ.get("DCPI_EXAMPLE_BUDGET", "0")) or None
+
 
 def main():
     workload = mccalpin.build("assign", n=4096, iterations=2)
@@ -49,7 +53,7 @@ def main():
     session = ProfileSession(
         MachineConfig(),
         SessionConfig(mode="default", cycles_period=(60, 64)))
-    result = session.run(run_binary)
+    result = session.run(run_binary, max_instructions=BUDGET)
     profile = result.profile_for("mccalpin")
     print("\n=== dcpix: estimated block counts from samples ===")
     print(dcpix(binary, profile))
@@ -57,7 +61,8 @@ def main():
     # The instrumentation alternative: pixie rewrites the binary.
     print("\n=== pixie baseline: rewritten binary, exact counts ===")
     pixie = PixieProfiler(MachineConfig()).profile(
-        mccalpin.build("assign", n=4096, iterations=2))
+        mccalpin.build("assign", n=4096, iterations=2),
+        max_instructions=BUDGET)
     exact = pixie.data["block_counts"]
     print("exact hot-block count: %d   overhead: %.1f%%"
           % (max(exact.values()), pixie.overhead * 100))

@@ -17,6 +17,9 @@ from repro.cpu.events import EventType
 from repro.tools import dcpiprof
 from repro.workloads import timesharing
 
+#: CI smoke runs set DCPI_EXAMPLE_BUDGET to cap simulated instructions.
+BUDGET = int(os.environ.get("DCPI_EXAMPLE_BUDGET", "0")) or 300_000
+
 
 def main():
     root = tempfile.mkdtemp(prefix="dcpi-example-")
@@ -29,7 +32,7 @@ def main():
         SessionConfig(mode="default", cycles_period=(200, 256),
                       event_period=64, db_root=db_root,
                       drain_interval=50_000))
-    result = session.run(workload, max_instructions=300_000)
+    result = session.run(workload, max_instructions=BUDGET)
 
     stats = result.stats()
     print("=== session ===")

@@ -14,10 +14,15 @@ example replays that workflow on the 8-CPU DSS workload:
 Run with:  python examples/query_tuning.py
 """
 
+import os
+
 from repro import MachineConfig, ProfileSession, SessionConfig
 from repro.core import analyze_procedure
 from repro.tools import dcpidiff, dcpiprof
 from repro.workloads import dss
+
+#: CI smoke runs set DCPI_EXAMPLE_BUDGET to cap simulated instructions.
+BUDGET = int(os.environ.get("DCPI_EXAMPLE_BUDGET", "0")) or 300_000
 
 
 def profile(workload):
@@ -25,7 +30,7 @@ def profile(workload):
         MachineConfig(num_cpus=workload.num_cpus),
         SessionConfig(mode="default", cycles_period=(120, 128),
                       event_period=64))
-    return session.run(workload, max_instructions=300_000)
+    return session.run(workload, max_instructions=BUDGET)
 
 
 class TunedDSS(dss.DSS):

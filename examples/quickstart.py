@@ -10,10 +10,16 @@ infrastructure, then walks the full analysis chain:
 Run with:  python examples/quickstart.py
 """
 
+import os
+
 from repro import MachineConfig, ProfileSession, SessionConfig
 from repro.core import analyze_procedure
 from repro.tools import dcpicalc, dcpiprof
 from repro.workloads import mccalpin
+
+#: CI smoke runs set DCPI_EXAMPLE_BUDGET to cap simulated instructions;
+#: unset (0) means run the workload to completion.
+BUDGET = int(os.environ.get("DCPI_EXAMPLE_BUDGET", "0")) or None
 
 
 def main():
@@ -28,7 +34,7 @@ def main():
         MachineConfig(),
         SessionConfig(mode="default", cycles_period=(120, 128),
                       event_period=64))
-    result = session.run(workload)
+    result = session.run(workload, max_instructions=BUDGET)
 
     stats = result.stats()
     print("=== collection ===")

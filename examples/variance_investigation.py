@@ -14,14 +14,19 @@ paper's methodology:
 Run with:  python examples/variance_investigation.py
 """
 
+import os
+
 from repro import MachineConfig, ProfileSession, SessionConfig
+from repro.core import analyze_procedure
 from repro.cpu.config import CacheConfig
 from repro.cpu.events import EventType
-from repro.core import analyze_procedure
 from repro.tools import dcpistats
 from repro.workloads import wave5
 
 RUNS = 8
+
+#: CI smoke runs set DCPI_EXAMPLE_BUDGET to cap simulated instructions.
+BUDGET = int(os.environ.get("DCPI_EXAMPLE_BUDGET", "0")) or 400_000
 
 
 def machine_config():
@@ -41,7 +46,7 @@ def main():
                           event_period=64, seed=seed))
         result = session.run(wave5.build(scale=20, rounds=10,
                                          smooth_pages=12),
-                             max_instructions=400_000)
+                             max_instructions=BUDGET)
         results.append(result)
         print("run %d: %8d cycles" % (seed, result.cycles))
 

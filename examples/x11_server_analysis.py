@@ -16,11 +16,16 @@ This example:
 Run with:  python examples/x11_server_analysis.py
 """
 
+import os
+
 from repro import MachineConfig, ProfileSession, SessionConfig
 from repro.cpu.events import EventType
 from repro.tools import dcpicalc, dcpiprof, dcpitopstalls
 from repro.tools.dcpiprof import procedure_table
 from repro.workloads import x11perf
+
+#: CI smoke runs set DCPI_EXAMPLE_BUDGET to cap simulated instructions.
+BUDGET = int(os.environ.get("DCPI_EXAMPLE_BUDGET", "0")) or 400_000
 
 
 def main():
@@ -29,7 +34,7 @@ def main():
         SessionConfig(mode="default", cycles_period=(200, 256),
                       event_period=64))
     result = session.run(x11perf.build(scale=8, rounds=30),
-                         max_instructions=400_000)
+                         max_instructions=BUDGET)
 
     profiles = list(result.profiles.values())
     print("=== dcpiprof (full system, all images) ===")

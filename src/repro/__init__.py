@@ -30,11 +30,11 @@ Quickstart::
 
 from repro.alpha.assembler import assemble
 from repro.alpha.image import Image, Procedure
+from repro.collect.database import ProfileDatabase
+from repro.collect.session import ProfileSession, SessionConfig
 from repro.cpu.config import MachineConfig
 from repro.cpu.events import EventType
 from repro.cpu.machine import Machine
-from repro.collect.session import ProfileSession, SessionConfig
-from repro.collect.database import ProfileDatabase
 
 __all__ = [
     "assemble",

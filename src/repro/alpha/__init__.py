@@ -1,6 +1,6 @@
 """Alpha-like instruction set: registers, opcodes, assembler, images."""
 
-from repro.alpha.assembler import assemble, AssemblerError
+from repro.alpha.assembler import AssemblerError, assemble
 from repro.alpha.image import Image, Procedure, SymbolTable
 from repro.alpha.instruction import Instruction
 from repro.alpha.opcodes import OPCODES, OpInfo

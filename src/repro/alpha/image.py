@@ -145,7 +145,8 @@ class Image:
     def _resolve_targets(self):
         """Convert label-offset branch targets to absolute addresses."""
         for inst in self.instructions:
-            if inst.info.kind in DIRECT_BRANCH_KINDS and inst.target is not None:
+            if (inst.info.kind in DIRECT_BRANCH_KINDS
+                    and inst.target is not None):
                 inst.target += self.base
         for inst, symbol in self.fixups:
             inst.imm = self.symbols.resolve(symbol)

@@ -3,10 +3,10 @@ measurable baselines: pixie-style instrumentation, a prof-style clock
 sampler, a gprof-style procedure profiler and an iprobe-style raw-buffer
 counter sampler."""
 
-from repro.baselines.pixie import PixieProfiler
-from repro.baselines.prof_clock import ClockProfiler
 from repro.baselines.gprof import GprofProfiler
 from repro.baselines.iprobe import IprobeProfiler
+from repro.baselines.pixie import PixieProfiler
+from repro.baselines.prof_clock import ClockProfiler
 
 __all__ = ["PixieProfiler", "ClockProfiler", "GprofProfiler",
            "IprobeProfiler"]

@@ -6,10 +6,10 @@ Uses the same binary rewriter as the pixie baseline but instruments
 only procedure entries, and aggregates clock samples per procedure.
 """
 
-from repro.cpu.events import EventType
-from repro.cpu.machine import Machine
 from repro.baselines.instrument import instrument_image, read_counts
 from repro.baselines.prof_clock import PAPER_CLOCK_PERIOD, TICK_EXTRA_COST
+from repro.cpu.events import EventType
+from repro.cpu.machine import Machine
 
 
 class GprofProfiler:

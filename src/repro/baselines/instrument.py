@@ -65,7 +65,7 @@ def instrument_image(image, procedures_only=False):
     for name, offset in image.symbols.items():
         if name not in proc_names:
             new.symbols.define(name, offset)
-    counters_offset = new.add_data(COUNTER_SYMBOL, 8 * len(counter_index))
+    new.add_data(COUNTER_SYMBOL, 8 * len(counter_index))
 
     # Carry over pending data fixups from the original assembler pass.
     old_fixup_for = {id(inst): sym for inst, sym in image.fixups}

@@ -9,10 +9,10 @@ reproduced: the handler cost has no cheap "hash hit" path, and the
 result reports bytes consumed per million sampled cycles.
 """
 
-from repro.cpu.events import EventType
-from repro.cpu.machine import Machine
 from repro.collect.driver import INTERRUPT_SETUP, PAPER_MEAN_PERIOD
 from repro.collect.prng import period_sampler
+from repro.cpu.events import EventType
+from repro.cpu.machine import Machine
 
 #: Raw-buffer append + the per-sample user-level processing cost.
 RAW_SAMPLE_COST = 560

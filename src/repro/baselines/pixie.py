@@ -7,8 +7,8 @@ counts are wanted from an instrumented run rather than from the
 simulator's built-in accounting.
 """
 
-from repro.cpu.machine import Machine
 from repro.baselines.instrument import instrument_image, read_counts
+from repro.cpu.machine import Machine
 
 
 class BaselineResultBase:

@@ -1,8 +1,10 @@
 """The paper's data-collection system: driver, daemon, profile database."""
 
+from repro.collect.daemon import Daemon
 from repro.collect.database import ImageProfile, ProfileDatabase
 from repro.collect.driver import Driver, DriverConfig
-from repro.collect.daemon import Daemon
+from repro.collect.parallel import (MergedProfiles, ParallelSessionRunner,
+                                    ShardSpec, merge_shards, shard_matrix)
 from repro.collect.session import ProfileSession, SessionConfig
 
 __all__ = [
@@ -11,6 +13,11 @@ __all__ = [
     "Driver",
     "DriverConfig",
     "Daemon",
+    "MergedProfiles",
+    "ParallelSessionRunner",
+    "ShardSpec",
+    "merge_shards",
+    "shard_matrix",
     "ProfileSession",
     "SessionConfig",
 ]

@@ -130,7 +130,21 @@ class Daemon:
         # or processes that predate the daemon).
         return self.loader.image_at(pc)
 
-    # -- persistence ------------------------------------------------------------
+    # -- persistence -------------------------------------------------------
+
+    def export_profiles(self):
+        """Snapshot all merged profiles as plain picklable dicts.
+
+        Returns {image name: {event: {offset: count}}} -- the mergeable
+        form consumed by :mod:`repro.collect.parallel`'s reducer, which
+        sums shards exactly like :meth:`_process` sums per-CPU hash
+        table entries.
+        """
+        return {
+            name: {event: dict(by_offset)
+                   for event, by_offset in profile.counts.items()}
+            for name, profile in self.profiles.items()
+        }
 
     def merge_to_disk(self, database, epoch=None):
         """Write all in-memory profiles into *database*."""
@@ -155,7 +169,7 @@ class Daemon:
         self.epoch += 1
         return self.epoch
 
-    # -- statistics -----------------------------------------------------------------
+    # -- statistics --------------------------------------------------------
 
     def resident_bytes(self):
         """Estimated resident memory of the daemon right now."""

@@ -16,9 +16,9 @@ cache miss.
 
 from dataclasses import dataclass, field
 
-from repro.cpu.events import EventType
-from repro.collect.hashtable import SampleHashTable, MOD_COUNTER
+from repro.collect.hashtable import MOD_COUNTER, SampleHashTable
 from repro.collect.prng import period_sampler
+from repro.cpu.events import EventType
 
 #: Event ordinal encoding used in hash-table keys (2 bits in the paper).
 EVENT_ORDINAL = {ev: i for i, ev in enumerate(EventType)}
@@ -271,7 +271,8 @@ class Driver:
             "hits": hits,
             "misses": misses,
             "miss_rate": misses / total_samples if total_samples else 0.0,
-            "eviction_rate": evictions / total_samples if total_samples else 0.0,
+            "eviction_rate": (evictions / total_samples
+                              if total_samples else 0.0),
             "avg_cost": handler / total_samples if total_samples else 0.0,
             "avg_hit_cost": hit_cycles / hits if hits else 0.0,
             "avg_miss_cost": miss_cycles / misses if misses else 0.0,

@@ -12,14 +12,19 @@ so Table 3's slowdown is (profiled cycles - base cycles) / base cycles
 on bit-identical instruction streams.
 """
 
+import os
 from dataclasses import dataclass, replace
+from typing import Optional
 
-from repro.cpu.config import MachineConfig
-from repro.cpu.events import EventType
-from repro.cpu.machine import Machine
 from repro.collect.daemon import Daemon
 from repro.collect.database import ProfileDatabase
 from repro.collect.driver import Driver, DriverConfig
+from repro.cpu.config import MachineConfig
+from repro.cpu.events import EventType
+from repro.cpu.machine import Machine
+
+#: Collection modes a session understands (paper sections 4.2 and 6).
+SESSION_MODES = ("cycles", "default", "mux")
 
 
 @dataclass
@@ -37,11 +42,22 @@ class SessionConfig:
     drain_interval: int = 200_000     # instructions between daemon drains
     charge_overhead: bool = True
     seed: int = 1
-    db_root: str = None
+    db_root: Optional[str] = None
     log_trace: bool = False
-    driver: DriverConfig = None
+    driver: Optional[DriverConfig] = None
 
     def make_driver_config(self):
+        if self.mode not in SESSION_MODES:
+            raise ValueError("unknown session mode %r; expected one of %s"
+                             % (self.mode, ", ".join(SESSION_MODES)))
+        if self.driver is not None and not isinstance(self.driver,
+                                                      DriverConfig):
+            raise TypeError("SessionConfig.driver must be a DriverConfig "
+                            "or None, not %r" % type(self.driver).__name__)
+        if self.db_root is not None and not isinstance(
+                self.db_root, (str, os.PathLike)):
+            raise TypeError("SessionConfig.db_root must be a path or None, "
+                            "not %r" % type(self.db_root).__name__)
         base = self.driver or DriverConfig()
         return replace(
             base,
@@ -93,6 +109,19 @@ class SessionResult:
         stats.update({"daemon_" + k: v
                       for k, v in self.daemon.stats().items()})
         return stats
+
+    def export_mergeable(self):
+        """Everything a parallel worker ships back, as plain dicts.
+
+        The profiles are keyed exactly like the daemon's merge --
+        (image, event, offset) -- so shards from different processes
+        can be summed in any order (:mod:`repro.collect.parallel`).
+        """
+        return {
+            "profiles": self.daemon.export_profiles(),
+            "periods": dict(self.daemon.periods),
+            "stats": self.stats(),
+        }
 
 
 class BaselineResult:

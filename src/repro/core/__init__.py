@@ -1,13 +1,9 @@
 """The paper's analysis subsystem: from samples to frequency, CPI and
 stall explanations (sections 6.1-6.3)."""
 
-from repro.core.analyze import (
-    AnalysisConfig,
-    InstructionAnalysis,
-    ProcedureAnalysis,
-    analyze_image,
-    analyze_procedure,
-)
+from repro.core.analyze import (AnalysisConfig, InstructionAnalysis,
+                                ProcedureAnalysis, analyze_image,
+                                analyze_procedure)
 from repro.core.cfg import CFG, BasicBlock, build_cfg
 from repro.core.frequency import FrequencyAnalysis, estimate_frequencies
 from repro.core.schedule import BlockSchedule, schedule_block

@@ -8,11 +8,11 @@ every procedure with samples.
 
 from dataclasses import dataclass, field
 
-from repro.cpu.events import EventType
 from repro.core.cfg import build_cfg
 from repro.core.culprits import identify_culprits
 from repro.core.frequency import FrequencyConfig, estimate_frequencies
 from repro.core.schedule import schedule_cfg
+from repro.cpu.events import EventType
 
 
 @dataclass

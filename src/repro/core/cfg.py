@@ -91,7 +91,8 @@ def build_cfg(proc):
     for inst in instructions:
         kind = inst.info.kind
         if kind in DIRECT_BRANCH_KINDS:
-            if inst.target is not None and proc.start <= inst.target < proc.end:
+            if (inst.target is not None
+                    and proc.start <= inst.target < proc.end):
                 leaders.add(inst.target)
             if kind in ("cbranch", "fbranch"):
                 fall = inst.addr + 4

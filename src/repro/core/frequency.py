@@ -22,7 +22,6 @@ execution counts (the paper's Figures 8 and 9 comparison).
 
 from dataclasses import dataclass
 
-from repro.core.cfg import EXIT
 from repro.core.equivalence import compute_equivalence
 
 LOW, MEDIUM, HIGH = "low", "medium", "high"

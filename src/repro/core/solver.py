@@ -20,7 +20,6 @@ one re-solve with actives pinned -- adequate for procedure-sized CFGs.
 
 import numpy as np
 
-from repro.core.cfg import EXIT
 from repro.core.frequency import HIGH, LOW, MEDIUM
 
 #: Weight of the flow-constraint penalty relative to the data terms.

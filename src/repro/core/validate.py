@@ -14,9 +14,9 @@ behind Figures 8, 9 and 10:
   attributed I-cache stall-cycle range) pairs.
 """
 
-from repro.cpu.events import EventType
-from repro.core.analyze import AnalysisConfig, analyze_procedure
+from repro.core.analyze import analyze_procedure
 from repro.core.cfg import EXIT, build_cfg
+from repro.cpu.events import EventType
 
 #: Histogram bucket edges used by the paper's Figures 8 and 9 (percent).
 BUCKETS = (-45, -35, -25, -15, -5, 5, 15, 25, 35, 45)

@@ -25,9 +25,9 @@ instructions down the stream).
 """
 
 from repro.alpha.opcodes import ISSUE_CLASSES, MASK64
+from repro.cpu.branch import BranchPredictor
 from repro.cpu.caches import Cache, Hierarchy
 from repro.cpu.counters import CounterUnit
-from repro.cpu.branch import BranchPredictor
 from repro.cpu.events import EventType
 from repro.cpu.issue import PAIR_OK
 from repro.cpu.tlb import TLB

@@ -1,7 +1,7 @@
 """Operating-system substrate: processes, loader, scheduler."""
 
-from repro.osim.process import Process, EXIT_ADDR
 from repro.osim.loader import Loader, LoadMapEvent
+from repro.osim.process import EXIT_ADDR, Process
 from repro.osim.sched import Scheduler
 
 __all__ = ["Process", "EXIT_ADDR", "Loader", "LoadMapEvent", "Scheduler"]

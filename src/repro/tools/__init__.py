@@ -1,13 +1,13 @@
 """The shipped analysis tools: dcpiprof, dcpicalc, dcpistats and friends."""
 
-from repro.tools.dcpiprof import dcpiprof, procedure_table
 from repro.tools.dcpicalc import dcpicalc
-from repro.tools.dcpistats import dcpistats
+from repro.tools.dcpicfg import dcpicfg
 from repro.tools.dcpidiff import dcpidiff
+from repro.tools.dcpilist import dcpilist
+from repro.tools.dcpiprof import dcpiprof, procedure_table
+from repro.tools.dcpistats import dcpistats
 from repro.tools.dcpitopstalls import dcpitopstalls
 from repro.tools.dcpix import dcpix, pixie_counts
-from repro.tools.dcpicfg import dcpicfg
-from repro.tools.dcpilist import dcpilist
 
 __all__ = [
     "dcpiprof",

@@ -4,12 +4,14 @@
 * ``dcpiprof``   -- per-procedure sample listing from a bundle.
 * ``dcpicalc``   -- per-instruction CPI/culprit listing from a bundle.
 * ``dcpistats``  -- cross-run statistics from several bundles.
+* ``dcpibench``  -- run the benchmark suite in parallel; compare runs.
 
 Example::
 
     dcpid --workload mccalpin --out /tmp/session
     dcpiprof /tmp/session
     dcpicalc /tmp/session --procedure copy_loop
+    dcpibench --quick --workers 4
 """
 
 import argparse
@@ -139,6 +141,13 @@ def main_dcpicfg(argv=None):
                 return 0
     print("procedure %r not found" % args.procedure, file=sys.stderr)
     return 1
+
+
+def main_dcpibench(argv=None):
+    """Run the benchmark suite in parallel; write BENCH_*.json results."""
+    from repro.tools.benchrunner import main
+
+    return main(argv)
 
 
 def main_dcpistats(argv=None):

@@ -62,7 +62,8 @@ def dcpistats(profile_sets, event=EventType.CYCLES, limit=None):
             continue
         n = len(counts)
         mean = total / n
-        variance = sum((c - mean) ** 2 for c in counts) / (n - 1) if n > 1 else 0.0
+        variance = (sum((c - mean) ** 2 for c in counts) / (n - 1)
+                    if n > 1 else 0.0)
         rows.append({
             "procedure": name,
             "image": image,

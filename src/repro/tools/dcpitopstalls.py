@@ -5,8 +5,8 @@ image -- the percentage of cycles spent executing vs stalled on each
 cause (the paper's whole-program variant of the Figure 4 summary).
 """
 
-from repro.cpu.events import DYNAMIC_REASONS, STATIC_REASONS
 from repro.core.analyze import analyze_image
+from repro.cpu.events import DYNAMIC_REASONS, STATIC_REASONS
 
 
 def image_stall_totals(image, profile, config=None, top=None):

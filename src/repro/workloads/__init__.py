@@ -1,6 +1,6 @@
 """Synthetic stand-ins for the paper's workloads (Table 2)."""
 
 from repro.workloads.base import Workload
-from repro.workloads.registry import get_workload, workload_names, WORKLOADS
+from repro.workloads.registry import WORKLOADS, get_workload, workload_names
 
 __all__ = ["Workload", "get_workload", "workload_names", "WORKLOADS"]

@@ -1,7 +1,7 @@
 """Registry of the paper's Table 2 workloads."""
 
-from repro.workloads import (altavista, bigcode, dss, gcc, mccalpin,
-                             specfp, specint, timesharing, wave5, x11perf)
+from repro.workloads import (altavista, bigcode, dss, gcc, mccalpin, specfp,
+                             specint, timesharing, wave5, x11perf)
 
 #: name -> zero-argument factory producing a fresh Workload.
 _FACTORIES = {

@@ -3,9 +3,9 @@
 import pytest
 
 from repro.alpha.assembler import assemble
+from repro.collect.session import ProfileSession, SessionConfig
 from repro.cpu.config import MachineConfig
 from repro.cpu.machine import Machine
-from repro.collect.session import ProfileSession, SessionConfig
 
 #: The paper's Figure 2 copy loop (4x unrolled), used by many tests.
 COPY_LOOP_ASM = """

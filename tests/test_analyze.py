@@ -9,9 +9,9 @@ from repro.cpu.events import EventType
 
 @pytest.fixture(scope="module")
 def copy_analysis():
-    from repro.cpu.config import MachineConfig
-    from repro.collect.session import ProfileSession, SessionConfig
     from conftest import make_copy_workload
+    from repro.collect.session import ProfileSession, SessionConfig
+    from repro.cpu.config import MachineConfig
 
     session = ProfileSession(
         MachineConfig(),

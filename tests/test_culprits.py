@@ -1,14 +1,12 @@
 """Tests for guilty-until-proven-innocent culprit analysis."""
 
-import pytest
-
 from repro.alpha.assembler import assemble
-from repro.cpu.events import EventType
 from repro.collect.database import ImageProfile
 from repro.core.cfg import build_cfg
 from repro.core.culprits import identify_culprits
 from repro.core.frequency import estimate_frequencies
 from repro.core.schedule import schedule_cfg
+from repro.cpu.events import EventType
 
 
 def run_culprits(body, samples, events=None, period=100.0):

@@ -1,8 +1,6 @@
 """Extended culprit-rule tests: FU-busy candidates, the rare-predecessor
 I-cache rule, and DTBMISS-based elimination."""
 
-import pytest
-
 from repro.alpha.assembler import assemble
 from repro.collect.database import ImageProfile
 from repro.core.cfg import build_cfg

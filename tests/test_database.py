@@ -3,10 +3,10 @@
 import pytest
 from hypothesis import given, strategies as st
 
+from repro.collect.database import (FORMAT_COMPACT, FORMAT_RAW, ImageProfile,
+                                    ProfileDatabase, decode_profile,
+                                    encode_profile)
 from repro.cpu.events import EventType
-from repro.collect.database import (FORMAT_COMPACT, FORMAT_RAW,
-                                    ImageProfile, ProfileDatabase,
-                                    decode_profile, encode_profile)
 
 counts_strategy = st.dictionaries(
     st.integers(min_value=0, max_value=1 << 24).map(lambda x: x * 4),

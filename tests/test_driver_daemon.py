@@ -1,12 +1,10 @@
 """Tests for the device driver and the user-mode daemon."""
 
-import pytest
-
 from repro.alpha.assembler import assemble
-from repro.cpu.events import EventType
 from repro.collect.daemon import Daemon
-from repro.collect.driver import (Driver, DriverConfig, EVENT_ORDINAL,
-                                  INTERRUPT_SETUP)
+from repro.collect.driver import (EVENT_ORDINAL, INTERRUPT_SETUP, Driver,
+                                  DriverConfig)
+from repro.cpu.events import EventType
 from repro.osim.loader import Loader
 
 

@@ -3,12 +3,11 @@
 import pytest
 
 from repro.alpha.assembler import assemble
-from repro.cpu.config import MachineConfig
-from repro.cpu.events import EventType
 from repro.collect.session import ProfileSession, SessionConfig
 from repro.core.cfg import build_cfg
 from repro.core.frequency import estimate_frequencies
 from repro.core.schedule import schedule_cfg
+from repro.cpu.config import MachineConfig
 
 LOOP = """
 .image edgy

@@ -3,7 +3,6 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.alpha import regs
 from repro.alpha.assembler import assemble
 from repro.alpha.encoding import (EncodingError, decode_image,
                                   decode_instruction, encode_image,

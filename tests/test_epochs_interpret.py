@@ -4,12 +4,12 @@ mode."""
 import pytest
 
 from repro.alpha.assembler import assemble
-from repro.cpu.config import MachineConfig
-from repro.cpu.events import EventType
 from repro.collect.daemon import Daemon
 from repro.collect.database import ProfileDatabase
 from repro.collect.driver import Driver, DriverConfig
 from repro.collect.session import ProfileSession, SessionConfig
+from repro.cpu.config import MachineConfig
+from repro.cpu.events import EventType
 from repro.osim.loader import Loader
 
 LOOP = """

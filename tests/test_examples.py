@@ -1,7 +1,9 @@
 """Smoke tests: the shipped examples must run to completion.
 
-Only the fast examples run here (the variance study takes minutes);
-each runs in a subprocess so a crash cannot take the test runner down.
+Every example honors the ``DCPI_EXAMPLE_BUDGET`` environment variable
+(instructions to simulate), so CI can execute the whole set -- even the
+variance study that takes minutes at full scale -- with a tiny budget.
+Each runs in a subprocess so a crash cannot take the test runner down.
 """
 
 import os
@@ -12,25 +14,38 @@ import pytest
 
 EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
 
-FAST_EXAMPLES = ("quickstart.py", "continuous_daemon.py",
-                 "binary_workflow.py")
+ALL_EXAMPLES = (
+    "quickstart.py",
+    "continuous_daemon.py",
+    "binary_workflow.py",
+    "query_tuning.py",
+    "variance_investigation.py",
+    "x11_server_analysis.py",
+)
+
+#: Small enough for a CI smoke job, big enough that every example still
+#: collects samples to analyze.
+SMOKE_BUDGET = "60000"
 
 
-@pytest.mark.parametrize("name", FAST_EXAMPLES)
-def test_example_runs(name):
-    path = os.path.join(EXAMPLES, name)
-    result = subprocess.run(
-        [sys.executable, path], capture_output=True, text=True,
-        timeout=240)
+def run_example(name, budget=None, timeout=240):
+    env = dict(os.environ)
+    if budget is not None:
+        env["DCPI_EXAMPLE_BUDGET"] = budget
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name)],
+        capture_output=True, text=True, timeout=timeout, env=env)
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_runs_with_tiny_budget(name):
+    result = run_example(name, budget=SMOKE_BUDGET)
     assert result.returncode == 0, result.stderr[-2000:]
     assert result.stdout  # every example narrates its findings
 
 
 def test_quickstart_output_shape():
-    path = os.path.join(EXAMPLES, "quickstart.py")
-    result = subprocess.run(
-        [sys.executable, path], capture_output=True, text=True,
-        timeout=240)
+    result = run_example("quickstart.py")
     out = result.stdout
     for needle in ("dcpiprof", "dcpicalc", "Best-case",
                    "stall summary", "Total tallied"):

@@ -1,13 +1,12 @@
 """Cross-module integration tests and end-to-end invariants."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.alpha.assembler import assemble
+from repro.collect.session import ProfileSession, SessionConfig
 from repro.cpu.config import MachineConfig
 from repro.cpu.events import EventType
 from repro.cpu.machine import Machine
-from repro.collect.session import ProfileSession, SessionConfig
 
 
 class TestSampleConservation:

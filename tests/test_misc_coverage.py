@@ -5,11 +5,11 @@ import pytest
 
 from repro.alpha import regs
 from repro.alpha.assembler import assemble
+from repro.collect.driver import Driver, DriverConfig
+from repro.collect.session import ProfileSession, SessionConfig
 from repro.cpu.config import MachineConfig
 from repro.cpu.events import EventType
 from repro.cpu.machine import Machine
-from repro.collect.driver import Driver, DriverConfig
-from repro.collect.session import ProfileSession, SessionConfig
 
 
 class TestRegisters:

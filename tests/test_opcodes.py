@@ -3,8 +3,8 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.alpha.opcodes import (ISSUE_CLASSES, MASK64, OPCODES,
-                                 issue_class, _s64)
+from repro.alpha.opcodes import (ISSUE_CLASSES, MASK64, OPCODES, _s64,
+                                 issue_class)
 
 u64 = st.integers(min_value=0, max_value=MASK64)
 s_small = st.integers(min_value=-(1 << 40), max_value=1 << 40)

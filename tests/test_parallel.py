@@ -1,0 +1,176 @@
+"""The parallel shard runner and its deterministic reducer.
+
+The load-bearing guarantee: merging worker shards is a commutative,
+associative integer sum over (image, event, offset) keys, so worker
+count, scheduling, and merge order never change the profile -- the same
+invariant the paper's daemon relies on when draining per-CPU hash
+tables in arbitrary order.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collect.database import ProfileDatabase
+from repro.collect.driver import DriverConfig
+from repro.collect.parallel import (MergedProfiles, ParallelSessionRunner,
+                                    ShardSpec, merge_periods, merge_shards,
+                                    run_shard, shard_matrix)
+from repro.collect.session import SessionConfig
+from repro.cpu.events import EventType
+
+BUDGET = 15_000
+
+
+@pytest.fixture(scope="module")
+def shard_results():
+    """Three real shards, run once in-process and reused by the tests."""
+    shards = shard_matrix(["mccalpin-assign", "gcc"], seeds=(1,),
+                          modes=("default",), max_instructions=BUDGET)
+    shards.append(ShardSpec(workload="mccalpin-assign", seed=2,
+                            mode="cycles", max_instructions=BUDGET))
+    return [run_shard(spec) for spec in shards]
+
+
+def merged_bytes(results):
+    merged = MergedProfiles(merge_shards(results), merge_periods(results))
+    return merged.encode_all()
+
+
+# -- order-independence on real profiling shards ---------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(order=st.permutations(range(3)))
+def test_merge_order_never_changes_profile(shard_results, order):
+    """Any merge order yields byte-identical canonical profiles."""
+    baseline = merged_bytes(shard_results)
+    shuffled = [shard_results[i] for i in order]
+    assert merged_bytes(shuffled) == baseline
+
+
+def test_merge_is_associative_on_real_shards(shard_results):
+    """Reducing partial merges equals reducing everything at once."""
+    left = merge_shards(shard_results[:1])
+    right = merge_shards(shard_results[1:])
+    assert merge_shards([left, right]) == merge_shards(shard_results)
+
+
+# -- order-independence on synthetic sample maps (hypothesis) --------------
+
+
+def _profile_maps():
+    offsets = st.integers(min_value=0, max_value=64).map(lambda n: n * 4)
+    by_offset = st.dictionaries(offsets, st.integers(1, 1_000), max_size=6)
+    by_event = st.dictionaries(
+        st.sampled_from((EventType.CYCLES, EventType.IMISS)),
+        by_offset, max_size=2)
+    return st.dictionaries(st.sampled_from(("libc", "vmunix", "app")),
+                           by_event, max_size=3)
+
+
+@settings(max_examples=80, deadline=None)
+@given(shards=st.lists(_profile_maps(), max_size=6), data=st.data())
+def test_reducer_is_order_and_grouping_independent(shards, data):
+    expected = merge_shards(shards)
+    order = data.draw(st.permutations(range(len(shards))))
+    assert merge_shards([shards[i] for i in order]) == expected
+    if shards:
+        split = data.draw(st.integers(0, len(shards)))
+        regrouped = [merge_shards(shards[:split]),
+                     merge_shards(shards[split:])]
+        assert merge_shards(regrouped) == expected
+
+
+# -- parallel vs serial byte-identity --------------------------------------
+
+
+def test_pool_run_matches_serial_run_byte_identical():
+    """A 4-worker pool and a serial loop produce identical databases."""
+    shards = shard_matrix(["mccalpin-assign", "gcc"], seeds=(1, 2),
+                          modes=("default",), max_instructions=BUDGET)
+    serial = ParallelSessionRunner(workers=1).run(shards)
+    pooled = ParallelSessionRunner(workers=4).run(shards)
+    assert serial.merged.encode_all() == pooled.merged.encode_all()
+    assert serial.merged.total() == pooled.merged.total() > 0
+    assert [r.spec for r in pooled.shards] == shards
+    assert pooled.total_instructions() == serial.total_instructions()
+
+
+def test_shard_results_are_picklable(shard_results):
+    for result in shard_results:
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.profiles == result.profiles
+        assert clone.spec == result.spec
+
+
+# -- merged-profile persistence and stats ----------------------------------
+
+
+def test_merged_profiles_save_and_reload(tmp_path, shard_results):
+    merged = MergedProfiles(merge_shards(shard_results),
+                            merge_periods(shard_results))
+    database = ProfileDatabase(str(tmp_path / "db"))
+    merged.save(database)
+    image = merged.images()[0]
+    event = sorted(merged.counts[image], key=str)[0]
+    counts, _ = database.load(image, event)
+    assert counts == merged.counts[image][event]
+
+
+def test_merged_profiles_save_accepts_path(tmp_path, shard_results):
+    merged = MergedProfiles(merge_shards(shard_results),
+                            merge_periods(shard_results))
+    root = str(tmp_path / "db_from_path")
+    merged.save(root)  # the README's documented form
+    image = merged.images()[0]
+    event = sorted(merged.counts[image], key=str)[0]
+    counts, _ = ProfileDatabase(root).load(image, event)
+    assert counts == merged.counts[image][event]
+
+
+def test_shard_overhead_requires_baseline():
+    spec = ShardSpec(workload="mccalpin-assign", seed=1,
+                     max_instructions=BUDGET, baseline=True)
+    result = run_shard(spec)
+    overhead = result.overhead_pct()
+    assert overhead is not None
+    assert -1.0 < overhead < 10.0
+    no_base = run_shard(ShardSpec(workload="mccalpin-assign", seed=1,
+                                  max_instructions=BUDGET))
+    assert no_base.overhead_pct() is None
+
+
+def test_shard_matrix_covers_cross_product():
+    shards = shard_matrix(["gcc", "dss"], seeds=(1, 2, 3),
+                          modes=("cycles", "mux"))
+    assert len(shards) == 12
+    assert len({s.label() for s in shards}) == 12
+
+
+# -- SessionConfig validation (typed-Optional fix) -------------------------
+
+
+def test_session_config_rejects_bad_mode():
+    with pytest.raises(ValueError, match="unknown session mode"):
+        SessionConfig(mode="turbo").make_driver_config()
+
+
+def test_session_config_rejects_bad_driver_type():
+    with pytest.raises(TypeError, match="DriverConfig"):
+        SessionConfig(driver="not-a-config").make_driver_config()
+
+
+def test_session_config_rejects_bad_db_root_type():
+    with pytest.raises(TypeError, match="db_root"):
+        SessionConfig(db_root=42).make_driver_config()
+
+
+def test_session_config_accepts_explicit_driver():
+    config = SessionConfig(mode="cycles",
+                           driver=DriverConfig(buckets=128))
+    driver_config = config.make_driver_config()
+    assert driver_config.buckets == 128
+    assert driver_config.mode == "cycles"

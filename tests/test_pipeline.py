@@ -2,12 +2,11 @@
 
 import pytest
 
+from conftest import run_asm
 from repro.alpha.assembler import assemble
 from repro.cpu.config import MachineConfig
 from repro.cpu.events import EventType
 from repro.cpu.machine import Machine
-
-from conftest import run_asm
 
 
 def wrap(body, name="main", image="t.prog", data=""):
@@ -24,7 +23,8 @@ def gt_for(machine, image, op_index):
 
 class TestBasicExecution:
     def test_straight_line_executes_once(self):
-        machine, image = run_asm(wrap("    addq t0, 1, t0\n    addq t0, 2, t1"))
+        machine, image = run_asm(
+            wrap("    addq t0, 1, t0\n    addq t0, 2, t1"))
         assert machine.gt_count[image.instructions[0].addr] == 1
         assert machine.processes[0].exited
 
@@ -212,15 +212,14 @@ top:
 
 class TestSampling:
     def test_cycles_samples_proportional_to_head_time(self):
-        from repro.collect.session import ProfileSession, SessionConfig
         from conftest import make_copy_workload
+        from repro.collect.session import ProfileSession, SessionConfig
 
         session = ProfileSession(
             MachineConfig(),
             SessionConfig(cycles_period=(60, 64), event_period=32, seed=5))
         result = session.run(make_copy_workload(n=4000))
         machine = result.machine
-        image = result.daemon.images["copy.prog"]
         profile = result.profile_for("copy.prog")
         samples = profile.samples_by_addr(EventType.CYCLES)
         period = 62.0
@@ -231,8 +230,8 @@ class TestSampling:
         assert abs(samples[hot_addr] * period - true_head) / true_head < 0.25
 
     def test_total_samples_close_to_cycles_over_period(self):
-        from repro.collect.session import ProfileSession, SessionConfig
         from conftest import make_copy_workload
+        from repro.collect.session import ProfileSession, SessionConfig
 
         session = ProfileSession(
             MachineConfig(),

@@ -1,8 +1,6 @@
 """Execution tests for less-common opcodes running through the full
 pipeline (semantics + timing integration)."""
 
-import pytest
-
 from conftest import run_asm
 
 MASK64 = (1 << 64) - 1

@@ -1,7 +1,5 @@
 """Tests for the instruction stream buffer (sequential prefetch)."""
 
-import pytest
-
 from repro.alpha.assembler import assemble
 from repro.cpu.config import MachineConfig
 from repro.cpu.events import EventType

@@ -2,7 +2,7 @@
 
 from repro.alpha.assembler import assemble
 from repro.core.cfg import build_cfg
-from repro.core.schedule import schedule_block, schedule_cfg
+from repro.core.schedule import schedule_cfg
 
 
 def schedule_for(body):

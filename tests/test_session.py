@@ -2,11 +2,10 @@
 
 import pytest
 
+from conftest import make_copy_workload
+from repro.collect.session import ProfileSession, SessionConfig
 from repro.cpu.config import MachineConfig
 from repro.cpu.events import EventType
-from repro.collect.session import ProfileSession, SessionConfig
-
-from conftest import make_copy_workload
 
 
 def make_session(**overrides):

@@ -1,11 +1,9 @@
 """Tests for the SPEC-like workload suites."""
 
-import pytest
-
+from repro.collect.session import ProfileSession, SessionConfig
 from repro.cpu.config import MachineConfig
 from repro.cpu.events import EventType
 from repro.cpu.machine import Machine
-from repro.collect.session import ProfileSession, SessionConfig
 from repro.workloads import specfp, specint
 
 

@@ -2,16 +2,14 @@
 
 import pytest
 
-from repro.cpu.config import MachineConfig
-from repro.cpu.events import EventType
+from conftest import make_copy_workload
 from repro.collect.session import ProfileSession, SessionConfig
+from repro.cpu.config import MachineConfig
 from repro.tools.dcpicalc import dcpicalc
 from repro.tools.dcpidiff import dcpidiff, diff_rows
 from repro.tools.dcpiprof import dcpiprof, procedure_table
 from repro.tools.dcpistats import dcpistats, stats_rows
 from repro.tools.dcpitopstalls import dcpitopstalls
-
-from conftest import make_copy_workload
 
 
 @pytest.fixture(scope="module")

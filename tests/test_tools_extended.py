@@ -2,13 +2,12 @@
 
 import pytest
 
+from conftest import make_copy_workload
+from repro.collect.session import ProfileSession, SessionConfig
 from repro.cpu.config import MachineConfig
 from repro.cpu.events import EventType
-from repro.collect.session import ProfileSession, SessionConfig
 from repro.tools.dcpicfg import dcpicfg
 from repro.tools.dcpix import dcpix, pixie_counts
-
-from conftest import make_copy_workload
 
 
 @pytest.fixture(scope="module")
@@ -36,8 +35,8 @@ class TestDcpix:
         profile = copy_result.profile_for("copy.prog")
         text = dcpix(image, profile)
         assert "# dcpix" in text
-        data_lines = [l for l in text.splitlines()
-                      if not l.startswith("#")]
+        data_lines = [line for line in text.splitlines()
+                      if not line.startswith("#")]
         assert data_lines
         for line in data_lines:
             addr, n, count = line.split()

@@ -2,13 +2,13 @@
 
 import pytest
 
+from repro.alpha.assembler import assemble
+from repro.core.cfg import build_cfg
 from repro.core.validate import (BUCKETS, bucketize, correlation,
                                  frequency_errors, true_edge_count,
                                  weight_within)
-from repro.core.cfg import build_cfg
 from repro.cpu.config import MachineConfig
 from repro.cpu.machine import Machine
-from repro.alpha.assembler import assemble
 
 BRANCHY = """
 .image v

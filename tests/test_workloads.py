@@ -3,11 +3,11 @@ sustain), and exhibit the profile shapes the paper attributes to them."""
 
 import pytest
 
+from repro.collect.session import ProfileSession, SessionConfig
 from repro.cpu.config import MachineConfig
 from repro.cpu.events import EventType
 from repro.cpu.machine import Machine
-from repro.collect.session import ProfileSession, SessionConfig
-from repro.workloads import mccalpin, x11perf, wave5, gcc, altavista, dss
+from repro.workloads import altavista, dss, gcc, mccalpin, wave5, x11perf
 from repro.workloads import timesharing
 from repro.workloads.generator import GeneratedProgram, generate_suite
 from repro.workloads.registry import get_workload, workload_names
