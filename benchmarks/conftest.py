@@ -30,6 +30,7 @@ import pytest
 
 from repro.collect.session import ProfileSession, SessionConfig
 from repro.cpu.config import MachineConfig
+from repro.obs import derive, merge_metrics
 
 RESULTS_DIR = os.environ.get(
     "DCPIBENCH_RESULTS",
@@ -42,7 +43,8 @@ FAST_PERIOD = (240, 256)
 EVENT_PERIOD = 64
 
 #: Schema version stamped into every BENCH_*.json result.
-BENCH_SCHEMA = 1
+#: 2: added the "obs" block (repro.obs derived self-monitoring metrics).
+BENCH_SCHEMA = 2
 
 QUICK = os.environ.get("DCPIBENCH_QUICK") == "1"
 _CLAMP = int(os.environ.get("DCPIBENCH_MAX_INSTRUCTIONS", "0")) or None
@@ -108,6 +110,10 @@ def _record_session(kind, workload, mode, seed, result):
         record["adjusted_cycles"] = (
             result.cycles + result.daemon.cycles * result.driver.cost_scale
             / len(result.machine.cores))
+        # Raw self-monitoring counts (repro.obs typed snapshot);
+        # summed across sessions at payload time so derived rates are
+        # exact, not averages of averages.
+        record["obs"] = result.metrics()
     _SESSIONS.append(record)
     return result
 
@@ -193,6 +199,23 @@ def _overheads(records):
     return overheads
 
 
+def _obs_block(profiled):
+    """Aggregate per-session obs snapshots into the payload's "obs"
+    block: merge the raw counts, derive rates from the merged totals,
+    and keep the aggregate (non-per-CPU) scalars."""
+    snapshots = [r["obs"] for r in profiled if r.get("obs")]
+    if not snapshots:
+        return None
+    flat = derive(merge_metrics(snapshots))
+    block = {}
+    for name, value in flat.items():
+        if name.startswith("driver.cpu"):
+            continue
+        block[name] = (round(value, 6)
+                       if isinstance(value, float) else value)
+    return block
+
+
 def _bench_payload(stem, tests, records):
     profiled = [r for r in records if r["kind"] == "profile"]
     overheads = _overheads(records)
@@ -207,7 +230,9 @@ def _bench_payload(stem, tests, records):
     if overheads:
         metrics["overhead_pct_mean"] = round(
             sum(overheads) / len(overheads), 4)
+    obs = _obs_block(profiled)
     return {
+        "obs": obs,
         "schema": BENCH_SCHEMA,
         "benchmark": stem,
         "file": "bench_%s.py" % stem,

@@ -32,11 +32,14 @@ PER_PROCESS = 512                 # loadmap list per active process
 class Daemon:
     """Extracts, maps and merges samples."""
 
-    def __init__(self, loader, periods=None, per_process_images=()):
+    def __init__(self, loader, periods=None, per_process_images=(),
+                 obs=None):
         """*periods* maps EventType -> mean sampling period (for the
         profile metadata the analysis needs).  *per_process_images*
         names images for which separate per-PID profiles are kept in
         addition to the merged ones (paper section 4.3)."""
+        from repro.obs import NULL_OBS
+
         self.loader = loader
         loader.add_listener(self.on_loadmap)
         self.periods = dict(periods or {})
@@ -53,6 +56,22 @@ class Daemon:
         self.drains = 0
         self.epoch = 0
         self._peak_resident = 0
+        #: Self-monitoring hooks (repro.obs); NULL_OBS is zero-cost.
+        self.obs = obs or NULL_OBS
+        self._resident_gauge = self.obs.gauge("daemon.resident_bytes")
+
+    def _touch_resident(self):
+        """Sample resident memory at an allocation-relevant point.
+
+        Called wherever the daemon's footprint can grow -- new
+        loadmaps, sample processing, drains -- so the recorded peak
+        cannot miss a spike that deflates (reaped process, closed
+        epoch) before the next drain ends.
+        """
+        resident = self.resident_bytes()
+        if resident > self._peak_resident:
+            self._peak_resident = resident
+        self._resident_gauge.set(resident)
 
     # -- loadmap path ------------------------------------------------------
 
@@ -61,6 +80,7 @@ class Daemon:
         self._maps.setdefault(event.pid, []).append(
             (event.image.base, event.image.end, event.image))
         self.images[event.image.name] = event.image
+        self._touch_resident()
 
     def reap(self, pid):
         """Forget a terminated process's mappings."""
@@ -78,7 +98,7 @@ class Daemon:
             edges = driver.flush_edges(cpu_id)
             if edges:
                 self._process_edges(edges)
-        self._peak_resident = max(self._peak_resident, self.resident_bytes())
+        self._touch_resident()
 
     def _process_edges(self, edges):
         """Merge double-sampling edge samples into image profiles.
@@ -119,6 +139,7 @@ class Daemon:
                     per_pid = ImageProfile(image, periods=self.periods)
                     self.process_profiles[key] = per_pid
                 per_pid.add(event, pc - image.base, count)
+        self._touch_resident()
 
     def _find_image(self, pid, pc):
         maps = self._maps.get(pid)
@@ -148,6 +169,9 @@ class Daemon:
 
     def merge_to_disk(self, database, epoch=None):
         """Write all in-memory profiles into *database*."""
+        # Sample the high-water mark before a following advance_epoch
+        # can clear the profiles it reflects.
+        self._touch_resident()
         if epoch is None:
             epoch = self.epoch
         for profile in self.profiles.values():
@@ -164,19 +188,24 @@ class Daemon:
         the new epoch number."""
         if database is not None:
             self.merge_to_disk(database)
+        else:
+            self._touch_resident()
         self.profiles = {}
         self.process_profiles = {}
         self.epoch += 1
+        self._resident_gauge.set(self.resident_bytes())
         return self.epoch
 
     # -- statistics --------------------------------------------------------
 
     def resident_bytes(self):
-        """Estimated resident memory of the daemon right now."""
-        entries = sum(
-            len(by_offset)
-            for profile in self.profiles.values()
-            for by_offset in profile.counts.values())
+        """Estimated resident memory of the daemon right now.
+
+        O(#profiles): each profile tracks its own entry count, so this
+        is cheap enough to sample at every allocation-relevant point.
+        """
+        entries = sum(profile.entry_count()
+                      for profile in self.profiles.values())
         return (BASE_RESIDENT
                 + PER_IMAGE * len(self.images)
                 + PER_PROFILE_ENTRY * entries
@@ -186,17 +215,13 @@ class Daemon:
         return max(self._peak_resident, self.resident_bytes())
 
     def stats(self):
-        samples = self.total_samples
-        return {
-            "samples": samples,
-            "entries": self.entries_processed,
-            "aggregation": samples / self.entries_processed
-            if self.entries_processed else 0.0,
-            "cycles": self.cycles,
-            "cost_per_sample": self.cycles / samples if samples else 0.0,
-            "unknown_samples": self.unknown_samples,
-            "unknown_fraction": self.unknown_samples / samples
-            if samples else 0.0,
-            "resident_bytes": self.resident_bytes(),
-            "peak_resident_bytes": self.peak_resident_bytes(),
-        }
+        """Backward-compatible view over :mod:`repro.obs.schema`."""
+        from repro.obs.schema import legacy_daemon_stats
+
+        return legacy_daemon_stats(self)
+
+    def metrics(self):
+        """Typed metric snapshot (normalized names, shard-mergeable)."""
+        from repro.obs.schema import daemon_metrics
+
+        return daemon_metrics(self)

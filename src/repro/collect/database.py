@@ -184,6 +184,11 @@ class ImageProfile:
         self.periods = periods or {}
         #: (from offset, to offset) -> edge samples (double sampling).
         self.edge_counts = {}
+        # Distinct (event, offset) entries, maintained incrementally so
+        # the daemon's resident-memory model stays O(#profiles) even
+        # when sampled at every allocation (repro.obs).
+        self._entries = sum(len(by_offset)
+                            for by_offset in self.counts.values())
 
     def add_edge(self, from_offset, to_offset, count):
         key = (from_offset, to_offset)
@@ -197,7 +202,15 @@ class ImageProfile:
 
     def add(self, event, offset, count):
         by_offset = self.counts.setdefault(event, {})
-        by_offset[offset] = by_offset.get(offset, 0) + count
+        if offset in by_offset:
+            by_offset[offset] += count
+        else:
+            by_offset[offset] = count
+            self._entries += 1
+
+    def entry_count(self):
+        """Distinct (event, offset) entries this profile holds."""
+        return self._entries
 
     def total(self, event):
         return sum(self.counts.get(event, {}).values())

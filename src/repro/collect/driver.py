@@ -35,6 +35,9 @@ JITTER_MASK = 63           # deterministic per-PC cache-behaviour jitter
 #: The paper's mean CYCLES sampling period (uniform on [60K, 64K]).
 PAPER_MEAN_PERIOD = 62 * 1024
 
+#: Histogram bounds for per-flush entry counts (repro.obs).
+FLUSH_BOUNDS = tuple(4 ** i for i in range(10))
+
 
 @dataclass
 class DriverConfig:
@@ -82,7 +85,7 @@ class _CpuState:
     """Per-CPU driver data (the paper's figure 5 'per-cpu data')."""
 
     __slots__ = ("table", "active", "shadow", "full", "dropped",
-                 "handler_cycles", "hit_cycles", "miss_cycles",
+                 "spills", "handler_cycles", "hit_cycles", "miss_cycles",
                  "hit_count", "miss_count", "samples", "cost_carry",
                  "edges", "edge_samples")
 
@@ -93,6 +96,7 @@ class _CpuState:
         self.shadow = []
         self.full = []
         self.dropped = 0
+        self.spills = 0
         self.handler_cycles = 0
         self.hit_cycles = 0
         self.miss_cycles = 0
@@ -108,7 +112,9 @@ class _CpuState:
 class Driver:
     """The performance-counter device driver."""
 
-    def __init__(self, num_cpus, config=None):
+    def __init__(self, num_cpus, config=None, obs=None):
+        from repro.obs import NULL_OBS
+
         self.config = config or DriverConfig()
         self.cost_scale = self.config.effective_cost_scale()
         self.cpus = [_CpuState(self.config) for _ in range(num_cpus)]
@@ -118,6 +124,8 @@ class Driver:
         self._mux_slot = None
         self._machine = None
         self.event_samples = {}
+        #: Self-monitoring hooks (repro.obs); NULL_OBS is zero-cost.
+        self.obs = obs or NULL_OBS
 
     # -- installation -----------------------------------------------------
 
@@ -225,6 +233,7 @@ class Driver:
 
     def _buffer_full(self, cpu_id, state):
         """Swap buffers and notify the daemon (paper section 4.2.1)."""
+        state.spills += 1
         state.full.append(state.active)
         # Swap to the other buffer of the pair; the daemon copies the
         # full one out asynchronously.
@@ -253,34 +262,29 @@ class Driver:
         entries.extend(state.active)
         state.active = []
         entries.extend(state.table.flush())
+        if self.obs.enabled:
+            self.obs.histogram("driver.flush.entries",
+                               bounds=FLUSH_BOUNDS).observe(len(entries))
         return entries
 
     # -- statistics ----------------------------------------------------------
 
     def stats(self):
-        """Aggregate per-CPU statistics (the Table 4 inputs)."""
-        total_samples = sum(s.samples for s in self.cpus)
-        hits = sum(s.hit_count for s in self.cpus)
-        misses = sum(s.miss_count for s in self.cpus)
-        hit_cycles = sum(s.hit_cycles for s in self.cpus)
-        miss_cycles = sum(s.miss_cycles for s in self.cpus)
-        handler = sum(s.handler_cycles for s in self.cpus)
-        evictions = sum(s.table.evictions for s in self.cpus)
-        return {
-            "samples": total_samples,
-            "hits": hits,
-            "misses": misses,
-            "miss_rate": misses / total_samples if total_samples else 0.0,
-            "eviction_rate": (evictions / total_samples
-                              if total_samples else 0.0),
-            "avg_cost": handler / total_samples if total_samples else 0.0,
-            "avg_hit_cost": hit_cycles / hits if hits else 0.0,
-            "avg_miss_cost": miss_cycles / misses if misses else 0.0,
-            "handler_cycles": handler,
-            "edge_samples": sum(s.edge_samples for s in self.cpus),
-            "dropped": sum(s.dropped for s in self.cpus),
-            "kernel_memory_bytes": self.kernel_memory_bytes(),
-        }
+        """Aggregate per-CPU statistics (the Table 4 inputs).
+
+        A backward-compatible view over the normalized schema in
+        :mod:`repro.obs.schema`; new code should prefer
+        :meth:`metrics`.
+        """
+        from repro.obs.schema import legacy_driver_stats
+
+        return legacy_driver_stats(self)
+
+    def metrics(self):
+        """Typed metric snapshot (normalized names, shard-mergeable)."""
+        from repro.obs.schema import driver_metrics
+
+        return driver_metrics(self)
 
     def kernel_memory_bytes(self):
         """Non-pageable kernel memory: tables + overflow buffer pairs."""

@@ -28,6 +28,7 @@ from repro.collect.database import (FORMAT_COMPACT, ProfileDatabase,
                                     encode_profile)
 from repro.collect.session import ProfileSession, SessionConfig
 from repro.cpu.config import MachineConfig
+from repro.obs import ObsConfig, merge_metrics
 
 
 @dataclass(frozen=True)
@@ -46,6 +47,9 @@ class ShardSpec:
     event_period: int = 64
     #: also run the unprofiled baseline (same seed) for overhead math.
     baseline: bool = False
+    #: run with self-monitoring enabled (repro.obs): the shard ships
+    #: back its trace spans and a richer metric registry.
+    obs: bool = False
 
     def label(self):
         return "%s/seed%d/%s" % (self.workload, self.seed, self.mode)
@@ -67,6 +71,11 @@ class ShardResult:
     baseline_cycles: Optional[int] = None
     baseline_instructions: Optional[int] = None
     elapsed: float = 0.0
+    #: typed self-monitoring snapshot (repro.obs.schema names), always
+    #: present; reduced across shards exactly like the profiles.
+    obs: Optional[dict] = None
+    #: Chrome-trace events of the shard's run (obs-enabled shards).
+    trace_events: Optional[list] = None
 
     @property
     def samples(self):
@@ -107,7 +116,8 @@ def run_shard(spec):
         machine_config,
         SessionConfig(mode=spec.mode, seed=spec.seed,
                       cycles_period=spec.cycles_period,
-                      event_period=spec.event_period))
+                      event_period=spec.event_period,
+                      obs=ObsConfig(enabled=True) if spec.obs else None))
     result = session.run(workload, max_instructions=spec.max_instructions)
     export = result.export_mergeable()
     stats = export["stats"]
@@ -132,7 +142,11 @@ def run_shard(spec):
         cycles=result.cycles,
         baseline_cycles=baseline_cycles,
         baseline_instructions=baseline_instructions,
-        elapsed=time.perf_counter() - started)
+        elapsed=time.perf_counter() - started,
+        obs=export["obs"],
+        trace_events=(list(result.obs.trace.events)
+                      if result.obs.enabled and result.obs.trace.enabled
+                      else None))
 
 
 def merge_shards(shards):
@@ -155,6 +169,18 @@ def merge_shards(shards):
                 for offset, count in by_offset.items():
                     dest[offset] = dest.get(offset, 0) + count
     return merged
+
+
+def merge_shard_obs(shards):
+    """Reduce per-shard metric registries into one typed snapshot.
+
+    Counters sum, gauges keep the maximum, histograms add bucket-wise
+    (:func:`repro.obs.merge_metrics`) -- commutative and associative,
+    so the reduced registry is independent of shard order and grouping
+    exactly like the profile merge.
+    """
+    return merge_metrics([getattr(shard, "obs", shard)
+                          for shard in shards])
 
 
 def merge_periods(shards):
@@ -232,6 +258,10 @@ class ParallelRunResult:
     merged: MergedProfiles
     workers: int
     elapsed: float = 0.0
+    #: wall-clock cost of the shard reduction (profiles + registries).
+    merge_s: float = 0.0
+    #: shard metric registries reduced into one typed snapshot.
+    obs: Optional[dict] = None
 
     def by_label(self):
         return {shard.spec.label(): shard for shard in self.shards}
@@ -288,11 +318,15 @@ class ParallelSessionRunner:
         shards = list(shards)
         started = time.perf_counter()
         results = self.map(run_shard, shards)
+        merge_started = time.perf_counter()
         merged = MergedProfiles(merge_shards(results),
                                 merge_periods(results))
+        obs = merge_shard_obs(results)
+        merge_s = time.perf_counter() - merge_started
         return ParallelRunResult(
             shards=results, merged=merged, workers=self.workers,
-            elapsed=time.perf_counter() - started)
+            elapsed=time.perf_counter() - started,
+            merge_s=merge_s, obs=obs)
 
 
 def shard_matrix(workloads, seeds=(1,), modes=("default",),

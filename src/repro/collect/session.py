@@ -22,6 +22,7 @@ from repro.collect.driver import Driver, DriverConfig
 from repro.cpu.config import MachineConfig
 from repro.cpu.events import EventType
 from repro.cpu.machine import Machine
+from repro.obs import NULL_OBS, ObsConfig, merge_metrics, session_metrics
 
 #: Collection modes a session understands (paper sections 4.2 and 6).
 SESSION_MODES = ("cycles", "default", "mux")
@@ -45,6 +46,17 @@ class SessionConfig:
     db_root: Optional[str] = None
     log_trace: bool = False
     driver: Optional[DriverConfig] = None
+    #: Self-monitoring (repro.obs); None or disabled means zero-cost.
+    obs: Optional[ObsConfig] = None
+
+    def make_obs(self):
+        """Build the session's Observability (NULL_OBS when off)."""
+        if self.obs is None:
+            return NULL_OBS
+        if not isinstance(self.obs, ObsConfig):
+            raise TypeError("SessionConfig.obs must be an ObsConfig or "
+                            "None, not %r" % type(self.obs).__name__)
+        return self.obs.build()
 
     def make_driver_config(self):
         if self.mode not in SESSION_MODES:
@@ -76,13 +88,14 @@ class SessionResult:
     """Everything a profiling run produced."""
 
     def __init__(self, machine, driver, daemon, database,
-                 instructions, cycles):
+                 instructions, cycles, obs=NULL_OBS):
         self.machine = machine
         self.driver = driver
         self.daemon = daemon
         self.database = database
         self.instructions = instructions
         self.cycles = cycles
+        self.obs = obs
 
     @property
     def profiles(self):
@@ -102,13 +115,25 @@ class SessionResult:
         return self.driver.event_samples.get(event, 0)
 
     def stats(self):
-        """Combined driver + daemon statistics."""
+        """Combined driver + daemon statistics (legacy key names)."""
         stats = {"instructions": self.instructions, "cycles": self.cycles}
         stats.update({"driver_" + k: v
                       for k, v in self.driver.stats().items()})
         stats.update({"daemon_" + k: v
                       for k, v in self.daemon.stats().items()})
         return stats
+
+    def metrics(self):
+        """Typed self-monitoring snapshot under the normalized schema.
+
+        Always available -- the schema half reads counters the
+        collection system maintains anyway; the live registry (drain
+        timings, resident-gauge peaks) is merged in when the session
+        ran with observability enabled.  Mergeable across shards via
+        :func:`repro.obs.merge_metrics`.
+        """
+        return merge_metrics([session_metrics(self),
+                              self.obs.registry.to_dict()])
 
     def export_mergeable(self):
         """Everything a parallel worker ships back, as plain dicts.
@@ -121,6 +146,7 @@ class SessionResult:
             "profiles": self.daemon.export_profiles(),
             "periods": dict(self.daemon.periods),
             "stats": self.stats(),
+            "obs": self.metrics(),
         }
 
 
@@ -165,41 +191,52 @@ class ProfileSession:
         fixes absolute addresses per machine).
         """
         config = self.config
-        machine = Machine(self.machine_config,
-                          seed=seed if seed is not None else config.seed)
-        driver = Driver(self.machine_config.num_cpus,
-                        config.make_driver_config())
-        driver.install(machine)
-        # The daemon subscribes to loadmap events before any process is
-        # spawned (the paper's daemon additionally scans already-running
-        # processes at startup; our fallback path in _find_image covers
-        # that case).
-        daemon = Daemon(machine.loader, periods=self._periods(),
-                        per_process_images=config.per_process_images)
-        self._setup(workload, machine)
-        database = (ProfileDatabase(config.db_root)
-                    if config.db_root else None)
+        obs = config.make_obs()
+        started = obs.clock() if obs.enabled else None
+        with obs.span("session.setup"):
+            machine = Machine(self.machine_config,
+                              seed=seed if seed is not None else config.seed)
+            driver = Driver(self.machine_config.num_cpus,
+                            config.make_driver_config(), obs=obs)
+            driver.install(machine)
+            # The daemon subscribes to loadmap events before any process
+            # is spawned (the paper's daemon additionally scans already-
+            # running processes at startup; our fallback path in
+            # _find_image covers that case).
+            daemon = Daemon(machine.loader, periods=self._periods(),
+                            per_process_images=config.per_process_images,
+                            obs=obs)
+            self._setup(workload, machine)
+            database = (ProfileDatabase(config.db_root)
+                        if config.db_root else None)
 
         total = 0
-        while True:
-            chunk = config.drain_interval
-            if max_instructions is not None:
-                chunk = min(chunk, max_instructions - total)
-                if chunk <= 0:
+        with obs.span("session.execute"):
+            while True:
+                chunk = config.drain_interval
+                if max_instructions is not None:
+                    chunk = min(chunk, max_instructions - total)
+                    if chunk <= 0:
+                        break
+                with obs.timeit("session.chunk_s"):
+                    ran = machine.run(max_instructions=chunk)
+                total += ran
+                with obs.timeit("session.drain_s"):
+                    daemon.drain(driver)
+                driver.rotate_mux()
+                for proc in machine.processes:
+                    if proc.exited:
+                        daemon.reap(proc.pid)
+                if ran == 0:
                     break
-            ran = machine.run(max_instructions=chunk)
-            total += ran
-            daemon.drain(driver)
-            driver.rotate_mux()
-            for proc in machine.processes:
-                if proc.exited:
-                    daemon.reap(proc.pid)
-            if ran == 0:
-                break
         if database is not None:
-            daemon.merge_to_disk(database)
+            with obs.span("session.merge_to_disk"):
+                daemon.merge_to_disk(database)
+        if obs.enabled:
+            obs.gauge("session.wall_s").set(obs.clock() - started)
+            obs.finish()
         return SessionResult(machine, driver, daemon, database,
-                             total, machine.time)
+                             total, machine.time, obs=obs)
 
     def run_baseline(self, workload, max_instructions=None, seed=None):
         """Run *workload* without any profiling (same seed, same stream)."""

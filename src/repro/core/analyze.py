@@ -24,6 +24,9 @@ class AnalysisConfig:
     # Section 6.1.4's experimental global constraint solver: adjust the
     # estimates where they violate flow constraints.
     global_solver: bool = False
+    # Self-monitoring (a repro.obs Observability): every pass runs
+    # under a trace span and registers its counters.  None = disabled.
+    obs: object = None
 
 
 class InstructionAnalysis:
@@ -106,37 +109,45 @@ def analyze_procedure(image, proc, profile, config=None):
         profile: the image's :class:`ImageProfile`.
         config: optional :class:`AnalysisConfig`.
     """
+    from repro.obs import NULL_OBS
+
     config = config or AnalysisConfig()
+    obs = config.obs or NULL_OBS
     if isinstance(proc, str):
         proc = image.procedure(proc)
     period = profile.periods.get(EventType.CYCLES, 1.0)
     samples = profile.samples_for(proc, EventType.CYCLES)
 
-    cfg = build_cfg(proc)
-    schedules = schedule_cfg(cfg)
-    edge_samples = (profile.edges_by_addr()
-                    if profile.edge_counts else None)
-    freq = estimate_frequencies(cfg, schedules, samples, period,
-                                config.frequency,
-                                edge_samples=edge_samples)
-    if config.global_solver:
-        from repro.core.solver import refine_global
+    with obs.span("analyze.procedure", proc=proc.name):
+        cfg = build_cfg(proc, obs=obs)
+        schedules = schedule_cfg(cfg, obs=obs)
+        edge_samples = (profile.edges_by_addr()
+                        if profile.edge_counts else None)
+        freq = estimate_frequencies(cfg, schedules, samples, period,
+                                    config.frequency,
+                                    edge_samples=edge_samples, obs=obs)
+        if config.global_solver:
+            from repro.core.solver import refine_global
 
-        refine_global(cfg, freq.classes, freq)
-    culprits = identify_culprits(cfg, schedules, freq, samples, profile,
-                                 proc, config.dyn_threshold)
+            refine_global(cfg, freq.classes, freq, obs=obs)
+        culprits = identify_culprits(cfg, schedules, freq, samples,
+                                     profile, proc, config.dyn_threshold,
+                                     obs=obs)
 
-    instructions = []
-    for block in cfg.blocks:
-        count = freq.block_count(block.index)
-        confidence = freq.block_confidence(block.index)
-        for row in schedules[block.index].rows:
-            addr = row.inst.addr
-            s = samples.get(addr, 0)
-            cpi = s * period / count if count > 0 else 0.0
-            instructions.append(InstructionAnalysis(
-                row.inst, s, row.m, count, cpi, row.stalls,
-                culprits.get(addr, []), row.paired, confidence))
+        with obs.span("analyze.attribute", proc=proc.name):
+            instructions = []
+            for block in cfg.blocks:
+                count = freq.block_count(block.index)
+                confidence = freq.block_confidence(block.index)
+                for row in schedules[block.index].rows:
+                    addr = row.inst.addr
+                    s = samples.get(addr, 0)
+                    cpi = s * period / count if count > 0 else 0.0
+                    instructions.append(InstructionAnalysis(
+                        row.inst, s, row.m, count, cpi, row.stalls,
+                        culprits.get(addr, []), row.paired, confidence))
+    obs.counter("analyze.procedures").inc()
+    obs.counter("analyze.instructions").inc(len(instructions))
     return ProcedureAnalysis(image, proc, profile, cfg, schedules, freq,
                              instructions, period)
 

@@ -102,13 +102,26 @@ def _bridge_labels(graph):
     return found
 
 
-def compute_equivalence(cfg):
+def compute_equivalence(cfg, obs=None):
     """Compute cycle-equivalence classes of blocks and edges of *cfg*.
 
     With missing CFG edges (unresolved indirect jumps) flow conservation
     cannot be trusted, so every block and edge is its own class, exactly
-    as in the paper.
+    as in the paper.  *obs* (optional
+    :class:`repro.obs.Observability`) wraps the pass in an
+    ``analyze.equivalence`` span and counts the resulting classes.
     """
+    from repro.obs import NULL_OBS
+
+    obs = obs or NULL_OBS
+    with obs.span("analyze.equivalence", proc=cfg.proc.name):
+        classes = _compute_equivalence(cfg)
+    obs.counter("analyze.equivalence.classes").inc(len(classes.members))
+    obs.counter("analyze.equivalence.zero_flow").inc(len(classes.zero))
+    return classes
+
+
+def _compute_equivalence(cfg):
     nodes = ([block.index for block in cfg.blocks]
              + [("e", edge.index) for edge in cfg.edges])
     if cfg.missing_edges:

@@ -1,0 +1,313 @@
+"""Self-monitoring metrics: counters, gauges, histograms, registries.
+
+The collection system's credibility rests on measuring its own cost
+(paper section 5 quantifies overhead, daemon memory and hash-table
+behavior); this module is the substrate those measurements flow
+through.  Three metric kinds cover everything the self-profile needs:
+
+* :class:`Counter`   -- monotonically increasing totals (samples,
+  misses, spills).  Shard merge: sum.
+* :class:`Gauge`     -- instantaneous levels with a tracked peak
+  (daemon resident bytes).  Shard merge: max.
+* :class:`Histogram` -- distributions over fixed bucket bounds (drain
+  and merge latencies).  Shard merge: bucket-wise sum.
+
+All merges are commutative and associative, so per-shard registries
+reduce in any order -- the same invariant
+:func:`repro.collect.parallel.merge_shards` relies on for profiles.
+
+Time never enters implicitly: registries take an injected ``clock``
+(used only by :meth:`MetricsRegistry.timeit`), and the disabled path
+(:data:`NULL_REGISTRY`) reads no clock at all, so instrumented hot
+paths stay zero-cost when observability is off.
+"""
+
+import time
+from contextlib import contextmanager
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+#: Default histogram bounds (seconds): exponential ladder from 100us
+#: to ~100s, wide enough for both a single drain and a full analysis.
+DEFAULT_BOUNDS = tuple(10.0 ** e * m
+                       for e in range(-4, 3) for m in (1.0, 2.5, 5.0))
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+    kind = COUNTER
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount=1):
+        self.value += amount
+
+    def snapshot(self):
+        return {"type": COUNTER, "value": self.value}
+
+
+class Gauge:
+    """An instantaneous level plus its high-water mark."""
+
+    __slots__ = ("name", "value", "peak")
+    kind = GAUGE
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+        self.peak = 0
+
+    def set(self, value):
+        self.value = value
+        if value > self.peak:
+            self.peak = value
+
+    def snapshot(self):
+        return {"type": GAUGE, "value": self.value, "peak": self.peak}
+
+
+class Histogram:
+    """A distribution over fixed, explicit bucket bounds."""
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total",
+                 "min", "max")
+    kind = HISTOGRAM
+
+    def __init__(self, name, bounds=DEFAULT_BOUNDS):
+        self.name = name
+        self.bounds = tuple(sorted(bounds))
+        # One bucket per bound (value <= bound) plus the overflow.
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value):
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.buckets[i] += 1
+                return
+        self.buckets[-1] += 1
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self):
+        return {
+            "type": HISTOGRAM,
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class _NullMetric:
+    """Accepts every metric method as a no-op (disabled path)."""
+
+    __slots__ = ()
+
+    def inc(self, amount=1):
+        pass
+
+    def set(self, value):
+        pass
+
+    def observe(self, value):
+        pass
+
+
+NULL_METRIC = _NullMetric()
+
+
+class _NullContext:
+    """A reusable, allocation-free null context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+NULL_CONTEXT = _NullContext()
+
+_KIND_FACTORIES = {COUNTER: Counter, GAUGE: Gauge, HISTOGRAM: Histogram}
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use, snapshotted as plain dicts.
+
+    The snapshot form (:meth:`to_dict`) is what crosses process
+    boundaries: plain picklable/JSONable dicts that
+    :func:`merge_metrics` reduces order-independently.
+    """
+
+    enabled = True
+
+    def __init__(self, clock=None):
+        self._metrics = {}
+        self._clock = clock or time.perf_counter
+
+    def _get(self, name, kind, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = _KIND_FACTORIES[kind](name, **kwargs)
+            self._metrics[name] = metric
+        elif metric.kind != kind:
+            raise TypeError("metric %r already registered as %s, not %s"
+                            % (name, metric.kind, kind))
+        return metric
+
+    def counter(self, name):
+        return self._get(name, COUNTER)
+
+    def gauge(self, name):
+        return self._get(name, GAUGE)
+
+    def histogram(self, name, bounds=DEFAULT_BOUNDS):
+        return self._get(name, HISTOGRAM, bounds=bounds)
+
+    @contextmanager
+    def timeit(self, name):
+        """Time a block into histogram *name* (seconds)."""
+        histogram = self.histogram(name)
+        started = self._clock()
+        try:
+            yield
+        finally:
+            histogram.observe(self._clock() - started)
+
+    def __contains__(self, name):
+        return name in self._metrics
+
+    def names(self):
+        return sorted(self._metrics)
+
+    def to_dict(self):
+        """{name: typed snapshot} -- plain, picklable, mergeable."""
+        return {name: metric.snapshot()
+                for name, metric in sorted(self._metrics.items())}
+
+
+class NullRegistry:
+    """The disabled registry: every lookup returns the null metric."""
+
+    enabled = False
+
+    def counter(self, name):
+        return NULL_METRIC
+
+    def gauge(self, name):
+        return NULL_METRIC
+
+    def histogram(self, name, bounds=DEFAULT_BOUNDS):
+        return NULL_METRIC
+
+    def timeit(self, name):
+        return NULL_CONTEXT
+
+    def __contains__(self, name):
+        return False
+
+    def names(self):
+        return []
+
+    def to_dict(self):
+        return {}
+
+
+NULL_REGISTRY = NullRegistry()
+
+
+def _merge_two(dest, entry):
+    kind = entry["type"]
+    if dest["type"] != kind:
+        raise TypeError("cannot merge %s into %s" % (kind, dest["type"]))
+    if kind == COUNTER:
+        dest["value"] += entry["value"]
+    elif kind == GAUGE:
+        dest["value"] = max(dest["value"], entry["value"])
+        dest["peak"] = max(dest.get("peak", dest["value"]),
+                           entry.get("peak", entry["value"]))
+    elif kind == HISTOGRAM:
+        if list(dest["bounds"]) != list(entry["bounds"]):
+            raise ValueError("histogram bounds disagree")
+        dest["buckets"] = [a + b for a, b in zip(dest["buckets"],
+                                                 entry["buckets"])]
+        dest["count"] += entry["count"]
+        dest["total"] += entry["total"]
+        mins = [m for m in (dest["min"], entry["min"]) if m is not None]
+        maxs = [m for m in (dest["max"], entry["max"]) if m is not None]
+        dest["min"] = min(mins) if mins else None
+        dest["max"] = max(maxs) if maxs else None
+    else:
+        raise TypeError("unknown metric type %r" % kind)
+    return dest
+
+
+def merge_metrics(snapshots):
+    """Reduce registry snapshots into one; order never matters.
+
+    Counters sum, gauges keep the maximum (value and peak), histograms
+    sum bucket-wise -- each a commutative, associative reduction, so
+    any permutation or regrouping of *snapshots* gives the same result
+    (property-tested in ``tests/test_obs_parallel.py``).  Accepts
+    snapshot dicts or objects with a ``to_dict`` method.
+    """
+    merged = {}
+    for snapshot in snapshots:
+        if snapshot is None:
+            continue
+        if hasattr(snapshot, "to_dict"):
+            snapshot = snapshot.to_dict()
+        for name, entry in snapshot.items():
+            dest = merged.get(name)
+            if dest is None:
+                merged[name] = {key: (list(value)
+                                      if isinstance(value, list) else value)
+                                for key, value in entry.items()}
+            else:
+                _merge_two(dest, entry)
+    return merged
+
+
+def flatten_metrics(snapshot):
+    """Collapse a typed snapshot into {name: scalar} for display/JSON.
+
+    Counters and gauges flatten to their value (gauges additionally
+    emit ``<name>.peak``); histograms emit count/mean/max.
+    """
+    flat = {}
+    for name, entry in snapshot.items():
+        kind = entry["type"]
+        if kind == COUNTER:
+            flat[name] = entry["value"]
+        elif kind == GAUGE:
+            flat[name] = entry["value"]
+            flat[name + ".peak"] = entry.get("peak", entry["value"])
+        elif kind == HISTOGRAM:
+            count = entry["count"]
+            flat[name + ".count"] = count
+            flat[name + ".mean"] = (entry["total"] / count) if count else 0.0
+            if entry["max"] is not None:
+                flat[name + ".max"] = entry["max"]
+    return flat

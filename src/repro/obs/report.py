@@ -1,0 +1,125 @@
+"""Rendering for the ``dcpimon`` self-profile report.
+
+Takes the derived flat metrics (:func:`repro.obs.schema.derive`), the
+per-shard run facts, and the span aggregation
+(:func:`repro.obs.trace.span_durations`) and renders the terminal
+report: collection rates, per-CPU spill pressure, daemon memory, shard
+wall times, and the per-analysis-phase time breakdown.
+"""
+
+import re
+
+_CPU_KEY = re.compile(r"^driver\.cpu(\d+)\.(.+)$")
+
+
+def _fmt_bytes(value):
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(value) < 1024 or unit == "GB":
+            return ("%d %s" % (value, unit) if unit == "B"
+                    else "%.1f %s" % (value, unit))
+        value /= 1024.0
+    return "%d B" % value
+
+
+def _fmt_pct(ratio):
+    return "%.2f%%" % (ratio * 100.0)
+
+
+def per_cpu_rows(flat):
+    """[{cpu, samples, spills, evictions}] from the flat metrics."""
+    by_cpu = {}
+    for name, value in flat.items():
+        match = _CPU_KEY.match(name)
+        if match:
+            by_cpu.setdefault(int(match.group(1)), {})[
+                match.group(2)] = value
+    return [{"cpu": cpu,
+             "samples": values.get("samples", 0),
+             "spills": values.get("overflow.spills", 0),
+             "evictions": values.get("hash.evictions", 0)}
+            for cpu, values in sorted(by_cpu.items())]
+
+
+def render_report(flat, shards=(), merge_s=None, phases=None,
+                  title="self-profile"):
+    """Render the full dcpimon report; returns the text."""
+    lines = ["dcpimon %s" % title, "=" * max(24, len(title) + 8), ""]
+
+    samples = flat.get("driver.samples", 0)
+    lines.append("Collection")
+    lines.append("  samples                  %12d" % samples)
+    if "collection.samples_per_sec" in flat:
+        lines.append("  samples/sec              %12.0f"
+                     % flat["collection.samples_per_sec"])
+    lines.append("  instructions             %12d"
+                 % flat.get("session.instructions", 0))
+    lines.append("  simulated cycles         %12d"
+                 % flat.get("session.cycles", 0))
+    lines.append("  hash-table miss rate     %12s  (aggregation x%.1f)"
+                 % (_fmt_pct(flat.get("driver.hash.miss_rate", 0.0)),
+                    flat.get("driver.hash.aggregation_factor", 0.0)))
+    lines.append("  evictions                %12d  (rate %s)"
+                 % (flat.get("driver.hash.evictions", 0),
+                    _fmt_pct(flat.get("driver.eviction_rate", 0.0))))
+    lines.append("  overflow spills          %12d  buffers"
+                 % flat.get("driver.overflow.spills", 0))
+    lines.append("  dropped samples          %12d"
+                 % flat.get("driver.overflow.dropped", 0))
+    lines.append("  avg handler cost         %12.1f  cycles/sample"
+                 % flat.get("driver.avg_cost", 0.0))
+    lines.append("  kernel memory            %12s"
+                 % _fmt_bytes(flat.get("driver.kernel_memory_bytes", 0)))
+    lines.append("")
+
+    cpu_rows = per_cpu_rows(flat)
+    if cpu_rows:
+        lines.append("Per-CPU")
+        lines.append("  cpu      samples     spills  evictions")
+        for row in cpu_rows:
+            lines.append("  %-3d %12d %10d %10d"
+                         % (row["cpu"], row["samples"], row["spills"],
+                            row["evictions"]))
+        lines.append("")
+
+    lines.append("Daemon")
+    lines.append("  entries processed        %12d"
+                 % flat.get("daemon.entries", 0))
+    lines.append("  aggregation factor       %12.1f  samples/entry"
+                 % flat.get("daemon.aggregation_factor", 0.0))
+    lines.append("  modelled cost            %12d  cycles (%.1f/sample)"
+                 % (flat.get("daemon.cycles", 0),
+                    flat.get("daemon.cost_per_sample", 0.0)))
+    lines.append("  unknown samples          %12d  (%s)"
+                 % (flat.get("daemon.unknown_samples", 0),
+                    _fmt_pct(flat.get("daemon.unknown_fraction", 0.0))))
+    lines.append("  resident bytes           %12s  (peak %s)"
+                 % (_fmt_bytes(flat.get("daemon.resident_bytes", 0)),
+                    _fmt_bytes(flat.get("daemon.resident_bytes.peak", 0))))
+    lines.append("")
+
+    if shards:
+        lines.append("Shards")
+        lines.append("  %-28s %9s %10s %12s"
+                     % ("shard", "wall_s", "samples", "instructions"))
+        for shard in shards:
+            lines.append("  %-28s %9.3f %10d %12d"
+                         % (shard["label"], shard["wall_s"],
+                            shard["samples"], shard["instructions"]))
+        if merge_s is not None:
+            lines.append("  merge cost %.4f s" % merge_s)
+        lines.append("")
+
+    if phases:
+        lines.append("Analysis phases")
+        lines.append("  %-28s %6s %10s %10s"
+                     % ("phase", "calls", "total_s", "self_s"))
+        ordered = sorted(phases.items(),
+                         key=lambda kv: -kv[1]["total_us"])
+        for name, entry in ordered:
+            lines.append("  %-28s %6d %10.4f %10.4f"
+                         % (name, entry["count"],
+                            entry["total_us"] / 1e6,
+                            entry["self_us"] / 1e6))
+        lines.append("")
+
+    return "\n".join(lines).rstrip() + "\n"

@@ -1,0 +1,215 @@
+"""The normalized self-monitoring schema, and the legacy-stats shims.
+
+Before this module, each collection component exposed its own ad-hoc
+dict with overlapping, inconsistently named keys (``miss_rate`` here,
+``misses`` there).  The canonical schema is a flat dotted namespace:
+
+=======================================  ========  =======================
+name                                     kind      meaning
+=======================================  ========  =======================
+``driver.samples``                       counter   interrupts handled
+``driver.hash.hits``                     counter   hash-table hit path
+``driver.hash.misses``                   counter   new-entry path
+``driver.hash.evictions``                counter   entries spilled out
+``driver.overflow.spills``               counter   overflow buffers filled
+``driver.overflow.dropped``              counter   samples lost (backlog)
+``driver.handler_cycles``                counter   total handler cost
+``driver.hit_cycles``/``.miss_cycles``   counter   cost split by path
+``driver.edge_samples``                  counter   double-sampling edges
+``driver.kernel_memory_bytes``           gauge     non-pageable memory
+``driver.cpu<N>.samples``                counter   per-CPU interrupts
+``driver.cpu<N>.overflow.spills``        counter   per-CPU buffer fills
+``driver.cpu<N>.hash.evictions``         counter   per-CPU evictions
+``daemon.samples``                       counter   samples merged
+``daemon.entries``                       counter   hash entries processed
+``daemon.cycles``                        counter   modelled daemon cost
+``daemon.unknown_samples``               counter   unmapped PCs
+``daemon.drains``                        counter   drain cycles
+``daemon.resident_bytes``                gauge     resident now / peak
+``session.instructions``                 counter   instructions executed
+``session.cycles``                       counter   simulated cycles
+``session.wall_s``                       gauge     wall time of the run
+=======================================  ========  =======================
+
+Raw counts only are stored and merged (rates do not sum); derived
+rates -- ``driver.hash.miss_rate``, ``daemon.aggregation_factor``,
+``collection.samples_per_sec`` and friends -- come from
+:func:`derive`, computed from merged counts, so a sharded run's rates
+are exact, not averages of averages.
+
+``Driver.stats()``, ``Daemon.stats()`` and ``SampleHashTable.stats()``
+remain as thin views over this schema with their historical key names.
+"""
+
+from repro.obs.metrics import COUNTER, GAUGE, flatten_metrics
+
+
+def _counter(value):
+    return {"type": COUNTER, "value": value}
+
+
+def _gauge(value, peak=None):
+    return {"type": GAUGE, "value": value,
+            "peak": value if peak is None else peak}
+
+
+def hashtable_metrics(table, prefix="hashtable"):
+    """Typed snapshot of one :class:`SampleHashTable`."""
+    return {
+        prefix + ".hits": _counter(table.hits),
+        prefix + ".misses": _counter(table.misses),
+        prefix + ".evictions": _counter(table.evictions),
+    }
+
+
+def driver_metrics(driver):
+    """Typed snapshot of a :class:`~repro.collect.driver.Driver`."""
+    metrics = {
+        "driver.samples": _counter(sum(s.samples for s in driver.cpus)),
+        "driver.hash.hits": _counter(
+            sum(s.hit_count for s in driver.cpus)),
+        "driver.hash.misses": _counter(
+            sum(s.miss_count for s in driver.cpus)),
+        "driver.hash.evictions": _counter(
+            sum(s.table.evictions for s in driver.cpus)),
+        "driver.overflow.spills": _counter(
+            sum(s.spills for s in driver.cpus)),
+        "driver.overflow.dropped": _counter(
+            sum(s.dropped for s in driver.cpus)),
+        "driver.handler_cycles": _counter(
+            sum(s.handler_cycles for s in driver.cpus)),
+        "driver.hit_cycles": _counter(
+            sum(s.hit_cycles for s in driver.cpus)),
+        "driver.miss_cycles": _counter(
+            sum(s.miss_cycles for s in driver.cpus)),
+        "driver.edge_samples": _counter(
+            sum(s.edge_samples for s in driver.cpus)),
+        "driver.kernel_memory_bytes": _gauge(driver.kernel_memory_bytes()),
+    }
+    for cpu_id, state in enumerate(driver.cpus):
+        prefix = "driver.cpu%d" % cpu_id
+        metrics[prefix + ".samples"] = _counter(state.samples)
+        metrics[prefix + ".overflow.spills"] = _counter(state.spills)
+        metrics[prefix + ".hash.evictions"] = _counter(
+            state.table.evictions)
+    return metrics
+
+
+def daemon_metrics(daemon):
+    """Typed snapshot of a :class:`~repro.collect.daemon.Daemon`."""
+    return {
+        "daemon.samples": _counter(daemon.total_samples),
+        "daemon.entries": _counter(daemon.entries_processed),
+        "daemon.cycles": _counter(daemon.cycles),
+        "daemon.unknown_samples": _counter(daemon.unknown_samples),
+        "daemon.drains": _counter(daemon.drains),
+        "daemon.resident_bytes": _gauge(daemon.resident_bytes(),
+                                        daemon.peak_resident_bytes()),
+    }
+
+
+def session_metrics(result):
+    """Typed snapshot of a whole run: driver + daemon + totals.
+
+    *result* is a :class:`~repro.collect.session.SessionResult`; the
+    live registry (drain timings, span-adjacent histograms) is merged
+    in by :meth:`SessionResult.metrics`, not here.
+    """
+    metrics = {
+        "session.instructions": _counter(result.instructions),
+        "session.cycles": _counter(result.cycles),
+    }
+    metrics.update(driver_metrics(result.driver))
+    metrics.update(daemon_metrics(result.daemon))
+    return metrics
+
+
+def _ratio(numer, denom):
+    return numer / denom if denom else 0.0
+
+
+def derive(snapshot):
+    """Flatten a typed snapshot and add the derived rates.
+
+    Works on single-run and shard-merged snapshots alike: everything
+    is recomputed from raw counts, so merged rates are exact.
+    """
+    flat = flatten_metrics(snapshot)
+    samples = flat.get("driver.samples", 0)
+    hits = flat.get("driver.hash.hits", 0)
+    misses = flat.get("driver.hash.misses", 0)
+    flat["driver.hash.miss_rate"] = _ratio(misses, hits + misses)
+    flat["driver.hash.aggregation_factor"] = (
+        _ratio(hits + misses, misses) if misses
+        else float(hits + misses or 1))
+    flat["driver.eviction_rate"] = _ratio(
+        flat.get("driver.hash.evictions", 0), samples)
+    flat["driver.avg_cost"] = _ratio(
+        flat.get("driver.handler_cycles", 0), samples)
+    flat["driver.avg_hit_cost"] = _ratio(
+        flat.get("driver.hit_cycles", 0), hits)
+    flat["driver.avg_miss_cost"] = _ratio(
+        flat.get("driver.miss_cycles", 0), misses)
+    d_samples = flat.get("daemon.samples", 0)
+    d_entries = flat.get("daemon.entries", 0)
+    flat["daemon.aggregation_factor"] = _ratio(d_samples, d_entries)
+    flat["daemon.cost_per_sample"] = _ratio(
+        flat.get("daemon.cycles", 0), d_samples)
+    flat["daemon.unknown_fraction"] = _ratio(
+        flat.get("daemon.unknown_samples", 0), d_samples)
+    wall = flat.get("session.wall_s.peak", flat.get("session.wall_s", 0.0))
+    if wall:
+        flat["collection.samples_per_sec"] = samples / wall
+        flat["collection.instructions_per_sec"] = (
+            flat.get("session.instructions", 0) / wall)
+    return flat
+
+
+# -- backward-compatible views (the pre-obs ad-hoc dict layouts) -----------
+
+
+def legacy_hashtable_stats(table):
+    """``SampleHashTable``'s historical stat names, schema-backed."""
+    return {
+        "hits": table.hits,
+        "misses": table.misses,
+        "evictions": table.evictions,
+        "miss_rate": table.miss_rate,
+        "aggregation_factor": table.aggregation_factor,
+    }
+
+
+def legacy_driver_stats(driver):
+    """``Driver.stats()``'s historical keys, computed via the schema."""
+    flat = derive(driver_metrics(driver))
+    samples = flat["driver.samples"]
+    return {
+        "samples": samples,
+        "hits": flat["driver.hash.hits"],
+        "misses": flat["driver.hash.misses"],
+        "miss_rate": _ratio(flat["driver.hash.misses"], samples),
+        "eviction_rate": flat["driver.eviction_rate"],
+        "avg_cost": flat["driver.avg_cost"],
+        "avg_hit_cost": flat["driver.avg_hit_cost"],
+        "avg_miss_cost": flat["driver.avg_miss_cost"],
+        "handler_cycles": flat["driver.handler_cycles"],
+        "edge_samples": flat["driver.edge_samples"],
+        "dropped": flat["driver.overflow.dropped"],
+        "kernel_memory_bytes": flat["driver.kernel_memory_bytes"],
+    }
+
+
+def legacy_daemon_stats(daemon):
+    """``Daemon.stats()``'s historical keys, computed via the schema."""
+    flat = derive(daemon_metrics(daemon))
+    return {
+        "samples": flat["daemon.samples"],
+        "entries": flat["daemon.entries"],
+        "aggregation": flat["daemon.aggregation_factor"],
+        "cycles": flat["daemon.cycles"],
+        "cost_per_sample": flat["daemon.cost_per_sample"],
+        "unknown_samples": flat["daemon.unknown_samples"],
+        "unknown_fraction": flat["daemon.unknown_fraction"],
+        "resident_bytes": flat["daemon.resident_bytes"],
+        "peak_resident_bytes": flat["daemon.resident_bytes.peak"],
+    }

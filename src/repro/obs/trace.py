@@ -1,0 +1,184 @@
+"""Hierarchical trace spans in Chrome trace-event form.
+
+Spans record where a run spends its wall time -- ``span("analyze")``
+around ``span("analyze.solver")`` nests naturally, and the emitted
+events use the Chrome ``about:tracing`` / Perfetto JSON event schema
+("ph", "ts", "dur" in microseconds), one JSON object per line (JSONL).
+Wrap the lines in ``[...]`` (``jq -s .``) or use
+:meth:`TraceRecorder.write` with a ``.json`` path to get a file those
+viewers open directly.
+
+The recorder takes an injected ``clock`` so tests control time
+exactly; the disabled path (:data:`NULL_TRACE`) reads no clock at all.
+"""
+
+import json
+from contextlib import contextmanager
+
+from repro.obs.metrics import NULL_CONTEXT
+
+#: Chrome trace-event phases used here: complete spans, instant
+#: events, counter series, and metadata.
+PH_SPAN = "X"
+PH_INSTANT = "i"
+PH_COUNTER = "C"
+PH_METADATA = "M"
+
+
+class TraceRecorder:
+    """Collects trace events; hierarchical via nested ``span()``."""
+
+    enabled = True
+
+    def __init__(self, clock=None, pid=0, tid=0):
+        if clock is None:
+            import time
+
+            clock = time.perf_counter
+        self._clock = clock
+        self._t0 = clock()
+        self.pid = pid
+        self.tid = tid
+        self.events = []
+        self._depth = 0
+
+    def _now_us(self):
+        return (self._clock() - self._t0) * 1e6
+
+    @contextmanager
+    def span(self, name, **args):
+        """Record a complete ("X") event around the enclosed block."""
+        started = self._now_us()
+        self._depth += 1
+        try:
+            yield self
+        finally:
+            self._depth -= 1
+            event = {"ph": PH_SPAN, "name": name, "ts": started,
+                     "dur": self._now_us() - started,
+                     "pid": self.pid, "tid": self.tid}
+            if args:
+                event["args"] = args
+            self.events.append(event)
+
+    def instant(self, name, **args):
+        event = {"ph": PH_INSTANT, "name": name, "ts": self._now_us(),
+                 "pid": self.pid, "tid": self.tid, "s": "t"}
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def counter(self, name, value):
+        """Record one point of a counter series ("C" event)."""
+        self.events.append({
+            "ph": PH_COUNTER, "name": name, "ts": self._now_us(),
+            "pid": self.pid, "tid": self.tid, "args": {"value": value}})
+
+    def metadata(self, name, **args):
+        self.events.append({"ph": PH_METADATA, "name": name, "ts": 0,
+                            "pid": self.pid, "tid": self.tid,
+                            "args": args})
+
+    # -- output ------------------------------------------------------------
+
+    def to_jsonl(self, extra_events=()):
+        lines = [json.dumps(event, sort_keys=True)
+                 for event in list(self.events) + list(extra_events)]
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def write(self, path, extra_events=()):
+        """Write events to *path*: JSONL, or a JSON array for ``.json``
+        paths (directly loadable in ``about:tracing``/Perfetto)."""
+        events = list(self.events) + list(extra_events)
+        with open(path, "w") as handle:
+            if str(path).endswith(".json"):
+                json.dump(events, handle, indent=1, sort_keys=True)
+                handle.write("\n")
+            else:
+                for event in events:
+                    handle.write(json.dumps(event, sort_keys=True) + "\n")
+        return path
+
+
+class NullTrace:
+    """The disabled recorder: spans cost one attribute lookup."""
+
+    enabled = False
+    events = ()
+
+    def span(self, name, **args):
+        return NULL_CONTEXT
+
+    def instant(self, name, **args):
+        pass
+
+    def counter(self, name, value):
+        pass
+
+    def metadata(self, name, **args):
+        pass
+
+    def to_jsonl(self, extra_events=()):
+        return ""
+
+    def write(self, path, extra_events=()):
+        return None
+
+
+NULL_TRACE = NullTrace()
+
+
+def read_events(path):
+    """Parse a trace file written by :meth:`TraceRecorder.write`
+    (JSONL or a JSON array)."""
+    with open(path) as handle:
+        text = handle.read()
+    stripped = text.lstrip()
+    if stripped.startswith("["):
+        return json.loads(stripped)
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+def span_durations(events):
+    """Aggregate "X" spans: {name: {count, total_us, self_us}}.
+
+    ``self_us`` excludes time spent in spans nested inside (same pid
+    and tid, contained ts range), giving the per-phase exclusive time
+    the ``dcpimon`` report prints.
+    """
+    spans = [e for e in events if e.get("ph") == PH_SPAN]
+    # Sort outermost-first so a stack sweep can subtract child time.
+    spans.sort(key=lambda e: (e.get("pid", 0), e.get("tid", 0),
+                              e["ts"], -e["dur"]))
+    self_us = [e["dur"] for e in spans]
+    stack = []  # indices of spans still open at the sweep point
+    for i, event in enumerate(spans):
+        key = (event.get("pid", 0), event.get("tid", 0))
+        while stack:
+            top = spans[stack[-1]]
+            if ((top.get("pid", 0), top.get("tid", 0)) != key
+                    or top["ts"] + top["dur"] <= event["ts"] + 1e-9):
+                stack.pop()
+            else:
+                break
+        if stack:
+            self_us[stack[-1]] -= event["dur"]
+        stack.append(i)
+    result = {}
+    for i, event in enumerate(spans):
+        entry = result.setdefault(event["name"], {"count": 0,
+                                                  "total_us": 0.0,
+                                                  "self_us": 0.0})
+        entry["count"] += 1
+        entry["total_us"] += event["dur"]
+        entry["self_us"] += max(0.0, self_us[i])
+    return result
+
+
+def trace_counters(events):
+    """Last value of every counter ("C") series in *events*."""
+    values = {}
+    for event in sorted((e for e in events if e.get("ph") == PH_COUNTER),
+                        key=lambda e: e["ts"]):
+        values[event["name"]] = event.get("args", {}).get("value")
+    return values

@@ -229,10 +229,37 @@ def load_results(dirpath):
 class Comparison:
     regressions: list = field(default_factory=list)
     notes: list = field(default_factory=list)
+    #: self-monitoring drift (obs block): surfaced, never build-failing.
+    warnings: list = field(default_factory=list)
 
     @property
     def ok(self):
         return not self.regressions
+
+
+#: obs-block keys compared between runs: (key, label, absolute slack).
+#: Rates get small absolute slack; raw counts must match exactly on
+#: identically-configured runs (the simulator is deterministic).
+OBS_COMPARE_KEYS = (
+    ("driver.hash.miss_rate", "hash miss rate", 0.002),
+    ("driver.hash.aggregation_factor", "hash aggregation factor", 0.5),
+    ("driver.overflow.spills", "overflow spills", 0),
+    ("driver.overflow.dropped", "dropped samples", 0),
+    ("driver.hash.evictions", "hash evictions", 0),
+    ("daemon.unknown_fraction", "unknown-sample fraction", 0.002),
+)
+
+
+def _compare_obs(name, old_obs, new_obs, comparison):
+    """Warn -- never fail -- when self-monitoring metrics drift."""
+    for key, label, slack in OBS_COMPARE_KEYS:
+        old_v, new_v = old_obs.get(key), new_obs.get(key)
+        if old_v is None or new_v is None:
+            continue
+        if abs(new_v - old_v) > slack:
+            comparison.warnings.append(
+                "%s: %s drifted %s -> %s" % (name, label,
+                                             "%g" % old_v, "%g" % new_v))
 
 
 def compare_results(old, new, threshold=0.3, sample_drift=0.01):
@@ -245,7 +272,10 @@ def compare_results(old, new, threshold=0.3, sample_drift=0.01):
     * ``samples`` drifted more than *sample_drift* (relative) between
       runs with identical budget clamps -- regression (the simulator is
       deterministic; sample drift means collection behavior changed);
-    * benchmarks appearing/disappearing -- noted, not failed.
+    * benchmarks appearing/disappearing -- noted, not failed;
+    * obs-block self-monitoring metrics (hash miss rate, spill and
+      eviction counts) drifting between identically-configured runs --
+      warned, not failed (:data:`OBS_COMPARE_KEYS`).
     """
     comparison = Comparison()
     for name in sorted(set(old) | set(new)):
@@ -285,6 +315,8 @@ def compare_results(old, new, threshold=0.3, sample_drift=0.01):
                     "%s: samples %d -> %d (drift %.1f%% > %.1f%%)"
                     % (name, old_s, new_s, drift * 100,
                        sample_drift * 100))
+        if same_setup and o.get("obs") and n.get("obs"):
+            _compare_obs(name, o["obs"], n["obs"], comparison)
     return comparison
 
 
@@ -299,10 +331,13 @@ def run_compare(args):
                                  sample_drift=args.sample_drift)
     for note in comparison.notes:
         print("note: %s" % note)
+    for warning in comparison.warnings:
+        print("warning: %s" % warning)
     for regression in comparison.regressions:
         print("REGRESSION: %s" % regression)
-    print("compared %d benchmarks: %d regression(s)"
-          % (len(set(old) & set(new)), len(comparison.regressions)))
+    print("compared %d benchmarks: %d regression(s), %d warning(s)"
+          % (len(set(old) & set(new)), len(comparison.regressions),
+             len(comparison.warnings)))
     return 0 if comparison.ok else 1
 
 

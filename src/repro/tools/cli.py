@@ -5,6 +5,8 @@
 * ``dcpicalc``   -- per-instruction CPI/culprit listing from a bundle.
 * ``dcpistats``  -- cross-run statistics from several bundles.
 * ``dcpibench``  -- run the benchmark suite in parallel; compare runs.
+* ``dcpimon``    -- self-monitoring report (the profiler profiling
+  itself: rates, memory, per-phase time) and overhead measurement.
 
 Example::
 
@@ -12,6 +14,7 @@ Example::
     dcpiprof /tmp/session
     dcpicalc /tmp/session --procedure copy_loop
     dcpibench --quick --workers 4
+    dcpimon report --quick --trace /tmp/trace.jsonl
 """
 
 import argparse
@@ -146,6 +149,13 @@ def main_dcpicfg(argv=None):
 def main_dcpibench(argv=None):
     """Run the benchmark suite in parallel; write BENCH_*.json results."""
     from repro.tools.benchrunner import main
+
+    return main(argv)
+
+
+def main_dcpimon(argv=None):
+    """Self-monitoring report and overhead measurement."""
+    from repro.tools.dcpimon import main
 
     return main(argv)
 

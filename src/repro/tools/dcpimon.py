@@ -1,0 +1,287 @@
+"""``dcpimon`` -- the profiler profiling itself.
+
+The paper's own evaluation (sections 5 and 8) is a self-monitoring
+exercise: how many samples per second, how well the per-CPU hash
+tables aggregate, how much memory the daemon holds, where the analysis
+time goes.  ``dcpimon`` renders exactly that report for this
+reproduction, from the ``repro.obs`` metrics and trace spans:
+
+* ``dcpimon report`` runs a sharded collection (obs-enabled shards)
+  plus one in-process analysis pass, prints the self-profile report,
+  and optionally writes the combined Chrome-trace JSONL (open in
+  ``about:tracing`` / Perfetto, or feed back via ``--from-trace``).
+* ``dcpimon report --from-trace FILE`` rebuilds the same report
+  post-hoc from a trace file alone -- the derived metrics ride along
+  as counter events, the shard facts as metadata events.
+* ``dcpimon overhead`` measures the wall-clock cost of enabling
+  self-monitoring against the identical disabled run and can assert a
+  ceiling (``--max-pct``), which CI gates at 2%.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.obs import derive, merge_metrics, span_durations, trace_counters
+from repro.obs.report import render_report
+from repro.obs.trace import PH_METADATA, read_events
+
+#: Metadata event names used to make traces self-describing.
+META_SHARD = "dcpimon.shard"
+META_MERGE = "dcpimon.merge"
+
+
+def _shard_rows(run):
+    """Per-shard report rows from a :class:`ParallelRunResult`."""
+    return [{"label": shard.spec.label(),
+             "wall_s": shard.elapsed,
+             "samples": shard.samples,
+             "instructions": shard.instructions}
+            for shard in run.shards]
+
+
+def _analysis_phases(events):
+    """The analyze.*/session.* span table for the report."""
+    return {name: entry for name, entry in span_durations(events).items()
+            if name.startswith(("analyze.", "session."))}
+
+
+def _combined_events(obs, run, flat, shard_rows):
+    """One self-describing event list: in-process spans (pid 0), each
+    shard's spans re-stamped to its own pid, derived metrics as counter
+    series, and shard/merge facts as metadata -- everything
+    ``--from-trace`` needs to rebuild the report."""
+    events = [dict(event) for event in obs.trace.events]
+    events.append({"ph": PH_METADATA, "name": "process_name", "ts": 0,
+                   "pid": 0, "tid": 0, "args": {"name": "dcpimon"}})
+    for index, shard in enumerate(run.shards):
+        pid = index + 1
+        events.append({"ph": PH_METADATA, "name": "process_name",
+                       "ts": 0, "pid": pid, "tid": 0,
+                       "args": {"name": shard.spec.label()}})
+        for event in shard.trace_events or ():
+            stamped = dict(event)
+            stamped["pid"] = pid
+            events.append(stamped)
+    for row in shard_rows:
+        events.append({"ph": PH_METADATA, "name": META_SHARD, "ts": 0,
+                       "pid": 0, "tid": 0, "args": dict(row)})
+    events.append({"ph": PH_METADATA, "name": META_MERGE, "ts": 0,
+                   "pid": 0, "tid": 0, "args": {"merge_s": run.merge_s}})
+    for name, value in sorted(flat.items()):
+        if isinstance(value, (int, float)):
+            events.append({"ph": "C", "name": name, "ts": 0, "pid": 0,
+                           "tid": 0, "args": {"value": value}})
+    return events
+
+
+def _write_events(path, events):
+    with open(path, "w") as handle:
+        if str(path).endswith(".json"):
+            json.dump(events, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        else:
+            for event in events:
+                handle.write(json.dumps(event, sort_keys=True) + "\n")
+
+
+def _analyze_hottest(result, obs):
+    """Run the full analysis pipeline on the hottest profiled image so
+    the report has a per-phase time breakdown."""
+    from repro.core.analyze import AnalysisConfig, analyze_image
+    from repro.cpu.events import EventType
+
+    hottest, best = None, -1
+    for profile in result.profiles.values():
+        total = sum(profile.procedure_totals(EventType.CYCLES).values())
+        if total > best:
+            hottest, best = profile, total
+    if hottest is None:
+        return None
+    config = AnalysisConfig(obs=obs)
+    with obs.span("analyze.image", image=hottest.image.name):
+        analyze_image(hottest.image, hottest, config)
+    return hottest.image.name
+
+
+def run_report(args):
+    """The live path: sharded collection + in-process analysis."""
+    from repro.collect.parallel import ParallelSessionRunner, ShardSpec
+    from repro.collect.session import ProfileSession, SessionConfig
+    from repro.cpu.config import MachineConfig
+    from repro.obs import ObsConfig
+    from repro.workloads.registry import get_workload
+
+    specs = [ShardSpec(workload=args.workload, seed=args.seed + index,
+                       mode=args.mode,
+                       max_instructions=args.max_instructions, obs=True)
+             for index in range(args.shards)]
+    runner = ParallelSessionRunner(workers=args.workers)
+    run = runner.run(specs)
+
+    # One in-process observed session feeds the analysis passes; its
+    # spans land in the trace the report's phase table is built from.
+    workload = get_workload(args.workload)
+    session = ProfileSession(
+        MachineConfig(num_cpus=workload.num_cpus),
+        SessionConfig(mode=args.mode, seed=args.seed,
+                      obs=ObsConfig(enabled=True)))
+    result = session.run(workload, max_instructions=args.max_instructions)
+    # Reuse the session's live obs so analysis spans share its clock.
+    obs = result.obs
+    analyzed = _analyze_hottest(result, obs)
+
+    flat = derive(merge_metrics([run.obs]))
+    shard_rows = _shard_rows(run)
+    phases = _analysis_phases(obs.trace.events)
+    events = _combined_events(obs, run, flat, shard_rows)
+    if args.trace:
+        _write_events(args.trace, events)
+
+    title = "%s (%d shards%s)" % (
+        args.workload, args.shards,
+        ", analyzed %s" % analyzed if analyzed else "")
+    text = render_report(flat, shards=shard_rows, merge_s=run.merge_s,
+                         phases=phases, title=title)
+    if args.trace:
+        text += "\ntrace: %s (%d events)\n" % (args.trace, len(events))
+    return text
+
+
+def report_from_trace(path):
+    """Rebuild the report from a trace written by ``dcpimon report``."""
+    events = read_events(path)
+    flat = trace_counters(events)
+    phases = _analysis_phases(events)
+    shard_rows = [event["args"] for event in events
+                  if event.get("ph") == PH_METADATA
+                  and event.get("name") == META_SHARD]
+    merge_s = None
+    for event in events:
+        if (event.get("ph") == PH_METADATA
+                and event.get("name") == META_MERGE):
+            merge_s = event["args"].get("merge_s")
+    return render_report(flat, shards=shard_rows, merge_s=merge_s,
+                         phases=phases, title="(from %s)" % path)
+
+
+def measure_overhead(workload_name, mode="default", budget=40_000,
+                     seed=1, repeats=3):
+    """Wall-clock cost of self-monitoring: enabled vs disabled runs.
+
+    Runs the identical (workload, seed) session *repeats* times each
+    way and compares the minima -- the standard noise-robust estimator.
+    Returns {"disabled_s", "enabled_s", "overhead_pct", ...}.
+    """
+    from repro.collect.session import ProfileSession, SessionConfig
+    from repro.cpu.config import MachineConfig
+    from repro.obs import ObsConfig
+    from repro.workloads.registry import get_workload
+
+    def one(enabled):
+        workload = get_workload(workload_name)
+        config = SessionConfig(
+            mode=mode, seed=seed,
+            obs=ObsConfig(enabled=True) if enabled else None)
+        session = ProfileSession(
+            MachineConfig(num_cpus=workload.num_cpus), config)
+        started = time.perf_counter()
+        session.run(workload, max_instructions=budget)
+        return time.perf_counter() - started
+
+    one(False)  # warm-up: imports, opcode tables, allocator
+    disabled, enabled = [], []
+    for _ in range(repeats):
+        disabled.append(one(False))
+        enabled.append(one(True))
+    best_disabled = min(disabled)
+    best_enabled = min(enabled)
+    pct = ((best_enabled - best_disabled) / best_disabled * 100.0
+           if best_disabled else 0.0)
+    return {
+        "workload": workload_name,
+        "budget": budget,
+        "repeats": repeats,
+        "disabled_s": best_disabled,
+        "enabled_s": best_enabled,
+        "overhead_pct": pct,
+    }
+
+
+def _build_parser():
+    parser = argparse.ArgumentParser(
+        prog="dcpimon",
+        description="self-monitoring report for the profiling pipeline")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser(
+        "report", help="render the self-profile report")
+    report.add_argument("--workload", default="mccalpin")
+    report.add_argument("--mode", default="default",
+                        choices=["cycles", "default", "mux"])
+    report.add_argument("--shards", type=int, default=2)
+    report.add_argument("--workers", type=int, default=None)
+    report.add_argument("--seed", type=int, default=1)
+    report.add_argument("--max-instructions", type=int, default=60_000)
+    report.add_argument("--trace", default=None,
+                        help="write the combined Chrome trace here "
+                             "(JSONL; .json = array form)")
+    report.add_argument("--from-trace", default=None,
+                        help="post-hoc: rebuild the report from a "
+                             "previously written trace file")
+    report.add_argument("--quick", action="store_true",
+                        help="small run for smoke tests / CI")
+
+    overhead = sub.add_parser(
+        "overhead", help="measure the cost of enabling self-monitoring")
+    overhead.add_argument("--workload", default="mccalpin-assign")
+    overhead.add_argument("--mode", default="default",
+                          choices=["cycles", "default", "mux"])
+    overhead.add_argument("--budget", type=int, default=40_000,
+                          help="instructions per timed run")
+    overhead.add_argument("--seed", type=int, default=1)
+    overhead.add_argument("--repeats", type=int, default=3)
+    overhead.add_argument("--max-pct", type=float, default=None,
+                          help="fail (exit 1) if overhead exceeds this")
+    overhead.add_argument("--quick", action="store_true",
+                          help="small run for smoke tests / CI")
+    return parser
+
+
+def main(argv=None):
+    args = _build_parser().parse_args(argv)
+    if args.command == "report":
+        if args.quick:
+            args.shards = min(args.shards, 2)
+            args.max_instructions = min(args.max_instructions, 20_000)
+            args.workers = args.workers or 2
+        if args.from_trace:
+            print(report_from_trace(args.from_trace), end="")
+            return 0
+        print(run_report(args), end="")
+        return 0
+
+    if args.command == "overhead":
+        if args.quick:
+            args.budget = min(args.budget, 15_000)
+            args.repeats = min(args.repeats, 2)
+        result = measure_overhead(args.workload, mode=args.mode,
+                                  budget=args.budget, seed=args.seed,
+                                  repeats=args.repeats)
+        print("dcpimon overhead: %s, %d instructions x%d"
+              % (result["workload"], result["budget"], result["repeats"]))
+        print("  disabled  %8.3f s" % result["disabled_s"])
+        print("  enabled   %8.3f s" % result["enabled_s"])
+        print("  overhead  %+7.2f %%" % result["overhead_pct"])
+        if args.max_pct is not None and result["overhead_pct"] > args.max_pct:
+            print("FAIL: overhead %.2f%% exceeds --max-pct %.2f%%"
+                  % (result["overhead_pct"], args.max_pct),
+                  file=sys.stderr)
+            return 1
+        return 0
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,88 @@
+"""Tests for the ``dcpimon`` self-monitoring tool."""
+
+import json
+
+import pytest
+
+from repro.tools import dcpimon
+from repro.tools.cli import main_dcpimon
+
+QUICK = ["--workload", "mccalpin-assign", "--shards", "2",
+         "--workers", "1", "--max-instructions", "8000"]
+
+
+@pytest.fixture(scope="module")
+def report_run(tmp_path_factory):
+    """One live report run shared by the tests (they only read)."""
+    trace = str(tmp_path_factory.mktemp("mon") / "trace.jsonl")
+    argv = ["report", *QUICK, "--trace", trace]
+    args = dcpimon._build_parser().parse_args(argv)
+    return dcpimon.run_report(args), trace
+
+
+class TestReport:
+    def test_report_sections(self, report_run):
+        text, _ = report_run
+        for heading in ("Collection", "Per-CPU", "Daemon", "Shards",
+                        "Analysis phases"):
+            assert heading in text
+        assert "samples/sec" in text
+        assert "hash-table miss rate" in text
+        assert "merge cost" in text
+
+    def test_phase_breakdown_names_analysis_passes(self, report_run):
+        text, _ = report_run
+        for phase in ("analyze.cfg", "analyze.schedule",
+                      "analyze.frequency", "analyze.culprits",
+                      "session.execute"):
+            assert phase in text
+
+    def test_trace_is_valid_chrome_jsonl(self, report_run):
+        _, trace = report_run
+        events = [json.loads(line)
+                  for line in open(trace) if line.strip()]
+        phases = {event["ph"] for event in events}
+        assert "X" in phases and "M" in phases and "C" in phases
+        # Shard events were re-stamped onto their own pids.
+        assert {e["pid"] for e in events if e["ph"] == "X"} >= {0, 1, 2}
+
+    def test_post_hoc_report_matches_live(self, report_run):
+        text, trace = report_run
+        rebuilt = dcpimon.report_from_trace(trace)
+        for line in ("hash-table miss rate", "samples/sec"):
+            live = next(ln for ln in text.splitlines() if line in ln)
+            post = next(ln for ln in rebuilt.splitlines() if line in ln)
+            assert live == post
+        assert "Shards" in rebuilt and "merge cost" in rebuilt
+
+    def test_cli_entry_point(self, capsys, tmp_path):
+        code = main_dcpimon(["report", *QUICK, "--shards", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "dcpimon" in out and "Collection" in out
+
+    def test_from_trace_via_cli(self, capsys, report_run):
+        _, trace = report_run
+        assert main_dcpimon(["report", "--from-trace", trace]) == 0
+        assert "Analysis phases" in capsys.readouterr().out
+
+
+class TestOverhead:
+    def test_measure_overhead_shape(self):
+        result = dcpimon.measure_overhead(
+            "mccalpin-assign", budget=6000, repeats=1)
+        assert result["disabled_s"] > 0
+        assert result["enabled_s"] > 0
+        assert "overhead_pct" in result
+
+    def test_gate_passes_with_generous_ceiling(self, capsys):
+        code = main_dcpimon(["overhead", "--budget", "6000",
+                             "--repeats", "1", "--max-pct", "1000"])
+        assert code == 0
+        assert "overhead" in capsys.readouterr().out
+
+    def test_gate_fails_when_exceeded(self, capsys):
+        code = main_dcpimon(["overhead", "--budget", "6000",
+                             "--repeats", "1", "--max-pct=-1e9"])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().err
