@@ -25,6 +25,7 @@ import json
 import math
 import os
 import platform
+import time
 
 import pytest
 
@@ -44,7 +45,11 @@ EVENT_PERIOD = 64
 
 #: Schema version stamped into every BENCH_*.json result.
 #: 2: added the "obs" block (repro.obs derived self-monitoring metrics).
-BENCH_SCHEMA = 2
+#: 3: added per-session "cpu_s" and the "instructions_per_sec" metric
+#:    (simulator throughput in instructions per CPU-second; the
+#:    fast-path CI gate compares it), plus the "fastpath" flag
+#:    recording whether the issue cache was on.
+BENCH_SCHEMA = 3
 
 QUICK = os.environ.get("DCPIBENCH_QUICK") == "1"
 _CLAMP = int(os.environ.get("DCPIBENCH_MAX_INSTRUCTIONS", "0")) or None
@@ -93,7 +98,7 @@ def write_result(name, text):
     return path
 
 
-def _record_session(kind, workload, mode, seed, result):
+def _record_session(kind, workload, mode, seed, result, cpu_s=None):
     record = {
         "test": _CURRENT["nodeid"],
         "kind": kind,
@@ -102,6 +107,11 @@ def _record_session(kind, workload, mode, seed, result):
         "seed": seed,
         "instructions": result.instructions,
         "cycles": result.cycles,
+        # CPU seconds, not wall: parallel bench workers contend for
+        # cores, and wall-clock throughput flaps 15%+ between
+        # identical runs -- process time is what the regression gate
+        # can hold steady.
+        "cpu_s": round(cpu_s, 6) if cpu_s is not None else None,
     }
     if kind == "profile":
         record["samples"] = sum(result.driver.event_samples.values())
@@ -129,17 +139,23 @@ def profile_workload(workload, mode="default", seed=1,
         SessionConfig(mode=mode, cycles_period=period,
                       event_period=event_period, seed=seed,
                       **session_overrides))
+    started = time.process_time()
     result = session.run(workload,
                          max_instructions=clamp_budget(max_instructions))
-    return _record_session("profile", workload, mode, seed, result)
+    cpu_s = time.process_time() - started
+    return _record_session("profile", workload, mode, seed, result,
+                           cpu_s=cpu_s)
 
 
 def baseline_workload(workload, seed=1, max_instructions=80_000):
     config = MachineConfig(num_cpus=workload.num_cpus)
     session = ProfileSession(config, SessionConfig(seed=seed))
+    started = time.process_time()
     result = session.run_baseline(
         workload, max_instructions=clamp_budget(max_instructions))
-    return _record_session("baseline", workload, None, seed, result)
+    cpu_s = time.process_time() - started
+    return _record_session("baseline", workload, None, seed, result,
+                           cpu_s=cpu_s)
 
 
 def mean_ci95(values):
@@ -230,6 +246,14 @@ def _bench_payload(stem, tests, records):
     if overheads:
         metrics["overhead_pct_mean"] = round(
             sum(overheads) / len(overheads), 4)
+    timed = [r for r in records if r.get("cpu_s")]
+    if timed:
+        # Simulator throughput (instructions per CPU-second) across
+        # every timed session this module ran; the fast-path
+        # regression gate (dcpibench compare) watches this number.
+        metrics["instructions_per_sec"] = round(
+            sum(r["instructions"] for r in timed)
+            / sum(r["cpu_s"] for r in timed), 1)
     obs = _obs_block(profiled)
     return {
         "obs": obs,
@@ -237,6 +261,7 @@ def _bench_payload(stem, tests, records):
         "benchmark": stem,
         "file": "bench_%s.py" % stem,
         "quick": QUICK,
+        "fastpath": MachineConfig().fastpath,
         "max_instructions_clamp": _CLAMP,
         "python": platform.python_version(),
         "passed": all(t["outcome"] == "passed" for t in tests),

@@ -6,6 +6,7 @@ L1 caches, a 96 KB 3-way unified L2, a 2 MB direct-mapped board cache,
 Everything is a plain attribute so experiments can sweep any knob.
 """
 
+import os
 from dataclasses import dataclass, field
 
 
@@ -67,6 +68,15 @@ class MachineConfig:
 
     # Interrupt delivery skew (paper section 4.1.2).
     interrupt_skew: int = 6
+
+    # Simulator fast path (predecode + block-level issue cache; see
+    # repro.cpu.fastpath).  Produces byte-identical profiles, samples
+    # and ground truth; the REPRO_SIM_FASTPATH env var ("0" disables)
+    # sets the default so A/B identity runs can toggle it without code
+    # changes.
+    fastpath: bool = field(
+        default_factory=lambda: os.environ.get(
+            "REPRO_SIM_FASTPATH", "1") != "0")
 
     # Scheduler quantum for timeshared processes (cycles).
     quantum: int = 50_000

@@ -51,6 +51,23 @@ class CounterUnit:
     def counts_event(self, event):
         return bool(self._by_event.get(event))
 
+    def live_slots(self, event):
+        """The slot list for *event*, created on demand so the returned
+        list object stays valid (it is mutated in place) across later
+        ``configure``/``set_event`` calls.  The pipeline binds this once
+        per run and scans it inline for replay headroom."""
+        return self._by_event.setdefault(event, [])
+
+    def headroom(self, event):
+        """Smallest count any slot tracking *event* can absorb without
+        overflowing, or None when no slot tracks it.  The fast path
+        uses this to prove a whole block cannot overflow a CYCLES
+        counter before batching the block's cycles into one update."""
+        slots = self._by_event.get(event)
+        if not slots:
+            return None
+        return min(slot.period - slot.count for slot in slots)
+
     def add(self, event, amount, end_time):
         """Count *amount* occurrences of *event*, the last at *end_time*.
 

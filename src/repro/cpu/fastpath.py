@@ -1,0 +1,743 @@
+"""Basic-block issue cache: memoized stall-free dual-issue schedules.
+
+The pipeline's slow path recomputes pairing, head-of-queue stalls and
+counter updates for every dynamic instruction.  But straight-line code
+whose entry conditions repeat -- same open issue slot, same *relative*
+operand-readiness of the live-in registers, same functional-unit
+backlog -- schedules identically every time.  :class:`FastPath` caches
+that schedule per (block, entry key) and lets ``Core.run()`` replay it,
+falling back to the slow path the moment a dynamic event
+(I-cache/ITB miss, D-cache/DTB miss, write-buffer conflict, counter
+overflow, interrupt delivery, branch mispredict) perturbs the block.
+
+Design notes (see README "Performance"):
+
+* A block is a maximal run of straight-line predecode records starting
+  at an entry PC the core actually reached at a block boundary.  It
+  includes its terminating control transfer, whose *schedule* (issue
+  slot, pairing) is entry-invariant even though its direction is
+  dynamic; runs longer than ``MAX_BODY`` are split at a *virtual*
+  boundary instead, and the continuation becomes its own block.
+* Variant keys are *relative* to the entry cycle, so context switches
+  need no invalidation: everything time-like in the key (operand
+  readiness, IMUL/FDIV backlog) is an offset from the entry cycle, and
+  all per-process scoreboard state lives on the Process.  Loading an
+  image rebuilds the static code map, so it conservatively drops every
+  cached block.
+* Each cached variant is *compiled* to a specialized Python function
+  (:func:`_compile_replay`): operand fields, issue offsets, fetch-line
+  crossings and miss checks become straight-line code with inlined
+  constants, so a replayed instruction costs one semantics call plus a
+  register write instead of the slow path's full dispatch.
+* Everything schedule-derived is precomputed at store time and applied
+  in bulk after the compiled function returns: final scoreboard values
+  (clean completion times are entry-relative constants), IMUL/FDIV
+  backlog, pairing state, and the block's ground-truth counts / head
+  cycles / stall decomposition.  Ground truth is further *deferred*: a
+  clean replay only increments the variant's hit counter, and
+  ``flush_deferred`` folds ``hits * per-block-deltas`` into the
+  machine's ground-truth maps at the end of every ``Core.run`` (pure
+  commutative addition, so the result is identical to per-instruction
+  accounting).
+* Replay is only entered when it provably cannot interact with the
+  sampling machinery: no pending interrupt deliveries, no front-end
+  debt, and enough headroom on every CYCLES counter that the whole
+  block cannot overflow one (a block's cycles form one contiguous span,
+  so batching them into a single counter update is exact).
+"""
+
+from repro.alpha import opcodes as _sem
+from repro.alpha.opcodes import MASK64
+
+
+def _cond_tables():
+    """Expression templates for semantics functions the codegen can
+    open-code (register values are canonical 64-bit unsigned, floats
+    are Python floats).  Anything absent falls back to calling the
+    record's semantics function."""
+    ops = {}
+    conds = {}
+    for name, tmpl in (
+            ("_addq", "({a} + {b}) & MASK64"),
+            ("_subq", "({a} - {b}) & MASK64"),
+            ("_s4addq", "(4 * {a} + {b}) & MASK64"),
+            ("_s8addq", "(8 * {a} + {b}) & MASK64"),
+            ("_and", "{a} & {b}"),
+            ("_bis", "{a} | {b}"),
+            ("_xor", "{a} ^ {b}"),
+            ("_bic", "{a} & ~{b} & MASK64"),
+            ("_sll", "({a} << ({b} & 63)) & MASK64"),
+            ("_srl", "({a} & MASK64) >> ({b} & 63)"),
+            ("_cmpeq", "1 if {a} == {b} else 0"),
+            ("_cmpult", "1 if ({a} & MASK64) < ({b} & MASK64) else 0"),
+            ("_cmpule", "1 if ({a} & MASK64) <= ({b} & MASK64) else 0"),
+            ("_addt", "{a} + {b}"),
+            ("_subt", "{a} - {b}"),
+            ("_mult", "{a} * {b}"),
+            ("_divt", "({a} / {b} if {b} != 0.0 else 0.0)"),
+    ):
+        fn = getattr(_sem, name, None)
+        if fn is not None:
+            ops[fn] = tmpl
+    for name, tmpl in (
+            ("_beq", "{a} == 0"),
+            ("_bne", "{a} != 0"),
+            ("_blt", "({a} >> 63) != 0"),
+            ("_ble", "({a} >> 63) != 0 or {a} == 0"),
+            ("_bgt", "({a} >> 63) == 0 and {a} != 0"),
+            ("_bge", "({a} >> 63) == 0"),
+            ("_blbc", "({a} & 1) == 0"),
+            ("_blbs", "({a} & 1) == 1"),
+            ("_fbeq", "{a} == 0.0"),
+            ("_fbne", "{a} != 0.0"),
+            ("_fblt", "{a} < 0.0"),
+            ("_fble", "{a} <= 0.0"),
+            ("_fbgt", "{a} > 0.0"),
+            ("_fbge", "{a} >= 0.0"),
+    ):
+        fn = getattr(_sem, name, None)
+        if fn is not None:
+            conds[fn] = tmpl
+    return ops, conds
+
+
+_INLINE_OPS, _INLINE_CONDS = _cond_tables()
+
+
+def cache_geometry(cache_config):
+    """(line_shift, set_mask) when the codegen can inline the tag
+    probe (direct-mapped, power-of-two sets), else None."""
+    num_sets = cache_config.size // (cache_config.line_size
+                                     * cache_config.assoc)
+    if cache_config.assoc == 1 and num_sets & (num_sets - 1) == 0:
+        return (cache_config.line_size.bit_length() - 1, num_sets - 1)
+    return None
+
+
+class Block:
+    """One discovered straight-line block and its cached schedules."""
+
+    __slots__ = ("head", "body", "term_addr", "term_rec", "live_ins",
+                 "has_imul", "has_fdiv", "virtual", "variants", "failed")
+
+    def __init__(self, head, body, term_addr, term_rec, live_ins,
+                 has_imul, has_fdiv, virtual):
+        self.head = head
+        self.body = body              # tuple of predecode records
+        self.term_addr = term_addr    # pc after the body
+        self.term_rec = term_rec      # terminator record (None if virtual)
+        self.live_ins = live_ins      # registers read before written
+        self.has_imul = has_imul
+        self.has_fdiv = has_fdiv
+        self.virtual = virtual        # split at MAX_BODY, not a branch
+        self.variants = {}            # entry key -> Variant
+        self.failed = 0               # consecutive aborted recordings
+
+
+def _final_scoreboard(steps, l1d_latency):
+    """Last-writer completion offsets, entry-relative.
+
+    All completion times in a *clean* replay are entry-relative
+    constants (a clean load's latency is exactly the L1 hit latency, so
+    its dynamic and static ready times coincide).
+    """
+    writers = {}
+    for s in steps:
+        rec = s[0]
+        dst = rec[7]
+        if dst is not None:
+            kind = rec[0]
+            if kind <= 3:
+                writers[dst] = s[1] + rec[2]
+            elif kind <= 6:
+                writers[dst] = s[1] + l1d_latency
+            else:          # br/bsr/jmp/jsr link register
+                writers[dst] = s[1] + 1
+    return tuple(writers.items())
+
+
+class Variant:
+    """One compiled schedule plus its precomputed bulk effects.
+
+    ``steps`` keeps the interpretable per-instruction schedule
+    ``(record, rel_issue, cycles_head, paired, stalls)`` -- the bail
+    path uses it to reconstruct the completed prefix's accounting.
+
+    ``links`` maps an exit pc to a cached successor variant plus the
+    precomputed validation a chained replay must pass (see the replay
+    caller in :mod:`repro.cpu.pipeline`): this variant's entry key and
+    final scoreboard statically determine the successor's entry key
+    except for registers neither written here nor pinned by this key,
+    which are checked explicitly.
+    """
+
+    __slots__ = ("fn", "uses", "steps", "n", "total_rel", "count_addrs",
+                 "head_items", "stall_items", "sb", "imul_rel",
+                 "fdiv_rel", "prev_cls_end", "term_open", "leader_addr",
+                 "term_addr", "term_next", "term_edge_always", "hits",
+                 "links", "wset", "pin_regs")
+
+    def __init__(self, steps, sb, key, term_next):
+        # Tiered: ``fn`` stays None (and the slow path keeps executing
+        # the block) until the variant recurs enough times to be worth
+        # ~0.5 ms of compile().
+        self.fn = None
+        self.uses = 0
+        self.steps = steps
+        self.n = len(steps)
+        last = steps[-1]
+        self.total_rel = last[1]
+        self.count_addrs = tuple(s[0][14] for s in steps)
+        self.head_items = tuple((s[0][14], s[2]) for s in steps if s[2])
+        stall_acc = {}
+        for s in steps:
+            if s[4]:
+                for reason, amount in s[4]:
+                    k = (s[0][14], reason)
+                    stall_acc[k] = stall_acc.get(k, 0) + amount
+        self.stall_items = tuple(
+            (a, r, amt) for (a, r), amt in stall_acc.items())
+        imul_rel = fdiv_rel = 0
+        for s in steps:
+            unit = s[0][11]
+            if unit == 1:
+                imul_rel = s[1] + s[0][12]
+            elif unit == 2:
+                fdiv_rel = s[1] + s[0][12]
+        self.sb = sb
+        self.imul_rel = imul_rel
+        self.fdiv_rel = fdiv_rel
+        self.prev_cls_end = last[0][1]
+        # After a control transfer pair_open is additionally closed by a
+        # *taken* transfer; the replay caller combines term_open with
+        # the dynamic direction.
+        self.term_open = not last[3]
+        leader = None
+        for s in reversed(steps):
+            if not s[3]:
+                leader = s[0][14]
+                break
+        self.leader_addr = leader
+        term = last[0] if last[0][13] else None
+        self.term_addr = term[14] if term is not None else None
+        self.term_next = term_next   # exit pc of a virtual block
+        # cbr/fbr/br/bsr record their edge unconditionally; indirect
+        # jumps skip the edge into the process exit stub.
+        self.term_edge_always = term is not None and term[0] <= 14
+        self.hits = 0
+        self.links = {}
+        self.wset = frozenset(dst for dst, _ in sb)
+        pins = key[1]
+        self.pin_regs = (frozenset(p[0] for p in pins)
+                         if pins else frozenset())
+
+
+def _compile_replay(steps, line_shift, page_bits, sb,
+                    l1d_geom=None, l1i_geom=None):
+    """Compile *steps* into a specialized replay function.
+
+    The generated function executes the block's semantics and model
+    probes (fetch lines, D-TLB/D-cache, write buffer, branch predictor)
+    with every schedule-derived constant inlined; on the clean path it
+    also applies the final scoreboard *sb* (entry-relative constants)
+    before any value-dependent return.  Common semantics are
+    open-coded from :data:`_INLINE_OPS`, and (for direct-mapped
+    power-of-two caches) the D-TLB, L1 and I-fetch *hit* paths are
+    inlined too -- their side effects on a hit are exactly a hit
+    counter bump, so the probes replicate the model byte-for-byte and
+    everything else falls back to the model's own methods.  It
+    returns:
+
+    * ``None``             -- clean replay, no terminator (virtual block);
+    * ``(4, next_pc, taken, mispredicted)`` -- clean replay through the
+      terminator;
+    * ``(0, i, fetch)``    -- dirty fetch before instruction *i*;
+    * ``(1, i)``           -- write buffer busy at store *i* (no side
+      effects for *i* were applied);
+    * ``(2, i, dtb_pen, dlat, dmiss, dtb_miss)`` -- load *i* completed
+      with a D-cache/D-TLB miss;
+    * ``(3, i)``           -- store *i* completed with a D-TLB miss.
+    """
+    pm = (1 << page_bits) - 1
+    ns = {"MASK64": MASK64}
+    body = []
+    L = body.append
+    has_mem = any(4 <= s[0][0] <= 9 for s in steps)
+
+    # Scoreboard epilogue: emitted after the last possible dirty bail
+    # (so a bailing replay leaves the prefix fixup in charge) but
+    # before the terminator's value-dependent return.
+    sb_lines = []
+    for dst, rel in sb:
+        sb_lines.append("    reg_ready[%d] = reg_ready_static[%d]"
+                        " = t0 + %d" % (dst, dst, rel))
+        sb_lines.append("    reg_dyn_reason[%d] = None" % dst)
+
+    def emit_fetch(i, addr, fline, ftime, indent):
+        # The slow fallback (core._fetch) redoes the whole line fetch;
+        # the inline path may only be taken when it provably charges
+        # nothing: same code page, I-L1 tag hit, not a stream-buffer
+        # line (probes are side-effect free; a hit's only side effect
+        # is the hit counter).
+        pre = " " * indent
+        if l1i_geom is not None:
+            ishift, imask = l1i_geom
+            L(pre + "if core._last_code_page == %d:" % (addr >> page_bits))
+            L(pre + "    _il = ((core._last_code_ppage << %d) | %d)"
+              " >> %d" % (page_bits, addr & pm, ishift))
+            L(pre + "    if _ics[_il & %d] == _il and _il not in _ist:"
+              % imask)
+            L(pre + "        _icl.hits += 1")
+            L(pre + "    else:")
+            L(pre + "        _f = core._fetch(%d, %s)" % (addr, ftime))
+            L(pre + "        if _f[0] or _f[1] or _f[2]:")
+            L(pre + "            return (0, %d, _f)" % i)
+            L(pre + "else:")
+            L(pre + "    _f = core._fetch(%d, %s)" % (addr, ftime))
+            L(pre + "    if _f[0] or _f[1] or _f[2]:")
+            L(pre + "        return (0, %d, _f)" % i)
+        else:
+            L(pre + "_f = core._fetch(%d, %s)" % (addr, ftime))
+            L(pre + "if _f[0] or _f[1] or _f[2]:")
+            L(pre + "    return (0, %d, _f)" % i)
+
+    def load_value_lines(kind, dst, indent):
+        pre = " " * indent
+        out = []
+        if dst is None:
+            return out
+        if kind == 4:  # ldq
+            out.append(pre + "iregs[%d] = mem.get(_va & -8, 0)" % dst)
+        elif kind == 5:  # ldl
+            out.append(pre + "_v = mem.get(_va & -4, 0) & 0xFFFFFFFF")
+            out.append(pre + "if _v >> 31:"
+                       " _v = (_v | -4294967296) & MASK64")
+            out.append(pre + "iregs[%d] = _v" % dst)
+        else:  # ldt
+            out.append(pre + "_v = mem.get(_va & -8, 0)")
+            out.append(pre + "if not isinstance(_v, float):"
+                       " _v = float(_v)")
+            out.append(pre + "fregs[%d] = _v" % (dst - 32))
+        return out
+
+    def store_value_line(kind, f1, indent):
+        pre = " " * indent
+        if kind == 7:  # stq
+            return pre + "mem[_va & -8] = iregs[%d]" % f1
+        if kind == 8:  # stl
+            return pre + "mem[_va & -4] = iregs[%d] & 0xFFFFFFFF" % f1
+        return pre + "mem[_va & -8] = fregs[%d]" % f1  # stt
+
+    prev_line = None
+    prev_rel = 0
+    for i, step in enumerate(steps):
+        rec = step[0]
+        addr = rec[14]
+        fline = addr >> line_shift
+        if fline != prev_line:
+            if prev_line is None:
+                # Only the entry line can match the last fetched line;
+                # later crossings are unconditional (addresses ascend).
+                L("    if core._last_fetch_line != %d:" % fline)
+                L("        core._last_fetch_line = %d" % fline)
+                emit_fetch(i, addr, fline, "t0", 8)
+            else:
+                L("    core._last_fetch_line = %d" % fline)
+                emit_fetch(i, addr, fline, "t0 + %d" % prev_rel, 4)
+            prev_line = fline
+        if rec[13]:
+            # The terminator can no longer bail: settle the scoreboard
+            # before its (direction-dependent) return.
+            body.extend(sb_lines)
+        kind = rec[0]
+        dst = rec[7]
+        f1 = rec[4]
+        f2 = rec[5]
+        imm = rec[8]
+        rel = step[1]
+        if kind == 0:  # op
+            if dst is not None:
+                b = "iregs[%d]" % f2 if f2 is not None else repr(imm)
+                tmpl = _INLINE_OPS.get(rec[10])
+                if tmpl is not None:
+                    L("    iregs[%d] = %s"
+                      % (dst, tmpl.format(a="iregs[%d]" % f1, b=b)))
+                else:
+                    ns["_f%d" % i] = rec[10]
+                    L("    iregs[%d] = _f%d(iregs[%d], %s)"
+                      % (dst, i, f1, b))
+        elif kind == 1:  # cmov (dst is the old-value register)
+            if dst is not None:
+                b = "iregs[%d]" % f2 if f2 is not None else repr(imm)
+                tmpl = _INLINE_CONDS.get(rec[10])
+                if tmpl is not None:
+                    cond = tmpl.format(a="iregs[%d]" % f1)
+                else:
+                    ns["_f%d" % i] = rec[10]
+                    cond = "_f%d(iregs[%d])" % (i, f1)
+                L("    if %s: iregs[%d] = %s" % (cond, dst, b))
+        elif kind == 2:  # fop
+            if dst is not None:
+                a = "fregs[%d]" % f1 if f1 is not None else "0.0"
+                tmpl = _INLINE_OPS.get(rec[10])
+                if tmpl is not None:
+                    L("    fregs[%d] = %s"
+                      % (dst - 32, tmpl.format(a=a, b="fregs[%d]" % f2)))
+                else:
+                    ns["_f%d" % i] = rec[10]
+                    L("    fregs[%d] = _f%d(%s, fregs[%d])"
+                      % (dst - 32, i, a, f2))
+        elif kind == 3:  # lda
+            if dst is not None:
+                if f2 is not None:
+                    L("    iregs[%d] = (iregs[%d] + %d) & MASK64"
+                      % (dst, f2, imm))
+                else:
+                    L("    iregs[%d] = %d" % (dst, imm & MASK64))
+        elif kind <= 6:  # loads
+            L("    _va = (iregs[%d] + %d) & MASK64" % (f2, imm))
+            if l1d_geom is not None:
+                dshift, dmask = l1d_geom
+                L("    _pp = _dte.get((asn, _va >> %d))" % page_bits)
+                L("    if _pp is None:")
+                L("        _pp, _pen, _tm = dtb.translate(asn,"
+                  " _va >> %d, tdata)" % page_bits)
+                L("        _lat, _dm = dhier.access((_pp << %d)"
+                  " | (_va & %d))" % (page_bits, pm))
+                body.extend(load_value_lines(kind, dst, 8))
+                L("        return (2, %d, _pen, _lat, _dm, True)" % i)
+                L("    dtb.hits += 1")
+                L("    _ln = ((_pp << %d) | (_va & %d)) >> %d"
+                  % (page_bits, pm, dshift))
+                L("    _ix = _ln & %d" % dmask)
+                L("    if _l1s[_ix] == _ln:")
+                L("        l1d.hits += 1")
+                body.extend(load_value_lines(kind, dst, 8))
+                L("    else:")
+                L("        l1d.misses += 1")
+                L("        _l1s[_ix] = _ln")
+                L("        _lat, _dm = dhier.miss_path((_pp << %d)"
+                  " | (_va & %d))" % (page_bits, pm))
+                body.extend(load_value_lines(kind, dst, 8))
+                L("        return (2, %d, 0, _lat, True, False)" % i)
+            else:
+                L("    _pp, _pen, _tm = dtb.translate(asn,"
+                  " _va >> %d, tdata)" % page_bits)
+                L("    _lat, _dm = dhier.access((_pp << %d)"
+                  " | (_va & %d))" % (page_bits, pm))
+                body.extend(load_value_lines(kind, dst, 4))
+                L("    if _dm or _tm:")
+                L("        return (2, %d, _pen, _lat, _dm, _tm)" % i)
+        elif kind <= 9:  # stores
+            L("    _va = (iregs[%d] + %d) & MASK64" % (f2, imm))
+            # The write-buffer probe is idempotent at a fixed time, so
+            # a busy bail leaves no trace and the slow path redoes the
+            # store exactly.
+            L("    _pr = t0 + %d" % (prev_rel + 1))
+            L("    if wb.earliest_issue(_va, _pr) != _pr:")
+            L("        return (1, %d)" % i)
+            if l1d_geom is not None:
+                dshift, dmask = l1d_geom
+                L("    _pp = _dte.get((asn, _va >> %d))" % page_bits)
+                L("    if _pp is None:")
+                L("        _pp, _pen, _tm = dtb.translate(asn,"
+                  " _va >> %d, tdata)" % page_bits)
+                L("        l1d.lookup((_pp << %d) | (_va & %d),"
+                  " allocate=False)" % (page_bits, pm))
+                L("        wb.commit(_va, t0 + %d)" % rel)
+                L(store_value_line(kind, f1, 8))
+                L("        return (3, %d)" % i)
+                L("    dtb.hits += 1")
+                L("    _ln = ((_pp << %d) | (_va & %d)) >> %d"
+                  % (page_bits, pm, dshift))
+                L("    if _l1s[_ln & %d] == _ln:" % dmask)
+                L("        l1d.hits += 1")
+                L("    else:")
+                L("        l1d.misses += 1")
+                L("    wb.commit(_va, t0 + %d)" % rel)
+                L(store_value_line(kind, f1, 4))
+            else:
+                L("    _pp, _pen, _tm = dtb.translate(asn,"
+                  " _va >> %d, tdata)" % page_bits)
+                L("    l1d.lookup((_pp << %d) | (_va & %d),"
+                  " allocate=False)" % (page_bits, pm))
+                L("    wb.commit(_va, t0 + %d)" % rel)
+                L(store_value_line(kind, f1, 4))
+                L("    if _tm:")
+                L("        return (3, %d)" % i)
+        elif kind == 10:  # nop / call_pal: timing only
+            pass
+        elif kind == 11 or kind == 12:  # cbranch / fbranch
+            regs = "iregs" if kind == 11 else "fregs"
+            tmpl = _INLINE_CONDS.get(rec[10])
+            if tmpl is not None:
+                L("    _t = %s" % tmpl.format(a="%s[%d]" % (regs, f1)))
+            else:
+                ns["_f%d" % i] = rec[10]
+                L("    _t = _f%d(%s[%d])" % (i, regs, f1))
+            L("    _np = %d if _t else %d" % (rec[9], addr + 4))
+            # Open-coded BranchPredictor.predict_conditional (2-bit
+            # saturating counter update + accounting).
+            L("    _bt = bp._table")
+            L("    _bx = %d & bp._mask" % (addr >> 2))
+            L("    _c = _bt[_bx]")
+            L("    if _t:")
+            L("        if _c < 3: _bt[_bx] = _c + 1")
+            L("    elif _c > 0:")
+            L("        _bt[_bx] = _c - 1")
+            L("    bp.predictions += 1")
+            L("    _mp = (_c >= 2) != _t")
+            L("    if _mp: bp.mispredictions += 1")
+            L("    return (4, _np, _t, _mp)")
+        elif kind == 13 or kind == 14:  # br / bsr
+            if dst is not None:
+                L("    iregs[%d] = %d" % (dst, addr + 4))
+            if kind == 14:
+                L("    bp.push_call(%d)" % (addr + 4))
+            L("    return (4, %d, True, False)" % rec[9])
+        else:  # jmp / jsr / ret
+            L("    _tg = iregs[%d] & -4" % f2)
+            if dst is not None:
+                L("    iregs[%d] = %d" % (dst, addr + 4))
+            if kind == 16:
+                L("    bp.push_call(%d)" % (addr + 4))
+                L("    _mp = not bp.predict_indirect(%d, _tg)" % addr)
+            elif kind == 17:
+                L("    _mp = not bp.predict_return(_tg)")
+            else:
+                L("    _mp = not bp.predict_indirect(%d, _tg)" % addr)
+            L("    return (4, _tg, True, _mp)")
+        prev_rel = rel
+    if not steps[-1][0][13]:   # virtual block: clean fall-through exit
+        body.extend(sb_lines)
+    L("    return None")
+
+    # Hoisted probe handles for the inlined hit paths.
+    head = ["def _replay(core, bp, dtb, dhier, l1d, wb, mem, iregs,"
+            " fregs, reg_ready, reg_ready_static, reg_dyn_reason,"
+            " asn, tdata, t0):"]
+    if has_mem and l1d_geom is not None:
+        head.append("    _dte = dtb._entries")
+        head.append("    _l1s = l1d.sets")
+    if l1i_geom is not None:
+        head.append("    _icl = core.ihier.l1")
+        head.append("    _ics = _icl.sets")
+        head.append("    _ist = core._istream")
+    code = compile("\n".join(head + body), "<fastpath-variant>", "exec")
+    exec(code, ns)
+    return ns["_replay"]
+
+
+class FastPath:
+    """Machine-level block table + issue-schedule variant cache."""
+
+    #: Blocks shorter than this are not worth the key-building overhead.
+    MIN_BODY = 1
+    #: Longer straight-line runs are split at virtual boundaries.
+    MAX_BODY = 48
+    #: Bound on distinct entry PCs tracked (False entries included).
+    MAX_BLOCKS = 65536
+    #: Bound on cached schedules across all blocks.
+    MAX_VARIANTS = 16384
+    #: Consecutive aborted recordings before a variant-less block is
+    #: blacklisted (e.g. streaming code whose loads always miss).
+    MAX_FAILED = 12
+    #: Recorded-variant re-uses before tiering up to a compiled replay.
+    #: One compile() costs about as much as 25 slow instructions, so
+    #: code with many lukewarm variants (gcc) loses at low thresholds
+    #: on short runs; 4 keeps short-budget wins without measurably
+    #: hurting steady-state throughput.
+    COMPILE_USES = 4
+
+    def __init__(self, decode_map, line_shift=5, page_bits=13,
+                 l1d_latency=2, l1d_geom=None, l1i_geom=None):
+        self.decode_map = decode_map  # shared with the Machine, live
+        self.line_shift = line_shift  # I-fetch line granularity
+        self.page_bits = page_bits
+        self.l1d_latency = l1d_latency
+        self.l1d_geom = l1d_geom      # see cache_geometry()
+        self.l1i_geom = l1i_geom
+        self.blocks = {}              # head pc -> Block | False
+        self.variant_count = 0
+        #: Variants with unflushed ground-truth hits (see
+        #: :meth:`flush_deferred`).
+        self.deferred = []
+        # Counters surfaced through repro.obs (sim.fastpath.*).
+        self.replays = 0              # cached schedules replayed
+        self.replayed_instructions = 0
+        self.bails = 0                # replays cut short by an event
+        self.recordings = 0           # schedules captured
+        self.compiled_variants = 0    # schedules tiered up to compiled
+        self.aborted_recordings = 0   # recordings spoiled by an event
+        self.variant_misses = 0       # entry key not cached yet
+        self.links_followed = 0       # chained replays (gate skipped)
+        self.link_mismatches = 0      # chain validation failed
+        self.headroom_skips = 0       # replay blocked by counter headroom
+        self.dropped_variants = 0     # cache full, schedule discarded
+        self.invalidations = 0
+        self.context_switches = 0     # informational; no flush needed
+
+    # -- discovery ----------------------------------------------------
+
+    def discover(self, head):
+        """Scan forward from *head*; cache and return Block or False."""
+        if len(self.blocks) >= self.MAX_BLOCKS:
+            return False
+        decode_map = self.decode_map
+        body = []
+        addr = head
+        rec = decode_map.get(addr)
+        while (rec is not None and not rec[13]          # R_CTRL
+               and len(body) < self.MAX_BODY):
+            body.append(rec)
+            addr += 4
+            rec = decode_map.get(addr)
+        if rec is None or len(body) < self.MIN_BODY:
+            self.blocks[head] = False
+            return False
+        virtual = not rec[13]
+        term_rec = None if virtual else rec
+        live = []
+        written = set()
+        has_imul = has_fdiv = False
+        for record in body:
+            for src in record[3]:                       # R_SRCS
+                if src not in written and src not in live:
+                    live.append(src)
+            dst = record[7]                             # R_DST
+            if dst is not None:
+                written.add(dst)
+            unit = record[11]                           # R_UNIT
+            if unit == 1:
+                has_imul = True
+            elif unit == 2:
+                has_fdiv = True
+        if term_rec is not None:
+            # The terminator replays too: its issue slot depends on its
+            # own operands, so they join the entry key's live-ins.
+            for src in term_rec[3]:
+                if src not in written and src not in live:
+                    live.append(src)
+        block = Block(head, tuple(body), addr, term_rec, tuple(live),
+                      has_imul, has_fdiv, virtual)
+        self.blocks[head] = block
+        return block
+
+    # -- schedule cache -----------------------------------------------
+
+    def store(self, block, key, entries):
+        """Cache a recorded schedule for (*block*, *key*).
+
+        *entries* is one ``(rel_issue, cycles_head, paired, stalls)``
+        per instruction -- the body plus, for non-virtual blocks, the
+        terminator.  The schedule is compiled to a specialized replay
+        function and its bulk effects are precomputed (see
+        :class:`Variant`).
+        """
+        if self.variant_count >= self.MAX_VARIANTS:
+            self.dropped_variants += 1
+            return False
+        recs = block.body
+        if block.term_rec is not None:
+            recs = recs + (block.term_rec,)
+        if len(entries) != len(recs):
+            return False
+        steps = tuple(
+            (rec, entry[0], entry[1], entry[2], entry[3])
+            for rec, entry in zip(recs, entries))
+        sb = _final_scoreboard(steps, self.l1d_latency)
+        term_next = block.term_addr if block.term_rec is None else None
+        block.variants[key] = Variant(steps, sb, key, term_next)
+        block.failed = 0
+        self.variant_count += 1
+        self.recordings += 1
+        return True
+
+    def compile_variant(self, variant):
+        """Tier-up: compile *variant*'s recorded schedule to its
+        specialized replay function (see :func:`_compile_replay`)."""
+        variant.fn = _compile_replay(
+            variant.steps, self.line_shift, self.page_bits, variant.sb,
+            self.l1d_geom, self.l1i_geom)
+        self.compiled_variants += 1
+
+    def abort_recording(self, block):
+        """A dynamic event spoiled a recording of *block*.  Blocks that
+        repeatedly fail with nothing cached yet (streaming code whose
+        loads always miss) are blacklisted to stop paying the
+        recording overhead on every visit."""
+        self.aborted_recordings += 1
+        block.failed += 1
+        if (block.failed >= self.MAX_FAILED and not block.variants
+                and self.blocks.get(block.head) is block):
+            self.blocks[block.head] = False
+
+    # -- deferred ground truth ----------------------------------------
+
+    def flush_deferred(self, gt_count, gt_head, gt_stall):
+        """Fold the deferred replay hits into the ground-truth maps.
+
+        Clean replays only bump their variant's hit counter; this folds
+        ``hits`` copies of each variant's per-block deltas in.  Pure
+        commutative addition, so the totals are identical to the slow
+        path's per-instruction accounting.  Called at every
+        ``Core.run`` exit, before anything can read the maps.
+        """
+        deferred = self.deferred
+        if not deferred:
+            return
+        for variant in deferred:
+            hits = variant.hits
+            variant.hits = 0
+            for a in variant.count_addrs:
+                gt_count[a] = gt_count.get(a, 0) + hits
+            for a, ch in variant.head_items:
+                gt_head[a] = gt_head.get(a, 0) + ch * hits
+            for a, reason, amount in variant.stall_items:
+                row = gt_stall.get(a)
+                if row is None:
+                    row = {}
+                    gt_stall[a] = row
+                row[reason] = row.get(reason, 0) + amount * hits
+        del deferred[:]
+
+    # -- invalidation -------------------------------------------------
+
+    def invalidate(self):
+        """Drop every cached block (the static code map changed).
+
+        Deferred hit counters survive on the Variant objects still
+        referenced by ``self.deferred``, so no ground truth is lost.
+        """
+        if self.blocks:
+            self.invalidations += 1
+        self.blocks.clear()
+        self.variant_count = 0
+
+    def note_context_switch(self):
+        """A quantum expired.  Variant keys are entry-relative and the
+        scoreboard lives on the Process, so nothing needs flushing; the
+        counter exists so the A/B suite can assert exactly that."""
+        self.context_switches += 1
+
+    # -- reporting ----------------------------------------------------
+
+    def snapshot(self):
+        """Raw counters for the obs schema (sim.fastpath.*)."""
+        return {
+            "replays": self.replays,
+            "replayed_instructions": self.replayed_instructions,
+            "bails": self.bails,
+            "recordings": self.recordings,
+            "compiled_variants": self.compiled_variants,
+            "aborted_recordings": self.aborted_recordings,
+            "variant_misses": self.variant_misses,
+            "links_followed": self.links_followed,
+            "link_mismatches": self.link_mismatches,
+            "headroom_skips": self.headroom_skips,
+            "dropped_variants": self.dropped_variants,
+            "blocks": len(self.blocks),
+            "variants": self.variant_count,
+            "invalidations": self.invalidations,
+            "context_switches": self.context_switches,
+        }

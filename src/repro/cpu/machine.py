@@ -8,6 +8,8 @@ analysis tools against.
 
 import random
 
+from repro.alpha.predecode import decode
+from repro.cpu.fastpath import FastPath, cache_geometry
 from repro.cpu.pipeline import Core
 from repro.osim.loader import Loader
 from repro.osim.process import Process
@@ -31,6 +33,19 @@ class Machine:
         self.loader = Loader()
         self.scheduler = Scheduler(self)
         self.code_map = {}
+        #: addr -> flat predecode record (repro.alpha.predecode); the
+        #: pipeline's hot loop reads only these, never Instruction.
+        self.decode_map = {}
+        #: Block-level issue cache (None when config.fastpath is off).
+        self.fastpath = (
+            FastPath(self.decode_map,
+                     line_shift=config.l1i.line_size.bit_length() - 1,
+                     page_bits=config.page_bits,
+                     l1d_latency=config.l1d.latency,
+                     l1d_geom=cache_geometry(config.l1d),
+                     l1i_geom=cache_geometry(config.l1i))
+            if getattr(config, "fastpath", True) else None)
+        self._decoded_images = set()
         self.processes = []
         #: Optional callable(image) -> image applied to unlinked images
         #: at load time (binary instrumentation, e.g. the pixie baseline).
@@ -52,8 +67,17 @@ class Machine:
         if self.image_transform is not None and image.base is None:
             image = self.image_transform(image)
         self.loader.link(image)
-        for inst in image.instructions:
-            self.code_map[inst.addr] = inst
+        if id(image) not in self._decoded_images:
+            self._decoded_images.add(id(image))
+            code_map = self.code_map
+            decode_map = self.decode_map
+            for inst in image.instructions:
+                code_map[inst.addr] = inst
+                decode_map[inst.addr] = decode(inst)
+            if self.fastpath is not None:
+                # The static code map changed: conservatively drop every
+                # cached block (they are cheap to rediscover).
+                self.fastpath.invalidate()
         return image
 
     def spawn(self, images, entry=None, name=None, pid=None):

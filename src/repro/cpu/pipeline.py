@@ -22,14 +22,27 @@ late and attributed to whatever instruction holds the head at delivery
 time, reproducing the paper's section 4.1.2 semantics (IMISS samples
 land on the missing instruction; DMISS/BRANCHMP samples skew a few
 instructions down the stream).
+
+Two execution paths share this accounting:
+
+* the **slow path** walks predecoded records
+  (:mod:`repro.alpha.predecode`) one instruction at a time and handles
+  every dynamic event;
+* the **fast path** replays a cached per-block issue schedule
+  (:mod:`repro.cpu.fastpath`) when the block's entry conditions match a
+  prior visit, batching the block's CYCLES counter updates into one
+  contiguous span.  It bails back to the slow path the moment a dynamic
+  event (fetch miss, D-miss, write-buffer conflict, counter overflow,
+  interrupt delivery) perturbs the cached schedule, so counters,
+  samples and ground-truth attributions stay byte-identical.
 """
 
-from repro.alpha.opcodes import ISSUE_CLASSES, MASK64
+from repro.alpha.opcodes import MASK64
+from repro.alpha.predecode import PAIR_OK_ID
 from repro.cpu.branch import BranchPredictor
 from repro.cpu.caches import Cache, Hierarchy
 from repro.cpu.counters import CounterUnit
 from repro.cpu.events import EventType
-from repro.cpu.issue import PAIR_OK
 from repro.cpu.tlb import TLB
 from repro.cpu.writebuffer import WriteBuffer
 
@@ -93,6 +106,65 @@ class Core:
 
     # ------------------------------------------------------------------
 
+    def _fetch(self, pc, prev_issue):
+        """Fetch the line holding *pc* (the caller saw a line cross).
+
+        Shared by the fast and slow paths so both charge identical
+        ITB/I-cache penalties and count identical events.  Returns
+        ``(itb_penalty, icache_penalty, events_or_None)``; the caller
+        has already updated ``_last_fetch_line``.
+        """
+        config = self.config
+        page_bits = config.page_bits
+        itb_fetch_pen = 0
+        icache_pen = 0
+        events_now = None
+        vpage = pc >> page_bits
+        if vpage != self._last_code_page:
+            ppage, itb_pen, itb_miss = self.itb.translate(
+                0, vpage, self.machine.translate_code)
+            self._last_code_page = vpage
+            self._last_code_ppage = ppage
+            if itb_miss:
+                itb_fetch_pen = itb_pen
+                events_now = [(_EV_ITBMISS, prev_issue + 1)]
+        line_shift = self.ihier.l1._line_shift
+        paddr = ((self._last_code_ppage << page_bits)
+                 | (pc & ((1 << page_bits) - 1)))
+        pline = paddr >> line_shift
+        istream = self._istream
+        if pline in istream:
+            # Stream-buffer hit: the line was prefetched.  The I-cache
+            # still missed (the event counts), but the fill is nearly
+            # free.
+            istream.remove(pline)
+            self.ihier.l1.lookup(paddr)  # install in L1
+            icache_pen = config.istream_hit_latency
+            imiss = True
+        else:
+            ilat, imiss = self.ihier.access(paddr)
+            if imiss:
+                icache_pen = ilat
+        if imiss:
+            ev = (_EV_IMISS, prev_issue + 1)
+            if events_now is None:
+                events_now = [ev]
+            else:
+                events_now.append(ev)
+            if config.istream_entries:
+                # Prefetch the next sequential line (within the same
+                # page -- the prefetcher has no translation of its own).
+                nline = pline + 1
+                lines_per_page = (1 << page_bits) >> line_shift
+                if (nline % lines_per_page != 0
+                        and nline not in istream):
+                    istream.append(nline)
+                    if len(istream) > config.istream_entries:
+                        istream.pop(0)
+        return itb_fetch_pen, icache_pen, events_now
+
+    # ------------------------------------------------------------------
+
     def run(self, proc, cycle_limit=None, inst_limit=None):
         """Run *proc* on this core until it exits or a budget expires.
 
@@ -102,13 +174,14 @@ class Core:
         """
         config = self.config
         machine = self.machine
-        code_map = machine.code_map
+        decode_map = machine.decode_map
         gt_count = machine.gt_count
         gt_head = machine.gt_head
         gt_stall = machine.gt_stall
         gt_events = machine.gt_events
         gt_edges = machine.gt_edges
         counters = self.counters
+        cycles_slots = counters.live_slots(_EV_CYCLES)
         pending = self._pending
         sink = self.sample_sink
         edge_sink = self.edge_sink
@@ -120,7 +193,13 @@ class Core:
         page_mask = (1 << page_bits) - 1
         line_shift = self.ihier.l1._line_shift
         mispredict_penalty = config.mispredict_penalty
-        classes = ISSUE_CLASSES
+        pair_ok = PAIR_OK_ID
+        dtb = self.dtb
+        dhier = self.dhier
+        wb = self.wb
+        bp = self.bp
+        l1d_latency = dhier.l1.latency
+        dhier_l1 = dhier.l1
 
         iregs = proc.iregs
         fregs = proc.fregs
@@ -128,6 +207,8 @@ class Core:
         reg_ready = proc.reg_ready
         reg_ready_static = proc.reg_ready_static
         reg_dyn_reason = proc.reg_dyn_reason
+        asn = proc.asn
+        translate_data = proc.translate_data
         pc = proc.pc
         exit_addr = proc.exit_addr
 
@@ -135,12 +216,26 @@ class Core:
         # pair_open: the previous instruction issued alone in its cycle
         # and a compatible follower could still join it.
         pair_open = False
-        prev_cls = None
+        prev_cls = -1
         leader_pc = proc.last_pc
         front_extra = 0  # mispredict + handler cycles delaying the front end
         front_reason = None
         imul_free = proc.imul_free
         fdiv_free = proc.fdiv_free
+        retired = 0
+
+        fp = machine.fastpath
+        fp_on = fp is not None
+        fp_blocks = fp.blocks if fp_on else None
+        at_head = fp_on  # a run entry is always a block boundary
+        carry_fetch = None  # fetch result a replay bail hands to the slow path
+        replay_var = None  # schedule selected by the gate this iteration
+        link_src = None  # variant whose clean exit the gate may link
+        rec_list = None  # schedule being recorded for (rec_block, rec_key)
+        rec_block = None
+        rec_key = None
+        rec_t0 = 0
+        rec_term = -1
 
         deadline = None
         if cycle_limit is not None:
@@ -158,10 +253,376 @@ class Core:
             if deadline is not None and prev_issue >= deadline:
                 status = QUANTUM
                 break
-            insts_left -= 1
 
-            inst = code_map.get(pc)
-            if inst is None:
+            # ---- fast path: replay a cached schedule, or record one ----
+            if at_head:
+                at_head = False
+                # Replay may not interact with sampling machinery:
+                # nothing pending, no front-end debt, no half-taken
+                # double sample.
+                if front_extra == 0 and not pending and edge_from is None:
+                    block = fp_blocks.get(pc)
+                    if block is None:
+                        block = fp.discover(pc)
+                    if block is not False:
+                        t0 = prev_issue
+                        live_parts = None
+                        for reg in block.live_ins:
+                            rel = reg_ready[reg] - t0
+                            if rel > 0:
+                                part = (reg, rel,
+                                        max(reg_ready_static[reg] - t0, 0),
+                                        reg_dyn_reason.get(reg))
+                                if live_parts is None:
+                                    live_parts = [part]
+                                else:
+                                    live_parts.append(part)
+                        key = (
+                            prev_cls if pair_open else -1,
+                            tuple(live_parts) if live_parts else None,
+                            (imul_free - t0
+                             if block.has_imul and imul_free > t0 else 0),
+                            (fdiv_free - t0
+                             if block.has_fdiv and fdiv_free > t0 else 0))
+                        var = block.variants.get(key)
+                        if var is None:
+                            link_src = None
+                            fp.variant_misses += 1
+                            if fp.variant_count < fp.MAX_VARIANTS:
+                                rec_list = []
+                                rec_block = block
+                                rec_key = key
+                                rec_t0 = t0
+                                rec_term = block.term_addr
+                        else:
+                            if var.fn is None:
+                                # Cold variant: the slow path keeps
+                                # executing the block until it recurs
+                                # enough to be worth a compile().
+                                var.uses += 1
+                                if var.uses >= fp.COMPILE_USES:
+                                    fp.compile_variant(var)
+                            if var.fn is None:
+                                link_src = None
+                            else:
+                                if link_src is not None:
+                                    # Cache this edge for chained
+                                    # replay.  The source's entry key
+                                    # and final scoreboard statically
+                                    # determine every component of
+                                    # *key* except registers neither
+                                    # written nor key-pinned there (and
+                                    # a unit backlog it left idle) --
+                                    # record those as residual checks a
+                                    # chained hop must revalidate.
+                                    checks = []
+                                    covered = link_src.wset
+                                    pins = link_src.pin_regs
+                                    for reg in block.live_ins:
+                                        if reg in covered or reg in pins:
+                                            continue
+                                        rel = reg_ready[reg] - t0
+                                        if rel > 0:
+                                            checks.append(
+                                                (reg, rel,
+                                                 max(reg_ready_static[reg]
+                                                     - t0, 0),
+                                                 reg_dyn_reason.get(reg)))
+                                        else:
+                                            checks.append(
+                                                (reg, 0, 0, None))
+                                    link_src.links[pc] = (
+                                        var, key[0], tuple(checks),
+                                        key[2]
+                                        if (block.has_imul
+                                            and link_src.imul_rel == 0)
+                                        else None,
+                                        key[3]
+                                        if (block.has_fdiv
+                                            and link_src.fdiv_rel == 0)
+                                        else None)
+                                    link_src = None
+                                total_rel = var.total_rel
+                                if (0 <= insts_left < var.n
+                                        or (deadline is not None
+                                            and t0 + total_rel
+                                            >= deadline)):
+                                    # Too close to a budget edge to
+                                    # commit to a whole block; the slow
+                                    # path paces itself per
+                                    # instruction.
+                                    pass
+                                else:
+                                    replay_var = var
+                                    for _slot in cycles_slots:
+                                        if (total_rel >= _slot.period
+                                                - _slot.count):
+                                            # The block could overflow
+                                            # a CYCLES counter
+                                            # mid-replay; let the slow
+                                            # path pace the delivery.
+                                            fp.headroom_skips += 1
+                                            replay_var = None
+                                            break
+
+            if replay_var is not None:
+                # ---- replay ----------------------------------------
+                # The compiled function executes the whole block's
+                # semantics and model probes with schedule constants
+                # and the final scoreboard inlined; everything else
+                # (pairing state, deferred ground truth, the block's
+                # contiguous CYCLES span) is applied in bulk from the
+                # variant's precomputed structures.  Clean exits chase
+                # cached successor links (chained replay): the exited
+                # variant's entry key and scoreboard statically
+                # determine the successor's entry key except for the
+                # link's precomputed residual checks, so validated hops
+                # skip the gate's key build entirely.
+                v = replay_var
+                replay_var = None
+                bailed = False
+                while True:
+                    res = v.fn(self, bp, dtb, dhier, dhier_l1, wb, mem,
+                               iregs, fregs, reg_ready,
+                               reg_ready_static, reg_dyn_reason,
+                               asn, translate_data, t0)
+                    fp.replays += 1
+                    if res is not None and res[0] != 4:
+                        bailed = True
+                        break
+                    # Clean replay (res carries the terminator's
+                    # dynamic direction for non-virtual blocks).
+                    n = v.n
+                    fp.replayed_instructions += n
+                    insts_left -= n
+                    retired += n
+                    if v.hits == 0:
+                        fp.deferred.append(v)
+                    v.hits += 1
+                    if v.imul_rel:
+                        imul_free = t0 + v.imul_rel
+                    if v.fdiv_rel:
+                        fdiv_free = t0 + v.fdiv_rel
+                    prev_cls = v.prev_cls_end
+                    if v.leader_addr is not None:
+                        leader_pc = v.leader_addr
+                    total_rel = v.total_rel
+                    prev_issue = t0 + total_rel
+                    if total_rel and cycles_slots:
+                        # One contiguous CYCLES span; the headroom gate
+                        # guarantees no overflow.
+                        for ev, otime in counters.add(
+                                _EV_CYCLES, total_rel, prev_issue):
+                            pending.append((otime + skew, ev))
+                    if res is None:
+                        pair_open = v.term_open
+                        pc = v.term_next
+                    else:
+                        pc = res[1]
+                        pair_open = v.term_open and not res[2]
+                        if v.term_edge_always or pc != exit_addr:
+                            edge = (v.term_addr, pc)
+                            gt_edges[edge] = gt_edges.get(edge, 0) + 1
+                        if res[3]:
+                            front_extra = mispredict_penalty
+                            front_reason = "branchmp"
+                            row = gt_events.get(v.term_addr)
+                            if row is None:
+                                row = {}
+                                gt_events[v.term_addr] = row
+                            row[_EV_BRANCHMP] = row.get(
+                                _EV_BRANCHMP, 0) + 1
+                            for oev, otime in counters.add(
+                                    _EV_BRANCHMP, 1, prev_issue):
+                                pending.append((otime + skew, oev))
+                            # Front-end debt: no chaining.
+                            at_head = True
+                            break
+                    link = v.links.get(pc)
+                    if link is None or pending:
+                        at_head = True
+                        link_src = v  # let the gate cache this edge
+                        break
+                    nv = link[0]
+                    if ((prev_cls if pair_open else -1) != link[1]
+                            or 0 <= insts_left < nv.n
+                            or (deadline is not None
+                                and prev_issue + nv.total_rel
+                                >= deadline)):
+                        at_head = True
+                        link_src = v
+                        break
+                    t0 = prev_issue
+                    ok = True
+                    for lreg, lrel, lsrel, lreason in link[2]:
+                        if lrel == 0:
+                            if reg_ready[lreg] > t0:
+                                ok = False
+                                break
+                        elif (reg_ready[lreg] - t0 != lrel
+                              or max(reg_ready_static[lreg] - t0, 0)
+                              != lsrel
+                              or reg_dyn_reason.get(lreg) != lreason):
+                            ok = False
+                            break
+                    if ok:
+                        er = link[3]
+                        if er is not None and er != (
+                                imul_free - t0 if imul_free > t0
+                                else 0):
+                            ok = False
+                        er = link[4]
+                        if er is not None and er != (
+                                fdiv_free - t0 if fdiv_free > t0
+                                else 0):
+                            ok = False
+                    if ok:
+                        tr = nv.total_rel
+                        for _slot in cycles_slots:
+                            if tr >= _slot.period - _slot.count:
+                                fp.headroom_skips += 1
+                                ok = False
+                                break
+                    if not ok:
+                        fp.link_mismatches += 1
+                        at_head = True
+                        break
+                    fp.links_followed += 1
+                    v = nv
+                if not bailed:
+                    continue
+
+                # ---- bail: a dynamic event cut the replay short ----
+                tag = res[0]
+                i = res[1]
+                steps = v.steps
+                # A dirty load/store (tags 2/3) completed before
+                # bailing; fetch and write-buffer bails (tags 0/1)
+                # stop *before* instruction i.
+                count = i + 1 if tag >= 2 else i
+                for j in range(count):
+                    step = steps[j]
+                    srec_j = step[0]
+                    addr_j = srec_j[14]
+                    gt_count[addr_j] = gt_count.get(addr_j, 0) + 1
+                    ch = step[2]
+                    if ch:
+                        gt_head[addr_j] = gt_head.get(addr_j, 0) + ch
+                    sitems = step[4]
+                    if sitems is not None:
+                        srow = gt_stall.get(addr_j)
+                        if srow is None:
+                            srow = {}
+                            gt_stall[addr_j] = srow
+                        for reason, amount in sitems:
+                            srow[reason] = srow.get(reason, 0) + amount
+                    dst_j = srec_j[7]
+                    if dst_j is not None:
+                        # Clean completion times (the dirty bailing
+                        # instruction is overridden below).
+                        done = t0 + step[1] + (srec_j[2]
+                                               if srec_j[0] <= 3
+                                               else l1d_latency)
+                        reg_ready[dst_j] = done
+                        reg_ready_static[dst_j] = done
+                        reg_dyn_reason[dst_j] = None
+                    unit_j = srec_j[11]
+                    if unit_j == 1:
+                        imul_free = t0 + step[1] + srec_j[12]
+                    elif unit_j == 2:
+                        fdiv_free = t0 + step[1] + srec_j[12]
+                if count:
+                    last_step = steps[count - 1]
+                    pair_open = not last_step[3]
+                    prev_cls = last_step[0][1]
+                    for j in range(count - 1, -1, -1):
+                        if not steps[j][3]:
+                            leader_pc = steps[j][0][14]
+                            break
+                    prev_issue = t0 + last_step[1]
+                flushed = False
+                if tag == 0:
+                    # Dirty fetch: the slow path takes over this
+                    # instruction with the fetch result carried over.
+                    carry_fetch = res[2]
+                    bail_pc = steps[i][0][14]
+                elif tag == 1:
+                    # Write buffer busy: nothing was mutated for the
+                    # store (earliest_issue is idempotent at a fixed
+                    # time), so the slow path redoes it exactly.
+                    bail_pc = steps[i][0][14]
+                else:
+                    # A load/store finished with a D-cache/D-TLB miss:
+                    # its own issue time is miss-independent (the
+                    # latency lands on the consumer), so the cached
+                    # entry is exact.  Flush the CYCLES span, count
+                    # the events, then hand the perturbed scoreboard
+                    # to the slow path.
+                    step = steps[i]
+                    srec_i = step[0]
+                    issue = t0 + step[1]
+                    delta = issue - t0
+                    if delta and cycles_slots:
+                        for ev, otime in counters.add(
+                                _EV_CYCLES, delta, issue):
+                            pending.append((otime + skew, ev))
+                    row = gt_events.get(srec_i[14])
+                    if row is None:
+                        row = {}
+                        gt_events[srec_i[14]] = row
+                    if tag == 2:
+                        dst_i = srec_i[7]
+                        if dst_i is not None:
+                            reg_ready[dst_i] = issue + res[2] + res[3]
+                            reg_ready_static[dst_i] = issue + l1d_latency
+                            reg_dyn_reason[dst_i] = ("dcache" if res[4]
+                                                     else "dtb")
+                        if res[4]:
+                            row[_EV_DMISS] = row.get(_EV_DMISS, 0) + 1
+                            for oev, otime in counters.add(
+                                    _EV_DMISS, 1, issue):
+                                pending.append((otime + skew, oev))
+                        if res[5]:
+                            row[_EV_DTBMISS] = row.get(
+                                _EV_DTBMISS, 0) + 1
+                            for oev, otime in counters.add(
+                                    _EV_DTBMISS, 1, issue):
+                                pending.append((otime + skew, oev))
+                    else:
+                        row[_EV_DTBMISS] = row.get(_EV_DTBMISS, 0) + 1
+                        for oev, otime in counters.add(
+                                _EV_DTBMISS, 1, issue):
+                            pending.append((otime + skew, oev))
+                    flushed = True
+                    bail_pc = srec_i[14] + 4
+                if not flushed:
+                    delta = prev_issue - t0
+                    if delta and cycles_slots:
+                        for ev, otime in counters.add(
+                                _EV_CYCLES, delta, prev_issue):
+                            pending.append((otime + skew, ev))
+                fp.replayed_instructions += count
+                fp.bails += 1
+                insts_left -= count
+                retired += count
+                pc = bail_pc
+                continue
+
+            # ---- slow path -------------------------------------------
+            link_src = None  # a slow instruction breaks the chain
+            if rec_list is not None and pc == rec_term:
+                if len(rec_list) != len(rec_block.body):
+                    rec_list = None  # did not walk the block linearly
+                elif rec_block.virtual:
+                    fp.store(rec_block, rec_key, tuple(rec_list))
+                    rec_list = None
+                # Otherwise keep recording through the terminator: its
+                # issue slot and pairing are entry-invariant even
+                # though its direction is dynamic.
+
+            insts_left -= 1
+            srec = decode_map.get(pc)
+            if srec is None:
                 raise RuntimeError(
                     "pid %d jumped to unmapped pc %#x" % (proc.pid, pc))
             if edge_from is not None:
@@ -170,105 +631,75 @@ class Core:
                 edge_sink(self.cpu_id, proc.pid, edge_from, pc,
                           prev_issue)
                 edge_from = None
-            info = inst.info
-            kind = info.kind
-            icls = classes[info.cls]
+            kind = srec[0]
+            cls_id = srec[1]
             addr = pc
-
-            events_now = None  # [(event, time)] for this instruction
+            rec_stalls = None
+            delivered = False
+            wb_clean = True
 
             # ---- fetch --------------------------------------------------
-            itb_fetch_pen = 0
-            icache_pen = 0
-            fline = pc >> line_shift
-            if fline != self._last_fetch_line:
-                self._last_fetch_line = fline
-                vpage = pc >> page_bits
-                if vpage != self._last_code_page:
-                    ppage, itb_pen, itb_miss = self.itb.translate(
-                        0, vpage, machine.translate_code)
-                    self._last_code_page = vpage
-                    self._last_code_ppage = ppage
-                    if itb_miss:
-                        itb_fetch_pen = itb_pen
-                        events_now = [(_EV_ITBMISS, prev_issue + 1)]
-                paddr = (self._last_code_ppage << page_bits) | (pc & page_mask)
-                pline = paddr >> line_shift
-                istream = self._istream
-                if pline in istream:
-                    # Stream-buffer hit: the line was prefetched.  The
-                    # I-cache still missed (the event counts), but the
-                    # fill is nearly free.
-                    istream.remove(pline)
-                    self.ihier.l1.lookup(paddr)  # install in L1
-                    icache_pen = config.istream_hit_latency
-                    imiss = True
-                else:
-                    ilat, imiss = self.ihier.access(paddr)
-                    if imiss:
-                        icache_pen = ilat
-                if imiss:
-                    ev = (_EV_IMISS, prev_issue + 1)
-                    if events_now is None:
-                        events_now = [ev]
-                    else:
-                        events_now.append(ev)
-                    if config.istream_entries:
-                        # Prefetch the next sequential line (within the
-                        # same page -- the prefetcher has no translation
-                        # of its own).
-                        nline = pline + 1
-                        lines_per_page = (1 << page_bits) >> line_shift
-                        if (nline % lines_per_page != 0
-                                and nline not in istream):
-                            istream.append(nline)
-                            if len(istream) > config.istream_entries:
-                                istream.pop(0)
+            if carry_fetch is not None:
+                itb_fetch_pen, icache_pen, events_now = carry_fetch
+                carry_fetch = None
+            else:
+                itb_fetch_pen = 0
+                icache_pen = 0
+                events_now = None  # [(event, time)] for this instruction
+                fline = pc >> line_shift
+                if fline != self._last_fetch_line:
+                    self._last_fetch_line = fline
+                    itb_fetch_pen, icache_pen, events_now = self._fetch(
+                        pc, prev_issue)
             fetch_pen = itb_fetch_pen + icache_pen
 
             # ---- operand readiness --------------------------------------
-            srcs = inst.srcs
             rdy = 0
             rdy_static = 0
             dep_index = 0
             dyn_reg = -1
-            for index, src in enumerate(srcs):
-                r = reg_ready[src]
-                if r > rdy:
-                    rdy = r
-                    dyn_reg = src
-                rs = reg_ready_static[src]
-                if rs > rdy_static:
-                    rdy_static = rs
-                    dep_index = index
+            srcs = srec[3]
+            if srcs:
+                index = 0
+                for src in srcs:
+                    r = reg_ready[src]
+                    if r > rdy:
+                        rdy = r
+                        dyn_reg = src
+                    rs = reg_ready_static[src]
+                    if rs > rdy_static:
+                        rdy_static = rs
+                        dep_index = index
+                    index += 1
 
             # ---- resources ----------------------------------------------
             res = 0
             res_reason = None
-            cls_name = info.cls
-            if cls_name == "IMUL":
+            unit = srec[11]
+            if unit == 1:
                 if imul_free > res:
                     res = imul_free
                     res_reason = "imul"
-            elif cls_name == "FDIV":
+            elif unit == 2:
                 if fdiv_free > res:
                     res = fdiv_free
                     res_reason = "fdiv"
 
             vaddr = -1
-            if kind == "store" or kind == "fstore":
-                vaddr = (iregs[inst.rb] + inst.imm) & MASK64
-                wb_ready = self.wb.earliest_issue(vaddr, prev_issue + 1)
-                if wb_ready > res:
-                    res = wb_ready
-                    res_reason = "wb"
-            elif kind == "load" or kind == "fload":
-                vaddr = (iregs[inst.rb] + inst.imm) & MASK64
+            if 4 <= kind <= 9:
+                vaddr = (iregs[srec[5]] + srec[8]) & MASK64
+                if kind >= 7:
+                    wb_ready = wb.earliest_issue(vaddr, prev_issue + 1)
+                    if wb_ready != prev_issue + 1:
+                        wb_clean = False
+                    if wb_ready > res:
+                        res = wb_ready
+                        res_reason = "wb"
 
             # ---- issue / pairing ----------------------------------------
             total_front = fetch_pen + front_extra
             if (pair_open and total_front == 0 and rdy <= prev_issue
-                    and res <= prev_issue and PAIR_OK[(prev_cls, cls_name)]):
+                    and res <= prev_issue and pair_ok[prev_cls][cls_id]):
                 issue = prev_issue
                 paired = True
                 cycles_head = 0
@@ -303,105 +734,123 @@ class Core:
                     if d_static > 0:
                         reason = _DEP_REASON[dep_index]
                         stall_row[reason] = stall_row.get(reason, 0) + d_static
+                        if rec_list is not None:
+                            if rec_stalls is None:
+                                rec_stalls = []
+                            rec_stalls.append((reason, d_static))
                         base += d_static
                     d_dyn = min(rdy, issue) - base
                     if d_dyn > 0:
                         reason = reg_dyn_reason.get(dyn_reg) or "dcache"
                         stall_row[reason] = stall_row.get(reason, 0) + d_dyn
+                        if rec_list is not None:
+                            if rec_stalls is None:
+                                rec_stalls = []
+                            rec_stalls.append((reason, d_dyn))
                         base = min(rdy, issue)
                     if res > base and res_reason:
                         stall_row[res_reason] = (
                             stall_row.get(res_reason, 0) + (res - base))
-                elif (pair_open and prev_cls is not None
-                      and not PAIR_OK[(prev_cls, cls_name)]):
+                        if rec_list is not None:
+                            if rec_stalls is None:
+                                rec_stalls = []
+                            rec_stalls.append((res_reason, res - base))
+                elif (pair_open and prev_cls >= 0
+                      and not pair_ok[prev_cls][cls_id]):
                     # Pairing failed purely on pipe assignment: slotting.
                     stall_row = gt_stall.get(addr)
                     if stall_row is None:
                         stall_row = {}
                         gt_stall[addr] = stall_row
                     stall_row["slotting"] = stall_row.get("slotting", 0) + 1
+                    if rec_list is not None:
+                        rec_stalls = [("slotting", 1)]
                 pair_open = True
             front_extra = 0
             front_reason = None
-            prev_cls = cls_name
+            prev_cls = cls_id
 
             # ---- execute -------------------------------------------------
             next_pc = pc + 4
-            latency = icls.latency
-            if kind == "op":
-                a = iregs[inst.ra]
-                b = iregs[inst.rb] if inst.rb is not None else inst.imm
-                if cls_name == "CMOV":
-                    value = b if info.cond(a) else iregs[inst.rc]
-                else:
-                    value = info.sem(a, b)
-                rc = inst.rc
-                if rc != 31:
-                    iregs[rc] = value
-                    done = issue + latency
-                    reg_ready[rc] = done
-                    reg_ready_static[rc] = done
-                    reg_dyn_reason[rc] = None
-                if cls_name == "IMUL":
-                    imul_free = issue + icls.busy
-            elif kind == "fop":
-                a = fregs[inst.ra - 32] if inst.ra is not None else 0.0
-                b = fregs[inst.rb - 32]
-                value = info.sem(a, b)
-                rc = inst.rc
-                if rc != 63:
-                    fregs[rc - 32] = value
-                    done = issue + latency
-                    reg_ready[rc] = done
-                    reg_ready_static[rc] = done
-                    reg_dyn_reason[rc] = None
-                if cls_name == "FDIV":
-                    fdiv_free = issue + icls.busy
-            elif kind == "lda":
-                base_val = iregs[inst.rb] if inst.rb != 31 else 0
-                imm = inst.imm
-                if inst.op == "ldah":
-                    imm <<= 16
-                value = (base_val + imm) & MASK64
-                ra = inst.ra
-                if ra != 31:
-                    iregs[ra] = value
-                    done = issue + latency
-                    reg_ready[ra] = done
-                    reg_ready_static[ra] = done
-                    reg_dyn_reason[ra] = None
-            elif kind == "load" or kind == "fload":
-                vpage = vaddr >> page_bits
-                ppage, dtb_pen, dtb_miss = self.dtb.translate(
-                    proc.asn, vpage, proc.translate_data)
+            if kind == 0:  # op
+                f2 = srec[5]
+                value = srec[10](iregs[srec[4]],
+                                 iregs[f2] if f2 is not None else srec[8])
+                dst = srec[7]
+                if dst is not None:
+                    iregs[dst] = value
+                    done = issue + srec[2]
+                    reg_ready[dst] = done
+                    reg_ready_static[dst] = done
+                    reg_dyn_reason[dst] = None
+                if unit == 1:
+                    imul_free = issue + srec[12]
+            elif kind == 3:  # lda
+                f2 = srec[5]
+                value = ((iregs[f2] if f2 is not None else 0)
+                         + srec[8]) & MASK64
+                dst = srec[7]
+                if dst is not None:
+                    iregs[dst] = value
+                    done = issue + srec[2]
+                    reg_ready[dst] = done
+                    reg_ready_static[dst] = done
+                    reg_dyn_reason[dst] = None
+            elif kind == 1:  # cmov
+                f2 = srec[5]
+                b = iregs[f2] if f2 is not None else srec[8]
+                value = b if srec[10](iregs[srec[4]]) else iregs[srec[6]]
+                dst = srec[7]
+                if dst is not None:
+                    iregs[dst] = value
+                    done = issue + srec[2]
+                    reg_ready[dst] = done
+                    reg_ready_static[dst] = done
+                    reg_dyn_reason[dst] = None
+            elif kind == 2:  # fop
+                f1 = srec[4]
+                a = fregs[f1] if f1 is not None else 0.0
+                value = srec[10](a, fregs[srec[5]])
+                dst = srec[7]
+                if dst is not None:
+                    fregs[dst - 32] = value
+                    done = issue + srec[2]
+                    reg_ready[dst] = done
+                    reg_ready_static[dst] = done
+                    reg_dyn_reason[dst] = None
+                if unit == 2:
+                    fdiv_free = issue + srec[12]
+            elif kind <= 6:  # loads
+                ppage, dtb_pen, dtb_miss = dtb.translate(
+                    asn, vaddr >> page_bits, translate_data)
                 paddr = (ppage << page_bits) | (vaddr & page_mask)
-                dlat, dmiss = self.dhier.access(paddr)
-                total = dtb_pen + dlat
-                ra = inst.ra
-                if kind == "load":
-                    value = mem.get(vaddr & ~7 if inst.op == "ldq"
-                                    else vaddr & ~3, 0)
-                    if inst.op == "ldl":
-                        value &= 0xFFFFFFFF
-                        if value >> 31:
-                            value = (value | ~0xFFFFFFFF) & MASK64
-                    if ra != 31:
-                        iregs[ra] = value
-                else:
+                dlat, dmiss = dhier.access(paddr)
+                dst = srec[7]
+                if kind == 4:  # ldq
+                    value = mem.get(vaddr & ~7, 0)
+                    if dst is not None:
+                        iregs[dst] = value
+                elif kind == 5:  # ldl
+                    value = mem.get(vaddr & ~3, 0) & 0xFFFFFFFF
+                    if value >> 31:
+                        value = (value | ~0xFFFFFFFF) & MASK64
+                    if dst is not None:
+                        iregs[dst] = value
+                else:  # ldt
                     value = mem.get(vaddr & ~7, 0)
                     if not isinstance(value, float):
                         value = float(value)
-                    if ra != 63:
-                        fregs[ra - 32] = value
-                if ra != 31 and ra != 63:
-                    reg_ready[ra] = issue + total
-                    reg_ready_static[ra] = issue + self.dhier.l1.latency
+                    if dst is not None:
+                        fregs[dst - 32] = value
+                if dst is not None:
+                    reg_ready[dst] = issue + dtb_pen + dlat
+                    reg_ready_static[dst] = issue + l1d_latency
                     if dmiss:
-                        reg_dyn_reason[ra] = "dcache"
+                        reg_dyn_reason[dst] = "dcache"
                     elif dtb_miss:
-                        reg_dyn_reason[ra] = "dtb"
+                        reg_dyn_reason[dst] = "dtb"
                     else:
-                        reg_dyn_reason[ra] = None
+                        reg_dyn_reason[dst] = None
                 if dmiss or dtb_miss:
                     if events_now is None:
                         events_now = []
@@ -409,33 +858,32 @@ class Core:
                         events_now.append((_EV_DMISS, issue))
                     if dtb_miss:
                         events_now.append((_EV_DTBMISS, issue))
-            elif kind == "store" or kind == "fstore":
-                vpage = vaddr >> page_bits
-                ppage, dtb_pen, dtb_miss = self.dtb.translate(
-                    proc.asn, vpage, proc.translate_data)
+            elif kind <= 9:  # stores
+                ppage, dtb_pen, dtb_miss = dtb.translate(
+                    asn, vaddr >> page_bits, translate_data)
                 paddr = (ppage << page_bits) | (vaddr & page_mask)
                 # Write-through, no-write-allocate: probe without filling.
-                self.dhier.l1.lookup(paddr, allocate=False)
-                self.wb.commit(vaddr, issue)
-                if kind == "fstore":
-                    mem[vaddr & ~7] = fregs[inst.ra - 32]
-                elif inst.op == "stq":
-                    mem[vaddr & ~7] = iregs[inst.ra]
-                else:
-                    mem[vaddr & ~3] = iregs[inst.ra] & 0xFFFFFFFF
+                dhier.l1.lookup(paddr, allocate=False)
+                wb.commit(vaddr, issue)
+                if kind == 7:  # stq
+                    mem[vaddr & ~7] = iregs[srec[4]]
+                elif kind == 8:  # stl
+                    mem[vaddr & ~3] = iregs[srec[4]] & 0xFFFFFFFF
+                else:  # stt
+                    mem[vaddr & ~7] = fregs[srec[4]]
                 if dtb_miss:
                     if events_now is None:
                         events_now = []
                     events_now.append((_EV_DTBMISS, issue))
-            elif kind == "cbranch" or kind == "fbranch":
-                if kind == "cbranch":
-                    taken = info.cond(iregs[inst.ra])
+            elif kind == 11 or kind == 12:  # cbranch / fbranch
+                if kind == 11:
+                    taken = srec[10](iregs[srec[4]])
                 else:
-                    taken = info.cond(fregs[inst.ra - 32])
+                    taken = srec[10](fregs[srec[4]])
                 if taken:
-                    next_pc = inst.target
+                    next_pc = srec[9]
                     pair_open = False
-                correct = self.bp.predict_conditional(pc, taken)
+                correct = bp.predict_conditional(pc, taken)
                 if not correct:
                     front_extra = mispredict_penalty
                     front_reason = "branchmp"
@@ -444,34 +892,34 @@ class Core:
                     events_now.append((_EV_BRANCHMP, issue))
                 edge = (addr, next_pc)
                 gt_edges[edge] = gt_edges.get(edge, 0) + 1
-            elif kind == "br":
-                ra = inst.ra
-                if ra != 31:
-                    iregs[ra] = pc + 4
-                    reg_ready[ra] = issue + 1
-                    reg_ready_static[ra] = issue + 1
-                    reg_dyn_reason[ra] = None
-                if inst.op == "bsr":
-                    self.bp.push_call(pc + 4)
-                next_pc = inst.target
+            elif kind == 13 or kind == 14:  # br / bsr
+                dst = srec[7]
+                if dst is not None:
+                    iregs[dst] = pc + 4
+                    reg_ready[dst] = issue + 1
+                    reg_ready_static[dst] = issue + 1
+                    reg_dyn_reason[dst] = None
+                if kind == 14:
+                    bp.push_call(pc + 4)
+                next_pc = srec[9]
                 pair_open = False
                 edge = (addr, next_pc)
                 gt_edges[edge] = gt_edges.get(edge, 0) + 1
-            elif kind == "jump":
-                target = iregs[inst.rb] & ~3
-                ra = inst.ra
-                if ra != 31:
-                    iregs[ra] = pc + 4
-                    reg_ready[ra] = issue + 1
-                    reg_ready_static[ra] = issue + 1
-                    reg_dyn_reason[ra] = None
-                if inst.op == "jsr":
-                    self.bp.push_call(pc + 4)
-                    correct = self.bp.predict_indirect(pc, target)
-                elif inst.op == "ret":
-                    correct = self.bp.predict_return(target)
+            elif kind >= 15:  # jmp / jsr / ret
+                target = iregs[srec[5]] & ~3
+                dst = srec[7]
+                if dst is not None:
+                    iregs[dst] = pc + 4
+                    reg_ready[dst] = issue + 1
+                    reg_ready_static[dst] = issue + 1
+                    reg_dyn_reason[dst] = None
+                if kind == 16:
+                    bp.push_call(pc + 4)
+                    correct = bp.predict_indirect(pc, target)
+                elif kind == 17:
+                    correct = bp.predict_return(target)
                 else:
-                    correct = self.bp.predict_indirect(pc, target)
+                    correct = bp.predict_indirect(pc, target)
                 if not correct:
                     front_extra = mispredict_penalty
                     front_reason = "branchmp"
@@ -483,6 +931,7 @@ class Core:
                 if target != exit_addr:
                     edge = (addr, target)
                     gt_edges[edge] = gt_edges.get(edge, 0) + 1
+            # kind == 10 (nop / call_pal): timing only.
 
             # ---- ground truth --------------------------------------------
             gt_count[addr] = gt_count.get(addr, 0) + 1
@@ -491,7 +940,7 @@ class Core:
 
             # ---- performance counters ------------------------------------
             delta = issue - prev_issue
-            if delta:
+            if delta and cycles_slots:
                 for ev, otime in counters.add(_EV_CYCLES, delta, issue):
                     pending.append((otime + skew, ev))
             if events_now:
@@ -506,6 +955,7 @@ class Core:
             if pending:
                 ready = [p for p in pending if p[0] <= issue]
                 if ready:
+                    delivered = True
                     pending[:] = [p for p in pending if p[0] > issue]
                     for dtime, ev in ready:
                         # Deliveries while the previous instruction still
@@ -530,7 +980,7 @@ class Core:
                                 # transfers control, its direction is
                                 # computable from register state (we
                                 # executed it already: next_pc).
-                                if attr_pc == pc and inst.is_control:
+                                if attr_pc == pc and srec[13]:
                                     edge_sink(self.cpu_id, proc.pid,
                                               pc, next_pc, dtime)
                             else:
@@ -538,10 +988,35 @@ class Core:
             if not paired:
                 leader_pc = pc
 
-            # ---- advance ---------------------------------------------------
-            self.instructions_retired += 1
+            # ---- recording -----------------------------------------------
+            if rec_list is not None:
+                if fetch_pen or events_now or delivered or not wb_clean:
+                    # A dynamic event landed inside the block: this
+                    # visit's schedule is not the stall-free one.
+                    rec_list = None
+                    fp.abort_recording(rec_block)
+                else:
+                    rec_list.append(
+                        (issue - rec_t0, cycles_head, paired,
+                         tuple(rec_stalls) if rec_stalls else None))
+                    if srec[13]:
+                        # The terminator completes the recording (only
+                        # reachable for non-virtual blocks, whose
+                        # body-length check passed at rec_term).
+                        fp.store(rec_block, rec_key, tuple(rec_list))
+                        rec_list = None
+
+            # ---- advance -------------------------------------------------
+            retired += 1
             prev_issue = issue
             pc = next_pc
+            if srec[13]:
+                at_head = fp_on
+
+        # Fold deferred fast-path ground truth in before anything can
+        # read the maps (pure addition, so totals match the slow path).
+        if fp_on:
+            fp.flush_deferred(gt_count, gt_head, gt_stall)
 
         # Save resumable state.
         proc.pc = pc
@@ -550,4 +1025,5 @@ class Core:
         proc.imul_free = imul_free
         proc.fdiv_free = fdiv_free
         self.time = prev_issue + 1
+        self.instructions_retired += retired
         return status

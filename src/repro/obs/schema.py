@@ -29,6 +29,21 @@ name                                     kind      meaning
 ``session.instructions``                 counter   instructions executed
 ``session.cycles``                       counter   simulated cycles
 ``session.wall_s``                       gauge     wall time of the run
+``sim.fastpath.replays``                 counter   block replays started
+``sim.fastpath.replayed_instructions``   counter   instructions replayed
+``sim.fastpath.bails``                   counter   replays cut short
+``sim.fastpath.recordings``              counter   variants recorded
+``sim.fastpath.compiled_variants``       counter   variants tiered up
+``sim.fastpath.aborted_recordings``      counter   recordings abandoned
+``sim.fastpath.variant_misses``          counter   gate lookups that missed
+``sim.fastpath.links_followed``          counter   chained replay hops
+``sim.fastpath.link_mismatches``         counter   chain checks that failed
+``sim.fastpath.headroom_skips``          counter   counter-overflow skips
+``sim.fastpath.dropped_variants``        counter   capacity evictions
+``sim.fastpath.invalidations``           counter   full cache flushes
+``sim.fastpath.context_switches``        counter   switch notifications
+``sim.fastpath.blocks``                  gauge     blocks discovered
+``sim.fastpath.variants``                gauge     variants resident
 =======================================  ========  =======================
 
 Raw counts only are stored and merged (rates do not sum); derived
@@ -108,6 +123,21 @@ def daemon_metrics(daemon):
     }
 
 
+#: :meth:`FastPath.snapshot` keys reported as gauges (current sizes);
+#: everything else in the snapshot is a monotonic counter.
+_FASTPATH_GAUGES = frozenset(["blocks", "variants"])
+
+
+def fastpath_metrics(fastpath):
+    """Typed snapshot of the simulator's block-level issue cache."""
+    metrics = {}
+    for key, value in fastpath.snapshot().items():
+        name = "sim.fastpath." + key
+        metrics[name] = (_gauge(value) if key in _FASTPATH_GAUGES
+                         else _counter(value))
+    return metrics
+
+
 def session_metrics(result):
     """Typed snapshot of a whole run: driver + daemon + totals.
 
@@ -121,6 +151,9 @@ def session_metrics(result):
     }
     metrics.update(driver_metrics(result.driver))
     metrics.update(daemon_metrics(result.daemon))
+    fastpath = getattr(getattr(result, "machine", None), "fastpath", None)
+    if fastpath is not None:
+        metrics.update(fastpath_metrics(fastpath))
     return metrics
 
 
@@ -157,6 +190,15 @@ def derive(snapshot):
         flat.get("daemon.cycles", 0), d_samples)
     flat["daemon.unknown_fraction"] = _ratio(
         flat.get("daemon.unknown_samples", 0), d_samples)
+    if "sim.fastpath.replays" in flat:
+        replays = flat["sim.fastpath.replays"]
+        flat["sim.fastpath.replay_fraction"] = _ratio(
+            flat.get("sim.fastpath.replayed_instructions", 0),
+            flat.get("session.instructions", 0))
+        flat["sim.fastpath.bail_rate"] = _ratio(
+            flat.get("sim.fastpath.bails", 0), replays)
+        flat["sim.fastpath.link_rate"] = _ratio(
+            flat.get("sim.fastpath.links_followed", 0), replays)
     wall = flat.get("session.wall_s.peak", flat.get("session.wall_s", 0.0))
     if wall:
         flat["collection.samples_per_sec"] = samples / wall

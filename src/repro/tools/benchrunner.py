@@ -14,7 +14,7 @@ build, not just "the numbers crashed".
 Usage::
 
     dcpibench [--quick] [--workers N] [names ...]
-    dcpibench compare OLD_DIR NEW_DIR [--threshold 0.3]
+    dcpibench compare OLD_DIR NEW_DIR [--threshold 0.3] [--lenient]
 """
 
 import argparse
@@ -262,11 +262,18 @@ def _compare_obs(name, old_obs, new_obs, comparison):
                                              "%g" % old_v, "%g" % new_v))
 
 
-def compare_results(old, new, threshold=0.3, sample_drift=0.01):
+def compare_results(old, new, threshold=0.3, sample_drift=0.01,
+                    ips_threshold=0.15, lenient=False):
     """Diff two result sets; regressions are what CI should fail on.
 
+    * results written under different schema versions -- regression
+      (the metrics are not comparable), unless *lenient* downgrades the
+      mismatch to a note and skips the incomparable benchmark;
     * a benchmark that passed before and fails now -- regression;
     * ``elapsed_s`` grew by more than *threshold* (relative) -- regression;
+    * ``instructions_per_sec`` fell by more than *ips_threshold*
+      (relative) between identically-configured runs -- regression (the
+      simulator fast path's throughput gate);
     * ``overhead_pct_mean`` grew by more than ``max(0.5pp,
       threshold * |old|)`` -- regression;
     * ``samples`` drifted more than *sample_drift* (relative) between
@@ -286,6 +293,14 @@ def compare_results(old, new, threshold=0.3, sample_drift=0.01):
             comparison.notes.append("%s: new benchmark" % name)
             continue
         o, n = old[name], new[name]
+        if o.get("schema") != n.get("schema"):
+            message = ("%s: schema %s -> %s (results not comparable)"
+                       % (name, o.get("schema"), n.get("schema")))
+            if lenient:
+                comparison.notes.append(message + "; skipped (--lenient)")
+                continue
+            comparison.regressions.append(message)
+            continue
         if o.get("passed") and not n.get("passed"):
             comparison.regressions.append(
                 "%s: passed before, fails now" % name)
@@ -307,6 +322,16 @@ def compare_results(old, new, threshold=0.3, sample_drift=0.01):
         same_setup = (o.get("max_instructions_clamp")
                       == n.get("max_instructions_clamp")
                       and o.get("quick") == n.get("quick"))
+        old_ips, new_ips = (om.get("instructions_per_sec"),
+                            nm.get("instructions_per_sec"))
+        if (same_setup and o.get("fastpath") == n.get("fastpath")
+                and old_ips and new_ips is not None
+                and new_ips < old_ips * (1.0 - ips_threshold)):
+            comparison.regressions.append(
+                "%s: instructions/sec %.0f -> %.0f (-%.0f%% > %.0f%% "
+                "threshold)"
+                % (name, old_ips, new_ips, (1 - new_ips / old_ips) * 100,
+                   ips_threshold * 100))
         old_s, new_s = om.get("samples"), nm.get("samples")
         if same_setup and old_s and new_s is not None:
             drift = abs(new_s - old_s) / old_s
@@ -328,7 +353,9 @@ def run_compare(args):
               % (args.old if not old else args.new), file=sys.stderr)
         return 2
     comparison = compare_results(old, new, threshold=args.threshold,
-                                 sample_drift=args.sample_drift)
+                                 sample_drift=args.sample_drift,
+                                 ips_threshold=args.ips_threshold,
+                                 lenient=args.lenient)
     for note in comparison.notes:
         print("note: %s" % note)
     for warning in comparison.warnings:
@@ -380,6 +407,13 @@ def _build_compare_parser():
     parser.add_argument("--sample-drift", type=float, default=0.01,
                         help="relative sample-count drift tolerated "
                              "between identically-configured runs")
+    parser.add_argument("--ips-threshold", type=float, default=0.15,
+                        help="relative instructions/sec drop tolerated "
+                             "between identically-configured runs "
+                             "(default 0.15)")
+    parser.add_argument("--lenient", action="store_true",
+                        help="skip (note, do not fail) benchmarks whose "
+                             "result schema versions differ")
     return parser
 
 

@@ -7,6 +7,8 @@
 * ``dcpibench``  -- run the benchmark suite in parallel; compare runs.
 * ``dcpimon``    -- self-monitoring report (the profiler profiling
   itself: rates, memory, per-phase time) and overhead measurement.
+* ``dcpiab``     -- verify the simulator fast path is observationally
+  byte-identical to the slow path on every registered workload.
 
 Example::
 
@@ -156,6 +158,13 @@ def main_dcpibench(argv=None):
 def main_dcpimon(argv=None):
     """Self-monitoring report and overhead measurement."""
     from repro.tools.dcpimon import main
+
+    return main(argv)
+
+
+def main_dcpiab(argv=None):
+    """A/B identity check: simulator fast path on vs off."""
+    from repro.tools.abcheck import main
 
     return main(argv)
 

@@ -138,6 +138,67 @@ def test_compare_cli_errors_on_empty_dir(tmp_path):
     assert main(["compare", str(empty), str(empty)]) == 2
 
 
+def test_compare_fails_on_schema_mismatch(result_dirs):
+    tmp_path, _, new = result_dirs
+    new[0]["schema"] = 99
+    _write_results(str(tmp_path / "new"), new)
+    exit_code = main(["compare", str(tmp_path / "old"),
+                      str(tmp_path / "new")])
+    assert exit_code == 1
+    comparison = compare_results(load_results(str(tmp_path / "old")),
+                                 load_results(str(tmp_path / "new")))
+    assert any("schema" in r for r in comparison.regressions)
+
+
+def test_compare_lenient_skips_schema_mismatch(result_dirs):
+    tmp_path, _, new = result_dirs
+    new[0]["schema"] = 99
+    # The incomparable benchmark would otherwise also trip the
+    # elapsed-time gate; --lenient must skip it entirely.
+    new[0]["metrics"]["elapsed_s"] = 100.0
+    _write_results(str(tmp_path / "new"), new)
+    assert main(["compare", str(tmp_path / "old"),
+                 str(tmp_path / "new"), "--lenient"]) == 0
+    comparison = compare_results(load_results(str(tmp_path / "old")),
+                                 load_results(str(tmp_path / "new")),
+                                 lenient=True)
+    assert comparison.ok
+    assert any("schema" in n for n in comparison.notes)
+
+
+def test_compare_flags_throughput_regression(result_dirs):
+    tmp_path, old, new = result_dirs
+    for payload in (old[0], new[0]):
+        payload["fastpath"] = True
+    old[0]["metrics"]["instructions_per_sec"] = 500_000.0
+    new[0]["metrics"]["instructions_per_sec"] = 350_000.0  # -30%
+    _write_results(str(tmp_path / "old"), old)
+    _write_results(str(tmp_path / "new"), new)
+    comparison = compare_results(load_results(str(tmp_path / "old")),
+                                 load_results(str(tmp_path / "new")))
+    assert any("instructions/sec" in r for r in comparison.regressions)
+    # A drop within the threshold passes.
+    new[0]["metrics"]["instructions_per_sec"] = 460_000.0  # -8%
+    _write_results(str(tmp_path / "new"), new)
+    comparison = compare_results(load_results(str(tmp_path / "old")),
+                                 load_results(str(tmp_path / "new")))
+    assert comparison.ok
+
+
+def test_compare_skips_throughput_across_fastpath_settings(result_dirs):
+    tmp_path, old, new = result_dirs
+    old[0]["fastpath"] = True
+    new[0]["fastpath"] = False
+    old[0]["metrics"]["instructions_per_sec"] = 500_000.0
+    new[0]["metrics"]["instructions_per_sec"] = 300_000.0
+    _write_results(str(tmp_path / "old"), old)
+    _write_results(str(tmp_path / "new"), new)
+    comparison = compare_results(load_results(str(tmp_path / "old")),
+                                 load_results(str(tmp_path / "new")))
+    assert not any("instructions/sec" in r
+                   for r in comparison.regressions)
+
+
 def test_run_single_benchmark_end_to_end(tmp_path):
     """dcpibench really runs a benchmark and emits schema-valid JSON."""
     results_dir = str(tmp_path / "results")
