@@ -4,13 +4,20 @@ A bundle directory holds the profile database (epoch files), the linked
 images (JSON), and metadata (sampling periods, collection stats), so
 ``dcpiprof``/``dcpicalc``/``dcpistats`` can run long after the profiled
 machine is gone -- the paper's "analysis is done offline" property.
+
+Loading degrades gracefully: corrupt profile files are quarantined by
+the database and reported through the meta dict's ``warnings`` list
+instead of aborting, and the ``loss`` block carries the collection
+run's accounted sample loss so the analysis tools can flag
+low-confidence results.
 """
 
 import json
 import os
 
 from repro.alpha.serialize import load_images, save_images
-from repro.collect.database import ImageProfile, ProfileDatabase
+from repro.collect.database import (CorruptProfileError, ImageProfile,
+                                    ProfileDatabase)
 
 
 def save_bundle(result, path):
@@ -21,10 +28,22 @@ def save_bundle(result, path):
     save_images(images, os.path.join(path, "images.json"))
     database = ProfileDatabase(os.path.join(path, "db"))
     result.daemon.merge_to_disk(database)
+    stats = _jsonable(result.stats())
+    driver_samples = stats.get("driver_samples", 0)
+    dropped = stats.get("driver_dropped", 0)
+    lost = stats.get("daemon_lost_samples", 0)
     meta = {
         "periods": {str(ev): period
                     for ev, period in result.daemon.periods.items()},
-        "stats": _jsonable(result.stats()),
+        "stats": stats,
+        # Loss accounting for graceful analysis degradation.
+        "loss": {
+            "samples_dropped": dropped + lost,
+            "loss_rate": ((dropped + lost) / driver_samples
+                          if driver_samples else 0.0),
+            "recoveries": stats.get("daemon_recoveries", 0),
+            "quarantined_samples": database.quarantined_samples(),
+        },
     }
     with open(os.path.join(path, "meta.json"), "w") as handle:
         json.dump(meta, handle, indent=2)
@@ -32,7 +51,11 @@ def save_bundle(result, path):
 
 
 def load_bundle(path):
-    """Load a bundle; returns ({image name: ImageProfile}, meta dict)."""
+    """Load a bundle; returns ({image name: ImageProfile}, meta dict).
+
+    Corrupt profiles are skipped (and quarantined by the database);
+    the names of skipped files are returned in ``meta["warnings"]``.
+    """
     from repro.cpu.events import EventType
 
     images = {img.name: img
@@ -43,9 +66,16 @@ def load_bundle(path):
                for name, period in meta["periods"].items()}
     database = ProfileDatabase(os.path.join(path, "db"))
     profiles = {}
-    for image_name, event in database.profiles():
-        counts, _ = database.load(image_name, event)
-        # Database filenames flatten '/' to '_'; match loosely.
+    warnings = list(meta.get("warnings", []))
+    for image_name, event in list(database.profiles()):
+        try:
+            counts, _ = database.load(image_name, event)
+        except (CorruptProfileError, FileNotFoundError) as exc:
+            warnings.append("skipped %s@%s: %s"
+                            % (image_name, event, exc))
+            continue
+        # Pre-manifest databases listed flattened names ('/' -> '_');
+        # match loosely.
         image = images.get(image_name)
         if image is None:
             for candidate in images.values():
@@ -53,11 +83,15 @@ def load_bundle(path):
                     image = candidate
                     break
         if image is None:
+            warnings.append("no image metadata for %r; profile skipped"
+                            % image_name)
             continue
         profile = profiles.setdefault(
             image.name, ImageProfile(image, periods=periods))
         for offset, count in counts.items():
             profile.add(event, offset, count)
+    warnings.extend(database.warnings)
+    meta["warnings"] = warnings
     return profiles, meta
 
 

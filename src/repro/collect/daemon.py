@@ -11,15 +11,37 @@ workload when computing overhead: samples that aggregated well in the
 driver's hash table are cheap per sample, a high-eviction workload such
 as gcc pays close to the full per-entry cost for every sample -- the
 effect visible in the paper's Table 4 'daemon cost' column.
+
+Crash recovery (the *continuous* in continuous profiling): drains are
+two-phase against the driver (flush batches stay pinned until the
+daemon acknowledges the merge) and are journaled to a write-ahead log
+before processing; database merges are idempotent checkpoints carrying
+per-CPU drain watermarks.  :meth:`Daemon.recover` rebuilds a daemon
+from the last committed checkpoint, replays the journal (skipping
+anything at or below the watermark, so nothing is counted twice) and
+re-drains the driver's pinned batches.  Every sample the pipeline
+cannot save is *accounted*: driver-side losses land in the per-CPU
+``dropped`` counters, daemon-side losses in ``lost_samples``.
 """
+
+import os
 
 from repro.collect.database import ImageProfile
 from repro.collect.driver import ORDINAL_EVENT
+from repro.faults.injector import NULL_INJECTOR, TransientDrainError
 
 # Daemon cost model (cycles): per overflow/hash entry processed (three
 # hash lookups, merge) and per aggregated sample (copy + accounting).
 ENTRY_COST = 1000
 PER_SAMPLE_COST = 8
+
+#: Exponential-backoff base for retried drains (cycles charged to the
+#: daemon per attempt; doubled each retry).
+BACKOFF_BASE_CYCLES = 10_000
+
+#: Flush attempts per CPU per drain before the daemon gives up and
+#: tells the driver to drop that CPU's backlog (accounted loss).
+MAX_DRAIN_RETRIES = 3
 
 # Resident-memory model (bytes), following the paper's section 5.3
 # description of what the daemon allocates.
@@ -33,11 +55,15 @@ class Daemon:
     """Extracts, maps and merges samples."""
 
     def __init__(self, loader, periods=None, per_process_images=(),
-                 obs=None):
+                 obs=None, faults=None, journal=None,
+                 max_drain_retries=MAX_DRAIN_RETRIES):
         """*periods* maps EventType -> mean sampling period (for the
         profile metadata the analysis needs).  *per_process_images*
         names images for which separate per-PID profiles are kept in
-        addition to the merged ones (paper section 4.3)."""
+        addition to the merged ones (paper section 4.3).  *journal* is
+        a :class:`~repro.collect.journal.DrainJournal` enabling replay
+        after a crash; *faults* a :class:`~repro.faults.FaultInjector`.
+        """
         from repro.obs import NULL_OBS
 
         self.loader = loader
@@ -55,7 +81,21 @@ class Daemon:
         self.cycles = 0
         self.drains = 0
         self.epoch = 0
+        # Robustness accounting.
+        self.recoveries = 0
+        self.lost_samples = 0      # daemon-side accounted loss
+        self.samples_dropped = 0   # driver-side loss, as last observed
+        self.drain_retries = 0
+        self.drain_failures = 0
+        self.loadmaps_dropped = 0
+        self.loadmaps_delayed = 0
+        self.max_drain_retries = max_drain_retries
+        self.journal = journal
+        self._pending_loadmaps = []
+        self._drained_seq = {}     # cpu_id -> highest merged flush seq
         self._peak_resident = 0
+        #: Fault injection (repro.faults); NULL_INJECTOR is zero-cost.
+        self.faults = faults or NULL_INJECTOR
         #: Self-monitoring hooks (repro.obs); NULL_OBS is zero-cost.
         self.obs = obs or NULL_OBS
         self._resident_gauge = self.obs.gauge("daemon.resident_bytes")
@@ -77,6 +117,22 @@ class Daemon:
 
     def on_loadmap(self, event):
         """Record that *event.pid* mapped *event.image* (loader callback)."""
+        if self.faults.enabled:
+            spec = self.faults.fires("daemon.loadmap")
+            if spec is not None:
+                if spec.action == "drop":
+                    # A lost loadmap: samples from this mapping fall
+                    # back to the loader's global map, or count as
+                    # unknown -- degraded attribution, never a crash.
+                    self.loadmaps_dropped += 1
+                    return
+                if spec.action == "delay":
+                    self.loadmaps_delayed += 1
+                    self._pending_loadmaps.append(event)
+                    return
+        self._apply_loadmap(event)
+
+    def _apply_loadmap(self, event):
         self._maps.setdefault(event.pid, []).append(
             (event.image.base, event.image.end, event.image))
         self.images[event.image.name] = event.image
@@ -89,16 +145,77 @@ class Daemon:
     # -- sample path ---------------------------------------------------------
 
     def drain(self, driver):
-        """Pull all pending samples out of *driver* and merge them."""
+        """Pull all pending samples out of *driver* and merge them.
+
+        Flushes are retried with exponential backoff on transient
+        failures; a CPU whose flush keeps failing has its backlog
+        dropped (accounted in the driver's ``dropped`` counter) rather
+        than wedging the whole drain.
+        """
         self.drains += 1
+        if self._pending_loadmaps:
+            pending, self._pending_loadmaps = self._pending_loadmaps, []
+            for event in pending:
+                self._apply_loadmap(event)
         for cpu_id in range(len(driver.cpus)):
-            entries = driver.flush(cpu_id)
-            if entries:
-                self._process(entries)
+            # A crash here models the daemon dying partway through a
+            # drain cycle: earlier CPUs merged and acknowledged, later
+            # ones still pinned in the driver.
+            self.faults.check("daemon.drain.cpu")
+            self._drain_cpu(driver, cpu_id)
             edges = driver.flush_edges(cpu_id)
             if edges:
                 self._process_edges(edges)
+        self.samples_dropped = sum(s.dropped for s in driver.cpus)
         self._touch_resident()
+
+    def _drain_cpu(self, driver, cpu_id):
+        attempts = 0
+        while True:
+            try:
+                self.faults.check("daemon.drain.flush")
+                seq, entries = driver.begin_flush(cpu_id)
+                break
+            except TransientDrainError:
+                self.drain_retries += 1
+                self.cycles += BACKOFF_BASE_CYCLES << min(attempts, 6)
+                attempts += 1
+                if attempts > self.max_drain_retries:
+                    # Persistent failure: shed this CPU's backlog so the
+                    # rest of the system keeps profiling.  The driver
+                    # accounts the loss in its `dropped` counter.
+                    self.drain_failures += 1
+                    driver.drop_pending(cpu_id)
+                    return
+        self._ingest(driver, cpu_id, seq, entries)
+
+    def _ingest(self, driver, cpu_id, seq, entries):
+        """Journal, merge and acknowledge one flushed batch."""
+        if entries:
+            if self.journal is not None:
+                self.journal.append(cpu_id, seq, entries)
+            # A crash here (batch journaled, merge unacknowledged) is
+            # the classic WAL window: replay re-merges it from the
+            # journal, the watermark stops the re-drain double count.
+            self.faults.check("daemon.drain.merge")
+            self._process(entries)
+        if seq > self._drained_seq.get(cpu_id, 0):
+            self._drained_seq[cpu_id] = seq
+        driver.ack(cpu_id, seq)
+
+    def redrain_inflight(self, driver):
+        """Merge batches the previous daemon flushed but never acked.
+
+        Batches at or below the recovered watermark were already
+        replayed from the journal and are simply acknowledged.
+        """
+        for cpu_id in range(len(driver.cpus)):
+            for seq, entries in driver.recover_inflight(cpu_id):
+                if seq <= self._drained_seq.get(cpu_id, 0):
+                    driver.ack(cpu_id, seq)
+                    continue
+                self._ingest(driver, cpu_id, seq, entries)
+        self.samples_dropped = sum(s.dropped for s in driver.cpus)
 
     def _process_edges(self, edges):
         """Merge double-sampling edge samples into image profiles.
@@ -167,18 +284,48 @@ class Daemon:
             for name, profile in self.profiles.items()
         }
 
+    def _checkpoint_meta(self):
+        """Recovery watermarks committed with every checkpoint."""
+        return {
+            "epoch": self.epoch,
+            "total_samples": self.total_samples,
+            "unknown_samples": self.unknown_samples,
+            "entries_processed": self.entries_processed,
+            "lost_samples": self.lost_samples,
+            "recoveries": self.recoveries,
+            "drains": self.drains,
+            "drain_retries": self.drain_retries,
+            "drain_failures": self.drain_failures,
+            "loadmaps_dropped": self.loadmaps_dropped,
+            "drained_seq": {str(cpu): seq
+                            for cpu, seq in self._drained_seq.items()},
+        }
+
+    def _owns_journal(self, database):
+        return (self.journal is not None
+                and os.path.dirname(self.journal.path)
+                == getattr(database, "root", None))
+
     def merge_to_disk(self, database, epoch=None):
-        """Write all in-memory profiles into *database*."""
+        """Checkpoint all in-memory profiles into *database*.
+
+        The in-memory profiles are the epoch's cumulative state, so
+        this *replaces* the epoch on disk (an idempotent checkpoint:
+        running it twice, or re-running it after a crash, can never
+        double-count).  On success the drain journal is truncated --
+        everything it guarded is now durable.
+        """
         # Sample the high-water mark before a following advance_epoch
         # can clear the profiles it reflects.
         self._touch_resident()
         if epoch is None:
             epoch = self.epoch
-        for profile in self.profiles.values():
-            for event, counts in profile.counts.items():
-                period = self.periods.get(event, 1)
-                database.save(profile.image.name, event, counts,
-                              period, epoch)
+        # A crash here models dying between a drain and the merge.
+        self.faults.check("daemon.checkpoint")
+        database.checkpoint(self.export_profiles(), self.periods, epoch,
+                            meta=self._checkpoint_meta())
+        if self._owns_journal(database):
+            self.journal.truncate()
 
     def advance_epoch(self, database=None):
         """Close the current epoch (paper section 4.3.3).
@@ -193,8 +340,72 @@ class Daemon:
         self.profiles = {}
         self.process_profiles = {}
         self.epoch += 1
+        if database is not None:
+            # Re-commit the watermarks under the new epoch so a crash
+            # from here recovers into the new (empty) epoch instead of
+            # resurrecting the closed one.
+            database.update_checkpoint(self._checkpoint_meta())
         self._resident_gauge.set(self.resident_bytes())
         return self.epoch
+
+    @classmethod
+    def recover(cls, loader, database, journal=None, periods=None,
+                per_process_images=(), obs=None, faults=None,
+                max_drain_retries=MAX_DRAIN_RETRIES):
+        """Rebuild a daemon from *database*'s last durable checkpoint.
+
+        Reloads the current epoch's committed profiles, seeds counters
+        and per-CPU watermarks from the checkpoint metadata, then
+        replays the drain journal -- skipping batches at or below the
+        watermark so replay is idempotent.  Per-PID profiles are not
+        persisted and restart empty for the epoch.  The caller should
+        follow up with :meth:`redrain_inflight` to pick up batches the
+        dead daemon left pinned in the driver.
+        """
+        daemon = cls(loader, periods=periods,
+                     per_process_images=per_process_images, obs=obs,
+                     faults=faults, journal=journal,
+                     max_drain_retries=max_drain_retries)
+        meta = database.checkpoint_meta() or {}
+        daemon.epoch = meta.get("epoch", 0)
+        daemon.total_samples = meta.get("total_samples", 0)
+        daemon.unknown_samples = meta.get("unknown_samples", 0)
+        daemon.entries_processed = meta.get("entries_processed", 0)
+        daemon.lost_samples = meta.get("lost_samples", 0)
+        daemon.drains = meta.get("drains", 0)
+        daemon.drain_retries = meta.get("drain_retries", 0)
+        daemon.drain_failures = meta.get("drain_failures", 0)
+        daemon.loadmaps_dropped = meta.get("loadmaps_dropped", 0)
+        daemon.recoveries = meta.get("recoveries", 0) + 1
+        daemon._drained_seq = {
+            int(cpu): seq
+            for cpu, seq in meta.get("drained_seq", {}).items()}
+        images = {image.name: image
+                  for image in getattr(loader, "images", [])}
+        for image_name, event, counts, period in (
+                database.load_all(daemon.epoch)):
+            image = images.get(image_name)
+            if image is None:
+                # The image vanished across the restart: its committed
+                # counts cannot be extended in memory and the next
+                # checkpoint would silently shed them -- account them
+                # as lost instead.
+                daemon.lost_samples += sum(counts.values())
+                continue
+            profile = daemon.profiles.get(image_name)
+            if profile is None:
+                profile = ImageProfile(image, periods=daemon.periods)
+                daemon.profiles[image_name] = profile
+            for offset, count in counts.items():
+                profile.add(event, offset, count)
+        if journal is not None:
+            for cpu_id, seq, entries in journal.replay():
+                if seq <= daemon._drained_seq.get(cpu_id, 0):
+                    continue
+                daemon._process(entries)
+                daemon._drained_seq[cpu_id] = seq
+        daemon._touch_resident()
+        return daemon
 
     # -- statistics --------------------------------------------------------
 

@@ -10,18 +10,55 @@ one file stores the samples for a given (image, event) combination
   a factor of three".
 
 ``benchmarks/bench_table5_space.py`` measures both.
+
+Crash safety (the continuous-profiling promise: the database survives
+daemon death and machine restarts):
+
+* every profile write goes to a fresh generation-numbered file via
+  write-to-temp + atomic rename -- stored files are immutable, so a
+  torn write can never damage committed data;
+* the profile format (version 3) carries a CRC32 trailer, and the
+  manifest records an independent whole-file CRC, so corruption is
+  detected rather than decoded into garbage;
+* a single ``MANIFEST.json``, itself committed by atomic rename, is
+  the linearization point: a crash at any instant leaves either the
+  old or the new manifest, each referencing only complete files;
+* corrupt or missing files are *quarantined* on load -- moved aside,
+  their manifest-declared sample totals recorded as accounted loss --
+  and iteration (:meth:`profiles`, :meth:`epochs`, :meth:`load_all`)
+  keeps going;
+* decode failures raise the typed :class:`CorruptProfileError`
+  (a ``ValueError``) instead of raw struct/varint errors.
 """
 
 import io
+import json
 import os
 import struct
+import zlib
 
 from repro.cpu.events import EventType
+from repro.faults.injector import NULL_INJECTOR
 
 MAGIC = b"DCPI"
-VERSION = 2
+VERSION = 3
 FORMAT_RAW = 0
 FORMAT_COMPACT = 1
+
+#: Versions :func:`decode_profile` accepts (2 = pre-checksum files).
+SUPPORTED_VERSIONS = (2, 3)
+
+MANIFEST_NAME = "MANIFEST.json"
+JOURNAL_NAME = "drain.wal"
+QUARANTINE_DIR = "quarantine"
+
+
+class CorruptProfileError(ValueError):
+    """A profile file failed validation (bad magic, checksum, codec)."""
+
+    def __init__(self, message, path=None):
+        super().__init__(message)
+        self.path = path
 
 
 def _write_varint(out, value):
@@ -51,7 +88,11 @@ def _read_varint(buf):
 
 def encode_profile(counts, image_name, event, period,
                    fmt=FORMAT_COMPACT, epoch=0):
-    """Serialize a {offset: count} map; return bytes."""
+    """Serialize a {offset: count} map; return bytes.
+
+    Version 3 appends a CRC32 trailer over the whole body so torn and
+    bit-flipped files are detected on decode.
+    """
     out = io.BytesIO()
     name_bytes = image_name.encode("utf-8")
     event_bytes = str(event).encode("utf-8")
@@ -71,20 +112,43 @@ def encode_profile(counts, image_name, event, period,
             _write_varint(out, offset - last)
             _write_varint(out, count)
             last = offset
-    return out.getvalue()
+    body = out.getvalue()
+    return body + struct.pack("<I", zlib.crc32(body))
 
 
 def decode_profile(data):
     """Inverse of :func:`encode_profile`.
 
-    Returns (counts, image_name, event, period, epoch).
+    Returns (counts, image_name, event, period, epoch).  Any failure
+    -- bad magic, truncation, checksum mismatch, codec error -- raises
+    :class:`CorruptProfileError` (a ``ValueError``), never a raw
+    struct/varint exception.
     """
+    try:
+        return _decode_profile(data)
+    except CorruptProfileError:
+        raise
+    except (struct.error, EOFError, UnicodeDecodeError, ValueError,
+            OverflowError, MemoryError) as exc:
+        raise CorruptProfileError("corrupt profile: %s" % exc) from exc
+
+
+def _decode_profile(data):
     buf = io.BytesIO(data)
     if buf.read(4) != MAGIC:
-        raise ValueError("not a DCPI profile")
+        raise CorruptProfileError("not a DCPI profile")
     version, fmt, epoch = struct.unpack("<HBH", buf.read(5))
-    if version != VERSION:
-        raise ValueError("unsupported profile version %d" % version)
+    if version not in SUPPORTED_VERSIONS:
+        raise CorruptProfileError(
+            "unsupported profile version %d" % version)
+    if version >= 3:
+        if len(data) < 13:
+            raise CorruptProfileError("truncated profile trailer")
+        body, (crc,) = data[:-4], struct.unpack("<I", data[-4:])
+        if zlib.crc32(body) != crc:
+            raise CorruptProfileError("profile checksum mismatch")
+        buf = io.BytesIO(body)
+        buf.seek(9)
     (name_len,) = struct.unpack("<H", buf.read(2))
     image_name = buf.read(name_len).decode("utf-8")
     (event_len,) = struct.unpack("<H", buf.read(2))
@@ -107,66 +171,429 @@ def _safe_name(image_name):
     return image_name.replace("/", "_").strip("_") or "unknown"
 
 
+def _atomic_write(path, data, binary=True):
+    """Write *data* to *path* via temp file + atomic rename."""
+    tmp = path + ".tmp"
+    mode = "wb" if binary else "w"
+    with open(tmp, mode) as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
 class ProfileDatabase:
-    """Directory-backed profile storage with epochs and merging."""
+    """Directory-backed profile storage with epochs and merging.
 
-    def __init__(self, root, fmt=FORMAT_COMPACT):
-        self.root = root
+    All mutations are shadow-paging: new generation-numbered files are
+    written first, then a single atomic manifest rename commits them
+    and unreferenced files are garbage-collected.  A crash at any
+    point leaves the previous committed state intact.
+    """
+
+    def __init__(self, root, fmt=FORMAT_COMPACT, faults=None):
+        self.root = os.fspath(root)
         self.fmt = fmt
-        os.makedirs(root, exist_ok=True)
+        self.faults = faults or NULL_INJECTOR
+        #: Human-readable notes about salvage decisions (rebuilt
+        #: manifest, quarantined files); consumers surface these.
+        self.warnings = []
+        os.makedirs(self.root, exist_ok=True)
+        self._manifest = None
 
-    def _path(self, epoch, image_name, event):
+    # -- manifest ----------------------------------------------------------
+
+    def _manifest_path(self):
+        return os.path.join(self.root, MANIFEST_NAME)
+
+    def _load_manifest(self):
+        if self._manifest is not None:
+            return self._manifest
+        path = self._manifest_path()
+        if os.path.exists(path):
+            try:
+                with open(path) as handle:
+                    manifest = json.load(handle)
+                if isinstance(manifest, dict) and "records" in manifest:
+                    self._manifest = manifest
+                    return manifest
+                self.warnings.append(
+                    "manifest malformed; rebuilt from profile files")
+            except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+                self.warnings.append(
+                    "manifest unreadable; rebuilt from profile files")
+        self._manifest = self._scan()
+        return self._manifest
+
+    def _scan(self):
+        """Rebuild a manifest by decoding every file on disk.
+
+        The fallback for pre-manifest databases and for the (should-
+        never-happen) case of a destroyed manifest.  Files that fail to
+        decode are quarantined with an unknown declared total.
+
+        Generation-suffixed files (``*.g<N>.prof``) are only ever
+        written by manifest-era code; finding one with no manifest
+        means a crash landed between writing shadow files and the
+        manifest rename.  Those are uncommitted orphans -- their
+        samples live in the drain journal for replay -- so adopting
+        them here would double-count.  They are skipped (the next
+        commit's GC removes them), but still advance the generation
+        counter so new writes never collide with leftovers.
+        """
+        manifest = {"version": 1, "generation": 0, "records": {},
+                    "checkpoint": None, "quarantined": []}
+        for name in sorted(os.listdir(self.root)):
+            if not name.startswith("epoch"):
+                continue
+            epoch_dir = os.path.join(self.root, name)
+            if not os.path.isdir(epoch_dir):
+                continue
+            for fname in sorted(os.listdir(epoch_dir)):
+                if not fname.endswith(".prof"):
+                    continue
+                rel = os.path.join(name, fname)
+                gen = _parse_generation(fname)
+                if gen:
+                    if gen > manifest["generation"]:
+                        manifest["generation"] = gen
+                    continue
+                with open(os.path.join(epoch_dir, fname), "rb") as handle:
+                    data = handle.read()
+                try:
+                    counts, image_name, event, period, epoch = (
+                        decode_profile(data))
+                except CorruptProfileError as exc:
+                    self._move_to_quarantine(rel)
+                    manifest["quarantined"].append({
+                        "key": rel, "file": rel, "declared_total": 0,
+                        "reason": str(exc)})
+                    self.warnings.append(
+                        "quarantined %s during rebuild (%s)" % (rel, exc))
+                    continue
+                key = self._key(epoch, image_name, event)
+                manifest["records"][key] = {
+                    "file": rel,
+                    "image": image_name,
+                    "event": str(event),
+                    "epoch": epoch,
+                    "period": period,
+                    "total": sum(counts.values()),
+                    "crc": zlib.crc32(data),
+                }
+        return manifest
+
+    def _commit(self, manifest):
+        """Atomically publish *manifest*; then GC unreferenced files.
+
+        If the commit dies (an injected crash between writing files
+        and renaming the manifest), the cached manifest is invalidated
+        so the next access reloads the last *committed* state from
+        disk -- staged in-memory mutations must not survive a failed
+        commit.
+        """
+        try:
+            self.faults.check("db.checkpoint")
+            payload = json.dumps(manifest, indent=1, sort_keys=True)
+            _atomic_write(self._manifest_path(), payload, binary=False)
+        except BaseException:
+            self._manifest = None
+            raise
+        self._manifest = manifest
+        self._gc(manifest)
+
+    def _gc(self, manifest):
+        referenced = {record["file"]
+                      for record in manifest["records"].values()}
+        for name in os.listdir(self.root):
+            if not name.startswith("epoch"):
+                continue
+            epoch_dir = os.path.join(self.root, name)
+            if not os.path.isdir(epoch_dir):
+                continue
+            for fname in os.listdir(epoch_dir):
+                if not (fname.endswith(".prof") or fname.endswith(".tmp")):
+                    continue
+                rel = os.path.join(name, fname)
+                if rel not in referenced:
+                    try:
+                        os.unlink(os.path.join(epoch_dir, fname))
+                    except OSError:
+                        pass
+
+    @staticmethod
+    def _key(epoch, image_name, event):
+        return "%04d/%s@%s" % (epoch, image_name, event)
+
+    # -- quarantine --------------------------------------------------------
+
+    def _move_to_quarantine(self, rel):
+        qdir = os.path.join(self.root, QUARANTINE_DIR)
+        os.makedirs(qdir, exist_ok=True)
+        src = os.path.join(self.root, rel)
+        dst = os.path.join(qdir, rel.replace(os.sep, "_"))
+        try:
+            os.replace(src, dst)
+        except OSError:
+            pass
+
+    def _quarantine(self, manifest, key, record, reason):
+        """Pull *record* out of the live set; account its samples."""
+        self._move_to_quarantine(record["file"])
+        manifest["records"].pop(key, None)
+        manifest["quarantined"].append({
+            "key": key,
+            "file": record["file"],
+            "declared_total": record.get("total", 0),
+            "reason": reason,
+        })
+        self.warnings.append(
+            "quarantined %s (%s)" % (record["file"], reason))
+
+    def quarantined(self):
+        """Quarantine ledger entries (key, file, declared_total, reason)."""
+        return list(self._load_manifest()["quarantined"])
+
+    def quarantined_samples(self):
+        """Samples lost to quarantined files (manifest-declared totals)."""
+        return sum(entry.get("declared_total") or 0
+                   for entry in self._load_manifest()["quarantined"])
+
+    # -- write path --------------------------------------------------------
+
+    def _write_profile(self, manifest, image_name, event, counts,
+                       period, epoch):
+        """Write one immutable generation file; return its record."""
+        event = str(event)
+        manifest["generation"] += 1
+        gen = manifest["generation"]
         epoch_dir = os.path.join(self.root, "epoch%04d" % epoch)
         os.makedirs(epoch_dir, exist_ok=True)
-        return os.path.join(
-            epoch_dir, "%s@%s.prof" % (_safe_name(image_name), event))
-
-    def save(self, image_name, event, counts, period, epoch=0):
-        """Merge *counts* into the stored profile for (image, event)."""
-        path = self._path(epoch, image_name, event)
-        merged = dict(counts)
-        if os.path.exists(path):
-            with open(path, "rb") as handle:
-                existing, _, _, _, _ = decode_profile(handle.read())
-            for offset, count in existing.items():
-                merged[offset] = merged.get(offset, 0) + count
-        data = encode_profile(merged, image_name, event, period,
+        fname = "%s@%s.g%d.prof" % (_safe_name(image_name), event, gen)
+        rel = os.path.join("epoch%04d" % epoch, fname)
+        data = encode_profile(counts, image_name, event, period,
                               self.fmt, epoch)
-        with open(path, "wb") as handle:
-            handle.write(data)
-        return path
+        payload = self.faults.corrupt_bytes("db.write", data)
+        _atomic_write(os.path.join(epoch_dir, fname), payload)
+        return {
+            "file": rel,
+            "image": image_name,
+            "event": event,
+            "epoch": epoch,
+            "period": int(period),
+            "total": sum(counts.values()),
+            "crc": zlib.crc32(data),
+        }
+
+    def save(self, image_name, event, counts, period, epoch=0,
+             replace=False):
+        """Merge *counts* into the stored profile for (image, event).
+
+        With ``replace=True`` the stored profile is overwritten instead
+        of merged -- the idempotent form the daemon's checkpoints use
+        (re-running a checkpoint never double-counts).
+        """
+        manifest = self._load_manifest()
+        key = self._key(epoch, image_name, str(event))
+        merged = dict(counts)
+        record = manifest["records"].get(key)
+        if not replace and record is not None:
+            try:
+                existing, _, _, _, _ = self._read_record(record)
+            except CorruptProfileError as exc:
+                self._quarantine(manifest, key, record, str(exc))
+            else:
+                for offset, count in existing.items():
+                    merged[offset] = merged.get(offset, 0) + count
+        new_record = self._write_profile(manifest, image_name, event,
+                                         merged, period, epoch)
+        manifest["records"][key] = new_record
+        self._commit(manifest)
+        return os.path.join(self.root, new_record["file"])
+
+    def checkpoint(self, profiles, periods, epoch, meta=None):
+        """Atomically replace *epoch*'s stored state with *profiles*.
+
+        *profiles* is ``{image name: {event: {offset: count}}}`` (the
+        daemon's cumulative in-memory state for the epoch), *periods*
+        maps event -> sampling period, and *meta* -- stored under the
+        manifest's ``checkpoint`` key -- carries the daemon's recovery
+        watermarks.  All files are written first; the single manifest
+        rename is the commit point, so a crash anywhere leaves the
+        previous checkpoint intact and re-running is idempotent.
+        """
+        manifest = self._load_manifest()
+        new_records = {}
+        for image_name in sorted(profiles):
+            for event, counts in sorted(profiles[image_name].items(),
+                                        key=lambda item: str(item[0])):
+                record = self._write_profile(
+                    manifest, image_name, event, counts,
+                    periods.get(event, 1), epoch)
+                new_records[self._key(epoch, image_name,
+                                      str(event))] = record
+        prefix = "%04d/" % epoch
+        for key in list(manifest["records"]):
+            if key.startswith(prefix) and key not in new_records:
+                del manifest["records"][key]
+        manifest["records"].update(new_records)
+        if meta is not None:
+            manifest["checkpoint"] = dict(meta)
+        self._commit(manifest)
+
+    def update_checkpoint(self, meta):
+        """Commit new checkpoint *meta* without touching profiles."""
+        manifest = self._load_manifest()
+        manifest["checkpoint"] = dict(meta)
+        self._commit(manifest)
+
+    def checkpoint_meta(self):
+        """The last committed checkpoint metadata, or None."""
+        meta = self._load_manifest().get("checkpoint")
+        return dict(meta) if meta else None
+
+    # -- read path ---------------------------------------------------------
+
+    def _read_record(self, record):
+        """Read + verify one manifest record; raise CorruptProfileError."""
+        path = os.path.join(self.root, record["file"])
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except FileNotFoundError as exc:
+            raise CorruptProfileError(
+                "profile file missing", path=path) from exc
+        crc = record.get("crc")
+        if crc is not None and zlib.crc32(data) != crc:
+            raise CorruptProfileError(
+                "stored checksum mismatch", path=path)
+        try:
+            return decode_profile(data)
+        except CorruptProfileError as exc:
+            exc.path = path
+            raise
 
     def load(self, image_name, event, epoch=0):
-        """Return ({offset: count}, period) for (image, event)."""
-        path = self._path(epoch, image_name, event)
-        with open(path, "rb") as handle:
-            counts, _, _, period, _ = decode_profile(handle.read())
+        """Return ({offset: count}, period) for (image, event).
+
+        Raises ``FileNotFoundError`` if no such profile is committed,
+        :class:`CorruptProfileError` (after quarantining the file) if
+        the committed bytes fail validation.
+        """
+        manifest = self._load_manifest()
+        key = self._key(epoch, image_name, str(event))
+        record = manifest["records"].get(key)
+        if record is None:
+            raise FileNotFoundError(
+                "no profile for (%s, %s) in epoch %d"
+                % (image_name, event, epoch))
+        try:
+            counts, _, _, period, _ = self._read_record(record)
+        except CorruptProfileError:
+            self._quarantine(manifest, key, record,
+                             "corrupt on load")
+            self._commit(manifest)
+            raise
         return counts, period
 
+    def load_all(self, epoch=0):
+        """Yield (image_name, event, counts, period) for *epoch*.
+
+        Robust iteration: corrupt files are quarantined (their loss
+        accounted) and skipped rather than aborting the scan.
+        """
+        manifest = self._load_manifest()
+        dirty = False
+        prefix = "%04d/" % epoch
+        for key in sorted(manifest["records"]):
+            if not key.startswith(prefix):
+                continue
+            record = manifest["records"][key]
+            try:
+                counts, _, _, period, _ = self._read_record(record)
+            except CorruptProfileError as exc:
+                self._quarantine(manifest, key, record, str(exc))
+                dirty = True
+                continue
+            yield (record["image"], EventType(record["event"]),
+                   counts, period)
+        if dirty:
+            self._commit(manifest)
+
     def epochs(self):
-        return sorted(
-            int(name[5:]) for name in os.listdir(self.root)
-            if name.startswith("epoch"))
+        """Sorted epoch numbers with at least one committed profile."""
+        manifest = self._load_manifest()
+        return sorted({record["epoch"]
+                       for record in manifest["records"].values()})
 
     def profiles(self, epoch=0):
         """Yield (image_name, event) pairs stored for *epoch*."""
-        epoch_dir = os.path.join(self.root, "epoch%04d" % epoch)
-        if not os.path.isdir(epoch_dir):
-            return
-        for name in sorted(os.listdir(epoch_dir)):
-            if not name.endswith(".prof"):
-                continue
-            stem = name[:-5]
-            image_name, _, event = stem.rpartition("@")
-            yield image_name, EventType(event)
+        manifest = self._load_manifest()
+        prefix = "%04d/" % epoch
+        for key in sorted(manifest["records"]):
+            if key.startswith(prefix):
+                record = manifest["records"][key]
+                yield record["image"], EventType(record["event"])
+
+    def total_samples(self, epoch=None, event=None):
+        """Committed sample total (per epoch/event when given)."""
+        total = 0
+        epochs = [epoch] if epoch is not None else self.epochs()
+        for ep in epochs:
+            for _, ev, counts, _ in self.load_all(ep):
+                if event is not None and ev != event:
+                    continue
+                total += sum(counts.values())
+        return total
+
+    def verify(self):
+        """Re-validate every committed profile; quarantine failures.
+
+        Returns {"checked": n, "quarantined": newly quarantined,
+        "lost_samples": total declared samples in quarantine}.
+        """
+        before = len(self._load_manifest()["quarantined"])
+        checked = 0
+        for epoch in self.epochs():
+            for _ in self.load_all(epoch):
+                checked += 1
+        manifest = self._load_manifest()
+        return {
+            "checked": checked,
+            "quarantined": len(manifest["quarantined"]) - before,
+            "lost_samples": self.quarantined_samples(),
+        }
+
+    # -- misc --------------------------------------------------------------
+
+    def journal_path(self):
+        """Where this database's drain journal (WAL) lives."""
+        return os.path.join(self.root, JOURNAL_NAME)
 
     def disk_bytes(self):
-        """Total bytes used by all stored profiles."""
+        """Total bytes used by committed profiles.
+
+        Bookkeeping (manifest, journal, quarantine, temp files) is
+        excluded: this is the paper's Table 5 storage metric, profile
+        payload only.
+        """
         total = 0
-        for dirpath, _, files in os.walk(self.root):
+        for dirpath, dirs, files in os.walk(self.root):
+            if os.path.basename(dirpath) == QUARANTINE_DIR:
+                continue
+            dirs[:] = [d for d in dirs if d != QUARANTINE_DIR]
             for name in files:
+                if not name.endswith(".prof"):
+                    continue
                 total += os.path.getsize(os.path.join(dirpath, name))
         return total
+
+
+def _parse_generation(fname):
+    """'app@cycles.g12.prof' -> 12; ungenerated names -> 0."""
+    stem = fname[:-len(".prof")] if fname.endswith(".prof") else fname
+    _, _, tail = stem.rpartition(".g")
+    return int(tail) if tail.isdigit() else 0
 
 
 class ImageProfile:

@@ -87,7 +87,7 @@ class _CpuState:
     __slots__ = ("table", "active", "shadow", "full", "dropped",
                  "spills", "handler_cycles", "hit_cycles", "miss_cycles",
                  "hit_count", "miss_count", "samples", "cost_carry",
-                 "edges", "edge_samples")
+                 "edges", "edge_samples", "inflight", "flush_seq")
 
     def __init__(self, config):
         self.table = SampleHashTable(config.buckets, config.assoc,
@@ -96,6 +96,11 @@ class _CpuState:
         self.shadow = []
         self.full = []
         self.dropped = 0
+        # Flushed-but-unacknowledged batches, keyed by flush sequence
+        # number: the driver pins a batch until the daemon acknowledges
+        # the merge, so a daemon death mid-drain loses nothing.
+        self.inflight = {}
+        self.flush_seq = 0
         self.spills = 0
         self.handler_cycles = 0
         self.hit_cycles = 0
@@ -112,10 +117,13 @@ class _CpuState:
 class Driver:
     """The performance-counter device driver."""
 
-    def __init__(self, num_cpus, config=None, obs=None):
+    def __init__(self, num_cpus, config=None, obs=None, faults=None):
+        from repro.faults.injector import NULL_INJECTOR
         from repro.obs import NULL_OBS
 
         self.config = config or DriverConfig()
+        #: Fault injection (repro.faults); NULL_INJECTOR is zero-cost.
+        self.faults = faults or NULL_INJECTOR
         self.cost_scale = self.config.effective_cost_scale()
         self.cpus = [_CpuState(self.config) for _ in range(num_cpus)]
         self.trace = [] if self.config.log_trace else None
@@ -238,8 +246,17 @@ class Driver:
         # Swap to the other buffer of the pair; the daemon copies the
         # full one out asynchronously.
         state.active, state.shadow = state.shadow, []
+        if self.faults.enabled and self.faults.fires("driver.overflow"):
+            # Injected loss burst: the just-filled buffer vanishes
+            # before the daemon can copy it out.  Accounted, like every
+            # loss in this driver.
+            lost = state.full.pop()
+            state.dropped += sum(count for _, count in lost)
         if len(state.full) > 2:
             # Both buffers backed up and the daemon hasn't drained: drop.
+            # The loss lands in the per-CPU `dropped` counter, which
+            # flows into Daemon.stats(), dcpimon and BENCH_*.json --
+            # dropped samples are accounted, never silent.
             lost = state.full.pop(0)
             state.dropped += sum(count for _, count in lost)
         for listener in self._overflow_listeners:
@@ -247,12 +264,14 @@ class Driver:
 
     # -- the flush path (daemon side) ---------------------------------------
 
-    def flush(self, cpu_id):
-        """Drain everything for *cpu_id*: full buffers, the active
-        overflow buffer, and the hash table itself.
+    def begin_flush(self, cpu_id):
+        """Start draining *cpu_id*; return (seq, entries).
 
         Models the IPI-protected flush of section 4.2.3: the handler
         never synchronizes; the flusher interrupts the target CPU.
+        The batch stays pinned in the driver (``inflight``) until
+        :meth:`ack` -- if the daemon dies between flush and merge, a
+        recovered daemon re-reads it via :meth:`recover_inflight`.
         """
         state = self.cpus[cpu_id]
         entries = []
@@ -262,10 +281,58 @@ class Driver:
         entries.extend(state.active)
         state.active = []
         entries.extend(state.table.flush())
+        state.flush_seq += 1
+        seq = state.flush_seq
+        if entries:
+            state.inflight[seq] = entries
         if self.obs.enabled:
             self.obs.histogram("driver.flush.entries",
                                bounds=FLUSH_BOUNDS).observe(len(entries))
+        return seq, entries
+
+    def ack(self, cpu_id, seq):
+        """The daemon durably owns batch *seq*; unpin it."""
+        self.cpus[cpu_id].inflight.pop(seq, None)
+
+    def flush(self, cpu_id):
+        """One-shot drain of *cpu_id* (begin_flush + immediate ack).
+
+        The historical API, for callers that do not participate in the
+        crash-recovery protocol.
+        """
+        seq, entries = self.begin_flush(cpu_id)
+        self.ack(cpu_id, seq)
         return entries
+
+    def recover_inflight(self, cpu_id):
+        """Flushed-but-unacked batches as sorted (seq, entries) pairs."""
+        return sorted(self.cpus[cpu_id].inflight.items())
+
+    def drop_pending(self, cpu_id):
+        """Discard everything pending for *cpu_id*; return samples lost.
+
+        The give-up path when the daemon cannot drain (persistent
+        failure): buffers, table and pinned batches are cleared and the
+        loss is charged to the per-CPU ``dropped`` counter.
+        """
+        state = self.cpus[cpu_id]
+        lost = 0
+        for buf in state.full:
+            lost += sum(count for _, count in buf)
+        lost += sum(count for _, count in state.active)
+        lost += sum(count for _, count in state.table.flush())
+        for entries in state.inflight.values():
+            lost += sum(count for _, count in entries)
+        state.full = []
+        state.active = []
+        state.inflight = {}
+        state.dropped += lost
+        return lost
+
+    def drop_all_pending(self):
+        """Discard pending state on every CPU (a machine restart)."""
+        return sum(self.drop_pending(cpu_id)
+                   for cpu_id in range(len(self.cpus)))
 
     # -- statistics ----------------------------------------------------------
 

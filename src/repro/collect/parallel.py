@@ -50,6 +50,9 @@ class ShardSpec:
     #: run with self-monitoring enabled (repro.obs): the shard ships
     #: back its trace spans and a richer metric registry.
     obs: bool = False
+    #: fault injection (repro.faults.FaultPlan); chaos shards carry
+    #: their plan into the worker process -- plans are frozen/picklable.
+    faults: Optional[object] = None
 
     def label(self):
         return "%s/seed%d/%s" % (self.workload, self.seed, self.mode)
@@ -117,7 +120,8 @@ def run_shard(spec):
         SessionConfig(mode=spec.mode, seed=spec.seed,
                       cycles_period=spec.cycles_period,
                       event_period=spec.event_period,
-                      obs=ObsConfig(enabled=True) if spec.obs else None))
+                      obs=ObsConfig(enabled=True) if spec.obs else None,
+                      faults=spec.faults))
     result = session.run(workload, max_instructions=spec.max_instructions)
     export = result.export_mergeable()
     stats = export["stats"]

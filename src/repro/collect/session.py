@@ -19,9 +19,12 @@ from typing import Optional
 from repro.collect.daemon import Daemon
 from repro.collect.database import ProfileDatabase
 from repro.collect.driver import Driver, DriverConfig
+from repro.collect.journal import DrainJournal
 from repro.cpu.config import MachineConfig
 from repro.cpu.events import EventType
 from repro.cpu.machine import Machine
+from repro.faults.injector import (NULL_INJECTOR, FaultInjector, FaultPlan,
+                                   InjectedCrash)
 from repro.obs import NULL_OBS, ObsConfig, merge_metrics, session_metrics
 
 #: Collection modes a session understands (paper sections 4.2 and 6).
@@ -48,6 +51,25 @@ class SessionConfig:
     driver: Optional[DriverConfig] = None
     #: Self-monitoring (repro.obs); None or disabled means zero-cost.
     obs: Optional[ObsConfig] = None
+    #: Fault injection (repro.faults); a FaultPlan or None.
+    faults: Optional[FaultPlan] = None
+    #: Checkpoint the database every N drains (None = only at the end).
+    checkpoint_drains: Optional[int] = None
+    #: Keep a drain journal next to the database (crash replay).
+    journal: bool = True
+    #: Rebuild the daemon and keep going when it crashes (vs raising).
+    auto_recover: bool = True
+
+    def make_faults(self):
+        """Build the session's FaultInjector (NULL_INJECTOR when off)."""
+        if self.faults is None:
+            return NULL_INJECTOR
+        if isinstance(self.faults, FaultPlan):
+            return self.faults.build()
+        if isinstance(self.faults, FaultInjector):
+            return self.faults
+        raise TypeError("SessionConfig.faults must be a FaultPlan or "
+                        "None, not %r" % type(self.faults).__name__)
 
     def make_obs(self):
         """Build the session's Observability (NULL_OBS when off)."""
@@ -192,25 +214,32 @@ class ProfileSession:
         """
         config = self.config
         obs = config.make_obs()
+        faults = config.make_faults()
         started = obs.clock() if obs.enabled else None
         with obs.span("session.setup"):
             machine = Machine(self.machine_config,
                               seed=seed if seed is not None else config.seed)
             driver = Driver(self.machine_config.num_cpus,
-                            config.make_driver_config(), obs=obs)
+                            config.make_driver_config(), obs=obs,
+                            faults=faults)
             driver.install(machine)
+            database = (ProfileDatabase(config.db_root, faults=faults)
+                        if config.db_root else None)
+            journal = None
+            if database is not None and config.journal:
+                journal = DrainJournal(database.journal_path())
+                journal.truncate()
             # The daemon subscribes to loadmap events before any process
             # is spawned (the paper's daemon additionally scans already-
             # running processes at startup; our fallback path in
             # _find_image covers that case).
             daemon = Daemon(machine.loader, periods=self._periods(),
                             per_process_images=config.per_process_images,
-                            obs=obs)
+                            obs=obs, faults=faults, journal=journal)
             self._setup(workload, machine)
-            database = (ProfileDatabase(config.db_root)
-                        if config.db_root else None)
 
         total = 0
+        drains = 0
         with obs.span("session.execute"):
             while True:
                 chunk = config.drain_interval
@@ -221,8 +250,24 @@ class ProfileSession:
                 with obs.timeit("session.chunk_s"):
                     ran = machine.run(max_instructions=chunk)
                 total += ran
-                with obs.timeit("session.drain_s"):
-                    daemon.drain(driver)
+                try:
+                    # A machine restart kills everything volatile: the
+                    # driver's buffers and the daemon's memory.  The
+                    # database (disk) survives.
+                    faults.check("session.restart")
+                    with obs.timeit("session.drain_s"):
+                        daemon.drain(driver)
+                    drains += 1
+                    if (database is not None and config.checkpoint_drains
+                            and drains % config.checkpoint_drains == 0):
+                        with obs.span("session.checkpoint"):
+                            daemon.merge_to_disk(database)
+                except InjectedCrash as crash:
+                    if not config.auto_recover:
+                        raise
+                    daemon = self._recover_daemon(
+                        crash, machine, driver, daemon, database,
+                        journal, obs, faults)
                 driver.rotate_mux()
                 for proc in machine.processes:
                     if proc.exited:
@@ -231,12 +276,70 @@ class ProfileSession:
                     break
         if database is not None:
             with obs.span("session.merge_to_disk"):
-                daemon.merge_to_disk(database)
+                try:
+                    daemon.merge_to_disk(database)
+                except InjectedCrash as crash:
+                    if not config.auto_recover:
+                        raise
+                    daemon = self._recover_daemon(
+                        crash, machine, driver, daemon, database,
+                        journal, obs, faults)
+                    daemon.merge_to_disk(database)
         if obs.enabled:
             obs.gauge("session.wall_s").set(obs.clock() - started)
             obs.finish()
         return SessionResult(machine, driver, daemon, database,
                              total, machine.time, obs=obs)
+
+    def _recover_daemon(self, crash, machine, driver, old, database,
+                        journal, obs, faults):
+        """Stand up a replacement daemon after an injected crash.
+
+        With a database, recovery rebuilds from the last durable
+        checkpoint plus the drain journal and then re-drains the
+        batches the dead daemon left pinned in the driver.  Without
+        one there is nothing durable: the old daemon's in-memory
+        samples are accounted as lost and a fresh daemon takes over.
+        A restart crash additionally wipes the driver's volatile
+        state (accounted in its ``dropped`` counters).
+        """
+        config = self.config
+        machine.loader.remove_listener(old.on_loadmap)
+        if crash.point == "session.restart":
+            driver.drop_all_pending()
+        if database is not None:
+            daemon = Daemon.recover(
+                machine.loader, database, journal=journal,
+                periods=self._periods(),
+                per_process_images=config.per_process_images,
+                obs=obs, faults=faults)
+            if journal is None:
+                # No journal to replay: whatever the old daemon held
+                # beyond the checkpoint is gone -- account it.
+                daemon.lost_samples += max(
+                    0, old.total_samples - daemon.total_samples)
+            daemon.recoveries = max(daemon.recoveries,
+                                    old.recoveries + 1)
+        else:
+            daemon = Daemon(machine.loader, periods=self._periods(),
+                            per_process_images=config.per_process_images,
+                            obs=obs, faults=faults)
+            daemon.epoch = old.epoch
+            daemon.recoveries = old.recoveries + 1
+            daemon.lost_samples = old.lost_samples + old.total_samples
+            daemon.drains = old.drains
+            daemon.drain_retries = old.drain_retries
+            daemon.drain_failures = old.drain_failures
+            daemon.loadmaps_dropped = old.loadmaps_dropped
+        daemon.redrain_inflight(driver)
+        # Catch-up drain: the crashed drain would have flushed the
+        # driver's hash tables at this chunk boundary; do it now so the
+        # table's hit/miss pattern -- and therefore the charged handler
+        # cycles and the sample stream -- stay identical to a
+        # fault-free run.  Collection faults must never perturb the
+        # machine, only the collection side.
+        daemon.drain(driver)
+        return daemon
 
     def run_baseline(self, workload, max_instructions=None, seed=None):
         """Run *workload* without any profiling (same seed, same stream)."""

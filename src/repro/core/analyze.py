@@ -27,6 +27,11 @@ class AnalysisConfig:
     # Self-monitoring (a repro.obs Observability): every pass runs
     # under a trace span and registers its counters.  None = disabled.
     obs: object = None
+    # Collection loss above this rate flags results as low-confidence
+    # instead of crashing the analysis: frequency/CPI estimates built
+    # on a lossy profile still rank hot code correctly, but their
+    # absolute values are understated by roughly the loss rate.
+    loss_rate_threshold: float = 0.02
 
 
 class InstructionAnalysis:
@@ -65,6 +70,12 @@ class ProcedureAnalysis:
         self.instructions = instructions
         self.period = period
         self.by_addr = {row.inst.addr: row for row in instructions}
+        #: True when the collection run lost enough samples that the
+        #: absolute estimates should not be trusted (graceful
+        #: degradation; see AnalysisConfig.loss_rate_threshold).
+        self.low_confidence = False
+        #: Human-readable degradation notes (loss rate, quarantines).
+        self.warnings = []
 
     @property
     def total_cycles(self):
@@ -152,16 +163,29 @@ def analyze_procedure(image, proc, profile, config=None):
                              instructions, period)
 
 
-def analyze_image(image, profile, config=None, min_samples=1):
+def analyze_image(image, profile, config=None, min_samples=1,
+                  loss_rate=0.0):
     """Analyze every procedure of *image* holding CYCLES samples.
 
     Returns {procedure name: ProcedureAnalysis}, ordered by decreasing
-    sample count.
+    sample count.  *loss_rate* is the collection run's accounted
+    sample-loss fraction (``collect.loss_rate``); above the config
+    threshold every analysis is flagged low-confidence with a warning
+    rather than rejected -- a partial profile still ranks hot code.
     """
+    config = config or AnalysisConfig()
     totals = profile.procedure_totals(EventType.CYCLES)
     result = {}
     for name, total in sorted(totals.items(), key=lambda kv: -kv[1]):
         if total < min_samples:
             continue
-        result[name] = analyze_procedure(image, name, profile, config)
+        analysis = analyze_procedure(image, name, profile, config)
+        if loss_rate > config.loss_rate_threshold:
+            analysis.low_confidence = True
+            analysis.warnings.append(
+                "collection lost %.2f%% of samples (threshold %.2f%%); "
+                "absolute estimates are understated"
+                % (loss_rate * 100.0,
+                   config.loss_rate_threshold * 100.0))
+        result[name] = analysis
     return result

@@ -1,0 +1,46 @@
+"""Deterministic fault injection for the collection pipeline.
+
+Public surface:
+
+* :class:`FaultSpec` / :class:`FaultPlan` -- declarative, picklable
+  fault descriptions (seeded; fully reproducible).
+* :class:`FaultInjector` / :data:`NULL_INJECTOR` -- the runtime the
+  driver, daemon and database consult at their fault points.
+* :mod:`repro.faults.scenarios` -- the registered chaos matrix run by
+  ``dcpichaos`` (imported lazily; it pulls in the whole session stack).
+* :mod:`repro.faults.audit` -- the sample-conservation invariant.
+"""
+
+from repro.faults.injector import (
+    ACTIONS,
+    BITFLIP,
+    CRASH,
+    DELAY,
+    DROP,
+    FAULT_POINTS,
+    NULL_INJECTOR,
+    TRANSIENT,
+    TRUNCATE,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    TransientDrainError,
+)
+
+__all__ = [
+    "ACTIONS",
+    "BITFLIP",
+    "CRASH",
+    "DELAY",
+    "DROP",
+    "FAULT_POINTS",
+    "NULL_INJECTOR",
+    "TRANSIENT",
+    "TRUNCATE",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrash",
+    "TransientDrainError",
+]

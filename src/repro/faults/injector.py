@@ -1,0 +1,229 @@
+"""Seeded deterministic fault injection for the collection pipeline.
+
+The collection system (driver, daemon, database) is instrumented with
+named *fault points* -- places where production systems actually fail:
+the daemon dying mid-drain, the machine restarting between a drain and
+the merge to disk, a torn write to the profile database, an overflow
+buffer burst.  A :class:`FaultPlan` describes which points fire, on
+which hit, with which action; building it yields a
+:class:`FaultInjector` whose decisions are a pure function of the plan
+and its seed, so every chaos run is exactly reproducible.
+
+Faults never perturb the simulated machine's instruction or sample
+stream: injected failures happen on the *collection* side (daemon,
+database), whose modelled cost is charged separately from machine
+execution.  A faulted run therefore sees the identical sample stream
+as its fault-free twin, which is what makes the conservation invariant
+checked by ``dcpichaos`` exact rather than statistical.
+"""
+
+import random
+from dataclasses import dataclass
+
+# -- fault points (where) --------------------------------------------------
+
+#: An overflow buffer is lost the moment it fills (DMA burst, say).
+DRIVER_OVERFLOW = "driver.overflow"
+#: The daemon's per-CPU flush call fails (transient) or dies (crash).
+DRAIN_FLUSH = "daemon.drain.flush"
+#: The daemon dies between two CPUs of one drain cycle.
+DRAIN_CPU = "daemon.drain.cpu"
+#: The daemon dies after journaling a flush but before merging/acking.
+DRAIN_MERGE = "daemon.drain.merge"
+#: The daemon dies between a drain and ``merge_to_disk``.
+DAEMON_CHECKPOINT = "daemon.checkpoint"
+#: The machine dies after profile files are written, before the
+#: manifest commit (the database's linearization point).
+DB_COMMIT = "db.checkpoint"
+#: A profile file write is corrupted in flight (torn/bit-flipped).
+DB_WRITE = "db.write"
+#: A loadmap event is dropped or delayed on its way to the daemon.
+LOADMAP = "daemon.loadmap"
+#: The whole machine restarts between execution chunks.
+SESSION_RESTART = "session.restart"
+
+FAULT_POINTS = (
+    DRIVER_OVERFLOW, DRAIN_FLUSH, DRAIN_CPU, DRAIN_MERGE,
+    DAEMON_CHECKPOINT, DB_COMMIT, DB_WRITE, LOADMAP, SESSION_RESTART,
+)
+
+# -- actions (what) --------------------------------------------------------
+
+CRASH = "crash"          # raise InjectedCrash (process death)
+TRANSIENT = "transient"  # raise TransientDrainError (retryable)
+DROP = "drop"            # silently lose the unit of work
+DELAY = "delay"          # defer the unit of work one drain cycle
+TRUNCATE = "truncate"    # cut the payload short (torn write)
+BITFLIP = "bitflip"      # flip one bit of the payload
+
+ACTIONS = (CRASH, TRANSIENT, DROP, DELAY, TRUNCATE, BITFLIP)
+
+
+class InjectedCrash(RuntimeError):
+    """A fault plan killed the component at *point*."""
+
+    def __init__(self, point, hit):
+        super().__init__("injected crash at %s (hit %d)" % (point, hit))
+        self.point = point
+        self.hit = hit
+
+
+class TransientDrainError(RuntimeError):
+    """A retryable injected failure (the drain loop backs off)."""
+
+    def __init__(self, point, hit):
+        super().__init__("injected transient fault at %s (hit %d)"
+                         % (point, hit))
+        self.point = point
+        self.hit = hit
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: fire *action* at *point* on selected hits.
+
+    *hits* lists 1-based hit numbers of the point (each consult of the
+    point increments its counter).  Alternatively *after* fires on
+    every hit >= after, bounded by *limit* total firings (0 = no
+    bound).  An empty spec (no hits, no after) never fires.
+    """
+
+    point: str
+    action: str
+    hits: tuple = ()
+    after: int = 0
+    limit: int = 0
+
+    def __post_init__(self):
+        if self.point not in FAULT_POINTS:
+            raise ValueError("unknown fault point %r" % (self.point,))
+        if self.action not in ACTIONS:
+            raise ValueError("unknown fault action %r" % (self.action,))
+
+    def matches(self, hit, fired_so_far):
+        if self.hits and hit in self.hits:
+            return True
+        if self.after and hit >= self.after:
+            return not self.limit or fired_so_far < self.limit
+        return False
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A picklable, seeded set of :class:`FaultSpec`."""
+
+    specs: tuple = ()
+    seed: int = 0
+
+    def __post_init__(self):
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def build(self):
+        return FaultInjector(self)
+
+
+class FaultInjector:
+    """Deterministic runtime for one :class:`FaultPlan`.
+
+    The pipeline consults it through three verbs:
+
+    * :meth:`check` -- raise at crash/transient points;
+    * :meth:`fires` -- non-raising query for drop/delay points;
+    * :meth:`corrupt_bytes` -- mangle a payload at write points.
+    """
+
+    enabled = True
+
+    def __init__(self, plan):
+        self.plan = plan
+        self.rng = random.Random(plan.seed)
+        self._specs = {}
+        for spec in plan.specs:
+            self._specs.setdefault(spec.point, []).append(spec)
+        self._hits = {}
+        self.fired = {}  # (point, action) -> times fired
+
+    def _arm(self, point):
+        """Count one consult of *point*; return the spec that fires."""
+        specs = self._specs.get(point)
+        if not specs:
+            return None
+        hit = self._hits.get(point, 0) + 1
+        self._hits[point] = hit
+        for spec in specs:
+            key = (point, spec.action)
+            if spec.matches(hit, self.fired.get(key, 0)):
+                self.fired[key] = self.fired.get(key, 0) + 1
+                return spec
+        return None
+
+    def check(self, point):
+        """Raise if a crash/transient fault fires at *point*."""
+        spec = self._arm(point)
+        if spec is None:
+            return
+        hit = self._hits[point]
+        if spec.action == CRASH:
+            raise InjectedCrash(point, hit)
+        if spec.action == TRANSIENT:
+            raise TransientDrainError(point, hit)
+
+    def fires(self, point):
+        """Return the firing :class:`FaultSpec` or None (non-raising)."""
+        return self._arm(point)
+
+    def corrupt_bytes(self, point, data):
+        """Return *data*, possibly torn or bit-flipped by a fault."""
+        spec = self._arm(point)
+        if spec is None or not data:
+            return data
+        if spec.action == TRUNCATE:
+            return data[:self.rng.randrange(len(data))]
+        if spec.action == BITFLIP:
+            index = self.rng.randrange(len(data))
+            mutated = bytearray(data)
+            mutated[index] ^= 1 << self.rng.randrange(8)
+            return bytes(mutated)
+        return data
+
+    def stats(self):
+        """{(point, action): firings} so far."""
+        return dict(self.fired)
+
+
+class _NullInjector:
+    """Zero-cost stand-in when no faults are configured."""
+
+    enabled = False
+    plan = FaultPlan()
+
+    def check(self, point):
+        return None
+
+    def fires(self, point):
+        return None
+
+    def corrupt_bytes(self, point, data):
+        return data
+
+    def stats(self):
+        return {}
+
+
+NULL_INJECTOR = _NullInjector()
+
+
+def bitflip_at_rest(data, seed=0):
+    """Flip one deterministic bit of *data* (at-rest corruption)."""
+    if not data:
+        return data
+    rng = random.Random(seed)
+    mutated = bytearray(data)
+    index = rng.randrange(len(mutated))
+    mutated[index] ^= 1 << rng.randrange(8)
+    return bytes(mutated)
+
+
+def truncate_at_rest(data, seed=0):
+    """Cut *data* roughly in half (a torn write found at rest)."""
+    return data[:max(1, len(data) // 2)] if data else data

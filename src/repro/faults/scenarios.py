@@ -1,0 +1,255 @@
+"""The registered chaos matrix: named fault scenarios + the runner.
+
+Each :class:`Scenario` is a fault plan aimed at one failure mode of
+the collection pipeline (daemon death mid-drain, a machine restart
+between drain and merge, a torn database write, ...).  The runner
+executes every scenario twice -- once fault-free, once faulted, same
+seed -- and checks the conservation invariant from
+:mod:`repro.faults.audit`: identical sample streams, and recovered
+profile counts equal to fault-free counts minus exactly the accounted
+losses.  ``dcpichaos`` is the CLI face of this module.
+"""
+
+import os
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass
+
+from repro.faults import audit
+from repro.faults.injector import (FaultPlan, FaultSpec, bitflip_at_rest,
+                                   truncate_at_rest)
+
+#: Chaos sessions run hot: a tiny hash table and overflow buffers, so
+#: evictions and buffer-full events are frequent; frequent drains and
+#: periodic checkpoints, so every fault point is exercised inside a
+#: small instruction budget.
+CHAOS_CYCLES_PERIOD = (240, 256)
+CHAOS_EVENT_PERIOD = 64
+CHAOS_DRAIN_INTERVAL = 4_000
+CHAOS_BUCKETS = 4
+CHAOS_ASSOC = 2
+CHAOS_OVERFLOW_CAPACITY = 4
+CHAOS_CHECKPOINT_DRAINS = 2
+
+QUICK_BUDGET = 24_000
+FULL_BUDGET = 60_000
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered fault case."""
+
+    name: str
+    description: str
+    specs: tuple = ()
+    #: at-rest corruption applied to one stored profile after the
+    #: faulted session ends: None | "bitflip" | "truncate".
+    post: str = None
+    #: whether the session runs with a profile database.
+    db: bool = True
+    #: include in the --quick (CI smoke) subset.
+    quick: bool = False
+
+
+SCENARIOS = (
+    Scenario(
+        "overflow-burst",
+        "three overflow buffers vanish as they fill (driver-side loss)",
+        specs=(FaultSpec("driver.overflow", "drop", hits=(1, 2, 3)),),
+        quick=True),
+    Scenario(
+        "drain-transient",
+        "two flushes fail transiently; the retry/backoff loop recovers",
+        specs=(FaultSpec("daemon.drain.flush", "transient", hits=(3, 5)),),
+        quick=True),
+    Scenario(
+        "drain-fail",
+        "flushes fail persistently; the daemon sheds the CPU's backlog",
+        specs=(FaultSpec("daemon.drain.flush", "transient",
+                         after=6, limit=4),)),
+    Scenario(
+        "crash-mid-drain",
+        "daemon dies partway through a drain cycle",
+        specs=(FaultSpec("daemon.drain.cpu", "crash", hits=(3,)),),
+        quick=True),
+    Scenario(
+        "crash-before-ack",
+        "daemon dies after journaling a batch, before merging it",
+        specs=(FaultSpec("daemon.drain.merge", "crash", hits=(2,)),)),
+    Scenario(
+        "crash-before-merge",
+        "daemon dies between a drain and merge_to_disk",
+        specs=(FaultSpec("daemon.checkpoint", "crash", hits=(1,)),)),
+    Scenario(
+        "crash-mid-checkpoint",
+        "machine dies after writing profile files, before the "
+        "manifest commit",
+        specs=(FaultSpec("db.checkpoint", "crash", hits=(1,)),),
+        quick=True),
+    Scenario(
+        "machine-restart",
+        "whole machine restarts: daemon memory and driver buffers gone",
+        specs=(FaultSpec("session.restart", "crash", hits=(3,)),),
+        quick=True),
+    Scenario(
+        "crash-no-db",
+        "daemon dies with no database: in-memory samples are "
+        "accounted as lost",
+        specs=(FaultSpec("daemon.drain.cpu", "crash", hits=(4,)),),
+        db=False),
+    Scenario(
+        "loadmap-drop",
+        "a loadmap event is lost; samples degrade to the global map",
+        specs=(FaultSpec("daemon.loadmap", "drop", hits=(1,)),)),
+    Scenario(
+        "loadmap-delay",
+        "loadmap events arrive a drain late",
+        specs=(FaultSpec("daemon.loadmap", "delay", hits=(1, 2)),)),
+    Scenario(
+        "torn-db-write",
+        "a committed profile file is found truncated (torn write)",
+        post="truncate", quick=True),
+    Scenario(
+        "bitflip-db",
+        "a committed profile file has a flipped bit",
+        post="bitflip"),
+)
+
+
+def scenario_names(quick=False):
+    return [s.name for s in SCENARIOS if s.quick or not quick]
+
+
+def get_scenario(name):
+    for scenario in SCENARIOS:
+        if scenario.name == name:
+            return scenario
+    raise KeyError("unknown scenario %r; have: %s"
+                   % (name, ", ".join(s.name for s in SCENARIOS)))
+
+
+def _run_session(workload_name, seed, budget, db_root, plan):
+    from repro.collect.driver import DriverConfig
+    from repro.collect.session import ProfileSession, SessionConfig
+    from repro.cpu.config import MachineConfig
+    from repro.workloads.registry import get_workload
+
+    workload = get_workload(workload_name)
+    config = SessionConfig(
+        mode="default",
+        cycles_period=CHAOS_CYCLES_PERIOD,
+        event_period=CHAOS_EVENT_PERIOD,
+        drain_interval=CHAOS_DRAIN_INTERVAL,
+        seed=seed,
+        db_root=db_root,
+        checkpoint_drains=CHAOS_CHECKPOINT_DRAINS,
+        driver=DriverConfig(buckets=CHAOS_BUCKETS, assoc=CHAOS_ASSOC,
+                            overflow_capacity=CHAOS_OVERFLOW_CAPACITY),
+        faults=plan)
+    session = ProfileSession(MachineConfig(num_cpus=workload.num_cpus),
+                             config)
+    return session.run(workload, max_instructions=budget)
+
+
+def _corrupt_at_rest(db_root, kind, seed):
+    """Corrupt the largest committed profile file in *db_root*."""
+    from repro.collect.database import ProfileDatabase
+
+    database = ProfileDatabase(db_root)
+    records = database._load_manifest()["records"]
+    if not records:
+        return None
+    victim = max(records.values(), key=lambda rec: rec.get("total", 0))
+    path = os.path.join(db_root, victim["file"])
+    with open(path, "rb") as handle:
+        data = handle.read()
+    mangle = bitflip_at_rest if kind == "bitflip" else truncate_at_rest
+    with open(path, "wb") as handle:
+        handle.write(mangle(data, seed=seed))
+    return victim["file"]
+
+
+def run_case(scenario, workload_name, budget=FULL_BUDGET, seed=1,
+             keep_dirs=None):
+    """Run one scenario on one workload; return the case report.
+
+    Executes the fault-free reference and the faulted run with the
+    same seed in throwaway database directories, applies any at-rest
+    corruption, then audits both runs and the cross-run invariant.
+    """
+    from repro.collect.database import ProfileDatabase
+
+    started = time.perf_counter()
+    tmp = tempfile.mkdtemp(prefix="dcpichaos-")
+    try:
+        ref_root = (os.path.join(tmp, "ref") if scenario.db else None)
+        fault_root = (os.path.join(tmp, "fault") if scenario.db else None)
+        reference = _run_session(workload_name, seed, budget, ref_root,
+                                 None)
+        plan = FaultPlan(specs=scenario.specs, seed=seed)
+        faulted = _run_session(workload_name, seed, budget, fault_root,
+                               plan)
+        corrupted_file = None
+        if scenario.post and fault_root is not None:
+            corrupted_file = _corrupt_at_rest(fault_root, scenario.post,
+                                              seed)
+            # Re-open cold (a fresh reader, like an offline analysis
+            # tool) and verify: the corrupt file must be quarantined
+            # with its loss accounted, not decoded into garbage.
+            faulted.database = ProfileDatabase(fault_root)
+            faulted.database.verify()
+        ref_report = audit.sample_conservation(reference)
+        fault_report = audit.sample_conservation(faulted)
+        comparison = audit.compare_runs(fault_report, ref_report)
+        return {
+            "scenario": scenario.name,
+            "workload": workload_name,
+            "seed": seed,
+            "budget": budget,
+            "elapsed_s": round(time.perf_counter() - started, 3),
+            "reference": ref_report,
+            "faulted": fault_report,
+            "comparison": comparison,
+            "fired": {"%s:%s" % key: count
+                      for key, count
+                      in faulted.driver.faults.stats().items()},
+            "corrupted_file": corrupted_file,
+            "recoveries": fault_report["recoveries"],
+            "accounted_loss": audit.accounted_loss(fault_report),
+            "loss_rate": (audit.accounted_loss(fault_report)
+                          / fault_report["driver_samples"]
+                          if fault_report["driver_samples"] else 0.0),
+            "overhead_pct": _recovery_overhead(reference, faulted),
+            "ok": comparison["ok"],
+        }
+    finally:
+        if keep_dirs:
+            keep_dirs.append(tmp)
+        else:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+
+def _recovery_overhead(reference, faulted):
+    """Extra modelled daemon cycles the faulted run paid, in percent."""
+    base = reference.daemon.cycles
+    if not base:
+        return 0.0
+    return (faulted.daemon.cycles - base) / base * 100.0
+
+
+def run_matrix(workloads=("gcc",), quick=False, seed=1,
+               budget=None, names=None):
+    """Run scenarios x workloads; return the list of case reports."""
+    if budget is None:
+        budget = QUICK_BUDGET if quick else FULL_BUDGET
+    cases = []
+    for scenario in SCENARIOS:
+        if names is not None and scenario.name not in names:
+            continue
+        if quick and not scenario.quick and names is None:
+            continue
+        for workload_name in workloads:
+            cases.append(run_case(scenario, workload_name,
+                                  budget=budget, seed=seed))
+    return cases

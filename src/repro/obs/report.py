@@ -65,6 +65,8 @@ def render_report(flat, shards=(), merge_s=None, phases=None,
                  % flat.get("driver.overflow.spills", 0))
     lines.append("  dropped samples          %12d"
                  % flat.get("driver.overflow.dropped", 0))
+    lines.append("  loss rate                %12s"
+                 % _fmt_pct(flat.get("collect.loss_rate", 0.0)))
     lines.append("  avg handler cost         %12.1f  cycles/sample"
                  % flat.get("driver.avg_cost", 0.0))
     lines.append("  kernel memory            %12s"
@@ -95,6 +97,15 @@ def render_report(flat, shards=(), merge_s=None, phases=None,
     lines.append("  resident bytes           %12s  (peak %s)"
                  % (_fmt_bytes(flat.get("daemon.resident_bytes", 0)),
                     _fmt_bytes(flat.get("daemon.resident_bytes.peak", 0))))
+    if (flat.get("daemon.recoveries") or flat.get("daemon.lost_samples")
+            or flat.get("daemon.drain_retries")):
+        lines.append("  crash recoveries         %12d"
+                     % flat.get("daemon.recoveries", 0))
+        lines.append("  lost samples             %12d  (daemon-side)"
+                     % flat.get("daemon.lost_samples", 0))
+        lines.append("  drain retries            %12d  (%d abandoned)"
+                     % (flat.get("daemon.drain_retries", 0),
+                        flat.get("daemon.drain_failures", 0)))
     lines.append("")
 
     if shards:

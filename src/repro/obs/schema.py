@@ -19,12 +19,18 @@ name                                     kind      meaning
 ``driver.kernel_memory_bytes``           gauge     non-pageable memory
 ``driver.cpu<N>.samples``                counter   per-CPU interrupts
 ``driver.cpu<N>.overflow.spills``        counter   per-CPU buffer fills
+``driver.cpu<N>.overflow.dropped``       counter   per-CPU samples lost
 ``driver.cpu<N>.hash.evictions``         counter   per-CPU evictions
 ``daemon.samples``                       counter   samples merged
 ``daemon.entries``                       counter   hash entries processed
 ``daemon.cycles``                        counter   modelled daemon cost
 ``daemon.unknown_samples``               counter   unmapped PCs
 ``daemon.drains``                        counter   drain cycles
+``daemon.drain_retries``                 counter   backed-off flush retries
+``daemon.drain_failures``                counter   drains abandoned (shed)
+``daemon.recoveries``                    counter   daemon crash recoveries
+``daemon.lost_samples``                  counter   daemon-side accounted loss
+``daemon.loadmaps_dropped``              counter   loadmap events lost
 ``daemon.resident_bytes``                gauge     resident now / peak
 ``session.instructions``                 counter   instructions executed
 ``session.cycles``                       counter   simulated cycles
@@ -105,6 +111,7 @@ def driver_metrics(driver):
         prefix = "driver.cpu%d" % cpu_id
         metrics[prefix + ".samples"] = _counter(state.samples)
         metrics[prefix + ".overflow.spills"] = _counter(state.spills)
+        metrics[prefix + ".overflow.dropped"] = _counter(state.dropped)
         metrics[prefix + ".hash.evictions"] = _counter(
             state.table.evictions)
     return metrics
@@ -118,6 +125,11 @@ def daemon_metrics(daemon):
         "daemon.cycles": _counter(daemon.cycles),
         "daemon.unknown_samples": _counter(daemon.unknown_samples),
         "daemon.drains": _counter(daemon.drains),
+        "daemon.drain_retries": _counter(daemon.drain_retries),
+        "daemon.drain_failures": _counter(daemon.drain_failures),
+        "daemon.recoveries": _counter(daemon.recoveries),
+        "daemon.lost_samples": _counter(daemon.lost_samples),
+        "daemon.loadmaps_dropped": _counter(daemon.loadmaps_dropped),
         "daemon.resident_bytes": _gauge(daemon.resident_bytes(),
                                         daemon.peak_resident_bytes()),
     }
@@ -190,6 +202,15 @@ def derive(snapshot):
         flat.get("daemon.cycles", 0), d_samples)
     flat["daemon.unknown_fraction"] = _ratio(
         flat.get("daemon.unknown_samples", 0), d_samples)
+    # Collection-level loss accounting: driver-side drops (overflow
+    # backlog, shed drains) plus daemon-side losses (crashes without a
+    # recoverable checkpoint).  `loss_rate` is against every sample the
+    # driver handled, so sharded/merged runs report exact rates.
+    dropped = flat.get("driver.overflow.dropped", 0)
+    lost = flat.get("daemon.lost_samples", 0)
+    flat["collect.samples_dropped"] = dropped + lost
+    flat["collect.recoveries"] = flat.get("daemon.recoveries", 0)
+    flat["collect.loss_rate"] = _ratio(dropped + lost, samples)
     if "sim.fastpath.replays" in flat:
         replays = flat["sim.fastpath.replays"]
         flat["sim.fastpath.replay_fraction"] = _ratio(
@@ -254,4 +275,10 @@ def legacy_daemon_stats(daemon):
         "unknown_fraction": flat["daemon.unknown_fraction"],
         "resident_bytes": flat["daemon.resident_bytes"],
         "peak_resident_bytes": flat["daemon.resident_bytes.peak"],
+        "drain_retries": flat["daemon.drain_retries"],
+        "drain_failures": flat["daemon.drain_failures"],
+        "recoveries": flat["daemon.recoveries"],
+        "lost_samples": flat["daemon.lost_samples"],
+        "samples_dropped": daemon.samples_dropped,
+        "loadmaps_dropped": flat["daemon.loadmaps_dropped"],
     }

@@ -33,6 +33,13 @@ class Loader:
         """Register callback(LoadMapEvent); used by the profiling daemon."""
         self._listeners.append(callback)
 
+    def remove_listener(self, callback):
+        """Unregister *callback* (a dead daemon stops hearing events)."""
+        try:
+            self._listeners.remove(callback)
+        except ValueError:
+            pass
+
     def link(self, image):
         """Link *image* at the next free address range (idempotent)."""
         if image.base is not None:

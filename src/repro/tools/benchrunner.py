@@ -247,6 +247,9 @@ OBS_COMPARE_KEYS = (
     ("driver.overflow.dropped", "dropped samples", 0),
     ("driver.hash.evictions", "hash evictions", 0),
     ("daemon.unknown_fraction", "unknown-sample fraction", 0.002),
+    ("collect.loss_rate", "sample loss rate", 0.002),
+    ("collect.samples_dropped", "accounted sample loss", 0),
+    ("collect.recoveries", "crash recoveries", 0),
 )
 
 

@@ -9,6 +9,8 @@
   itself: rates, memory, per-phase time) and overhead measurement.
 * ``dcpiab``     -- verify the simulator fast path is observationally
   byte-identical to the slow path on every registered workload.
+* ``dcpichaos``  -- run the fault-injection matrix and assert the
+  sample-conservation invariant (no unaccounted loss, ever).
 
 Example::
 
@@ -165,6 +167,13 @@ def main_dcpimon(argv=None):
 def main_dcpiab(argv=None):
     """A/B identity check: simulator fast path on vs off."""
     from repro.tools.abcheck import main
+
+    return main(argv)
+
+
+def main_dcpichaos(argv=None):
+    """Fault-injection matrix with sample-conservation audits."""
+    from repro.tools.dcpichaos import main
 
     return main(argv)
 

@@ -1,0 +1,138 @@
+"""``dcpichaos`` -- run the fault-injection matrix and audit loss.
+
+Runs every registered fault scenario (or a chosen subset) against one
+or more workloads, each time alongside a fault-free twin with the same
+seed, and checks the conservation invariant: recovered profile counts
+equal the fault-free counts minus exactly the accounted losses --
+never a torn record, never a double-count, never silent loss.
+
+Exit status is 0 only if every case holds the invariant; CI runs
+``dcpichaos --quick`` as a smoke gate and the nightly job runs the
+full matrix.
+"""
+
+import argparse
+import json
+import sys
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="dcpichaos",
+        description="fault-injection matrix for the collection pipeline")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="run only the quick (CI smoke) scenario subset")
+    parser.add_argument(
+        "--scenarios", default=None,
+        help="comma-separated scenario names (default: all registered)")
+    parser.add_argument(
+        "--workloads", default="gcc",
+        help="comma-separated workload names (default: gcc -- its "
+             "working set actually evicts and spills)")
+    parser.add_argument(
+        "--seed", type=int, default=1, help="fault-plan / session seed")
+    parser.add_argument(
+        "--max-instructions", type=int, default=None,
+        help="instruction budget per run (default: matrix preset)")
+    parser.add_argument(
+        "--json", dest="json_path", default=None, metavar="FILE",
+        help="also write the full case reports as JSON ('-' = stdout)")
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list registered scenarios and exit")
+    return parser
+
+
+def _list_scenarios(out):
+    from repro.faults.scenarios import SCENARIOS
+
+    out.write("%-22s %-5s %s\n" % ("scenario", "quick", "description"))
+    for scenario in SCENARIOS:
+        out.write("%-22s %-5s %s\n"
+                  % (scenario.name, "yes" if scenario.quick else "",
+                     scenario.description))
+
+
+def render_table(cases, out):
+    header = ("%-22s %-16s %9s %8s %6s %6s %7s %5s %-4s"
+              % ("scenario", "workload", "samples", "dropped", "lost",
+                 "quar", "recov", "loss%", "ok"))
+    out.write(header + "\n")
+    out.write("-" * len(header) + "\n")
+    for case in cases:
+        faulted = case["faulted"]
+        out.write("%-22s %-16s %9d %8d %6d %6d %7d %5.2f %-4s\n"
+                  % (case["scenario"], case["workload"],
+                     faulted["driver_samples"], faulted["dropped"],
+                     faulted["lost"],
+                     faulted.get("quarantined_samples", 0),
+                     case["recoveries"], case["loss_rate"] * 100.0,
+                     "ok" if case["ok"] else "FAIL"))
+
+
+def _explain_failure(case, out):
+    comparison = case["comparison"]
+    out.write("FAIL %s/%s:\n" % (case["scenario"], case["workload"]))
+    for side in ("reference", "faulted"):
+        report = case[side]
+        if not report["ok"]:
+            out.write("  %s run unbalanced: %s\n"
+                      % (side, json.dumps(report, sort_keys=True)))
+    if not comparison["identical_streams"]:
+        out.write("  sample streams diverged: faulted=%d reference=%d "
+                  "(faults perturbed the machine)\n"
+                  % (case["faulted"]["driver_samples"],
+                     case["reference"]["driver_samples"]))
+    if not comparison["counts_conserved"]:
+        out.write("  unaccounted loss: kept %d -> %d but accounted "
+                  "delta is %d (+%d unknown-shift)\n"
+                  % (comparison["kept_reference"],
+                     comparison["kept_faulted"],
+                     comparison["accounted_delta"],
+                     comparison["unknown_delta"]))
+
+
+def main(argv=None, out=None):
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.list:
+        _list_scenarios(out)
+        return 0
+
+    from repro.faults.scenarios import get_scenario, run_matrix
+
+    names = None
+    if args.scenarios:
+        names = [name.strip() for name in args.scenarios.split(",")
+                 if name.strip()]
+        for name in names:
+            get_scenario(name)   # fail fast on typos
+    workloads = [name.strip() for name in args.workloads.split(",")
+                 if name.strip()]
+    cases = run_matrix(workloads=workloads, quick=args.quick,
+                       seed=args.seed, budget=args.max_instructions,
+                       names=names)
+    render_table(cases, out)
+    failures = [case for case in cases if not case["ok"]]
+    out.write("\n%d case(s), %d failure(s), %d recoveries, "
+              "max loss rate %.2f%%\n"
+              % (len(cases), len(failures),
+                 sum(case["recoveries"] for case in cases),
+                 max((case["loss_rate"] for case in cases), default=0.0)
+                 * 100.0))
+    for case in failures:
+        _explain_failure(case, out)
+    if args.json_path:
+        payload = json.dumps(cases, indent=2, sort_keys=True,
+                             default=str)
+        if args.json_path == "-":
+            out.write(payload + "\n")
+        else:
+            with open(args.json_path, "w") as handle:
+                handle.write(payload + "\n")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

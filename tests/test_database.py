@@ -1,12 +1,17 @@
 """Tests for the on-disk profile database and binary formats."""
 
+import json
+import os
+
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.collect.database import (FORMAT_COMPACT, FORMAT_RAW, ImageProfile,
-                                    ProfileDatabase, decode_profile,
-                                    encode_profile)
+from repro.collect.database import (FORMAT_COMPACT, FORMAT_RAW,
+                                    MANIFEST_NAME, CorruptProfileError,
+                                    ImageProfile, ProfileDatabase,
+                                    decode_profile, encode_profile)
 from repro.cpu.events import EventType
+from repro.faults.injector import bitflip_at_rest
 
 counts_strategy = st.dictionaries(
     st.integers(min_value=0, max_value=1 << 24).map(lambda x: x * 4),
@@ -94,6 +99,195 @@ class TestDatabase:
         db.save("/usr/shlib/X11/libos.so", EventType.CYCLES, {0: 1}, 100)
         counts, _ = db.load("/usr/shlib/X11/libos.so", EventType.CYCLES)
         assert counts == {0: 1}
+
+
+class TestCorruptionHandling:
+    """Satellite 2: typed errors, quarantine, and robust iteration."""
+
+    def fill(self, tmp_path):
+        db = ProfileDatabase(str(tmp_path))
+        db.save("app", EventType.CYCLES, {0: 5, 8: 2}, 100)
+        db.save("lib", EventType.CYCLES, {4: 7}, 100)
+        return db
+
+    def corrupt(self, db, image="app"):
+        record = db._load_manifest()["records"]["0000/%s@cycles" % image]
+        path = os.path.join(db.root, record["file"])
+        with open(path, "rb") as handle:
+            data = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(bitflip_at_rest(data, seed=5))
+        return record
+
+    def test_decode_raises_typed_error(self):
+        data = encode_profile({4: 1}, "app", EventType.CYCLES, 100)
+        with pytest.raises(CorruptProfileError):
+            decode_profile(data[:-3])
+        with pytest.raises(CorruptProfileError):
+            decode_profile(bitflip_at_rest(data, seed=1))
+        # ... which is still a ValueError for legacy callers.
+        assert issubclass(CorruptProfileError, ValueError)
+
+    def test_load_quarantines_and_accounts(self, tmp_path):
+        db = self.fill(tmp_path)
+        self.corrupt(db)
+        fresh = ProfileDatabase(str(tmp_path))
+        with pytest.raises(CorruptProfileError):
+            fresh.load("app", EventType.CYCLES)
+        assert fresh.quarantined_samples() == 7  # declared total 5+2
+        assert fresh.warnings
+        # The file was moved aside, not deleted.
+        quarantine = os.path.join(str(tmp_path), "quarantine")
+        assert os.listdir(quarantine)
+
+    def test_iteration_survives_corrupt_files(self, tmp_path):
+        db = self.fill(tmp_path)
+        self.corrupt(db)
+        fresh = ProfileDatabase(str(tmp_path))
+        loaded = {name: counts for name, _, counts, _ in fresh.load_all()}
+        assert loaded == {"lib": {4: 7}}        # app skipped, lib kept
+        assert list(fresh.profiles()) == [("lib", EventType.CYCLES)]
+        assert fresh.epochs() == [0]
+
+    def test_missing_file_quarantined_on_load(self, tmp_path):
+        db = self.fill(tmp_path)
+        record = db._load_manifest()["records"]["0000/app@cycles"]
+        os.unlink(os.path.join(db.root, record["file"]))
+        fresh = ProfileDatabase(str(tmp_path))
+        with pytest.raises(CorruptProfileError, match="missing"):
+            fresh.load("app", EventType.CYCLES)
+        assert fresh.quarantined_samples() == 7
+
+    def test_verify_reports_losses(self, tmp_path):
+        db = self.fill(tmp_path)
+        self.corrupt(db, image="lib")
+        fresh = ProfileDatabase(str(tmp_path))
+        report = fresh.verify()
+        assert report["quarantined"] == 1
+        assert report["lost_samples"] == 7
+        assert fresh.total_samples() == 7  # app's 5+2 survive
+
+    def test_v2_files_still_load(self, tmp_path):
+        """Pre-checksum (version 2) profiles remain readable."""
+        db = self.fill(tmp_path)
+        record = db._load_manifest()["records"]["0000/app@cycles"]
+        path = os.path.join(db.root, record["file"])
+        with open(path, "rb") as handle:
+            data = handle.read()
+        import struct
+        import zlib
+        body = data[:-4]                      # strip the CRC trailer
+        v2 = body[:4] + struct.pack("<H", 2) + body[6:]
+        with open(path, "wb") as handle:
+            handle.write(v2)
+        # Fix the manifest's whole-file CRC to match the rewrite.
+        manifest_path = os.path.join(db.root, MANIFEST_NAME)
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        manifest["records"]["0000/app@cycles"]["crc"] = zlib.crc32(v2)
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        counts, _ = ProfileDatabase(str(tmp_path)).load(
+            "app", EventType.CYCLES)
+        assert counts == {0: 5, 8: 2}
+
+
+class TestCheckpoint:
+    """The idempotent-replace checkpoint and its manifest commit."""
+
+    PROFILES = {"app": {EventType.CYCLES: {0: 5, 4: 3}}}
+    PERIODS = {EventType.CYCLES: 100}
+
+    def test_checkpoint_is_idempotent(self, tmp_path):
+        db = ProfileDatabase(str(tmp_path))
+        for _ in range(3):
+            db.checkpoint(self.PROFILES, self.PERIODS, epoch=0,
+                          meta={"epoch": 0})
+        assert db.total_samples() == 8          # never 16 or 24
+        counts, _ = db.load("app", EventType.CYCLES)
+        assert counts == {0: 5, 4: 3}
+
+    def test_checkpoint_replaces_not_merges(self, tmp_path):
+        db = ProfileDatabase(str(tmp_path))
+        db.checkpoint(self.PROFILES, self.PERIODS, epoch=0)
+        grown = {"app": {EventType.CYCLES: {0: 9, 4: 3, 8: 1}}}
+        db.checkpoint(grown, self.PERIODS, epoch=0)
+        counts, _ = db.load("app", EventType.CYCLES)
+        assert counts == {0: 9, 4: 3, 8: 1}
+
+    def test_checkpoint_drops_vanished_images(self, tmp_path):
+        db = ProfileDatabase(str(tmp_path))
+        both = {"app": {EventType.CYCLES: {0: 1}},
+                "lib": {EventType.CYCLES: {0: 2}}}
+        db.checkpoint(both, self.PERIODS, epoch=0)
+        db.checkpoint(self.PROFILES, self.PERIODS, epoch=0)
+        assert list(ProfileDatabase(str(tmp_path)).profiles()) == [
+            ("app", EventType.CYCLES)]
+
+    def test_checkpoint_meta_roundtrips(self, tmp_path):
+        db = ProfileDatabase(str(tmp_path))
+        meta = {"epoch": 2, "total_samples": 8,
+                "drained_seq": {"0": 5}}
+        db.checkpoint(self.PROFILES, self.PERIODS, epoch=2, meta=meta)
+        assert ProfileDatabase(str(tmp_path)).checkpoint_meta() == meta
+
+    def test_old_generation_files_are_collected(self, tmp_path):
+        db = ProfileDatabase(str(tmp_path))
+        db.checkpoint(self.PROFILES, self.PERIODS, epoch=0)
+        db.checkpoint(self.PROFILES, self.PERIODS, epoch=0)
+        epoch_dir = os.path.join(str(tmp_path), "epoch0000")
+        profs = [n for n in os.listdir(epoch_dir) if n.endswith(".prof")]
+        assert len(profs) == 1                  # stale generation GC'd
+
+    def test_scan_ignores_uncommitted_orphans(self, tmp_path):
+        """Generation-suffixed files without a manifest are leftovers
+        of a crashed commit; adopting them would double-count."""
+        db = ProfileDatabase(str(tmp_path))
+        db.checkpoint(self.PROFILES, self.PERIODS, epoch=0)
+        os.unlink(os.path.join(str(tmp_path), MANIFEST_NAME))
+        fresh = ProfileDatabase(str(tmp_path))
+        assert fresh.total_samples() == 0
+        assert list(fresh.profiles()) == []
+
+    def test_scan_still_adopts_legacy_files(self, tmp_path):
+        """Pre-manifest databases (no .g<N> suffix) are scanned in."""
+        epoch_dir = os.path.join(str(tmp_path), "epoch0000")
+        os.makedirs(epoch_dir)
+        data = encode_profile({0: 4}, "app", EventType.CYCLES, 100)
+        with open(os.path.join(epoch_dir, "app@cycles.prof"),
+                  "wb") as handle:
+            handle.write(data)
+        db = ProfileDatabase(str(tmp_path))
+        counts, _ = db.load("app", EventType.CYCLES)
+        assert counts == {0: 4}
+
+    def test_manifest_commit_is_atomic_under_crash(self, tmp_path):
+        """A crash during commit leaves the previous state intact and
+        no staged records visible."""
+        from repro.faults.injector import FaultPlan, FaultSpec
+
+        plan = FaultPlan(specs=(
+            FaultSpec("db.checkpoint", "crash", hits=(2,)),), seed=1)
+        db = ProfileDatabase(str(tmp_path), faults=plan.build())
+        db.checkpoint(self.PROFILES, self.PERIODS, epoch=0)   # hit 1: ok
+        grown = {"app": {EventType.CYCLES: {0: 9, 4: 3, 8: 1}}}
+        with pytest.raises(Exception, match="injected crash"):
+            db.checkpoint(grown, self.PERIODS, epoch=0)       # hit 2
+        # The staged mutation must not linger in memory or on disk.
+        assert db.total_samples() == 8
+        assert ProfileDatabase(str(tmp_path)).total_samples() == 8
+
+    def test_injected_write_corruption_is_detected(self, tmp_path):
+        from repro.faults.injector import FaultPlan, FaultSpec
+
+        plan = FaultPlan(specs=(
+            FaultSpec("db.write", "bitflip", hits=(1,)),), seed=3)
+        db = ProfileDatabase(str(tmp_path), faults=plan.build())
+        db.checkpoint(self.PROFILES, self.PERIODS, epoch=0)
+        fresh = ProfileDatabase(str(tmp_path))
+        with pytest.raises(CorruptProfileError):
+            fresh.load("app", EventType.CYCLES)
+        assert fresh.quarantined_samples() == 8
 
 
 class TestImageProfile:

@@ -1,10 +1,13 @@
 """Tests for the device driver and the user-mode daemon."""
 
+import pytest
+
 from repro.alpha.assembler import assemble
 from repro.collect.daemon import Daemon
 from repro.collect.driver import (EVENT_ORDINAL, INTERRUPT_SETUP, Driver,
                                   DriverConfig)
 from repro.cpu.events import EventType
+from repro.faults.injector import FaultPlan, FaultSpec
 from repro.osim.loader import Loader
 
 
@@ -88,6 +91,79 @@ class TestDriverRecord:
         driver = Driver(1, DriverConfig(buckets=4096, assoc=4,
                                         overflow_capacity=8192))
         assert driver.kernel_memory_bytes() == 512 * 1024
+
+
+class TestTwoPhaseFlush:
+    """Flush batches stay pinned in the driver until acknowledged."""
+
+    def loaded_driver(self, samples=10, **overrides):
+        driver = make_driver(buckets=1, assoc=2, overflow_capacity=4,
+                             **overrides)
+        for i in range(samples):
+            driver.record(0, i, 0x100, EventType.CYCLES, i)
+        return driver
+
+    def test_begin_flush_pins_until_ack(self):
+        driver = self.loaded_driver()
+        seq, entries = driver.begin_flush(0)
+        assert entries
+        assert driver.recover_inflight(0) == [(seq, entries)]
+        driver.ack(0, seq)
+        assert driver.recover_inflight(0) == []
+
+    def test_flush_seqs_increase(self):
+        driver = self.loaded_driver()
+        seq1, _ = driver.begin_flush(0)
+        for i in range(10):
+            driver.record(0, 50 + i, 0x200, EventType.CYCLES, i)
+        seq2, _ = driver.begin_flush(0)
+        assert seq2 > seq1
+
+    def test_unacked_batches_survive_for_recovery(self):
+        """A dead daemon's flushed-but-unacked samples are exactly
+        recover_inflight's payload -- nothing needs re-sampling."""
+        driver = self.loaded_driver()
+        seq, entries = driver.begin_flush(0)
+        flushed = sum(count for _, count in entries)
+        recovered = driver.recover_inflight(0)
+        assert sum(count for _, count in recovered[0][1]) == flushed
+
+    def test_drop_pending_accounts_everything(self):
+        driver = self.loaded_driver(samples=20)
+        driver.begin_flush(0)           # pinned inflight, never acked
+        for i in range(10):
+            driver.record(0, 90 + i, 0x300, EventType.CYCLES, i)
+        driver.drop_pending(0)
+        state = driver.cpus[0]
+        assert state.samples == 30
+        assert state.dropped == 30      # every sample accounted
+        assert driver.flush(0) == []
+        assert driver.recover_inflight(0) == []
+
+    def test_drop_all_pending_sums_cpus(self):
+        driver = Driver(2, DriverConfig(buckets=1, assoc=2,
+                                        overflow_capacity=4,
+                                        cost_scale=1.0))
+        for cpu in (0, 1):
+            for i in range(5):
+                driver.record(cpu, i, 0x100, EventType.CYCLES, i)
+        dropped = driver.drop_all_pending()
+        assert dropped == 10
+        assert sum(s.dropped for s in driver.cpus) == 10
+
+    def test_injected_overflow_burst_is_accounted(self):
+        plan = FaultPlan(specs=(
+            FaultSpec("driver.overflow", "drop", hits=(1,)),), seed=1)
+        driver = Driver(1, DriverConfig(buckets=1, assoc=1,
+                                        overflow_capacity=2,
+                                        cost_scale=1.0),
+                        faults=plan.build())
+        for i in range(12):
+            driver.record(0, i, 0x100, EventType.CYCLES, i)
+        state = driver.cpus[0]
+        assert state.dropped > 0
+        kept = sum(count for _, count in driver.flush(0))
+        assert kept + state.dropped == state.samples
 
 
 class TestDaemon:
@@ -181,3 +257,97 @@ class TestDaemon:
         counts, period = db.load("app", EventType.CYCLES)
         assert counts == {0: 1}
         assert period == 100
+
+
+class TestDaemonLossAccounting:
+    """Satellite 1: driver drops surface in Daemon.stats() and obs."""
+
+    def make_env(self):
+        loader = Loader()
+        daemon = Daemon(loader, periods={EventType.CYCLES: 100.0})
+        image = loader.link(assemble(
+            ".image app\n.proc main\n    nop\n    ret\n.end"))
+        loader.notify_exec(7, [image])
+        return loader, daemon, image
+
+    def test_driver_drops_reach_daemon_stats(self):
+        loader, daemon, image = self.make_env()
+        driver = make_driver(buckets=1, assoc=1, overflow_capacity=2)
+        for i in range(40):
+            driver.record(0, i, image.base, EventType.CYCLES, i)
+        driver.drop_pending(0)
+        daemon.drain(driver)
+        dropped = sum(s.dropped for s in driver.cpus)
+        assert dropped > 0
+        assert daemon.stats()["samples_dropped"] == dropped
+
+    def test_per_cpu_dropped_in_driver_metrics(self):
+        driver = Driver(2, DriverConfig(buckets=1, assoc=1,
+                                        overflow_capacity=2,
+                                        cost_scale=1.0))
+        for i in range(20):
+            driver.record(1, i, 0x100, EventType.CYCLES, i)
+        driver.drop_pending(1)
+        flat = driver.metrics()
+        assert flat["driver.cpu1.overflow.dropped"]["value"] > 0
+        assert flat["driver.cpu0.overflow.dropped"]["value"] == 0
+        legacy = driver.stats()
+        assert legacy["dropped"] == driver.cpus[1].dropped
+
+    def test_retry_backoff_charges_cycles(self):
+        loader, daemon, image = self.make_env()
+        daemon.faults = FaultPlan(specs=(
+            FaultSpec("daemon.drain.flush", "transient", hits=(1,)),),
+            seed=1).build()
+        driver = make_driver()
+        driver.record(0, 7, image.base, EventType.CYCLES, 0)
+        before = daemon.cycles
+        daemon.drain(driver)
+        assert daemon.drain_retries == 1
+        assert daemon.cycles - before >= 10_000   # backoff charged
+        assert daemon.total_samples == 1          # nothing lost
+
+    def test_exhausted_retries_shed_backlog(self):
+        loader, daemon, image = self.make_env()
+        daemon.faults = FaultPlan(specs=(
+            FaultSpec("daemon.drain.flush", "transient",
+                      after=1, limit=4),), seed=1).build()
+        driver = make_driver()
+        for i in range(6):
+            driver.record(0, 7, image.base, EventType.CYCLES, i)
+        daemon.drain(driver)
+        assert daemon.drain_failures == 1
+        assert daemon.total_samples == 0
+        assert driver.cpus[0].dropped == 6        # accounted, not silent
+        assert daemon.stats()["samples_dropped"] == 6
+
+    def test_journal_replay_with_watermark_is_idempotent(self, tmp_path):
+        """Batches at or below the recovered watermark replay from the
+        journal only; the re-drain acks them without re-merging."""
+        from repro.collect.database import ProfileDatabase
+        from repro.collect.journal import DrainJournal
+
+        loader, daemon, image = self.make_env()
+        db = ProfileDatabase(str(tmp_path / "db"))
+        journal = DrainJournal(db.journal_path())
+        daemon.journal = journal
+        driver = make_driver()
+        for i in range(8):
+            driver.record(0, 7, image.base + 4 * (i % 2),
+                          EventType.CYCLES, i)
+        # Journal + merge, but never ack (daemon dies before the ack).
+        seq, entries = driver.begin_flush(0)
+        journal.append(0, seq, entries)
+        daemon._process(entries)
+        daemon._drained_seq[0] = seq
+
+        recovered = Daemon.recover(loader, db, journal=journal,
+                                   periods={EventType.CYCLES: 100.0})
+        # Journal replay: watermark in db meta is absent, so replay
+        # delivers the batch exactly once...
+        assert recovered.total_samples == 8
+        recovered._drained_seq[0] = seq
+        # ... and the re-drain sees the pinned batch already merged.
+        recovered.redrain_inflight(driver)
+        assert recovered.total_samples == 8
+        assert driver.recover_inflight(0) == []

@@ -150,6 +150,72 @@ def test_shard_matrix_covers_cross_product():
     assert len({s.label() for s in shards}) == 12
 
 
+# -- fault-injected shards (crash recovery under the pool) -----------------
+
+
+def _crash_plan():
+    from repro.faults.injector import FaultPlan, FaultSpec
+
+    # Shards drain once per 200k-instruction chunk; with BUDGET below
+    # that, the first drain is the only one -- crash there.
+    return FaultPlan(specs=(
+        FaultSpec("daemon.drain.cpu", "crash", hits=(1,)),), seed=1)
+
+
+def _shard_conserves(result):
+    """The per-shard pipeline book, from shipped-back stats alone."""
+    stats = result.stats
+    return (stats["driver_samples"]
+            == stats["daemon_samples"] + stats["driver_dropped"]
+            + stats["daemon_lost_samples"])
+
+
+def test_faulted_shard_recovers_and_conserves():
+    spec = ShardSpec(workload="gcc", seed=1, mode="default",
+                     max_instructions=BUDGET, faults=_crash_plan())
+    result = run_shard(spec)
+    assert result.stats["daemon_recoveries"] >= 1
+    assert _shard_conserves(result)
+
+
+def test_faulted_shard_spec_survives_pickling():
+    spec = ShardSpec(workload="gcc", seed=1,
+                     max_instructions=BUDGET, faults=_crash_plan())
+    clone = pickle.loads(pickle.dumps(spec))
+    assert clone.faults == spec.faults
+
+
+def test_faulted_pool_run_matches_fault_free_minus_losses():
+    """Parallel-shard variant of the recovery invariant: a crashing
+    shard in a worker pool merges to the fault-free totals minus its
+    accounted losses (here: zero extra loss -- the journal-less shard
+    re-drains its pinned batches)."""
+    clean = [ShardSpec(workload="gcc", seed=1, mode="default",
+                       max_instructions=BUDGET),
+             ShardSpec(workload="mccalpin-assign", seed=1,
+                       mode="default", max_instructions=BUDGET)]
+    faulted = [ShardSpec(workload="gcc", seed=1, mode="default",
+                         max_instructions=BUDGET, faults=_crash_plan()),
+               clean[1]]
+    reference = ParallelSessionRunner(workers=2).run(clean)
+    chaotic = ParallelSessionRunner(workers=2).run(faulted)
+    for shard in chaotic.shards:
+        assert _shard_conserves(shard)
+    ref_stats = reference.by_label()["gcc/seed1/default"].stats
+    new_stats = chaotic.by_label()["gcc/seed1/default"].stats
+    # Identical streams (faults never touch the machine)...
+    assert new_stats["driver_samples"] == ref_stats["driver_samples"]
+    # ... and merged counts differ by exactly the accounted losses.
+    accounted = ((new_stats["driver_dropped"]
+                  + new_stats["daemon_lost_samples"])
+                 - (ref_stats["driver_dropped"]
+                    + ref_stats["daemon_lost_samples"]))
+    unknown_shift = (new_stats["daemon_unknown_samples"]
+                     - ref_stats["daemon_unknown_samples"])
+    assert (reference.merged.total() - chaotic.merged.total()
+            == accounted + unknown_shift)
+
+
 # -- SessionConfig validation (typed-Optional fix) -------------------------
 
 
