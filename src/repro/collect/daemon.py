@@ -39,8 +39,8 @@ PER_SAMPLE_COST = 8
 #: daemon per attempt; doubled each retry).
 BACKOFF_BASE_CYCLES = 10_000
 
-#: Flush attempts per CPU per drain before the daemon gives up and
-#: tells the driver to drop that CPU's backlog (accounted loss).
+#: Failed flush attempts per CPU per drain before the daemon gives up
+#: and tells the driver to drop that CPU's backlog (accounted loss).
 MAX_DRAIN_RETRIES = 3
 
 # Resident-memory model (bytes), following the paper's section 5.3
@@ -178,15 +178,17 @@ class Daemon:
                 break
             except TransientDrainError:
                 self.drain_retries += 1
-                self.cycles += BACKOFF_BASE_CYCLES << min(attempts, 6)
                 attempts += 1
-                if attempts > self.max_drain_retries:
+                if attempts >= self.max_drain_retries:
                     # Persistent failure: shed this CPU's backlog so the
                     # rest of the system keeps profiling.  The driver
-                    # accounts the loss in its `dropped` counter.
+                    # accounts the loss in its `dropped` counter.  No
+                    # backoff is charged here -- there is no next
+                    # attempt to wait for.
                     self.drain_failures += 1
                     driver.drop_pending(cpu_id)
                     return
+                self.cycles += BACKOFF_BASE_CYCLES << min(attempts - 1, 6)
         self._ingest(driver, cpu_id, seq, entries)
 
     def _ingest(self, driver, cpu_id, seq, entries):

@@ -27,6 +27,9 @@ daemon death and machine restarts):
   their manifest-declared sample totals recorded as accounted loss --
   and iteration (:meth:`profiles`, :meth:`epochs`, :meth:`load_all`)
   keeps going;
+* a damaged manifest is rebuilt by scanning the files it committed
+  (highest generation per key wins); only when no manifest ever
+  existed are generation files treated as uncommitted crash orphans;
 * decode failures raise the typed :class:`CorruptProfileError`
   (a ``ValueError``) instead of raw struct/varint errors.
 """
@@ -167,6 +170,44 @@ def _decode_profile(data):
     return counts, image_name, event, period, epoch
 
 
+def _salvage_total(data):
+    """Best-effort sample total of a possibly-corrupt profile.
+
+    Quarantine during a manifest rebuild has no manifest-declared
+    total to account the loss with, so decode leniently instead --
+    no checksum check, stop at the first undecodable record -- and
+    return the sum of whatever counts were readable (0 when even the
+    header is gone).  Never raises.
+    """
+    try:
+        buf = io.BytesIO(data)
+        if buf.read(4) != MAGIC:
+            return 0
+        version, fmt, _ = struct.unpack("<HBH", buf.read(5))
+        if version >= 3 and len(data) >= 13:
+            buf = io.BytesIO(data[:-4])
+            buf.seek(9)
+        (name_len,) = struct.unpack("<H", buf.read(2))
+        buf.seek(name_len, io.SEEK_CUR)
+        (event_len,) = struct.unpack("<H", buf.read(2))
+        buf.seek(event_len, io.SEEK_CUR)
+        _, n = struct.unpack("<II", buf.read(8))
+    except Exception:
+        return 0
+    total = 0
+    for _ in range(n):
+        try:
+            if fmt == FORMAT_RAW:
+                _, count = struct.unpack("<II", buf.read(8))
+            else:
+                _read_varint(buf)
+                count = _read_varint(buf)
+        except Exception:
+            break
+        total += count
+    return total
+
+
 def _safe_name(image_name):
     return image_name.replace("/", "_").strip("_") or "unknown"
 
@@ -210,6 +251,7 @@ class ProfileDatabase:
         if self._manifest is not None:
             return self._manifest
         path = self._manifest_path()
+        damaged = False
         if os.path.exists(path):
             try:
                 with open(path) as handle:
@@ -217,32 +259,46 @@ class ProfileDatabase:
                 if isinstance(manifest, dict) and "records" in manifest:
                     self._manifest = manifest
                     return manifest
+                damaged = True
                 self.warnings.append(
                     "manifest malformed; rebuilt from profile files")
             except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+                damaged = True
                 self.warnings.append(
                     "manifest unreadable; rebuilt from profile files")
-        self._manifest = self._scan()
+        self._manifest = self._scan(adopt_generations=damaged)
         return self._manifest
 
-    def _scan(self):
-        """Rebuild a manifest by decoding every file on disk.
+    def _scan(self, adopt_generations=False):
+        """Rebuild a manifest by decoding the profile files on disk.
 
-        The fallback for pre-manifest databases and for the (should-
-        never-happen) case of a destroyed manifest.  Files that fail to
-        decode are quarantined with an unknown declared total.
+        The fallback for pre-manifest databases and for a destroyed
+        manifest.  Files that fail to decode are quarantined with a
+        best-effort salvaged total so their loss is still accounted.
 
         Generation-suffixed files (``*.g<N>.prof``) are only ever
-        written by manifest-era code; finding one with no manifest
-        means a crash landed between writing shadow files and the
-        manifest rename.  Those are uncommitted orphans -- their
-        samples live in the drain journal for replay -- so adopting
-        them here would double-count.  They are skipped (the next
-        commit's GC removes them), but still advance the generation
-        counter so new writes never collide with leftovers.
+        written by manifest-era code, so their meaning depends on *why*
+        there is no manifest to read:
+
+        * Manifest absent (``adopt_generations=False``): a crash landed
+          between writing shadow files and the manifest rename.  Those
+          are uncommitted orphans -- their samples live in the drain
+          journal for replay -- so adopting them here would
+          double-count.  They are skipped (the next commit's GC removes
+          them), but still advance the generation counter so new writes
+          never collide with leftovers.
+
+        * Manifest present but unreadable (``adopt_generations=True``):
+          at-rest damage to the manifest itself, after which *every*
+          committed file is generation-suffixed.  Skipping them would
+          hand intact, CRC-valid profiles to the next commit's GC --
+          silent total loss -- so they are adopted instead, the highest
+          generation per (epoch, image, event) winning exactly as the
+          lost manifest's newest-write-wins commits did.
         """
         manifest = {"version": 1, "generation": 0, "records": {},
                     "checkpoint": None, "quarantined": []}
+        adopted_gens = {}
         for name in sorted(os.listdir(self.root)):
             if not name.startswith("epoch"):
                 continue
@@ -254,9 +310,9 @@ class ProfileDatabase:
                     continue
                 rel = os.path.join(name, fname)
                 gen = _parse_generation(fname)
-                if gen:
-                    if gen > manifest["generation"]:
-                        manifest["generation"] = gen
+                if gen > manifest["generation"]:
+                    manifest["generation"] = gen
+                if gen and not adopt_generations:
                     continue
                 with open(os.path.join(epoch_dir, fname), "rb") as handle:
                     data = handle.read()
@@ -266,12 +322,16 @@ class ProfileDatabase:
                 except CorruptProfileError as exc:
                     self._move_to_quarantine(rel)
                     manifest["quarantined"].append({
-                        "key": rel, "file": rel, "declared_total": 0,
+                        "key": rel, "file": rel,
+                        "declared_total": _salvage_total(data),
                         "reason": str(exc)})
                     self.warnings.append(
                         "quarantined %s during rebuild (%s)" % (rel, exc))
                     continue
                 key = self._key(epoch, image_name, event)
+                if gen < adopted_gens.get(key, -1):
+                    continue
+                adopted_gens[key] = gen
                 manifest["records"][key] = {
                     "file": rel,
                     "image": image_name,

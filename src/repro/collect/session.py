@@ -276,15 +276,16 @@ class ProfileSession:
                     break
         if database is not None:
             with obs.span("session.merge_to_disk"):
-                try:
-                    daemon.merge_to_disk(database)
-                except InjectedCrash as crash:
-                    if not config.auto_recover:
-                        raise
-                    daemon = self._recover_daemon(
-                        crash, machine, driver, daemon, database,
-                        journal, obs, faults)
-                    daemon.merge_to_disk(database)
+                while True:
+                    try:
+                        daemon.merge_to_disk(database)
+                        break
+                    except InjectedCrash as crash:
+                        if not config.auto_recover:
+                            raise
+                        daemon = self._recover_daemon(
+                            crash, machine, driver, daemon, database,
+                            journal, obs, faults)
         if obs.enabled:
             obs.gauge("session.wall_s").set(obs.clock() - started)
             obs.finish()
@@ -302,44 +303,62 @@ class ProfileSession:
         samples are accounted as lost and a fresh daemon takes over.
         A restart crash additionally wipes the driver's volatile
         state (accounted in its ``dropped`` counters).
+
+        Recovery itself runs under the same crash protection: a fault
+        that fires again during the catch-up re-drain (or the journal
+        replay) triggers another recovery round rather than
+        propagating, so any bounded fault plan converges on a live
+        daemon.  (An unbounded always-crash plan recovers forever --
+        by construction it never lets a daemon live.)
         """
         config = self.config
-        machine.loader.remove_listener(old.on_loadmap)
-        if crash.point == "session.restart":
-            driver.drop_all_pending()
-        if database is not None:
-            daemon = Daemon.recover(
-                machine.loader, database, journal=journal,
-                periods=self._periods(),
-                per_process_images=config.per_process_images,
-                obs=obs, faults=faults)
-            if journal is None:
-                # No journal to replay: whatever the old daemon held
-                # beyond the checkpoint is gone -- account it.
-                daemon.lost_samples += max(
-                    0, old.total_samples - daemon.total_samples)
-            daemon.recoveries = max(daemon.recoveries,
-                                    old.recoveries + 1)
-        else:
-            daemon = Daemon(machine.loader, periods=self._periods(),
-                            per_process_images=config.per_process_images,
-                            obs=obs, faults=faults)
-            daemon.epoch = old.epoch
-            daemon.recoveries = old.recoveries + 1
-            daemon.lost_samples = old.lost_samples + old.total_samples
-            daemon.drains = old.drains
-            daemon.drain_retries = old.drain_retries
-            daemon.drain_failures = old.drain_failures
-            daemon.loadmaps_dropped = old.loadmaps_dropped
-        daemon.redrain_inflight(driver)
-        # Catch-up drain: the crashed drain would have flushed the
-        # driver's hash tables at this chunk boundary; do it now so the
-        # table's hit/miss pattern -- and therefore the charged handler
-        # cycles and the sample stream -- stay identical to a
-        # fault-free run.  Collection faults must never perturb the
-        # machine, only the collection side.
-        daemon.drain(driver)
-        return daemon
+        while True:
+            machine.loader.remove_listener(old.on_loadmap)
+            if crash.point == "session.restart":
+                driver.drop_all_pending()
+            daemon = None
+            try:
+                if database is not None:
+                    daemon = Daemon.recover(
+                        machine.loader, database, journal=journal,
+                        periods=self._periods(),
+                        per_process_images=config.per_process_images,
+                        obs=obs, faults=faults)
+                    if journal is None:
+                        # No journal to replay: whatever the old daemon
+                        # held beyond the checkpoint is gone -- account
+                        # it.
+                        daemon.lost_samples += max(
+                            0, old.total_samples - daemon.total_samples)
+                    daemon.recoveries = max(daemon.recoveries,
+                                            old.recoveries + 1)
+                else:
+                    daemon = Daemon(
+                        machine.loader, periods=self._periods(),
+                        per_process_images=config.per_process_images,
+                        obs=obs, faults=faults)
+                    daemon.epoch = old.epoch
+                    daemon.recoveries = old.recoveries + 1
+                    daemon.lost_samples = (old.lost_samples
+                                           + old.total_samples)
+                    daemon.drains = old.drains
+                    daemon.drain_retries = old.drain_retries
+                    daemon.drain_failures = old.drain_failures
+                    daemon.loadmaps_dropped = old.loadmaps_dropped
+                daemon.redrain_inflight(driver)
+                # Catch-up drain: the crashed drain would have flushed
+                # the driver's hash tables at this chunk boundary; do
+                # it now so the table's hit/miss pattern -- and
+                # therefore the charged handler cycles and the sample
+                # stream -- stay identical to a fault-free run.
+                # Collection faults must never perturb the machine,
+                # only the collection side.
+                daemon.drain(driver)
+                return daemon
+            except InjectedCrash as next_crash:
+                crash = next_crash
+                if daemon is not None:
+                    old = daemon
 
     def run_baseline(self, workload, max_instructions=None, seed=None):
         """Run *workload* without any profiling (same seed, same stream)."""

@@ -114,6 +114,11 @@ SCENARIOS = (
         "bitflip-db",
         "a committed profile file has a flipped bit",
         post="bitflip"),
+    Scenario(
+        "torn-manifest",
+        "the manifest itself is damaged at rest; the rebuild adopts "
+        "the committed generation files instead of GC'ing them",
+        post="manifest", quick=True),
 )
 
 
@@ -153,8 +158,21 @@ def _run_session(workload_name, seed, budget, db_root, plan):
 
 
 def _corrupt_at_rest(db_root, kind, seed):
-    """Corrupt the largest committed profile file in *db_root*."""
-    from repro.collect.database import ProfileDatabase
+    """Corrupt the largest committed profile file in *db_root*.
+
+    ``kind="manifest"`` instead damages ``MANIFEST.json`` itself: the
+    cold re-open must rebuild it by adopting the committed generation
+    files, losing nothing.
+    """
+    from repro.collect.database import MANIFEST_NAME, ProfileDatabase
+
+    if kind == "manifest":
+        path = os.path.join(db_root, MANIFEST_NAME)
+        with open(path, "rb") as handle:
+            data = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(truncate_at_rest(data, seed=seed))
+        return MANIFEST_NAME
 
     database = ProfileDatabase(db_root)
     records = database._load_manifest()["records"]

@@ -249,6 +249,70 @@ class TestCheckpoint:
         assert fresh.total_samples() == 0
         assert list(fresh.profiles()) == []
 
+    def test_corrupt_manifest_rebuild_adopts_committed_files(
+            self, tmp_path):
+        """At-rest damage to the manifest must not turn committed,
+        CRC-valid generation files into GC bait (silent total loss);
+        the rebuild adopts them instead."""
+        db = ProfileDatabase(str(tmp_path))
+        db.checkpoint(self.PROFILES, self.PERIODS, epoch=0)
+        manifest_path = os.path.join(str(tmp_path), MANIFEST_NAME)
+        with open(manifest_path, "rb") as handle:
+            data = handle.read()
+        with open(manifest_path, "wb") as handle:
+            handle.write(data[:len(data) // 2])    # torn at rest
+        fresh = ProfileDatabase(str(tmp_path))
+        assert fresh.total_samples() == 8
+        assert fresh.quarantined_samples() == 0
+        counts, _ = fresh.load("app", EventType.CYCLES)
+        assert counts == {0: 5, 4: 3}
+        assert fresh.warnings
+        # The next commit's GC must keep the adopted files.
+        fresh.save("lib", EventType.CYCLES, {0: 1}, 100)
+        assert ProfileDatabase(str(tmp_path)).total_samples() == 9
+
+    def test_corrupt_manifest_rebuild_keeps_highest_generation(
+            self, tmp_path):
+        """Two generations of one key (a crash left the superseded
+        file behind): the rebuild must pick the numerically highest
+        generation, not the lexicographically last filename."""
+        epoch_dir = os.path.join(str(tmp_path), "epoch0000")
+        os.makedirs(epoch_dir)
+        for gen, counts in ((2, {0: 1}), (10, {0: 1, 4: 2})):
+            data = encode_profile(counts, "app", EventType.CYCLES, 100)
+            with open(os.path.join(epoch_dir,
+                                   "app@cycles.g%d.prof" % gen),
+                      "wb") as handle:
+                handle.write(data)
+        with open(os.path.join(str(tmp_path), MANIFEST_NAME),
+                  "w") as handle:
+            handle.write("{not json")
+        db = ProfileDatabase(str(tmp_path))
+        counts, _ = db.load("app", EventType.CYCLES)
+        assert counts == {0: 1, 4: 2}
+        assert db._load_manifest()["generation"] == 10
+
+    def test_corrupt_manifest_rebuild_salvages_quarantine_totals(
+            self, tmp_path):
+        """A generation file that fails its CRC during the rebuild is
+        quarantined with a best-effort decoded total, not a silent 0."""
+        db = ProfileDatabase(str(tmp_path))
+        db.checkpoint(self.PROFILES, self.PERIODS, epoch=0)  # total 8
+        record = db._load_manifest()["records"]["0000/app@cycles"]
+        path = os.path.join(db.root, record["file"])
+        with open(path, "rb") as handle:
+            data = handle.read()
+        with open(path, "wb") as handle:
+            # Zero the CRC trailer: the body stays fully decodable,
+            # so the salvaged total should be exact.
+            handle.write(data[:-4] + b"\0\0\0\0")
+        manifest_path = os.path.join(str(tmp_path), MANIFEST_NAME)
+        with open(manifest_path, "w") as handle:
+            handle.write("{not json")
+        fresh = ProfileDatabase(str(tmp_path))
+        assert fresh.total_samples() == 0
+        assert fresh.quarantined_samples() == 8
+
     def test_scan_still_adopts_legacy_files(self, tmp_path):
         """Pre-manifest databases (no .g<N> suffix) are scanned in."""
         epoch_dir = os.path.join(str(tmp_path), "epoch0000")

@@ -197,7 +197,7 @@ class TestScenarioRegistry:
                 "daemon.checkpoint", "db.checkpoint", "daemon.loadmap",
                 "session.restart"} <= covered
         assert {s.post for s in SCENARIOS if s.post} == {
-            "bitflip", "truncate"}
+            "bitflip", "truncate", "manifest"}
 
 
 class TestChaosCli:
@@ -251,3 +251,13 @@ class TestRunCase:
         assert case["ok"], case["comparison"]
         assert case["faulted"]["quarantined_samples"] > 0
         assert case["corrupted_file"]
+
+    def test_torn_manifest_rebuild_loses_nothing(self):
+        from repro.faults.scenarios import get_scenario, run_case
+
+        case = run_case(get_scenario("torn-manifest"), "gcc",
+                        budget=16_000)
+        assert case["ok"], case["comparison"]
+        assert (case["faulted"]["db_samples"]
+                == case["reference"]["db_samples"])
+        assert case["corrupted_file"] == "MANIFEST.json"

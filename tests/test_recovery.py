@@ -112,6 +112,28 @@ def test_crash_without_database_accounts_memory_as_lost(tmp_path):
     assert report["lost"] == 0
 
 
+def test_crash_during_recovery_recovers_again(reference, tmp_path):
+    """A fault that fires again during the recovery catch-up drain
+    triggers another recovery round instead of escaping auto_recover."""
+    result, report = faulted_report(
+        tmp_path, [FaultSpec("daemon.drain.cpu", "crash", hits=(3, 4))])
+    assert report["ok"]
+    assert result.daemon.recoveries == 2
+    assert audit.compare_runs(report, reference)["ok"]
+
+
+def test_drain_gives_up_after_budgeted_attempts(reference, tmp_path):
+    """MAX_DRAIN_RETRIES failed flush attempts shed the backlog --
+    not MAX_DRAIN_RETRIES + 1."""
+    result, report = faulted_report(
+        tmp_path, [FaultSpec("daemon.drain.flush", "transient",
+                             hits=(1, 2, 3))])
+    assert report["ok"]
+    assert result.daemon.drain_failures == 1
+    assert result.daemon.drain_retries == 3
+    assert audit.compare_runs(report, reference)["ok"]
+
+
 def test_transient_drain_retries_then_succeeds(reference, tmp_path):
     result, report = faulted_report(
         tmp_path, [FaultSpec("daemon.drain.flush", "transient",
