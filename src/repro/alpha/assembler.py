@@ -21,7 +21,10 @@ instruction that loads an absolute (post-link) symbol address and issues
 as a normal ``lda``.
 """
 
+from __future__ import annotations
+
 import re
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.alpha import regs
 from repro.alpha.image import Image
@@ -32,7 +35,8 @@ from repro.alpha.opcodes import OPCODES
 class AssemblerError(Exception):
     """Raised for any syntax or semantic error in assembly text."""
 
-    def __init__(self, message, lineno=None):
+    def __init__(self, message: str,
+                 lineno: Optional[int] = None) -> None:
         if lineno is not None:
             message = "line %d: %s" % (lineno, message)
         super().__init__(message)
@@ -43,21 +47,23 @@ _MEM_RE = re.compile(r"^(-?\w+)\(([\w$]+)\)$")
 _LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):$")
 
 
-def _parse_int(text, lineno):
+def _parse_int(text: str, lineno: int) -> int:
     try:
         return int(text, 0)
     except ValueError:
-        raise AssemblerError("bad integer %r" % text, lineno)
+        raise AssemblerError("bad integer %r" % text,
+                             lineno) from None
 
 
-def _parse_reg(text, lineno):
+def _parse_reg(text: str, lineno: int) -> int:
     try:
         return regs.parse_register(text)
     except KeyError:
-        raise AssemblerError("unknown register %r" % text, lineno)
+        raise AssemblerError("unknown register %r" % text,
+                             lineno) from None
 
 
-def _split_operands(text):
+def _split_operands(text: str) -> List[str]:
     return [part.strip() for part in text.split(",")] if text else []
 
 
@@ -66,13 +72,17 @@ class _PendingInst:
 
     __slots__ = ("inst", "target_label", "symbol")
 
-    def __init__(self, inst, target_label=None, symbol=None):
+    def __init__(self, inst: Instruction,
+                 target_label: Optional[str] = None,
+                 symbol: Optional[str] = None) -> None:
         self.inst = inst
         self.target_label = target_label
         self.symbol = symbol
 
 
-def assemble(text, image_name="a.out", base=None, externs=None):
+def assemble(text: str, image_name: str = "a.out",
+             base: Optional[int] = None,
+             externs: Optional[Dict[str, int]] = None) -> Image:
     """Assemble *text* into an :class:`Image`.
 
     If *base* is given the image is linked at that address; otherwise it
@@ -83,14 +93,16 @@ def assemble(text, image_name="a.out", base=None, externs=None):
     externs = externs or {}
     image = Image(image_name)
     image.source = text
-    local_symbols = set()
-    labels = {}  # name -> image offset
-    current_proc = None  # (name, [_PendingInst])
-    pending_all = []
+    local_symbols: Set[str] = set()
+    labels: Dict[str, int] = {}  # name -> image offset
+    # (name, [_PendingInst]) while inside a .proc block
+    current_proc: Optional[Tuple[str, List[_PendingInst]]] = None
+    pending_all: List[Tuple[_PendingInst, int]] = []
     offset = 0
 
-    def finish_proc():
+    def finish_proc() -> None:
         nonlocal current_proc
+        assert current_proc is not None
         name, pendings = current_proc
         image.add_procedure(name, [p.inst for p in pendings])
         current_proc = None
@@ -170,7 +182,7 @@ def assemble(text, image_name="a.out", base=None, externs=None):
     return image
 
 
-def _parse_instruction(line, lineno):
+def _parse_instruction(line: str, lineno: int) -> _PendingInst:
     parts = line.split(None, 1)
     op = parts[0].lower()
     info = OPCODES.get(op)

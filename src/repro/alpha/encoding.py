@@ -19,14 +19,18 @@ instruction decodes back to an equal Instruction (round-trip tested,
 including with hypothesis).
 """
 
+from __future__ import annotations
+
 import struct
+from typing import Dict, List, Optional
 
 from repro.alpha.image import Image
 from repro.alpha.instruction import Instruction
 from repro.alpha.opcodes import OPCODES
 
 #: opcode name <-> numeric opcode (stable, sorted assignment).
-OPCODE_NUMBERS = {name: i + 1 for i, name in enumerate(sorted(OPCODES))}
+OPCODE_NUMBERS: Dict[str, int] = {
+    name: i + 1 for i, name in enumerate(sorted(OPCODES))}
 NUMBER_OPCODES = {number: name for name, number in OPCODE_NUMBERS.items()}
 
 EXTENSION_OPCODE = 0xFF
@@ -42,11 +46,12 @@ class EncodingError(ValueError):
     """Raised when an instruction cannot be represented."""
 
 
-def _reg(value):
+def _reg(value: Optional[int]) -> int:
     return 31 if value is None else value & 31
 
 
-def encode_instruction(inst, next_addr=0):
+def encode_instruction(inst: Instruction,
+                       next_addr: int = 0) -> List[int]:
     """Encode *inst* into a list of one or two 32-bit words.
 
     *next_addr* is the address of the following instruction (branch
@@ -54,7 +59,7 @@ def encode_instruction(inst, next_addr=0):
     """
     opc = OPCODE_NUMBERS[inst.op]
     kind = inst.info.kind
-    words = []
+    words: List[int] = []
     if kind in ("op", "fop"):
         if inst.rb is not None:
             word = (opc << 24) | (_reg(inst.ra) << 19) \
@@ -99,21 +104,22 @@ def encode_instruction(inst, next_addr=0):
     return words
 
 
-def _extension_word(value):
+def _extension_word(value: int) -> int:
     # 24-bit signed payload carried by an extension word.
     if not -(1 << 23) <= value < (1 << 23):
         raise EncodingError("extension payload %d out of range" % value)
     return (EXTENSION_OPCODE << 24) | (value & 0xFFFFFF)
 
 
-def _sign_extend(value, bits):
+def _sign_extend(value: int, bits: int) -> int:
     value &= (1 << bits) - 1
     if value >> (bits - 1):
         value -= 1 << bits
     return value
 
 
-def decode_instruction(word, addr, extension=None):
+def decode_instruction(word: int, addr: int,
+                       extension: Optional[int] = None) -> Instruction:
     """Decode one word (plus an optional preceding extension payload).
 
     Returns an :class:`Instruction` with ``addr`` set.
@@ -125,9 +131,6 @@ def decode_instruction(word, addr, extension=None):
                             % (opc, addr))
     info = OPCODES[name]
     kind = info.kind
-
-    def unreg(value):
-        return None if value == 31 else value
 
     # FP register fields are stored with the 32-bias stripped; restore.
     fp_bias = 32 if kind in ("fop", "fload", "fstore", "fbranch") else 0
@@ -168,7 +171,7 @@ MAGIC = b"AEXE"
 VERSION = 1
 
 
-def encode_image(image):
+def encode_image(image: Image) -> bytes:
     """Serialize a linked *image* into an executable binary (bytes).
 
     Because extension words change instruction addresses, text encoded
@@ -207,7 +210,7 @@ def encode_image(image):
     return bytes(out)
 
 
-def decode_image(data):
+def decode_image(data: bytes) -> Image:
     """Inverse of :func:`encode_image`; returns a linked Image."""
     if data[:4] != MAGIC:
         raise EncodingError("not an AEXE binary")
@@ -259,13 +262,13 @@ def decode_image(data):
     return image
 
 
-def save_executable(image, path):
+def save_executable(image: Image, path: str) -> None:
     """Write *image* to *path* as an AEXE binary."""
     with open(path, "wb") as handle:
         handle.write(encode_image(image))
 
 
-def load_executable(path):
+def load_executable(path: str) -> Image:
     """Read an AEXE binary; returns a linked Image."""
     with open(path, "rb") as handle:
         return decode_image(handle.read())

@@ -9,7 +9,15 @@ that uses it; per-process data is kept separate by the per-process
 address space in :mod:`repro.osim.process`.
 """
 
+from __future__ import annotations
+
+from typing import (TYPE_CHECKING, Dict, Iterable, ItemsView, List,
+                    Optional, Tuple)
+
 from repro.alpha.opcodes import DIRECT_BRANCH_KINDS
+
+if TYPE_CHECKING:
+    from repro.alpha.instruction import Instruction
 
 
 class Procedure:
@@ -17,42 +25,44 @@ class Procedure:
 
     __slots__ = ("name", "start", "end", "image")
 
-    def __init__(self, name, start, end, image=None):
+    def __init__(self, name: str, start: int, end: int,
+                 image: Optional["Image"] = None) -> None:
         self.name = name
         self.start = start
         self.end = end
         self.image = image
 
-    def __contains__(self, addr):
+    def __contains__(self, addr: int) -> bool:
         return self.start <= addr < self.end
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "<Procedure %s [%#x, %#x)>" % (self.name, self.start,
                                               self.end)
 
-    def instructions(self):
+    def instructions(self) -> List["Instruction"]:
         """Return the instructions of this procedure, in address order."""
+        assert self.image is not None
         return self.image.slice(self.start, self.end)
 
 
 class SymbolTable:
     """Name -> absolute address mapping for one image."""
 
-    def __init__(self):
-        self._symbols = {}
+    def __init__(self) -> None:
+        self._symbols: Dict[str, int] = {}
 
-    def define(self, name, addr):
+    def define(self, name: str, addr: int) -> None:
         if name in self._symbols:
             raise ValueError("duplicate symbol: %r" % name)
         self._symbols[name] = addr
 
-    def resolve(self, name):
+    def resolve(self, name: str) -> int:
         return self._symbols[name]
 
-    def __contains__(self, name):
+    def __contains__(self, name: str) -> bool:
         return name in self._symbols
 
-    def items(self):
+    def items(self) -> ItemsView[str, int]:
         return self._symbols.items()
 
 
@@ -72,25 +82,26 @@ class Image:
 
     INSTRUCTION_BYTES = 4
 
-    def __init__(self, name):
+    def __init__(self, name: str) -> None:
         self.name = name
-        self.base = None
-        self.instructions = []
-        self.procedures = []
+        self.base: Optional[int] = None
+        self.instructions: List["Instruction"] = []
+        self.procedures: List[Procedure] = []
         self.symbols = SymbolTable()
         self.data_size = 0
-        self.data_base = None
-        self._proc_by_name = {}
+        self.data_base: Optional[int] = None
+        self._proc_by_name: Dict[str, Procedure] = {}
         #: Original assembly text, when built by the assembler (used by
         #: the dcpilist source-annotation tool).
-        self.source = None
+        self.source: Optional[str] = None
         # (instruction, symbol-name) pairs whose ``imm`` field takes the
         # symbol's absolute address once the image is linked.
-        self.fixups = []
+        self.fixups: List[Tuple["Instruction", str]] = []
 
     # -- construction -----------------------------------------------------
 
-    def add_procedure(self, name, instructions):
+    def add_procedure(self, name: str,
+                      instructions: Iterable["Instruction"]) -> Procedure:
         """Append *instructions* as procedure *name*.
 
         Offsets are assigned relative to the image; absolute addresses are
@@ -107,7 +118,7 @@ class Image:
         self.symbols.define(name, start)
         return proc
 
-    def add_data(self, name, nbytes, align=64):
+    def add_data(self, name: str, nbytes: int, align: int = 64) -> int:
         """Reserve *nbytes* of data space under symbol *name*.
 
         Returns the offset of the block within the data region.  The
@@ -120,7 +131,7 @@ class Image:
         self.symbols.define(name, offset)
         return offset
 
-    def link(self, base):
+    def link(self, base: int) -> "Image":
         """Fix all addresses: code at *base*, data right after the code."""
         self.base = base
         for inst in self.instructions:
@@ -142,62 +153,67 @@ class Image:
         self._resolve_targets()
         return self
 
-    def _resolve_targets(self):
+    def _resolve_targets(self) -> None:
         """Convert label-offset branch targets to absolute addresses."""
         for inst in self.instructions:
             if (inst.info.kind in DIRECT_BRANCH_KINDS
                     and inst.target is not None):
+                assert self.base is not None
                 inst.target += self.base
         for inst, symbol in self.fixups:
             inst.imm = self.symbols.resolve(symbol)
-        self.fixups = []
+        self.fixups: List[Tuple["Instruction", str]] = []
 
     # -- lookup ------------------------------------------------------------
 
     @property
-    def code_size(self):
+    def code_size(self) -> int:
         return len(self.instructions) * self.INSTRUCTION_BYTES
 
     @property
-    def end(self):
+    def end(self) -> int:
+        assert self.base is not None
         return self.base + self.code_size
 
-    def __contains__(self, addr):
+    def __contains__(self, addr: int) -> bool:
         return self.base is not None and self.base <= addr < self.end
 
-    def instruction_at(self, addr):
+    def instruction_at(self, addr: int) -> "Instruction":
         """Return the instruction at absolute address *addr*."""
+        assert self.base is not None
         index = (addr - self.base) >> 2
         return self.instructions[index]
 
-    def offset_of(self, addr):
+    def offset_of(self, addr: int) -> int:
         """Return the image-relative offset of absolute address *addr*."""
+        assert self.base is not None
         return addr - self.base
 
-    def slice(self, start, end):
+    def slice(self, start: int, end: int) -> List["Instruction"]:
         """Return instructions in the absolute address range [start, end)."""
+        assert self.base is not None
         lo = (start - self.base) >> 2
         hi = (end - self.base) >> 2
         return self.instructions[lo:hi]
 
-    def procedure_at(self, addr):
+    def procedure_at(self, addr: int) -> Optional[Procedure]:
         """Return the procedure containing *addr*, or None."""
         for proc in self.procedures:
             if addr in proc:
                 return proc
         return None
 
-    def procedure(self, name):
+    def procedure(self, name: str) -> Procedure:
         """Return the procedure named *name* (KeyError if absent)."""
         return self._proc_by_name[name]
 
-    def entry(self, name=None):
+    def entry(self, name: Optional[str] = None) -> int:
         """Return the entry address: of *name*, or of the first procedure."""
         if name is None:
             return self.procedures[0].start
         return self._proc_by_name[name].start
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         where = "unlinked" if self.base is None else "@%#x" % self.base
         return "<Image %s %s, %d insts>" % (self.name, where,
                                             len(self.instructions))

@@ -6,6 +6,10 @@ pre-computed at decode time (``srcs``/``dst``) so that the hot simulation
 loop does no per-cycle decoding work.
 """
 
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
 from repro.alpha import regs
 from repro.alpha.opcodes import OPCODES
 
@@ -33,8 +37,11 @@ class Instruction:
         "srcs", "dst", "line",
     )
 
-    def __init__(self, op, ra=None, rb=None, rc=None, imm=None,
-                 target=None, addr=0, line=None):
+    def __init__(self, op: str, ra: Optional[int] = None,
+                 rb: Optional[int] = None, rc: Optional[int] = None,
+                 imm: Optional[int] = None,
+                 target: Optional[int] = None, addr: int = 0,
+                 line: Optional[int] = None) -> None:
         info = OPCODES.get(op)
         if info is None:
             raise ValueError("unknown opcode: %r" % op)
@@ -49,10 +56,10 @@ class Instruction:
         self.line = line
         self.srcs, self.dst = self._roles()
 
-    def _roles(self):
+    def _roles(self) -> Tuple[Tuple[int, ...], Optional[int]]:
         """Compute (source registers, destination register) for this op."""
         kind = self.info.kind
-        srcs = []
+        srcs: List[Optional[int]] = []
         dst = None
         if kind == "op":
             srcs.append(self.ra)
@@ -80,31 +87,31 @@ class Instruction:
         elif kind == "jump":
             srcs.append(self.rb)
             dst = self.ra
-        srcs = tuple(s for s in srcs if s is not None and s not in _DISCARD)
+        out = tuple(s for s in srcs if s is not None and s not in _DISCARD)
         if dst in _DISCARD:
             dst = None
-        return srcs, dst
+        return out, dst
 
     @property
-    def is_control(self):
+    def is_control(self) -> bool:
         return self.info.kind in ("br", "cbranch", "fbranch", "jump")
 
     @property
-    def is_memory(self):
+    def is_memory(self) -> bool:
         return self.info.kind in ("load", "fload", "store", "fstore")
 
     @property
-    def is_load(self):
+    def is_load(self) -> bool:
         return self.info.kind in ("load", "fload")
 
     @property
-    def is_store(self):
+    def is_store(self) -> bool:
         return self.info.kind in ("store", "fstore")
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "<Instruction %06x %s>" % (self.addr, self.disassemble())
 
-    def disassemble(self):
+    def disassemble(self) -> str:
         """Return assembly text for this instruction."""
         kind = self.info.kind
         name = regs.register_name

@@ -15,7 +15,10 @@ both the cycle-level simulator and the analysis tools' static scheduler,
 so the analysis has no model skew relative to the simulated hardware.
 """
 
+from __future__ import annotations
+
 from collections import namedtuple
+from typing import Dict
 
 MASK64 = (1 << 64) - 1
 MASK32 = (1 << 32) - 1
@@ -51,186 +54,186 @@ ISSUE_CLASSES = {
 OpInfo = namedtuple("OpInfo", "name kind cls sem cond")
 
 
-def _s64(x):
+def _s64(x: int) -> int:
     """Interpret the low 64 bits of *x* as a signed integer."""
     x &= MASK64
     return x - (1 << 64) if x >> 63 else x
 
 
-def _s32(x):
+def _s32(x: int) -> int:
     x &= MASK32
     return x - (1 << 32) if x >> 31 else x
 
 
 # --- integer operate semantics: f(a, b) -> 64-bit result -----------------
 
-def _addq(a, b):
+def _addq(a: int, b: int) -> int:
     return (a + b) & MASK64
 
 
-def _subq(a, b):
+def _subq(a: int, b: int) -> int:
     return (a - b) & MASK64
 
 
-def _addl(a, b):
+def _addl(a: int, b: int) -> int:
     return _s32(a + b) & MASK64
 
 
-def _subl(a, b):
+def _subl(a: int, b: int) -> int:
     return _s32(a - b) & MASK64
 
 
-def _mulq(a, b):
+def _mulq(a: int, b: int) -> int:
     return (_s64(a) * _s64(b)) & MASK64
 
 
-def _s4addq(a, b):
+def _s4addq(a: int, b: int) -> int:
     return (4 * a + b) & MASK64
 
 
-def _s8addq(a, b):
+def _s8addq(a: int, b: int) -> int:
     return (8 * a + b) & MASK64
 
 
-def _and(a, b):
+def _and(a: int, b: int) -> int:
     return a & b
 
 
-def _bis(a, b):
+def _bis(a: int, b: int) -> int:
     return a | b
 
 
-def _xor(a, b):
+def _xor(a: int, b: int) -> int:
     return a ^ b
 
 
-def _bic(a, b):
+def _bic(a: int, b: int) -> int:
     return a & ~b & MASK64
 
 
-def _sll(a, b):
+def _sll(a: int, b: int) -> int:
     return (a << (b & 63)) & MASK64
 
 
-def _srl(a, b):
+def _srl(a: int, b: int) -> int:
     return (a & MASK64) >> (b & 63)
 
 
-def _sra(a, b):
+def _sra(a: int, b: int) -> int:
     return (_s64(a) >> (b & 63)) & MASK64
 
 
-def _cmpeq(a, b):
+def _cmpeq(a: int, b: int) -> int:
     return 1 if a == b else 0
 
 
-def _cmplt(a, b):
+def _cmplt(a: int, b: int) -> int:
     return 1 if _s64(a) < _s64(b) else 0
 
 
-def _cmple(a, b):
+def _cmple(a: int, b: int) -> int:
     return 1 if _s64(a) <= _s64(b) else 0
 
 
-def _cmpult(a, b):
+def _cmpult(a: int, b: int) -> int:
     return 1 if (a & MASK64) < (b & MASK64) else 0
 
 
-def _cmpule(a, b):
+def _cmpule(a: int, b: int) -> int:
     return 1 if (a & MASK64) <= (b & MASK64) else 0
 
 
 # --- floating operate semantics: f(a, b) -> float -------------------------
 
-def _addt(a, b):
+def _addt(a: float, b: float) -> float:
     return a + b
 
 
-def _subt(a, b):
+def _subt(a: float, b: float) -> float:
     return a - b
 
 
-def _mult(a, b):
+def _mult(a: float, b: float) -> float:
     return a * b
 
 
-def _divt(a, b):
+def _divt(a: float, b: float) -> float:
     return a / b if b != 0.0 else 0.0
 
 
-def _cpys(a, b):
+def _cpys(a: float, b: float) -> float:
     # copy sign of a onto b; with a == b this is a register move.
     return -abs(b) if a < 0 else abs(b)
 
 
-def _cvtqt(a, b):
+def _cvtqt(a: float, b: float) -> float:
     # convert the integer bits in b to a float (fa field unused).
     return float(_s64(int(b)))
 
 
-def _cvttq(a, b):
+def _cvttq(a: float, b: float) -> float:
     return float(int(b))
 
 
 # --- branch conditions: f(ra_value) -> bool --------------------------------
 
-def _beq(a):
+def _beq(a: int) -> bool:
     return a == 0
 
 
-def _bne(a):
+def _bne(a: int) -> bool:
     return a != 0
 
 
-def _blt(a):
+def _blt(a: int) -> bool:
     return _s64(a) < 0
 
 
-def _ble(a):
+def _ble(a: int) -> bool:
     return _s64(a) <= 0
 
 
-def _bgt(a):
+def _bgt(a: int) -> bool:
     return _s64(a) > 0
 
 
-def _bge(a):
+def _bge(a: int) -> bool:
     return _s64(a) >= 0
 
 
-def _blbc(a):
+def _blbc(a: int) -> bool:
     return (a & 1) == 0
 
 
-def _blbs(a):
+def _blbs(a: int) -> bool:
     return (a & 1) == 1
 
 
-def _fbeq(a):
+def _fbeq(a: float) -> bool:
     return a == 0.0
 
 
-def _fbne(a):
+def _fbne(a: float) -> bool:
     return a != 0.0
 
 
-def _fblt(a):
+def _fblt(a: float) -> bool:
     return a < 0.0
 
 
-def _fbge(a):
+def _fbge(a: float) -> bool:
     return a >= 0.0
 
 
-def _op(name, cls, sem):
+def _op(name: str, cls: str, sem: object) -> "OpInfo":
     return OpInfo(name, "op", cls, sem, None)
 
 
-def _fop(name, cls, sem):
+def _fop(name: str, cls: str, sem: object) -> "OpInfo":
     return OpInfo(name, "fop", cls, sem, None)
 
 
-OPCODES = {}
+OPCODES: Dict[str, "OpInfo"] = {}
 
 for info in [
     _op("addq", "IADD", _addq),
@@ -302,6 +305,6 @@ DIRECT_BRANCH_KINDS = frozenset(["br", "cbranch", "fbranch"])
 MEMORY_KINDS = frozenset(["load", "fload", "store", "fstore"])
 
 
-def issue_class(opname):
+def issue_class(opname: str) -> "IssueClass":
     """Return the :class:`IssueClass` row for opcode *opname*."""
     return ISSUE_CLASSES[OPCODES[opname].cls]

@@ -20,6 +20,11 @@ executing from the original objects, which is what lets the fast and
 slow pipeline paths share them (see :mod:`repro.cpu.fastpath`).
 """
 
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.alpha.instruction import Instruction
 from repro.alpha.opcodes import ISSUE_CLASSES
 from repro.cpu.issue import PAIR_OK
 
@@ -73,7 +78,7 @@ CLS_ID = {name: index for index, name in enumerate(CLS_NAMES)}
 PAIR_OK_ID = tuple(
     tuple(PAIR_OK[(a, b)] for b in CLS_NAMES) for a in CLS_NAMES)
 
-_UNIT_ID = {None: 0, "imul": 1, "fdiv": 2}
+_UNIT_ID: Dict[Optional[str], int] = {None: 0, "imul": 1, "fdiv": 2}
 
 _MEM_KINDS = {
     "ldq": K_LDQ, "ldl": K_LDL, "ldt": K_LDT,
@@ -83,14 +88,18 @@ _MEM_KINDS = {
 _JUMP_KINDS = {"jmp": K_JMP, "jsr": K_JSR, "ret": K_RET}
 
 
-def decode(inst):
+def decode(inst: Instruction) -> Tuple[object, ...]:
     """Return the flat predecode record for *inst* (an Instruction)."""
     info = inst.info
     icls = ISSUE_CLASSES[info.cls]
     cls_id = CLS_ID[info.cls]
     kind = info.kind
     ra, rb, rc = inst.ra, inst.rb, inst.rc
-    f1 = f2 = f3 = dst = target = None
+    f1: Optional[int] = None
+    f2: Optional[int] = None
+    f3: Optional[int] = None
+    dst: Optional[int] = None
+    target: Optional[int] = None
     imm = inst.imm
     fn = None
     if kind == "op":

@@ -6,6 +6,10 @@ and ignores writes), matching the Alpha AXP convention closely enough for
 the analysis tools to reason about operand dependences.
 """
 
+from __future__ import annotations
+
+from typing import Dict
+
 NUM_INT_REGS = 32
 NUM_FP_REGS = 32
 NUM_REGS = NUM_INT_REGS + NUM_FP_REGS
@@ -16,7 +20,7 @@ ZERO_REG = 31
 FZERO_REG = 63
 
 # Standard Alpha calling-convention aliases.
-_INT_ALIASES = {
+_INT_ALIASES: Dict[str, int] = {
     "v0": 0,
     "t0": 1, "t1": 2, "t2": 3, "t3": 4, "t4": 5, "t5": 6, "t6": 7, "t7": 8,
     "s0": 9, "s1": 10, "s2": 11, "s3": 12, "s4": 13, "s5": 14,
@@ -31,7 +35,7 @@ _INT_ALIASES = {
     "zero": 31,
 }
 
-REG_NAMES = {}
+REG_NAMES: Dict[str, int] = {}
 for _i in range(NUM_INT_REGS):
     REG_NAMES["r%d" % _i] = _i
 for _i in range(NUM_FP_REGS):
@@ -39,14 +43,14 @@ for _i in range(NUM_FP_REGS):
 REG_NAMES.update(_INT_ALIASES)
 
 # Preferred display name for each register number.
-_DISPLAY = {}
+_DISPLAY: Dict[int, str] = {}
 for _name, _num in _INT_ALIASES.items():
     _DISPLAY.setdefault(_num, _name)
 for _i in range(NUM_FP_REGS):
     _DISPLAY[NUM_INT_REGS + _i] = "f%d" % _i
 
 
-def parse_register(name):
+def parse_register(name: str) -> int:
     """Return the register number for *name*.
 
     Raises ``KeyError`` if the name is not a known register.
@@ -54,16 +58,16 @@ def parse_register(name):
     return REG_NAMES[name.lower()]
 
 
-def is_register(name):
+def is_register(name: str) -> bool:
     """Return True if *name* names a register."""
     return name.lower() in REG_NAMES
 
 
-def is_fp(regnum):
+def is_fp(regnum: int) -> bool:
     """Return True if *regnum* is a floating-point register."""
     return regnum >= NUM_INT_REGS
 
 
-def register_name(regnum):
+def register_name(regnum: int) -> str:
     """Return the canonical display name for register number *regnum*."""
     return _DISPLAY[regnum]

@@ -4,13 +4,16 @@ Instruction semantics live in the opcode table, so an instruction
 round-trips through its operand fields alone.
 """
 
+from __future__ import annotations
+
 import json
+from typing import Dict, Iterable, List
 
 from repro.alpha.image import Image, Procedure
 from repro.alpha.instruction import Instruction
 
 
-def image_to_dict(image):
+def image_to_dict(image: Image) -> Dict[str, object]:
     """Return a JSON-ready dict describing *image* (must be linked)."""
     if image.base is None:
         raise ValueError("cannot serialize an unlinked image")
@@ -30,34 +33,34 @@ def image_to_dict(image):
     }
 
 
-def image_from_dict(data):
+def image_from_dict(data: Dict[str, object]) -> Image:
     """Rebuild an :class:`Image` from :func:`image_to_dict` output."""
-    image = Image(data["name"])
-    image.base = data["base"]
-    image.data_base = data["data_base"]
-    image.data_size = data["data_size"]
+    image = Image(str(data["name"]))
+    image.base = int(data["base"])  # type: ignore[call-overload]
+    image.data_base = int(data["data_base"])  # type: ignore[call-overload]
+    image.data_size = int(data["data_size"])  # type: ignore[call-overload]
     addr = image.base
-    for op, ra, rb, rc, imm, target in data["instructions"]:
+    for op, ra, rb, rc, imm, target in data["instructions"]:  # type: ignore[union-attr]
         inst = Instruction(op, ra=ra, rb=rb, rc=rc, imm=imm,
                            target=target, addr=addr)
         image.instructions.append(inst)
         addr += Image.INSTRUCTION_BYTES
-    for name, start, end in data["procedures"]:
+    for name, start, end in data["procedures"]:  # type: ignore[union-attr]
         proc = Procedure(name, start, end, image=image)
         image.procedures.append(proc)
         image._proc_by_name[name] = proc
-    for name, value in data["symbols"].items():
+    for name, value in data["symbols"].items():  # type: ignore[union-attr]
         image.symbols.define(name, value)
     return image
 
 
-def save_images(images, path):
+def save_images(images: Iterable[Image], path: str) -> None:
     """Write a list of images to *path* as JSON."""
     with open(path, "w") as handle:
         json.dump([image_to_dict(image) for image in images], handle)
 
 
-def load_images(path):
+def load_images(path: str) -> List[Image]:
     """Read images previously written by :func:`save_images`."""
     with open(path) as handle:
         return [image_from_dict(entry) for entry in json.load(handle)]

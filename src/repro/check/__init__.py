@@ -1,0 +1,40 @@
+"""repro.check: static analysis and invariant verification (dcpicheck).
+
+Three layers (ISSUE 5):
+
+1. **image** -- dataflow + CFG well-formedness + encoding round-trip
+   checks over :mod:`repro.alpha` images (:mod:`repro.check.
+   image_checks`);
+2. **analysis** -- machine-checkable invariants of the paper's analysis
+   pipeline: flow conservation, equivalence classes, schedule/slotting
+   rules, culprit coverage, merge determinism (:mod:`repro.check.
+   analysis_checks`);
+3. **lint** -- repo-specific AST lint rules for determinism, pickle
+   safety and NULL-object hook discipline (:mod:`repro.check.lint`).
+
+Entry points: :func:`run_checks` (programmatic) and the ``dcpicheck``
+CLI (:mod:`repro.tools.dcpicheck`).
+"""
+
+from repro.check.findings import (ERROR, INFO, LAYERS, WARNING,
+                                  CheckReport, Finding, Waiver,
+                                  load_waivers)
+from repro.check.runner import (CheckConfig, run_analysis_layer,
+                                run_checks, run_image_layer,
+                                run_lint_layer)
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "INFO",
+    "LAYERS",
+    "Finding",
+    "Waiver",
+    "CheckReport",
+    "load_waivers",
+    "CheckConfig",
+    "run_checks",
+    "run_image_layer",
+    "run_analysis_layer",
+    "run_lint_layer",
+]

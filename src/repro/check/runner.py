@@ -1,0 +1,165 @@
+"""Orchestration for ``dcpicheck``: run check layers, build the report.
+
+The runner knows how to materialize each layer's inputs:
+
+* **image** -- instantiate each workload on a fresh machine (linking
+  fixes absolute addresses) and run :func:`repro.check.image_checks.
+  check_image` over every linked image, without executing anything;
+* **analysis** -- profile each workload under a CYCLES-mode
+  :class:`ProfileSession`, analyze every sampled procedure, and verify
+  the paper's invariants against both the analysis outputs and the
+  simulator's ground truth;
+* **lint** -- walk the ``repro`` package source through
+  :func:`repro.check.lint.lint_paths`.
+
+Findings are deduplicated across workloads (several registry entries
+link the same generated images) and aggregated into a
+:class:`~repro.check.findings.CheckReport` with per-layer runtimes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.check.findings import (LAYERS, CheckReport, Finding, Waiver,
+                                  load_waivers)
+
+#: Default instruction budget per workload for the analysis layer --
+#: enough for every procedure to accumulate samples at the default
+#: CYCLES period while keeping a full-registry run interactive.
+DEFAULT_MAX_INSTRUCTIONS = 60_000
+
+
+@dataclass
+class CheckConfig:
+    """Settings for one ``dcpicheck`` run."""
+
+    layers: Tuple[str, ...] = LAYERS
+    workloads: Tuple[str, ...] = ()   # empty = the full registry
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS
+    seed: int = 1
+    dyn_threshold: float = 0.25
+    waivers_path: Optional[str] = None
+    src_root: Optional[str] = None    # default: the repro package
+
+    def __post_init__(self) -> None:
+        for layer in self.layers:
+            if layer not in LAYERS:
+                raise ValueError("unknown layer %r; known: %s"
+                                 % (layer, ", ".join(LAYERS)))
+
+    def resolved_workloads(self) -> Tuple[str, ...]:
+        if self.workloads:
+            return self.workloads
+        from repro.workloads.registry import WORKLOADS
+
+        return tuple(WORKLOADS)
+
+    def resolved_src_root(self) -> str:
+        if self.src_root is not None:
+            return self.src_root
+        import repro
+
+        return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def _dedupe(findings: Sequence[Finding]) -> List[Finding]:
+    seen = set()
+    out: List[Finding] = []
+    for finding in findings:
+        if finding not in seen:
+            seen.add(finding)
+            out.append(finding)
+    return out
+
+
+def run_image_layer(workloads: Sequence[str],
+                    seed: int = 1) -> List[Finding]:
+    """Layer 1 over every image each workload links."""
+    from repro.check.image_checks import check_image
+    from repro.cpu.config import MachineConfig
+    from repro.cpu.machine import Machine
+    from repro.workloads.registry import get_workload
+
+    findings: List[Finding] = []
+    for name in workloads:
+        workload = get_workload(name)
+        machine = Machine(MachineConfig(num_cpus=workload.num_cpus),
+                          seed=seed)
+        workload.setup(machine)
+        for image in machine.loader.images:
+            findings.extend(check_image(image))
+    return _dedupe(findings)
+
+
+def run_analysis_layer(workloads: Sequence[str],
+                       max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+                       seed: int = 1,
+                       dyn_threshold: float = 0.25) -> List[Finding]:
+    """Layer 2: profile each workload, verify analysis invariants."""
+    from repro.check.analysis_checks import (check_equivalence_truth,
+                                             check_flow_conservation,
+                                             check_merge_determinism,
+                                             verify_procedure)
+    from repro.collect.session import ProfileSession, SessionConfig
+    from repro.core.analyze import analyze_image
+    from repro.cpu.config import MachineConfig
+    from repro.workloads.registry import get_workload
+
+    findings: List[Finding] = []
+    for name in workloads:
+        workload = get_workload(name)
+        session = ProfileSession(
+            MachineConfig(num_cpus=workload.num_cpus),
+            SessionConfig(mode="cycles", seed=seed))
+        result = session.run(workload,
+                             max_instructions=max_instructions)
+        machine = result.machine
+        for profile in result.profiles.values():
+            analyses = analyze_image(profile.image, profile)
+            for analysis in analyses.values():
+                findings.extend(verify_procedure(
+                    analysis, dyn_threshold=dyn_threshold))
+                findings.extend(check_flow_conservation(
+                    machine, analysis.cfg))
+                findings.extend(check_equivalence_truth(
+                    machine, analysis.cfg, analysis.freq.classes))
+        export = result.export_mergeable()
+        findings.extend(check_merge_determinism(
+            export["profiles"], export["periods"], label=name))
+    return _dedupe(findings)
+
+
+def run_lint_layer(src_root: str) -> List[Finding]:
+    """Layer 3 over the package source tree."""
+    from repro.check.lint import lint_paths
+
+    return lint_paths(src_root)
+
+
+def run_checks(config: Optional[CheckConfig] = None) -> CheckReport:
+    """Run the configured layers; return the aggregated report."""
+    config = config or CheckConfig()
+    workloads = config.resolved_workloads()
+    waivers: Sequence[Waiver] = ()
+    if config.waivers_path and os.path.exists(config.waivers_path):
+        waivers = load_waivers(config.waivers_path)
+    report = CheckReport(waivers=waivers, layers=tuple(config.layers),
+                         workloads=tuple(workloads))
+    runtimes: Dict[str, float] = {}
+    for layer in config.layers:
+        started = time.perf_counter()
+        if layer == "image":
+            report.extend(run_image_layer(workloads, seed=config.seed))
+        elif layer == "analysis":
+            report.extend(run_analysis_layer(
+                workloads, max_instructions=config.max_instructions,
+                seed=config.seed, dyn_threshold=config.dyn_threshold))
+        elif layer == "lint":
+            report.extend(run_lint_layer(config.resolved_src_root()))
+        runtimes[layer] = time.perf_counter() - started
+    report.runtime_s = runtimes
+    return report

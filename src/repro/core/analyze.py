@@ -32,6 +32,10 @@ class AnalysisConfig:
     # on a lossy profile still rank hot code correctly, but their
     # absolute values are understated by roughly the loss rate.
     loss_rate_threshold: float = 0.02
+    # Run the repro.check invariant verifier on every analyzed
+    # procedure (schedule slotting, culprit coverage, estimate flow);
+    # findings land in ProcedureAnalysis.check_findings.
+    verify_invariants: bool = False
 
 
 class InstructionAnalysis:
@@ -76,6 +80,9 @@ class ProcedureAnalysis:
         self.low_confidence = False
         #: Human-readable degradation notes (loss rate, quarantines).
         self.warnings = []
+        #: repro.check findings when AnalysisConfig.verify_invariants
+        #: is set (empty otherwise).
+        self.check_findings = []
 
     @property
     def total_cycles(self):
@@ -159,8 +166,17 @@ def analyze_procedure(image, proc, profile, config=None):
                         culprits.get(addr, []), row.paired, confidence))
     obs.counter("analyze.procedures").inc()
     obs.counter("analyze.instructions").inc(len(instructions))
-    return ProcedureAnalysis(image, proc, profile, cfg, schedules, freq,
-                             instructions, period)
+    analysis = ProcedureAnalysis(image, proc, profile, cfg, schedules,
+                                 freq, instructions, period)
+    if config.verify_invariants:
+        from repro.check.analysis_checks import verify_procedure
+
+        with obs.span("analyze.verify", proc=proc.name):
+            analysis.check_findings = verify_procedure(
+                analysis, dyn_threshold=config.dyn_threshold)
+        obs.counter("analyze.check_findings").inc(
+            len(analysis.check_findings))
+    return analysis
 
 
 def analyze_image(image, profile, config=None, min_samples=1,

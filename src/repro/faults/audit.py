@@ -20,8 +20,12 @@ fault-free twin -- possible because fault injection never perturbs the
 simulated machine, so both runs see the identical sample stream.
 """
 
+from __future__ import annotations
 
-def sample_conservation(result):
+from typing import Any, Dict
+
+
+def sample_conservation(result: Any) -> Dict[str, Any]:
     """Audit one :class:`SessionResult`'s loss accounting.
 
     Returns a report dict; ``report["ok"]`` is the verdict.
@@ -29,7 +33,7 @@ def sample_conservation(result):
     driver_samples = sum(state.samples for state in result.driver.cpus)
     dropped = sum(state.dropped for state in result.driver.cpus)
     daemon = result.daemon
-    report = {
+    report: Dict[str, Any] = {
         "driver_samples": driver_samples,
         "dropped": dropped,
         "lost": daemon.lost_samples,
@@ -59,20 +63,21 @@ def sample_conservation(result):
     return report
 
 
-def accounted_loss(report):
+def accounted_loss(report: Dict[str, Any]) -> int:
     """Total accounted losses in a conservation report."""
     return (report["dropped"] + report["lost"]
             + report.get("quarantined_samples", 0))
 
 
-def _kept(report):
+def _kept(report: Dict[str, Any]) -> int:
     """Samples that survived into committed/attributed profiles."""
     if "db_samples" in report:
         return report["db_samples"]
     return report["daemon_samples"] - report["unknown"]
 
 
-def compare_runs(faulted, reference):
+def compare_runs(faulted: Dict[str, Any],
+                 reference: Dict[str, Any]) -> Dict[str, Any]:
     """Check a faulted run against its fault-free twin.
 
     Both arguments are :func:`sample_conservation` reports.  Asserts

@@ -17,8 +17,11 @@ as its fault-free twin, which is what makes the conservation invariant
 checked by ``dcpichaos`` exact rather than statistical.
 """
 
+from __future__ import annotations
+
 import random
 from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 # -- fault points (where) --------------------------------------------------
 
@@ -62,7 +65,7 @@ ACTIONS = (CRASH, TRANSIENT, DROP, DELAY, TRUNCATE, BITFLIP)
 class InjectedCrash(RuntimeError):
     """A fault plan killed the component at *point*."""
 
-    def __init__(self, point, hit):
+    def __init__(self, point: str, hit: int) -> None:
         super().__init__("injected crash at %s (hit %d)" % (point, hit))
         self.point = point
         self.hit = hit
@@ -71,7 +74,7 @@ class InjectedCrash(RuntimeError):
 class TransientDrainError(RuntimeError):
     """A retryable injected failure (the drain loop backs off)."""
 
-    def __init__(self, point, hit):
+    def __init__(self, point: str, hit: int) -> None:
         super().__init__("injected transient fault at %s (hit %d)"
                          % (point, hit))
         self.point = point
@@ -90,17 +93,17 @@ class FaultSpec:
 
     point: str
     action: str
-    hits: tuple = ()
+    hits: Tuple[int, ...] = ()
     after: int = 0
     limit: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.point not in FAULT_POINTS:
             raise ValueError("unknown fault point %r" % (self.point,))
         if self.action not in ACTIONS:
             raise ValueError("unknown fault action %r" % (self.action,))
 
-    def matches(self, hit, fired_so_far):
+    def matches(self, hit: int, fired_so_far: int) -> bool:
         if self.hits and hit in self.hits:
             return True
         if self.after and hit >= self.after:
@@ -112,13 +115,13 @@ class FaultSpec:
 class FaultPlan:
     """A picklable, seeded set of :class:`FaultSpec`."""
 
-    specs: tuple = ()
+    specs: Tuple[FaultSpec, ...] = ()
     seed: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         object.__setattr__(self, "specs", tuple(self.specs))
 
-    def build(self):
+    def build(self) -> "FaultInjector":
         return FaultInjector(self)
 
 
@@ -134,16 +137,17 @@ class FaultInjector:
 
     enabled = True
 
-    def __init__(self, plan):
+    def __init__(self, plan: FaultPlan) -> None:
         self.plan = plan
         self.rng = random.Random(plan.seed)
-        self._specs = {}
+        self._specs: Dict[str, List[FaultSpec]] = {}
         for spec in plan.specs:
             self._specs.setdefault(spec.point, []).append(spec)
-        self._hits = {}
-        self.fired = {}  # (point, action) -> times fired
+        self._hits: Dict[str, int] = {}
+        #: (point, action) -> times fired
+        self.fired: Dict[Tuple[str, str], int] = {}
 
-    def _arm(self, point):
+    def _arm(self, point: str) -> Optional[FaultSpec]:
         """Count one consult of *point*; return the spec that fires."""
         specs = self._specs.get(point)
         if not specs:
@@ -157,7 +161,7 @@ class FaultInjector:
                 return spec
         return None
 
-    def check(self, point):
+    def check(self, point: str) -> None:
         """Raise if a crash/transient fault fires at *point*."""
         spec = self._arm(point)
         if spec is None:
@@ -168,11 +172,11 @@ class FaultInjector:
         if spec.action == TRANSIENT:
             raise TransientDrainError(point, hit)
 
-    def fires(self, point):
+    def fires(self, point: str) -> Optional[FaultSpec]:
         """Return the firing :class:`FaultSpec` or None (non-raising)."""
         return self._arm(point)
 
-    def corrupt_bytes(self, point, data):
+    def corrupt_bytes(self, point: str, data: bytes) -> bytes:
         """Return *data*, possibly torn or bit-flipped by a fault."""
         spec = self._arm(point)
         if spec is None or not data:
@@ -186,7 +190,7 @@ class FaultInjector:
             return bytes(mutated)
         return data
 
-    def stats(self):
+    def stats(self) -> Dict[Tuple[str, str], int]:
         """{(point, action): firings} so far."""
         return dict(self.fired)
 
@@ -197,23 +201,23 @@ class _NullInjector:
     enabled = False
     plan = FaultPlan()
 
-    def check(self, point):
-        return None
+    def check(self, point: str) -> None:
+        return
 
-    def fires(self, point):
-        return None
+    def fires(self, point: str) -> Optional[FaultSpec]:
+        return None  # noqa: RET501 -- typed Optional stub
 
-    def corrupt_bytes(self, point, data):
+    def corrupt_bytes(self, point: str, data: bytes) -> bytes:
         return data
 
-    def stats(self):
+    def stats(self) -> Dict[Tuple[str, str], int]:
         return {}
 
 
 NULL_INJECTOR = _NullInjector()
 
 
-def bitflip_at_rest(data, seed=0):
+def bitflip_at_rest(data: bytes, seed: int = 0) -> bytes:
     """Flip one deterministic bit of *data* (at-rest corruption)."""
     if not data:
         return data
@@ -224,6 +228,6 @@ def bitflip_at_rest(data, seed=0):
     return bytes(mutated)
 
 
-def truncate_at_rest(data, seed=0):
+def truncate_at_rest(data: bytes, seed: int = 0) -> bytes:
     """Cut *data* roughly in half (a torn write found at rest)."""
     return data[:max(1, len(data) // 2)] if data else data

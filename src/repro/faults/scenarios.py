@@ -10,11 +10,14 @@ profile counts equal to fault-free counts minus exactly the accounted
 losses.  ``dcpichaos`` is the CLI face of this module.
 """
 
+from __future__ import annotations
+
 import os
 import shutil
 import tempfile
 import time
 from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.faults import audit
 from repro.faults.injector import (FaultPlan, FaultSpec, bitflip_at_rest,
@@ -42,10 +45,10 @@ class Scenario:
 
     name: str
     description: str
-    specs: tuple = ()
+    specs: Tuple[FaultSpec, ...] = ()
     #: at-rest corruption applied to one stored profile after the
     #: faulted session ends: None | "bitflip" | "truncate".
-    post: str = None
+    post: Optional[str] = None
     #: whether the session runs with a profile database.
     db: bool = True
     #: include in the --quick (CI smoke) subset.
@@ -122,11 +125,11 @@ SCENARIOS = (
 )
 
 
-def scenario_names(quick=False):
+def scenario_names(quick: bool = False) -> List[str]:
     return [s.name for s in SCENARIOS if s.quick or not quick]
 
 
-def get_scenario(name):
+def get_scenario(name: str) -> Scenario:
     for scenario in SCENARIOS:
         if scenario.name == name:
             return scenario
@@ -134,7 +137,9 @@ def get_scenario(name):
                    % (name, ", ".join(s.name for s in SCENARIOS)))
 
 
-def _run_session(workload_name, seed, budget, db_root, plan):
+def _run_session(workload_name: str, seed: int, budget: int,
+                 db_root: Optional[str],
+                 plan: Optional[FaultPlan]) -> Any:
     from repro.collect.driver import DriverConfig
     from repro.collect.session import ProfileSession, SessionConfig
     from repro.cpu.config import MachineConfig
@@ -157,7 +162,8 @@ def _run_session(workload_name, seed, budget, db_root, plan):
     return session.run(workload, max_instructions=budget)
 
 
-def _corrupt_at_rest(db_root, kind, seed):
+def _corrupt_at_rest(db_root: str, kind: str,
+                     seed: int) -> Optional[str]:
     """Corrupt the largest committed profile file in *db_root*.
 
     ``kind="manifest"`` instead damages ``MANIFEST.json`` itself: the
@@ -188,8 +194,9 @@ def _corrupt_at_rest(db_root, kind, seed):
     return victim["file"]
 
 
-def run_case(scenario, workload_name, budget=FULL_BUDGET, seed=1,
-             keep_dirs=None):
+def run_case(scenario: Scenario, workload_name: str,
+             budget: int = FULL_BUDGET, seed: int = 1,
+             keep_dirs: Optional[List[str]] = None) -> Dict[str, Any]:
     """Run one scenario on one workload; return the case report.
 
     Executes the fault-free reference and the faulted run with the
@@ -248,7 +255,7 @@ def run_case(scenario, workload_name, budget=FULL_BUDGET, seed=1,
             shutil.rmtree(tmp, ignore_errors=True)
 
 
-def _recovery_overhead(reference, faulted):
+def _recovery_overhead(reference: Any, faulted: Any) -> float:
     """Extra modelled daemon cycles the faulted run paid, in percent."""
     base = reference.daemon.cycles
     if not base:
@@ -256,12 +263,15 @@ def _recovery_overhead(reference, faulted):
     return (faulted.daemon.cycles - base) / base * 100.0
 
 
-def run_matrix(workloads=("gcc",), quick=False, seed=1,
-               budget=None, names=None):
+def run_matrix(workloads: Sequence[str] = ("gcc",),
+               quick: bool = False, seed: int = 1,
+               budget: Optional[int] = None,
+               names: Optional[Sequence[str]] = None
+               ) -> List[Dict[str, Any]]:
     """Run scenarios x workloads; return the list of case reports."""
     if budget is None:
         budget = QUICK_BUDGET if quick else FULL_BUDGET
-    cases = []
+    cases: List[Dict[str, Any]] = []
     for scenario in SCENARIOS:
         if names is not None and scenario.name not in names:
             continue

@@ -142,7 +142,7 @@ class _NullContext:
     __slots__ = ()
 
     def __enter__(self):
-        return None
+        return None  # noqa: RET501 -- context value is explicitly None
 
     def __exit__(self, *exc):
         return False

@@ -122,7 +122,7 @@ class NullTrace:
         return ""
 
     def write(self, path, extra_events=()):
-        return None
+        return
 
 
 NULL_TRACE = NullTrace()

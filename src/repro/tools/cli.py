@@ -178,6 +178,13 @@ def main_dcpichaos(argv=None):
     return main(argv)
 
 
+def main_dcpicheck(argv=None):
+    """Static analysis & invariant checks (image | analysis | lint)."""
+    from repro.tools.dcpicheck import main
+
+    return main(argv)
+
+
 def main_dcpistats(argv=None):
     parser = argparse.ArgumentParser(
         prog="dcpistats", description="cross-run profile statistics")

@@ -1,0 +1,124 @@
+"""``dcpicheck``: the static-analysis and invariant-verification CLI.
+
+Runs any subset of the three check layers (``image``, ``analysis``,
+``lint``) over the seed workload registry, prints the findings, and
+exits non-zero when any *unwaived* error-severity finding remains.
+CI uses it as a gate; the JSON report (``--json``) is the normalized
+artifact the nightly run uploads.
+
+Examples::
+
+    dcpicheck --layers image,lint
+    dcpicheck --workloads mccalpin-assign,gcc --json out/report.json
+    dcpicheck --layers analysis --max-instructions 30000
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.check.findings import ERROR, LAYERS, SEVERITIES
+from repro.check.runner import (DEFAULT_MAX_INSTRUCTIONS, CheckConfig,
+                                run_checks)
+
+#: Waiver file looked up relative to the current directory by default.
+DEFAULT_WAIVERS = "checks-waivers.toml"
+
+
+def _parse_layers(text: str) -> List[str]:
+    layers = [part.strip() for part in text.split(",") if part.strip()]
+    for layer in layers:
+        if layer not in LAYERS:
+            raise argparse.ArgumentTypeError(
+                "unknown layer %r; known: %s" % (layer, ", ".join(LAYERS)))
+    return layers
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="dcpicheck",
+        description="static analysis & invariant checks "
+                    "(image | analysis | lint)")
+    parser.add_argument(
+        "--layers", type=_parse_layers, default=list(LAYERS),
+        help="comma-separated subset of: %s (default: all)"
+             % ",".join(LAYERS))
+    parser.add_argument(
+        "--workloads", default="",
+        help="comma-separated workload names (default: full registry)")
+    parser.add_argument(
+        "--max-instructions", type=int,
+        default=DEFAULT_MAX_INSTRUCTIONS,
+        help="per-workload instruction budget for the analysis layer")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--waivers", default=None,
+        help="waiver file (default: ./%s if present)" % DEFAULT_WAIVERS)
+    parser.add_argument(
+        "--src", default=None,
+        help="source root for the lint layer (default: the installed "
+             "repro package)")
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the normalized JSON report to PATH ('-' = stdout)")
+    parser.add_argument(
+        "--severity", default=ERROR, choices=list(SEVERITIES),
+        help="minimum severity that fails the run (default: error)")
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="print only the summary line")
+    args = parser.parse_args(argv)
+
+    waivers_path = args.waivers
+    if waivers_path is None and os.path.exists(DEFAULT_WAIVERS):
+        waivers_path = DEFAULT_WAIVERS
+
+    workloads = tuple(part.strip()
+                      for part in args.workloads.split(",")
+                      if part.strip())
+    config = CheckConfig(
+        layers=tuple(args.layers),
+        workloads=workloads,
+        max_instructions=args.max_instructions,
+        seed=args.seed,
+        waivers_path=waivers_path,
+        src_root=args.src,
+    )
+    report = run_checks(config)
+
+    if args.json:
+        payload = report.to_json()
+        if args.json == "-":
+            print(payload)
+        else:
+            out_dir = os.path.dirname(os.path.abspath(args.json))
+            os.makedirs(out_dir, exist_ok=True)
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+
+    # With the report on stdout, keep human output off it.
+    text_out = sys.stderr if args.json == "-" else sys.stdout
+    gating = report.unwaived(args.severity)
+    if not args.quiet:
+        shown = sorted(report.findings, key=lambda f: f.sort_key())
+        for finding in shown:
+            waiver = report.waiver_for(finding)
+            suffix = (" [waived: %s]" % waiver.reason) if waiver else ""
+            print("%s%s" % (finding, suffix), file=text_out)
+            if finding.detail and not waiver:
+                print("        %s" % finding.detail, file=text_out)
+    print("dcpicheck: layers=%s workloads=%d -- %s"
+          % (",".join(report.layers), len(report.workloads),
+             report.summary()), file=text_out)
+    if gating:
+        print("dcpicheck: FAIL (%d unwaived finding(s) at %s+)"
+              % (len(gating), args.severity), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -61,7 +61,9 @@ def loop_proc(name, iters, flavor="int", buf=None, wrap=512, stride=8):
     addt  f4, f1, f1
     cpys  f1, f1, f2
 """
-        setup = ""
+        # f1 must be defined before the loop reads it: the Alpha ABI
+        # only guarantees f2-f9 (callee-saved) hold values on entry.
+        setup = "    cpys  f2, f2, f1"
         reset = ""
     elif flavor == "branchy":
         body = """

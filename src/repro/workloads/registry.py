@@ -50,5 +50,5 @@ def get_workload(name):
         factory = _FACTORIES[name]
     except KeyError:
         raise KeyError("unknown workload %r; known: %s"
-                       % (name, ", ".join(workload_names())))
+                       % (name, ", ".join(workload_names()))) from None
     return factory()

@@ -49,6 +49,7 @@ _SU2COR = """
     lda   t8, =scratch
     stq   t7, 0(t8)
     ldt   f0, 0(t8)
+    cpys  f0, f0, f1
     lda   t0, 0(zero)
     lda   v0, {iters}(zero)
 Lsu2_loop:

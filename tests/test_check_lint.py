@@ -1,0 +1,214 @@
+"""Layer-3 (AST lint) tests: every rule fires on a seeded violation,
+stays quiet on the sanctioned idiom, and the committed source is clean.
+"""
+
+import textwrap
+
+from repro.check.lint import (HOT_PATH_MODULES, SERIALIZING_MODULES,
+                              lint_paths, lint_source)
+from repro.check.runner import CheckConfig
+
+
+def lint(source, relpath="core/somewhere.py"):
+    return lint_source(textwrap.dedent(source), relpath)
+
+
+def rules(findings):
+    return sorted({f.rule for f in findings})
+
+
+class TestWallclock:
+    HOT = HOT_PATH_MODULES[0]
+
+    def test_wallclock_in_hot_module_fires(self):
+        findings = lint("""
+            import time
+
+            def drain():
+                return time.time()
+            """, self.HOT)
+        assert rules(findings) == ["lint/wallclock-in-hot-path"]
+
+    def test_wallclock_in_merge_function_fires_anywhere(self):
+        findings = lint("""
+            import time
+
+            def merge_shards(shards):
+                started = time.perf_counter()
+                return shards, started
+            """)
+        assert rules(findings) == ["lint/wallclock-in-hot-path"]
+
+    def test_wallclock_elsewhere_is_fine(self):
+        findings = lint("""
+            import time
+
+            def report():
+                return time.time()
+            """)
+        assert findings == []
+
+
+class TestUnseededRandom:
+    def test_module_level_random_fires(self):
+        findings = lint("""
+            import random
+
+            def jitter():
+                return random.random()
+            """)
+        assert rules(findings) == ["lint/unseeded-random"]
+
+    def test_seeded_instance_is_fine(self):
+        findings = lint("""
+            import random
+
+            def make_prng(seed):
+                return random.Random(seed)
+            """)
+        assert findings == []
+
+
+class TestSetIteration:
+    SER = SERIALIZING_MODULES[0]
+
+    def test_set_iteration_in_serializing_module_fires(self):
+        findings = lint("""
+            def dump(xs):
+                s = set(xs)
+                return [encode(x) for x in s]
+            """, self.SER)
+        assert rules(findings) == ["lint/unordered-set-iteration"]
+
+    def test_sorted_set_is_fine(self):
+        findings = lint("""
+            def dump(xs):
+                s = set(xs)
+                return [encode(x) for x in sorted(s)]
+            """, self.SER)
+        assert findings == []
+
+    def test_set_iteration_elsewhere_is_fine(self):
+        findings = lint("""
+            def count(xs):
+                total = 0
+                for x in set(xs):
+                    total += 1
+                return total
+            """)
+        assert findings == []
+
+
+class TestMutableDefault:
+    def test_list_default_fires(self):
+        findings = lint("""
+            def record(value, sink=[]):
+                sink.append(value)
+                return sink
+            """)
+        assert rules(findings) == ["lint/mutable-default-arg"]
+
+    def test_none_default_is_fine(self):
+        findings = lint("""
+            def record(value, sink=None):
+                sink = sink if sink is not None else []
+                sink.append(value)
+                return sink
+            """)
+        assert findings == []
+
+
+class TestPicklableField:
+    def test_mutable_field_on_picklable_type_fires(self):
+        findings = lint("""
+            class ShardSpec:
+                offsets = []
+            """)
+        assert rules(findings) == ["lint/mutable-picklable-field"]
+
+    def test_frozen_dataclass_with_mutable_default_fires(self):
+        findings = lint("""
+            import dataclasses
+
+            @dataclasses.dataclass(frozen=True)
+            class Row:
+                items = {}
+            """)
+        assert rules(findings) == ["lint/mutable-picklable-field"]
+
+    def test_immutable_defaults_are_fine(self):
+        findings = lint("""
+            class ShardSpec:
+                offsets = ()
+                label = "x"
+            """)
+        assert findings == []
+
+
+class TestHookGuard:
+    def test_unguarded_obs_hook_fires(self):
+        findings = lint("""
+            def run(workload, obs=None):
+                obs.counter("runs").inc()
+                return workload
+            """)
+        assert rules(findings) == ["lint/unguarded-hook"]
+
+    def test_null_object_guard_is_fine(self):
+        findings = lint("""
+            def run(workload, obs=None):
+                obs = obs or NULL_OBS
+                obs.counter("runs").inc()
+                return workload
+            """)
+        assert findings == []
+
+    def test_explicit_if_check_is_fine(self):
+        findings = lint("""
+            def run(workload, faults=None):
+                if faults is not None:
+                    faults.check("run")
+                return workload
+            """)
+        assert findings == []
+
+
+class TestSuppression:
+    def test_bare_ignore_suppresses(self):
+        findings = lint("""
+            import random
+
+            def jitter():
+                return random.random()  # dcpicheck: ignore
+            """)
+        assert findings == []
+
+    def test_named_ignore_suppresses_that_rule(self):
+        findings = lint("""
+            import random
+
+            def jitter():
+                return random.random()  # dcpicheck: ignore[unseeded-random]
+            """)
+        assert findings == []
+
+    def test_wrong_rule_name_does_not_suppress(self):
+        findings = lint("""
+            import random
+
+            def jitter():
+                return random.random()  # dcpicheck: ignore[dead-write]
+            """)
+        assert rules(findings) == ["lint/unseeded-random"]
+
+
+class TestSyntaxError:
+    def test_unparseable_module_is_reported(self):
+        findings = lint_source("def broken(:\n", "x.py")
+        assert rules(findings) == ["lint/syntax-error"]
+
+
+class TestRepoIsClean:
+    def test_package_source_has_no_findings(self):
+        root = CheckConfig().resolved_src_root()
+        assert lint_paths(root) == []

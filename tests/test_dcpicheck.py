@@ -1,0 +1,123 @@
+"""End-to-end tests for the ``dcpicheck`` CLI."""
+
+import json
+
+import pytest
+
+from repro.check.findings import REPORT_SCHEMA
+from repro.tools.dcpicheck import main
+
+BAD_MODULE = """\
+import random
+
+
+def jitter():
+    return random.random()
+"""
+
+
+@pytest.fixture
+def bad_src(tmp_path):
+    """A source tree with exactly one seeded lint violation."""
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "noise.py").write_text(BAD_MODULE)
+    return str(src)
+
+
+class TestGating:
+    def test_clean_image_run_exits_zero(self, capsys):
+        code = main(["--layers", "image",
+                     "--workloads", "mccalpin-assign"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 error(s)" in out
+
+    def test_seeded_violation_fails_the_gate(self, bad_src, capsys):
+        code = main(["--layers", "lint", "--src", bad_src])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "lint/unseeded-random" in out
+
+    def test_severity_threshold_controls_the_gate(self, tmp_path):
+        # An integer use-before-def is a warning: it gates at
+        # --severity warning but not at the default error level.
+        src = tmp_path / "src"
+        src.mkdir()
+        (src / "ok.py").write_text("X = 1\n")
+        assert main(["--layers", "lint", "--src", str(src),
+                     "--severity", "warning"]) == 0
+
+    def test_unknown_layer_is_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--layers", "image,nonsense"])
+
+    def test_unknown_workload_is_a_keyerror(self):
+        with pytest.raises(KeyError):
+            main(["--layers", "image", "--workloads", "no-such-load"])
+
+
+class TestJsonReport:
+    def test_report_schema(self, bad_src, tmp_path):
+        report_path = tmp_path / "out" / "report.json"
+        code = main(["--layers", "lint", "--src", bad_src,
+                     "--json", str(report_path)])
+        assert code == 1
+        payload = json.loads(report_path.read_text())
+        assert payload["schema"] == REPORT_SCHEMA
+        assert payload["generated_by"] == "dcpicheck"
+        assert payload["layers"] == ["lint"]
+        assert payload["counts"]["error"] == 1
+        assert payload["counts"]["waived"] == 0
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "lint/unseeded-random"
+        assert finding["severity"] == "error"
+        assert finding["waived"] is False
+        assert "noise.py" in finding["location"]
+        assert "lint" in payload["runtime_s"]
+
+    def test_json_to_stdout_is_parseable(self, bad_src, capsys):
+        code = main(["--layers", "lint", "--src", bad_src,
+                     "--json", "-"])
+        captured = capsys.readouterr()
+        assert code == 1
+        payload = json.loads(captured.out)
+        assert payload["counts"]["error"] == 1
+        # Human-readable output moves to stderr so stdout stays JSON.
+        assert "dcpicheck:" in captured.err
+
+
+class TestWaivers:
+    def test_waived_finding_does_not_gate(self, bad_src, tmp_path,
+                                          capsys):
+        waivers = tmp_path / "waivers.toml"
+        waivers.write_text(
+            '[[waiver]]\n'
+            'rule = "lint/unseeded-random"\n'
+            'location = "noise.py"\n'
+            'reason = "seeded jitter is exercised by the chaos tests"\n')
+        code = main(["--layers", "lint", "--src", bad_src,
+                     "--waivers", str(waivers)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 waived" in out
+        assert "[waived: seeded jitter" in out
+
+    def test_waiver_for_another_location_still_gates(self, bad_src,
+                                                     tmp_path):
+        waivers = tmp_path / "waivers.toml"
+        waivers.write_text(
+            '[[waiver]]\n'
+            'rule = "lint/unseeded-random"\n'
+            'location = "some/other/module.py"\n'
+            'reason = "unrelated"\n')
+        assert main(["--layers", "lint", "--src", bad_src,
+                     "--waivers", str(waivers)]) == 1
+
+
+class TestCliEntryPoint:
+    def test_cli_module_delegates(self, bad_src):
+        from repro.tools.cli import main_dcpicheck
+
+        assert main_dcpicheck(["--layers", "lint", "--src",
+                               bad_src, "-q"]) == 1
