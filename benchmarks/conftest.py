@@ -49,7 +49,11 @@ EVENT_PERIOD = 64
 #:    (simulator throughput in instructions per CPU-second; the
 #:    fast-path CI gate compares it), plus the "fastpath" flag
 #:    recording whether the issue cache was on.
-BENCH_SCHEMA = 3
+#: 4: added the optional "fleet" block (repro.fleet store metrics --
+#:    ingest/merge throughput, store size under retention policies --
+#:    recorded via record_fleet()).  Purely additive: ``dcpibench
+#:    compare`` accepts baselines exactly one schema version older.
+BENCH_SCHEMA = 4
 
 QUICK = os.environ.get("DCPIBENCH_QUICK") == "1"
 _CLAMP = int(os.environ.get("DCPIBENCH_MAX_INSTRUCTIONS", "0")) or None
@@ -61,6 +65,7 @@ _CURRENT = {"nodeid": None}
 _SESSIONS = []
 _REPORTS = {}
 _TEXTS = {}
+_FLEET = {}
 
 
 def clamp_budget(requested):
@@ -96,6 +101,18 @@ def write_result(name, text):
     _TEXTS.setdefault(_module_stem(_CURRENT["nodeid"]), []).append(
         os.path.basename(path))
     return path
+
+
+def record_fleet(metrics):
+    """Merge *metrics* into this module's "fleet" result block.
+
+    Fleet benchmarks (bench_fleet_store.py) call this with flat
+    numeric facts -- store bytes per retention policy, merge
+    throughput -- which land under the payload's schema-4 "fleet" key.
+    Deterministic counts there are compared between runs by
+    ``dcpibench compare``; timing-derived rates are informational.
+    """
+    _FLEET.setdefault(_module_stem(_CURRENT["nodeid"]), {}).update(metrics)
 
 
 def _record_session(kind, workload, mode, seed, result, cpu_s=None):
@@ -256,6 +273,7 @@ def _bench_payload(stem, tests, records):
             / sum(r["cpu_s"] for r in timed), 1)
     obs = _obs_block(profiled)
     return {
+        "fleet": _FLEET.get(stem),
         "obs": obs,
         "schema": BENCH_SCHEMA,
         "benchmark": stem,

@@ -507,6 +507,104 @@ class ProfileDatabase:
         manifest["checkpoint"] = dict(meta)
         self._commit(manifest)
 
+    def merge_epoch(self, profiles, periods, epoch, meta=None,
+                    meta_key="fleet"):
+        """Merge a delta's ``{image: {event: {offset: count}}}`` into
+        *epoch* under a single manifest commit.
+
+        Unlike :meth:`save` (one commit per (image, event)), the whole
+        delta plus the optional *meta* blob -- committed under
+        ``manifest[meta_key]`` -- becomes durable atomically.  The
+        fleet store rides on this: recording an applied delta id in the
+        same commit as its samples is what makes duplicate delivery
+        idempotent even across a crash between merge and ledger write.
+        """
+        manifest = self._load_manifest()
+        for image_name in sorted(profiles):
+            by_event = profiles[image_name]
+            for event in sorted(by_event, key=str):
+                counts = by_event[event]
+                key = self._key(epoch, image_name, str(event))
+                merged = dict(counts)
+                record = manifest["records"].get(key)
+                if record is not None:
+                    try:
+                        existing, _, _, _, _ = self._read_record(record)
+                    except CorruptProfileError as exc:
+                        self._quarantine(manifest, key, record, str(exc))
+                    else:
+                        for offset, count in existing.items():
+                            merged[offset] = merged.get(offset, 0) + count
+                manifest["records"][key] = self._write_profile(
+                    manifest, image_name, event, merged,
+                    periods.get(event, 1), epoch)
+        if meta is not None:
+            manifest[meta_key] = meta
+        self._commit(manifest)
+
+    def drop_epoch(self, epoch, meta=None, meta_key="fleet"):
+        """Remove every committed profile of *epoch* in one commit.
+
+        Used by the fleet store's retention compaction after an old
+        epoch's samples have been merge-downsampled into a coarser
+        window.  *meta* (committed atomically with the drop, like
+        :meth:`merge_epoch`) lets the caller record where the samples
+        went so nothing is lost silently.
+        """
+        manifest = self._load_manifest()
+        prefix = "%04d/" % epoch
+        for key in list(manifest["records"]):
+            if key.startswith(prefix):
+                del manifest["records"][key]
+        if meta is not None:
+            manifest[meta_key] = meta
+        self._commit(manifest)
+
+    def compact_epochs(self, source_epochs, profiles, periods,
+                       target_epoch, meta=None, meta_key="fleet"):
+        """Replace *source_epochs* with *profiles* stored at
+        *target_epoch*, all under one manifest commit.
+
+        The retention path of the fleet store uses this to
+        merge-downsample a window of old epochs: the compacted files
+        are written first, then a single atomic manifest rename both
+        publishes them and drops every source-epoch record, so a crash
+        at any instant leaves either the original epochs or the
+        compacted window -- never both (double counting) and never
+        neither (silent loss).
+        """
+        manifest = self._load_manifest()
+        new_records = {}
+        for image_name in sorted(profiles):
+            by_event = profiles[image_name]
+            for event in sorted(by_event, key=str):
+                record = self._write_profile(
+                    manifest, image_name, event, by_event[event],
+                    periods.get(event, 1), target_epoch)
+                new_records[self._key(target_epoch, image_name,
+                                      str(event))] = record
+        prefixes = tuple("%04d/" % epoch
+                         for epoch in sorted(set(source_epochs)
+                                             | {target_epoch}))
+        for key in list(manifest["records"]):
+            if key.startswith(prefixes):
+                del manifest["records"][key]
+        manifest["records"].update(new_records)
+        if meta is not None:
+            manifest[meta_key] = meta
+        self._commit(manifest)
+
+    def get_meta(self, meta_key="fleet"):
+        """The last committed *meta_key* blob (see :meth:`merge_epoch`).
+
+        Returns None for databases that never committed one, and for
+        manifests rebuilt from a destroyed ``MANIFEST.json`` (the scan
+        can recover profiles from their files, but side-channel
+        metadata only ever lived in the manifest).
+        """
+        meta = self._load_manifest().get(meta_key)
+        return json.loads(json.dumps(meta)) if meta is not None else None
+
     def checkpoint_meta(self):
         """The last committed checkpoint metadata, or None."""
         meta = self._load_manifest().get("checkpoint")

@@ -17,7 +17,9 @@ from repro.faults.injector import (
     CRASH,
     DELAY,
     DROP,
+    DUPLICATE,
     FAULT_POINTS,
+    FLEET_SHIP,
     NULL_INJECTOR,
     TRANSIENT,
     TRUNCATE,
@@ -34,7 +36,9 @@ __all__ = [
     "CRASH",
     "DELAY",
     "DROP",
+    "DUPLICATE",
     "FAULT_POINTS",
+    "FLEET_SHIP",
     "NULL_INJECTOR",
     "TRANSIENT",
     "TRUNCATE",

@@ -44,10 +44,14 @@ DB_WRITE = "db.write"
 LOADMAP = "daemon.loadmap"
 #: The whole machine restarts between execution chunks.
 SESSION_RESTART = "session.restart"
+#: A fleet delta is lost (drop) or delivered twice (duplicate) on its
+#: way from a machine's daemon to the central store (repro.fleet).
+FLEET_SHIP = "fleet.ship"
 
 FAULT_POINTS = (
     DRIVER_OVERFLOW, DRAIN_FLUSH, DRAIN_CPU, DRAIN_MERGE,
     DAEMON_CHECKPOINT, DB_COMMIT, DB_WRITE, LOADMAP, SESSION_RESTART,
+    FLEET_SHIP,
 )
 
 # -- actions (what) --------------------------------------------------------
@@ -58,8 +62,9 @@ DROP = "drop"            # silently lose the unit of work
 DELAY = "delay"          # defer the unit of work one drain cycle
 TRUNCATE = "truncate"    # cut the payload short (torn write)
 BITFLIP = "bitflip"      # flip one bit of the payload
+DUPLICATE = "duplicate"  # deliver the unit of work twice
 
-ACTIONS = (CRASH, TRANSIENT, DROP, DELAY, TRUNCATE, BITFLIP)
+ACTIONS = (CRASH, TRANSIENT, DROP, DELAY, TRUNCATE, BITFLIP, DUPLICATE)
 
 
 class InjectedCrash(RuntimeError):

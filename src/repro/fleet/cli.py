@@ -1,0 +1,280 @@
+"""``dcpifleet`` -- run a simulated fleet and query its central store.
+
+Subcommands::
+
+    dcpifleet run        simulate N machines for E epochs into a store
+    dcpifleet top        fleet-wide hot images/procedures
+    dcpifleet movers     biggest CPU-share movers between epoch ranges
+    dcpifleet timeseries per-epoch share series (text or JSON)
+    dcpifleet regress    exit-nonzero regression gate (CI primitive)
+
+``regress`` exits 2 when any procedure's CPU share increased beyond
+both the sampling-error significance bound and the configured floor;
+CI runs it against a committed baseline (``--write-baseline``
+regenerates one).  All output is deterministic for a given store.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.fleet.query import (DEFAULT_Z, FleetQuery, load_baseline)
+from repro.fleet.store import FleetStore
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="dcpifleet",
+        description="simulated fleet profiling: run machines, query the "
+                    "central epoch store")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate a fleet into a store")
+    run.add_argument("--store", required=True, help="store directory")
+    run.add_argument("--machines", type=int, default=3)
+    run.add_argument("--epochs", type=int, default=3)
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--epoch-instructions", type=int, default=24_000)
+    run.add_argument("--workloads", default=None,
+                     help="comma-separated traffic sources (default: "
+                          "altavista,timesharing,dss round-robin)")
+    run.add_argument("--retention", default=None, metavar="K[:W[:D]]",
+                     help="keep K epochs full-res, compact aligned "
+                          "W-windows, divide counts by D")
+    run.add_argument("--json", dest="json_path", default=None,
+                     metavar="FILE",
+                     help="write the session report as JSON ('-' = "
+                          "stdout)")
+    run.add_argument("--no-check", dest="check", action="store_false",
+                     help="skip the fleet-conservation invariant check")
+
+    def query_args(cmd, epochs_help="epoch range A..B, single epoch, "
+                                    "or 'all' (default)"):
+        cmd.add_argument("--store", required=True)
+        cmd.add_argument("--event", default="cycles")
+        cmd.add_argument("--by", default="procedure",
+                         choices=["procedure", "image"])
+        cmd.add_argument("--epochs", default=None, help=epochs_help)
+        cmd.add_argument("--json", dest="as_json", action="store_true",
+                         help="emit JSON instead of a table")
+
+    top = sub.add_parser("top", help="fleet-wide hottest code")
+    query_args(top)
+    top.add_argument("--limit", type=int, default=20)
+
+    movers = sub.add_parser(
+        "movers", help="biggest share movers between two epoch ranges")
+    query_args(movers, epochs_help="newer epoch range (A..B)")
+    movers.add_argument("--base-epochs", required=True,
+                        help="older epoch range to compare against")
+    movers.add_argument("--z", type=float, default=DEFAULT_Z,
+                        help="significance z-score (default %.2f)"
+                             % DEFAULT_Z)
+    movers.add_argument("--min-share-delta", type=float, default=0.0,
+                        help="extra absolute-share floor for "
+                             "significance")
+    movers.add_argument("--limit", type=int, default=20)
+
+    series = sub.add_parser(
+        "timeseries", help="per-epoch share series")
+    query_args(series)
+    series.add_argument("--name", default=None,
+                        help="restrict to one image:procedure label")
+
+    regress = sub.add_parser(
+        "regress", help="regression gate: exit 2 on significant share "
+                        "increases")
+    query_args(regress, epochs_help="epoch range under test")
+    regress.add_argument("--base-epochs", default=None,
+                         help="compare against these epochs of the "
+                              "same store")
+    regress.add_argument("--baseline", default=None, metavar="FILE",
+                         help="compare against a committed baseline "
+                              "file instead")
+    regress.add_argument("--write-baseline", default=None,
+                         metavar="FILE",
+                         help="write the current ranges as a baseline "
+                              "and exit")
+    regress.add_argument("--z", type=float, default=DEFAULT_Z)
+    regress.add_argument("--min-share-delta", type=float, default=0.005,
+                         help="ignore share increases below this "
+                              "(default 0.005)")
+    return parser
+
+
+def _share(value):
+    return "%6.2f%%" % (value * 100.0)
+
+
+def render_top(report, out, limit=None):
+    out.write("fleet top (%s, epochs %s, %d samples)\n"
+              % (report["event"], report["epochs"],
+                 report["total_samples"]))
+    out.write("%-44s %10s %8s\n" % ("name", "samples", "share"))
+    for row in report["rows"][:limit]:
+        out.write("%-44s %10d %s\n"
+                  % (row["name"], row["samples"], _share(row["share"])))
+
+
+def render_movers(report, out, limit=None):
+    out.write("fleet movers (%s, %s -> %s, z=%.2f)\n"
+              % (report["event"],
+                 report.get("base_epochs", report.get("base")),
+                 report["epochs"], report["z"]))
+    out.write("%-44s %8s %8s %8s %8s %s\n"
+              % ("name", "base", "new", "delta", "bound", "sig"))
+    for row in report["rows"][:limit]:
+        out.write("%-44s %s %s %+7.2f%% %7.2f%% %s\n"
+                  % (row["name"], _share(row["share_base"]),
+                     _share(row["share_new"]), row["delta"] * 100.0,
+                     row["bound"] * 100.0,
+                     "*" if row["significant"] else ""))
+
+
+def render_timeseries(report, out):
+    out.write("fleet timeseries (%s, by %s%s)\n"
+              % (report["event"], report["by"],
+                 ", name=%s" % report["name"] if report["name"] else ""))
+    names = sorted({name
+                    for point in report["series"].values()
+                    for name in point["rows"]})
+    for name in names:
+        out.write("%s\n" % name)
+        for epoch in report["epochs"]:
+            point = report["series"][epoch]
+            row = point["rows"].get(name)
+            if row is None:
+                continue
+            out.write("  e%04d %10d %s\n"
+                      % (epoch, row["samples"], _share(row["share"])))
+
+
+def cmd_run(args, out):
+    from repro.fleet.machine import (DEFAULT_WORKLOADS, FleetConfig,
+                                     FleetSession)
+    from repro.fleet.retention import RetentionPolicy
+
+    workloads = DEFAULT_WORKLOADS
+    if args.workloads:
+        workloads = tuple(name.strip()
+                          for name in args.workloads.split(",")
+                          if name.strip())
+    retention = (RetentionPolicy.parse(args.retention)
+                 if args.retention else None)
+    config = FleetConfig(
+        machines=args.machines, epochs=args.epochs, workloads=workloads,
+        seed=args.seed, epoch_instructions=args.epoch_instructions,
+        retention=retention)
+    store = FleetStore(args.store)
+    result = FleetSession(config).run(store, check=args.check)
+    report = result.report()
+    if args.json_path == "-":
+        json.dump(report, out, indent=2, sort_keys=True)
+        out.write("\n")
+    elif args.json_path:
+        with open(args.json_path, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    stats = report["store"]
+    out.write("fleet: %d machine(s) x %d epoch(s), %d deltas, "
+              "%d samples -> %s (%d bytes)\n"
+              % (args.machines, args.epochs, stats["deltas_applied"],
+                 stats["stored_samples"], args.store,
+                 stats["disk_bytes"]))
+    for finding in result.findings:
+        out.write("FINDING %s\n" % finding)
+    return 0 if report["ok"] else 1
+
+
+def cmd_top(args, out):
+    query = FleetQuery(FleetStore(args.store), event=args.event)
+    report = query.top(epochs=args.epochs, by=args.by,
+                       limit=args.limit)
+    if args.as_json:
+        json.dump(report, out, indent=2, sort_keys=True)
+        out.write("\n")
+    else:
+        render_top(report, out)
+    return 0
+
+
+def cmd_movers(args, out):
+    query = FleetQuery(FleetStore(args.store), event=args.event)
+    report = query.movers(args.base_epochs, args.epochs, by=args.by,
+                          z=args.z,
+                          min_share_delta=args.min_share_delta,
+                          limit=args.limit)
+    if args.as_json:
+        json.dump(report, out, indent=2, sort_keys=True)
+        out.write("\n")
+    else:
+        render_movers(report, out)
+    return 0
+
+
+def cmd_timeseries(args, out):
+    query = FleetQuery(FleetStore(args.store), event=args.event)
+    report = query.timeseries(name=args.name, by=args.by,
+                              epochs=args.epochs)
+    if args.as_json:
+        json.dump(report, out, indent=2, sort_keys=True)
+        out.write("\n")
+    else:
+        render_timeseries(report, out)
+    return 0
+
+
+def cmd_regress(args, out):
+    query = FleetQuery(FleetStore(args.store), event=args.event)
+    if args.write_baseline:
+        baseline = query.baseline(epochs=args.epochs, by=args.by)
+        with open(args.write_baseline, "w") as handle:
+            json.dump(baseline, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        out.write("wrote baseline (%d samples, %d names) -> %s\n"
+                  % (baseline["total_samples"],
+                     len(baseline["samples"]), args.write_baseline))
+        return 0
+    if (args.baseline is None) == (args.base_epochs is None):
+        out.write("regress needs exactly one of --baseline / "
+                  "--base-epochs\n")
+        return 1
+    baseline = load_baseline(args.baseline) if args.baseline else None
+    report = query.regress(
+        epochs=args.epochs, base_epochs=args.base_epochs,
+        baseline=baseline, by=args.by, z=args.z,
+        min_share_delta=args.min_share_delta)
+    if args.as_json:
+        json.dump(report, out, indent=2, sort_keys=True)
+        out.write("\n")
+    else:
+        render_movers(report, out, limit=20)
+    regressions = report["regressions"]
+    if regressions:
+        out.write("\nREGRESSION: %d procedure(s) gained significant "
+                  "CPU share:\n" % len(regressions))
+        for row in regressions:
+            out.write("  %-44s %s -> %s (+%.2f%% > bound %.2f%%)\n"
+                      % (row["name"], _share(row["share_base"]),
+                         _share(row["share_new"]), row["delta"] * 100.0,
+                         row["bound"] * 100.0))
+        return 2
+    out.write("\nno significant share regressions\n")
+    return 0
+
+
+def main(argv=None, out=None):
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    handler = {
+        "run": cmd_run,
+        "top": cmd_top,
+        "movers": cmd_movers,
+        "timeseries": cmd_timeseries,
+        "regress": cmd_regress,
+    }[args.command]
+    return handler(args, out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

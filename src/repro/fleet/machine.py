@@ -1,0 +1,283 @@
+"""Per-machine fleet daemons and the simulated fleet itself.
+
+A :class:`FleetMachine` is one machine of the fleet: a simulated
+:class:`~repro.cpu.machine.Machine` running a traffic-source workload
+(AltaVista/timesharing/DSS by default) under the full collection stack
+-- driver hash tables, daemon drains -- exactly like a
+:class:`~repro.collect.session.ProfileSession`, except that instead of
+merging into a local database it closes an epoch after every
+``epoch_instructions`` and ships the epoch's samples upstream as a
+:class:`~repro.fleet.transport.Delta`.  Traffic is continuous: when the
+workload's processes finish, the traffic source respawns them (a new
+loadmap generation), so every epoch carries samples.
+
+:class:`FleetSession` stands up N machines with deterministic
+per-machine seeds, runs them for E epochs, ships every delta through
+one :class:`~repro.fleet.transport.DeltaTransport` into one
+:class:`~repro.fleet.store.FleetStore`, and (optionally) applies the
+retention policy as epochs age out.  Runs are reproducible end to end:
+same config, same store bytes, same query output.
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.collect.daemon import Daemon
+from repro.collect.driver import Driver
+from repro.collect.session import SessionConfig
+from repro.cpu.config import MachineConfig
+from repro.cpu.events import EventType
+from repro.cpu.machine import Machine
+from repro.faults.injector import NULL_INJECTOR
+from repro.fleet.retention import RetentionPolicy, compact
+from repro.fleet.store import FleetStore
+from repro.fleet.transport import Delta, DeltaTransport
+from repro.obs import NULL_OBS
+
+#: Default traffic sources: the paper's multi-process server workloads.
+DEFAULT_WORKLOADS = ("altavista", "timesharing", "dss")
+
+#: Deterministic per-machine seed spacing (any odd constant works; a
+#: prime keeps seed streams visibly unrelated across machines).
+SEED_STRIDE = 101
+
+
+@dataclass
+class FleetConfig:
+    """Settings for one simulated fleet session."""
+
+    machines: int = 3
+    epochs: int = 3
+    workloads: Tuple[str, ...] = DEFAULT_WORKLOADS
+    seed: int = 1
+    #: instruction budget per machine per epoch.
+    epoch_instructions: int = 24_000
+    #: instructions between daemon drains within an epoch.
+    drain_interval: int = 6_000
+    mode: str = "default"
+    cycles_period: tuple = (240, 256)
+    event_period: int = 64
+    #: fault plan applied to the fleet hop (fleet.ship point); the
+    #: machines themselves run clean -- machine-side chaos is PR 4's
+    #: dcpichaos territory.
+    faults: Optional[object] = None
+    #: retention policy applied after every fleet epoch (None = keep
+    #: everything at full resolution).
+    retention: Optional[RetentionPolicy] = None
+
+    def machine_seed(self, index):
+        return self.seed + SEED_STRIDE * index
+
+    def machine_workload(self, index):
+        return self.workloads[index % len(self.workloads)]
+
+
+class FleetMachine:
+    """One machine: workload + collection stack + delta extraction."""
+
+    def __init__(self, machine_id, workload_name, seed,
+                 mode="default", cycles_period=(240, 256),
+                 event_period=64, drain_interval=6_000, obs=None):
+        from repro.workloads.registry import get_workload
+
+        self.machine_id = machine_id
+        self.workload_name = workload_name
+        self.seed = seed
+        self.drain_interval = drain_interval
+        self.obs = obs or NULL_OBS
+        self.workload = get_workload(workload_name)
+        session_config = SessionConfig(
+            mode=mode, seed=seed, cycles_period=cycles_period,
+            event_period=event_period)
+        self.machine = Machine(
+            MachineConfig(num_cpus=self.workload.num_cpus), seed=seed)
+        self.driver = Driver(self.workload.num_cpus,
+                             session_config.make_driver_config())
+        self.driver.install(self.machine)
+        periods = {EventType.CYCLES: sum(cycles_period) / 2.0}
+        for event in (EventType.IMISS, EventType.DMISS,
+                      EventType.BRANCHMP, EventType.DTBMISS,
+                      EventType.ITBMISS):
+            periods[event] = float(event_period)
+        self.daemon = Daemon(self.machine.loader, periods=periods)
+        self.workload.setup(self.machine)
+        #: loadmap generation: bumped every traffic respawn.
+        self.generation = 1
+        self._symbols_shipped_gen = 0
+        self.batch = 0
+        self.instructions = 0
+        self.shipped_samples = 0
+        self.respawns = 0
+
+    def _symbols(self):
+        """Offset-relative procedure tables of every loaded image."""
+        symbols = {}
+        for image in self.machine.loader.images:
+            symbols[image.name] = sorted(
+                (proc.name, proc.start - image.base,
+                 proc.end - image.base)
+                for proc in image.procedures)
+        return symbols
+
+    def _respawn(self):
+        """The traffic source: fresh processes, new loadmap generation."""
+        self.workload.setup(self.machine)
+        self.generation += 1
+        self.respawns += 1
+
+    def run_epoch(self, instructions):
+        """Run one epoch's worth of traffic; return its Delta."""
+        ran_total = 0
+        idle_streak = 0
+        while ran_total < instructions:
+            chunk = min(self.drain_interval, instructions - ran_total)
+            ran = self.machine.run(max_instructions=chunk)
+            ran_total += ran
+            self.daemon.drain(self.driver)
+            self.driver.rotate_mux()
+            for proc in self.machine.processes:
+                if proc.exited:
+                    self.daemon.reap(proc.pid)
+            if ran == 0:
+                idle_streak += 1
+                if idle_streak > 1:
+                    # A traffic source that produces no work even after
+                    # a respawn: ship what we have rather than spin.
+                    break
+                self._respawn()
+            else:
+                idle_streak = 0
+        self.instructions += ran_total
+        epoch, profiles, periods = self.daemon.extract_delta()
+        symbols = None
+        if self.generation > self._symbols_shipped_gen:
+            symbols = self._symbols()
+            self._symbols_shipped_gen = self.generation
+        self.batch += 1
+        delta = Delta(
+            machine_id=self.machine_id,
+            epoch=epoch,
+            batch=self.batch,
+            generation=self.generation,
+            workload=self.workload_name,
+            seed=self.seed,
+            profiles=profiles,
+            periods=periods,
+            symbols=symbols,
+            machine_lost=(self.daemon.lost_samples
+                          + sum(cpu.dropped
+                                for cpu in self.driver.cpus)))
+        self.shipped_samples += delta.total_samples()
+        return delta
+
+
+@dataclass
+class FleetResult:
+    """Everything one fleet session produced (JSON-serializable)."""
+
+    config: FleetConfig
+    store: FleetStore
+    machines: list
+    transport_stats: dict
+    retention_reports: list = field(default_factory=list)
+    findings: list = field(default_factory=list)
+
+    def shipped_samples(self):
+        return sum(m["shipped_samples"] for m in self.machines)
+
+    def report(self):
+        """The machine-readable session report (dcpifleet --json)."""
+        return {
+            "schema": 1,
+            "config": {
+                "machines": self.config.machines,
+                "epochs": self.config.epochs,
+                "workloads": list(self.config.workloads),
+                "seed": self.config.seed,
+                "epoch_instructions": self.config.epoch_instructions,
+                "retention": (self.config.retention.spec()
+                              if self.config.retention else None),
+            },
+            "machines": self.machines,
+            "transport": dict(self.transport_stats),
+            "store": self.store.stats(),
+            "retention": self.retention_reports,
+            "shipped_samples": self.shipped_samples(),
+            "findings": [f.to_dict() for f in self.findings],
+            "ok": not self.findings,
+        }
+
+
+class FleetSession:
+    """Run a whole simulated fleet into one store."""
+
+    def __init__(self, config=None, obs=None):
+        self.config = config or FleetConfig()
+        self.obs = obs or NULL_OBS
+
+    def run(self, store, check=True):
+        """Simulate the fleet; return a :class:`FleetResult`.
+
+        *store* is a :class:`FleetStore` or a directory path.  With
+        *check* (the default), the fleet-conservation invariant --
+        stored samples + transit losses + downsample residue equals the
+        sum of per-machine shipped samples -- is verified via
+        :func:`repro.check.analysis_checks.check_fleet_conservation`
+        and any violation lands in ``result.findings``.
+        """
+        from repro.check.analysis_checks import check_fleet_conservation
+
+        config = self.config
+        if not isinstance(store, FleetStore):
+            store = FleetStore(store, obs=self.obs)
+        faults = (config.faults.build()
+                  if getattr(config.faults, "build", None)
+                  else (config.faults or NULL_INJECTOR))
+        transport = DeltaTransport(faults=faults, obs=self.obs)
+        machines = [
+            FleetMachine(
+                "m%02d" % index,
+                config.machine_workload(index),
+                config.machine_seed(index),
+                mode=config.mode,
+                cycles_period=config.cycles_period,
+                event_period=config.event_period,
+                drain_interval=config.drain_interval,
+                obs=self.obs)
+            for index in range(config.machines)
+        ]
+        retention_reports = []
+        for _epoch in range(config.epochs):
+            for machine in machines:
+                delta = machine.run_epoch(config.epoch_instructions)
+                for delivery in transport.ship(delta):
+                    store.ingest(delivery)
+            if config.retention is not None:
+                report = compact(store, config.retention)
+                if report["windows"]:
+                    retention_reports.append(report)
+        for delivery in transport.flush():
+            store.ingest(delivery)
+        machine_rows = [{
+            "machine": machine.machine_id,
+            "workload": machine.workload_name,
+            "seed": machine.seed,
+            "instructions": machine.instructions,
+            "shipped_samples": machine.shipped_samples,
+            "respawns": machine.respawns,
+            "deltas": machine.batch,
+        } for machine in machines]
+        findings = []
+        if check:
+            findings = check_fleet_conservation(
+                shipped=sum(row["shipped_samples"]
+                            for row in machine_rows),
+                stored=store.total_samples(),
+                transit_lost=transport.stats.lost_samples,
+                residue=store.ledger["downsample_residue"],
+                quarantined=store.db.quarantined_samples(),
+                label="fleet/%dx%d" % (config.machines, config.epochs))
+        return FleetResult(
+            config=config, store=store, machines=machine_rows,
+            transport_stats=transport.stats.to_dict(),
+            retention_reports=retention_reports, findings=findings)

@@ -1,0 +1,180 @@
+"""The central, append-only, epoch-aware fleet profile store.
+
+``FleetStore`` promotes "one session, one database" to "many sources,
+one store": per-machine daemons ship epoch deltas
+(:mod:`repro.fleet.transport`) and the store merges them into a single
+crash-safe :class:`~repro.collect.database.ProfileDatabase` (v3: CRC
+trailers, shadow paging, atomic manifest), one epoch directory per
+fleet epoch.
+
+Idempotent delivery: every applied delta id ``(machine, epoch, batch)``
+is recorded in a ledger committed *in the same atomic manifest rename*
+as the delta's samples (:meth:`ProfileDatabase.merge_epoch`), so a
+duplicate -- whether a transport fault or a retry after a crash
+between merge and acknowledgment -- is recognized and dropped without
+double counting.
+
+Order independence: merging is a commutative integer sum over
+``(epoch, image, event, offset)`` keys, exactly the invariant the
+PR 1 shard reducer and the daemon's per-CPU drains rely on, so the
+merged counts -- and their canonical encoded bytes -- are identical
+under any permutation of delta arrivals (property-tested in
+``tests/test_fleet.py``).
+"""
+
+import os
+
+from repro.collect.database import ProfileDatabase
+from repro.collect.parallel import MergedProfiles
+from repro.obs import NULL_OBS
+
+#: Ledger schema version (stored in the database manifest's "fleet"
+#: key, committed atomically with every ingest).
+LEDGER_VERSION = 1
+
+
+def _empty_ledger():
+    return {
+        "version": LEDGER_VERSION,
+        #: delta id -> {machine, epoch, batch, samples, bytes}
+        "applied": {},
+        #: machine id -> {deltas, samples, lost (machine-side), workload}
+        "machines": {},
+        #: image name -> [[procedure, start offset, end offset], ...]
+        "symbols": {},
+        "samples_ingested": 0,
+        "bytes_ingested": 0,
+        "duplicates_dropped": 0,
+        "compactions": 0,
+        "downsample_residue": 0,
+        #: window-start epochs already compacted by retention.
+        "compacted_windows": [],
+    }
+
+
+class FleetStore:
+    """Append-only fleet profile store with epoch queries."""
+
+    def __init__(self, root, obs=None):
+        self.root = os.fspath(root)
+        self.obs = obs or NULL_OBS
+        self.db = ProfileDatabase(os.path.join(self.root, "db"))
+        ledger = self.db.get_meta("fleet")
+        if ledger is None:
+            ledger = _empty_ledger()
+        else:
+            # Forward-fill keys added after the store was created.
+            for key, value in _empty_ledger().items():
+                ledger.setdefault(key, value)
+        self.ledger = ledger
+
+    # -- ingest ------------------------------------------------------------
+
+    def ingest(self, delta):
+        """Merge one delivered delta; return True if it was applied.
+
+        Dedupes on ``delta.delta_id``: a replay (duplicate delivery,
+        retried shipment) is counted and dropped.  The samples and the
+        ledger entry become durable in one atomic manifest commit.
+        """
+        if delta.delta_id in self.ledger["applied"]:
+            self.ledger["duplicates_dropped"] += 1
+            self.obs.counter("fleet.deltas_deduped").inc()
+            # Commit the dedupe counter without touching any profile.
+            self.db.merge_epoch({}, {}, delta.epoch, meta=self.ledger)
+            return False
+        samples = delta.total_samples()
+        size = delta.encoded_bytes()
+        self.ledger["applied"][delta.delta_id] = {
+            "machine": delta.machine_id,
+            "epoch": delta.epoch,
+            "batch": delta.batch,
+            "generation": delta.generation,
+            "samples": samples,
+            "bytes": size,
+        }
+        machine = self.ledger["machines"].setdefault(
+            delta.machine_id, {"deltas": 0, "samples": 0, "lost": 0,
+                               "workload": delta.workload,
+                               "seed": delta.seed})
+        machine["deltas"] += 1
+        machine["samples"] += samples
+        machine["lost"] = max(machine["lost"], delta.machine_lost)
+        if delta.symbols:
+            for image, procs in delta.symbols.items():
+                self.ledger["symbols"][image] = [list(p) for p in procs]
+        self.ledger["samples_ingested"] += samples
+        self.ledger["bytes_ingested"] += size
+        with self.obs.timeit("fleet.merge_s"):
+            self.db.merge_epoch(delta.profiles, delta.periods,
+                                delta.epoch, meta=self.ledger)
+        self.obs.counter("fleet.deltas_ingested").inc()
+        self.obs.counter("fleet.samples_ingested").inc(samples)
+        return True
+
+    # -- read path ---------------------------------------------------------
+
+    def epochs(self):
+        """Sorted epoch ids with at least one committed profile."""
+        return self.db.epochs()
+
+    def symbols(self):
+        """{image: [(procedure, start offset, end offset), ...]}."""
+        return {image: [tuple(p) for p in procs]
+                for image, procs in self.ledger["symbols"].items()}
+
+    def machines(self):
+        """Per-machine shipment accounting from the ledger."""
+        return {mid: dict(entry)
+                for mid, entry in self.ledger["machines"].items()}
+
+    def merged(self, epochs=None):
+        """Reduce *epochs* (default: all) into a MergedProfiles.
+
+        The reduction is the PR 1 shard merge: commutative sums per
+        (image, event, offset), so the result -- and its canonical
+        ``encode_all`` bytes -- is independent of both delta arrival
+        order and the order epochs are folded in.
+        """
+        if epochs is None:
+            epochs = self.epochs()
+        counts = {}
+        periods = {}
+        for epoch in sorted(epochs):
+            for image, event, by_offset, period in self.db.load_all(epoch):
+                dest = counts.setdefault(image, {}).setdefault(event, {})
+                for offset, count in by_offset.items():
+                    dest[offset] = dest.get(offset, 0) + count
+                periods[event] = max(period, periods.get(event, 0))
+        return MergedProfiles(counts, periods)
+
+    def total_samples(self, epochs=None, event=None):
+        """Committed sample total over *epochs* (default: all)."""
+        if epochs is None:
+            epochs = self.epochs()
+        total = 0
+        for epoch in sorted(epochs):
+            total += self.db.total_samples(epoch=epoch, event=event)
+        return total
+
+    # -- accounting --------------------------------------------------------
+
+    def disk_bytes(self):
+        """Bytes of committed profile payload (Table 5 style)."""
+        return self.db.disk_bytes()
+
+    def stats(self):
+        """Ledger + database accounting in one flat dict."""
+        return {
+            "epochs": len(self.epochs()),
+            "machines": len(self.ledger["machines"]),
+            "deltas_applied": len(self.ledger["applied"]),
+            "samples_ingested": self.ledger["samples_ingested"],
+            "bytes_ingested": self.ledger["bytes_ingested"],
+            "duplicates_dropped": self.ledger["duplicates_dropped"],
+            "compactions": self.ledger["compactions"],
+            "downsample_residue": self.ledger["downsample_residue"],
+            "stored_samples": self.total_samples(),
+            "disk_bytes": self.disk_bytes(),
+            "quarantined_samples": self.db.quarantined_samples(),
+        }

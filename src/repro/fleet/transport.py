@@ -1,0 +1,158 @@
+"""Deltas and the (simulated) machine-to-store shipping hop.
+
+A :class:`Delta` is the fleet's unit of shipment: everything one
+machine's daemon accumulated during one epoch, tagged with the machine
+id, the epoch id, a per-machine batch sequence number, and the loadmap
+generation the samples were attributed under.  The triple
+``(machine, epoch, batch)`` is the delta's identity; the central store
+dedupes on it, which is what makes delivery idempotent and therefore
+retry-safe.
+
+:class:`DeltaTransport` is the unreliable network between daemons and
+the store.  It consults the ``fleet.ship`` fault point
+(:mod:`repro.faults`): ``drop`` loses the delta in transit (the samples
+become accounted fleet-hop loss), ``duplicate`` delivers it twice
+(the store's dedupe must absorb it), ``delay`` holds it for the next
+shipment (reordering arrival without losing anything).
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.collect.database import FORMAT_COMPACT, encode_profile
+from repro.faults.injector import (DELAY, DROP, DUPLICATE, FLEET_SHIP,
+                                   NULL_INJECTOR)
+from repro.obs import NULL_OBS
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One epoch's new samples from one machine."""
+
+    machine_id: str
+    epoch: int
+    batch: int
+    #: loadmap generation the samples were attributed under (bumps
+    #: every time the machine's traffic source respawns processes).
+    generation: int
+    workload: str
+    seed: int
+    #: {image name: {event: {offset: count}}} (plain mergeable dicts).
+    profiles: Dict[str, dict]
+    #: {event: mean sampling period}.
+    periods: dict
+    #: {image name: [(procedure, start offset, end offset), ...]};
+    #: shipped with the first batch of a new loadmap generation so the
+    #: store can answer procedure-level queries without the images.
+    symbols: Optional[Dict[str, list]] = None
+    #: accounted collection-side loss on the machine at ship time
+    #: (driver drops + daemon losses), for fleet-wide loss accounting.
+    machine_lost: int = 0
+
+    @property
+    def delta_id(self):
+        """The dedupe key: stable, human-readable, order-free."""
+        return "%s/e%04d/b%04d" % (self.machine_id, self.epoch, self.batch)
+
+    def total_samples(self):
+        return sum(count
+                   for by_event in self.profiles.values()
+                   for by_offset in by_event.values()
+                   for count in by_offset.values())
+
+    def encoded_bytes(self):
+        """Wire size: canonical v3-compact encoding of every profile."""
+        total = 0
+        for image, by_event in self.profiles.items():
+            for event, by_offset in by_event.items():
+                total += len(encode_profile(
+                    by_offset, image, event,
+                    int(self.periods.get(event, 1)), FORMAT_COMPACT,
+                    self.epoch & 0xFFFF))
+        return total
+
+
+@dataclass
+class TransportStats:
+    """Accounting for the fleet hop (everything is conserved)."""
+
+    shipped: int = 0            # deltas handed to the transport
+    delivered: int = 0          # delta copies handed to the store
+    lost_deltas: int = 0        # dropped in transit
+    lost_samples: int = 0       # samples aboard dropped deltas
+    duplicated: int = 0         # deltas delivered twice
+    delayed: int = 0            # deltas deferred to a later shipment
+    bytes_shipped: int = 0      # wire bytes of delivered copies
+
+    def to_dict(self):
+        return {
+            "shipped": self.shipped,
+            "delivered": self.delivered,
+            "lost_deltas": self.lost_deltas,
+            "lost_samples": self.lost_samples,
+            "duplicated": self.duplicated,
+            "delayed": self.delayed,
+            "bytes_shipped": self.bytes_shipped,
+        }
+
+
+class DeltaTransport:
+    """Ships deltas from machine daemons to the central store.
+
+    Deterministic: given the same fault plan and the same shipment
+    sequence, the same deltas are dropped/duplicated/delayed.  Every
+    lost sample is accounted in :attr:`stats` -- the conservation
+    invariant (``repro.check``) extends over this hop.
+    """
+
+    def __init__(self, faults=None, obs=None):
+        self.faults = faults or NULL_INJECTOR
+        self.obs = obs or NULL_OBS
+        self.stats = TransportStats()
+        self._delayed: List[Delta] = []
+
+    def ship(self, delta):
+        """Offer *delta* to the network; return the delivered copies.
+
+        The returned list preserves arrival order (delayed deltas from
+        earlier shipments arrive first); it may be empty (dropped), or
+        contain the same delta twice (duplicate delivery).
+        """
+        deliveries: List[Delta] = []
+        if self._delayed:
+            pending, self._delayed = self._delayed, []
+            deliveries.extend(pending)
+        self.stats.shipped += 1
+        self.obs.counter("fleet.deltas_shipped").inc()
+        spec = self.faults.fires(FLEET_SHIP) if self.faults.enabled else None
+        if spec is not None and spec.action == DROP:
+            self.stats.lost_deltas += 1
+            self.stats.lost_samples += delta.total_samples()
+            self.obs.counter("fleet.deltas_lost").inc()
+            self.obs.counter("fleet.samples_lost").inc(
+                delta.total_samples())
+        elif spec is not None and spec.action == DELAY:
+            self.stats.delayed += 1
+            self.obs.counter("fleet.deltas_delayed").inc()
+            self._delayed.append(delta)
+        elif spec is not None and spec.action == DUPLICATE:
+            self.stats.duplicated += 1
+            self.obs.counter("fleet.deltas_duplicated").inc()
+            deliveries.extend((delta, delta))
+        else:
+            deliveries.append(delta)
+        for delivery in deliveries:
+            self.stats.delivered += 1
+            self.stats.bytes_shipped += delivery.encoded_bytes()
+        if deliveries:
+            self.obs.counter("fleet.bytes_shipped").inc(
+                sum(d.encoded_bytes() for d in deliveries))
+        return deliveries
+
+    def flush(self):
+        """Deliver anything still held back (end of session)."""
+        pending, self._delayed = self._delayed, []
+        for delivery in pending:
+            self.stats.delivered += 1
+            self.stats.bytes_shipped += delivery.encoded_bytes()
+        return pending

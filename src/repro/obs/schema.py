@@ -220,6 +220,19 @@ def derive(snapshot):
             flat.get("sim.fastpath.bails", 0), replays)
         flat["sim.fastpath.link_rate"] = _ratio(
             flat.get("sim.fastpath.links_followed", 0), replays)
+    # Fleet-hop accounting (repro.fleet): delivery reliability and
+    # dedupe effectiveness of the machine -> central-store shipment.
+    if "fleet.deltas_shipped" in flat:
+        shipped = flat["fleet.deltas_shipped"]
+        flat["fleet.delta_loss_rate"] = _ratio(
+            flat.get("fleet.deltas_lost", 0), shipped)
+        flat["fleet.duplicate_rate"] = _ratio(
+            flat.get("fleet.deltas_duplicated", 0), shipped)
+    if "fleet.samples_ingested" in flat:
+        flat["fleet.bytes_per_sample"] = _ratio(
+            flat.get("fleet.bytes_shipped",
+                     flat.get("fleet.bytes_ingested", 0)),
+            flat["fleet.samples_ingested"])
     wall = flat.get("session.wall_s.peak", flat.get("session.wall_s", 0.0))
     if wall:
         flat["collection.samples_per_sec"] = samples / wall

@@ -265,13 +265,39 @@ def _compare_obs(name, old_obs, new_obs, comparison):
                                              "%g" % old_v, "%g" % new_v))
 
 
+#: "fleet" block keys (schema 4) compared between runs: deterministic
+#: store facts must match exactly; timing-derived throughput is not
+#: compared (it lives in the block for humans and trend dashboards).
+FLEET_COMPARE_KEYS = (
+    ("samples_ingested", "fleet samples ingested", 0),
+    ("deltas_applied", "fleet deltas applied", 0),
+    ("duplicates_dropped", "fleet duplicates dropped", 0),
+    ("downsample_residue", "fleet downsample residue", 0),
+    ("disk_bytes_full", "fleet store bytes (no retention)", 0),
+)
+
+
+def _compare_fleet(name, old_fleet, new_fleet, comparison):
+    """Warn -- never fail -- when fleet store facts drift."""
+    for key, label, slack in FLEET_COMPARE_KEYS:
+        old_v, new_v = old_fleet.get(key), new_fleet.get(key)
+        if old_v is None or new_v is None:
+            continue
+        if abs(new_v - old_v) > slack:
+            comparison.warnings.append(
+                "%s: %s drifted %s -> %s" % (name, label,
+                                             "%g" % old_v, "%g" % new_v))
+
+
 def compare_results(old, new, threshold=0.3, sample_drift=0.01,
                     ips_threshold=0.15, lenient=False):
     """Diff two result sets; regressions are what CI should fail on.
 
     * results written under different schema versions -- regression
-      (the metrics are not comparable), unless *lenient* downgrades the
-      mismatch to a note and skips the incomparable benchmark;
+      (the metrics are not comparable), with two exceptions: a baseline
+      exactly one version older is accepted (schema bumps are additive
+      by policy, so shared fields stay comparable), and *lenient*
+      downgrades any other mismatch to a note and skips the benchmark;
     * a benchmark that passed before and fails now -- regression;
     * ``elapsed_s`` grew by more than *threshold* (relative) -- regression;
     * ``instructions_per_sec`` fell by more than *ips_threshold*
@@ -296,14 +322,30 @@ def compare_results(old, new, threshold=0.3, sample_drift=0.01,
             comparison.notes.append("%s: new benchmark" % name)
             continue
         o, n = old[name], new[name]
-        if o.get("schema") != n.get("schema"):
-            message = ("%s: schema %s -> %s (results not comparable)"
-                       % (name, o.get("schema"), n.get("schema")))
-            if lenient:
-                comparison.notes.append(message + "; skipped (--lenient)")
+        old_schema, new_schema = o.get("schema"), n.get("schema")
+        if old_schema != new_schema:
+            if (isinstance(old_schema, int) and isinstance(new_schema, int)
+                    and new_schema - old_schema == 1):
+                # Schema bumps are additive by policy (see
+                # benchmarks/conftest.py's BENCH_SCHEMA history), so a
+                # baseline exactly one version older stays comparable
+                # on every shared field -- new-only blocks simply have
+                # nothing to diff against.  This keeps a schema bump
+                # from requiring baselines regenerated in the same PR
+                # to land atomically with the code that reads them.
+                comparison.notes.append(
+                    "%s: baseline schema %s, new %s (one version "
+                    "older; comparing shared fields)"
+                    % (name, old_schema, new_schema))
+            else:
+                message = ("%s: schema %s -> %s (results not comparable)"
+                           % (name, old_schema, new_schema))
+                if lenient:
+                    comparison.notes.append(
+                        message + "; skipped (--lenient)")
+                    continue
+                comparison.regressions.append(message)
                 continue
-            comparison.regressions.append(message)
-            continue
         if o.get("passed") and not n.get("passed"):
             comparison.regressions.append(
                 "%s: passed before, fails now" % name)
@@ -345,6 +387,8 @@ def compare_results(old, new, threshold=0.3, sample_drift=0.01,
                        sample_drift * 100))
         if same_setup and o.get("obs") and n.get("obs"):
             _compare_obs(name, o["obs"], n["obs"], comparison)
+        if same_setup and o.get("fleet") and n.get("fleet"):
+            _compare_fleet(name, o["fleet"], n["fleet"], comparison)
     return comparison
 
 

@@ -11,6 +11,9 @@
   byte-identical to the slow path on every registered workload.
 * ``dcpichaos``  -- run the fault-injection matrix and assert the
   sample-conservation invariant (no unaccounted loss, ever).
+* ``dcpifleet``  -- simulate a fleet of profiled machines shipping
+  epoch deltas into one central store; query it (top, movers,
+  timeseries, regress).
 
 Example::
 
@@ -181,6 +184,13 @@ def main_dcpichaos(argv=None):
 def main_dcpicheck(argv=None):
     """Static analysis & invariant checks (image | analysis | lint)."""
     from repro.tools.dcpicheck import main
+
+    return main(argv)
+
+
+def main_dcpifleet(argv=None):
+    """Simulated fleet: run machines, query the central epoch store."""
+    from repro.fleet.cli import main
 
     return main(argv)
 

@@ -166,6 +166,58 @@ def test_compare_lenient_skips_schema_mismatch(result_dirs):
     assert any("schema" in n for n in comparison.notes)
 
 
+def test_compare_accepts_one_version_older_baseline(result_dirs):
+    """Schema bumps are additive: schema N baselines gate schema N+1
+    results on every shared field instead of hard-failing."""
+    tmp_path, _, new = result_dirs
+    new[0]["schema"] = 2  # baseline stays at 1
+    new[0]["fleet"] = {"samples_ingested": 123}  # additive block
+    _write_results(str(tmp_path / "new"), new)
+    comparison = compare_results(load_results(str(tmp_path / "old")),
+                                 load_results(str(tmp_path / "new")))
+    assert comparison.ok
+    assert any("one version older" in n for n in comparison.notes)
+
+
+def test_compare_still_gates_shared_fields_across_schema_skew(result_dirs):
+    tmp_path, _, new = result_dirs
+    new[0]["schema"] = 2
+    new[0]["metrics"]["samples"] = 6000  # 20% drift, same clamp
+    _write_results(str(tmp_path / "new"), new)
+    comparison = compare_results(load_results(str(tmp_path / "old")),
+                                 load_results(str(tmp_path / "new")))
+    assert any("drift" in r for r in comparison.regressions)
+
+
+def test_compare_rejects_schema_downgrade_and_wider_gaps(result_dirs):
+    tmp_path, old, new = result_dirs
+    # Downgrade: new results one version OLDER than the baseline.
+    old[0]["schema"] = 2
+    _write_results(str(tmp_path / "old"), old)
+    _write_results(str(tmp_path / "new"), new)
+    comparison = compare_results(load_results(str(tmp_path / "old")),
+                                 load_results(str(tmp_path / "new")))
+    assert any("not comparable" in r for r in comparison.regressions)
+    # Gap of two versions: not covered by the additive-bump policy.
+    new[0]["schema"] = 4
+    _write_results(str(tmp_path / "new"), new)
+    comparison = compare_results(load_results(str(tmp_path / "old")),
+                                 load_results(str(tmp_path / "new")))
+    assert any("not comparable" in r for r in comparison.regressions)
+
+
+def test_compare_warns_on_fleet_block_drift(result_dirs):
+    tmp_path, old, new = result_dirs
+    old[0]["fleet"] = {"samples_ingested": 100, "disk_bytes_full": 900}
+    new[0]["fleet"] = {"samples_ingested": 120, "disk_bytes_full": 900}
+    _write_results(str(tmp_path / "old"), old)
+    _write_results(str(tmp_path / "new"), new)
+    comparison = compare_results(load_results(str(tmp_path / "old")),
+                                 load_results(str(tmp_path / "new")))
+    assert comparison.ok  # drift warns, never fails the build
+    assert any("fleet samples ingested" in w for w in comparison.warnings)
+
+
 def test_compare_flags_throughput_regression(result_dirs):
     tmp_path, old, new = result_dirs
     for payload in (old[0], new[0]):
