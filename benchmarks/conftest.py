@@ -53,7 +53,10 @@ EVENT_PERIOD = 64
 #:    ingest/merge throughput, store size under retention policies --
 #:    recorded via record_fleet()).  Purely additive: ``dcpibench
 #:    compare`` accepts baselines exactly one schema version older.
-BENCH_SCHEMA = 4
+#: 5: added the optional "ctx" block (repro.ctx request-attribution
+#:    metrics -- per-class sample counts, context-table accounting,
+#:    enable overhead -- recorded via record_ctx()).  Additive again.
+BENCH_SCHEMA = 5
 
 QUICK = os.environ.get("DCPIBENCH_QUICK") == "1"
 _CLAMP = int(os.environ.get("DCPIBENCH_MAX_INSTRUCTIONS", "0")) or None
@@ -66,6 +69,7 @@ _SESSIONS = []
 _REPORTS = {}
 _TEXTS = {}
 _FLEET = {}
+_CTX = {}
 
 
 def clamp_budget(requested):
@@ -113,6 +117,19 @@ def record_fleet(metrics):
     ``dcpibench compare``; timing-derived rates are informational.
     """
     _FLEET.setdefault(_module_stem(_CURRENT["nodeid"]), {}).update(metrics)
+
+
+def record_ctx(metrics):
+    """Merge *metrics* into this module's "ctx" result block.
+
+    Context benchmarks (bench_ctx_traffic.py) call this with flat
+    numeric facts -- per-class sample counts, context-table interning
+    and eviction totals, the measured enable overhead -- which land
+    under the payload's schema-5 "ctx" key.  Deterministic counts are
+    compared between runs by ``dcpibench compare``; timing-derived
+    overhead percentages are informational.
+    """
+    _CTX.setdefault(_module_stem(_CURRENT["nodeid"]), {}).update(metrics)
 
 
 def _record_session(kind, workload, mode, seed, result, cpu_s=None):
@@ -273,6 +290,7 @@ def _bench_payload(stem, tests, records):
             / sum(r["cpu_s"] for r in timed), 1)
     obs = _obs_block(profiled)
     return {
+        "ctx": _CTX.get(stem),
         "fleet": _FLEET.get(stem),
         "obs": obs,
         "schema": BENCH_SCHEMA,

@@ -24,7 +24,12 @@ be deterministic or which types must stay picklable; these rules can:
 * ``lint/unguarded-hook`` -- a function taking an ``obs``/``faults``/
   ``injector`` hook defaulting to ``None`` must normalize it through
   the NULL-object pattern (``obs = obs or NULL_OBS``) before
-  dereferencing it.
+  dereferencing it;
+* ``lint/unguarded-ctx-write`` -- context-table writes (an
+  ``.intern(...)`` call on a receiver whose dotted name mentions
+  ``ctx``) must sit lexically inside an ``if <...> is not NULL_CTX:``
+  guard: the context register of a ctx-less process is the reserved
+  ``<other>`` id and must never be interned as a class of its own.
 
 Suppress a finding with a ``# dcpicheck: ignore`` or
 ``# dcpicheck: ignore[rule-name]`` comment on the offending line; the
@@ -117,6 +122,18 @@ def _mutable_default(node: ast.expr) -> bool:
     return False
 
 
+def _dotted_name(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` rendered as a string, or None for non-name chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
 def _is_set_expr(node: ast.expr, set_vars: Set[str]) -> bool:
     if isinstance(node, (ast.Set, ast.SetComp)):
         return True
@@ -142,6 +159,8 @@ class _Linter(ast.NodeVisitor):
         self._func_stack: List[str] = []
         self._class_stack: List[ast.ClassDef] = []
         self._set_vars: List[Set[str]] = [set()]
+        #: lexical depth of enclosing ``is not NULL_CTX`` guards.
+        self._ctx_guard = 0
 
     # -- helpers ----------------------------------------------------------
 
@@ -307,8 +326,49 @@ class _Linter(ast.NodeVisitor):
                     self._set_vars[-1].discard(target.id)
         self.generic_visit(node)
 
+    @staticmethod
+    def _is_null_ctx_guard(test: ast.expr) -> bool:
+        """Does *test* contain an ``... is not NULL_CTX`` comparison?"""
+
+        def is_null_ctx(expr: ast.expr) -> bool:
+            return (isinstance(expr, ast.Name)
+                    and expr.id == "NULL_CTX") or (
+                isinstance(expr, ast.Attribute)
+                and expr.attr == "NULL_CTX")
+
+        for child in ast.walk(test):
+            if isinstance(child, ast.Compare):
+                operands = [child.left] + list(child.comparators)
+                if (any(isinstance(op, ast.IsNot) for op in child.ops)
+                        and any(is_null_ctx(op) for op in operands)):
+                    return True
+        return False
+
+    def visit_If(self, node: ast.If) -> None:
+        guarded = self._is_null_ctx_guard(node.test)
+        self.visit(node.test)
+        if guarded:
+            self._ctx_guard += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        if guarded:
+            self._ctx_guard -= 1
+        for stmt in node.orelse:
+            self.visit(stmt)
+
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
+        if (isinstance(func, ast.Attribute) and func.attr == "intern"
+                and self._ctx_guard == 0):
+            receiver = _dotted_name(func.value)
+            if receiver is not None and "ctx" in receiver.lower():
+                self._report(
+                    "lint/unguarded-ctx-write", node.lineno,
+                    "%s.intern() outside an 'is not NULL_CTX' guard"
+                    % receiver,
+                    detail="interning the null context mints a bogus "
+                           "class id; guard the write with "
+                           "'if <ctx> is not NULL_CTX:'")
         if isinstance(func, ast.Attribute) and isinstance(
                 func.value, ast.Name):
             owner, method = func.value.id, func.attr

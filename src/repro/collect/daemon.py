@@ -24,10 +24,13 @@ cannot save is *accounted*: driver-side losses land in the per-CPU
 ``dropped`` counters, daemon-side losses in ``lost_samples``.
 """
 
+import bisect
 import os
 
 from repro.collect.database import ImageProfile
 from repro.collect.driver import ORDINAL_EVENT
+from repro.cpu.events import EventType
+from repro.ctx.ledger import CTX_SCHEMA, ContextLedger
 from repro.faults.injector import NULL_INJECTOR, TransientDrainError
 
 # Daemon cost model (cycles): per overflow/hash entry processed (three
@@ -56,13 +59,16 @@ class Daemon:
 
     def __init__(self, loader, periods=None, per_process_images=(),
                  obs=None, faults=None, journal=None,
-                 max_drain_retries=MAX_DRAIN_RETRIES):
+                 max_drain_retries=MAX_DRAIN_RETRIES, ctx=None):
         """*periods* maps EventType -> mean sampling period (for the
         profile metadata the analysis needs).  *per_process_images*
         names images for which separate per-PID profiles are kept in
         addition to the merged ones (paper section 4.3).  *journal* is
         a :class:`~repro.collect.journal.DrainJournal` enabling replay
         after a crash; *faults* a :class:`~repro.faults.FaultInjector`.
+        *ctx* is a :class:`~repro.ctx.ledger.ContextLedger` when the
+        session runs with the request-context dimension (None = off:
+        nothing context-related is computed or persisted).
         """
         from repro.obs import NULL_OBS
 
@@ -94,6 +100,14 @@ class Daemon:
         self._pending_loadmaps = []
         self._drained_seq = {}     # cpu_id -> highest merged flush seq
         self._peak_resident = 0
+        #: Request-context ledger (repro.ctx); None = dimension off.
+        self.ctx = ctx
+        #: epoch key -> closed epochs' ledger blobs (persisted with
+        #: every checkpoint under the manifest's "ctx" key).
+        self._ctx_closed = {}
+        # image name -> (sorted proc starts, (start, end, name) rows)
+        # for cheap offset -> procedure culprit attribution.
+        self._proc_index = {}
         #: Fault injection (repro.faults); NULL_INJECTOR is zero-cost.
         self.faults = faults or NULL_INJECTOR
         #: Self-monitoring hooks (repro.obs); NULL_OBS is zero-cost.
@@ -153,6 +167,11 @@ class Daemon:
         than wedging the whole drain.
         """
         self.drains += 1
+        if self.ctx is not None and driver.ctx_table is not None:
+            # Learn the driver's id -> class bindings before merging
+            # entries keyed under those ids.  Ids are monotonic and
+            # never reused, so absorbing the table is always safe.
+            self.ctx.absorb_table(driver.ctx_table)
         if self._pending_loadmaps:
             pending, self._pending_loadmaps = self._pending_loadmaps, []
             for event in pending:
@@ -237,12 +256,23 @@ class Daemon:
                              count)
 
     def _process(self, entries):
-        for (pid, pc, event_ord), count in entries:
+        ledger = self.ctx
+        for key, count in entries:
+            pid, pc, event_ord = key[0], key[1], key[2]
             event = ORDINAL_EVENT[event_ord]
             self.entries_processed += 1
             self.total_samples += count
             self.cycles += ENTRY_COST + PER_SAMPLE_COST * count
             image = self._find_image(pid, pc)
+            if ledger is not None:
+                # 3-tuple keys (pre-context journals, ctx-less CPUs)
+                # land in the "<other>" bucket via OTHER_ID.
+                ctx_id = key[3] if len(key) == 4 else 0
+                cls = ledger.add_sample(ctx_id, event, count)
+                if event is EventType.CYCLES and image is not None:
+                    ledger.add_culprit(cls, image.name,
+                                       self._procedure_at(image, pc),
+                                       count)
             if image is None:
                 self.unknown_samples += count
                 continue
@@ -259,6 +289,24 @@ class Daemon:
                     self.process_profiles[key] = per_pid
                 per_pid.add(event, pc - image.base, count)
         self._touch_resident()
+
+    def _procedure_at(self, image, pc):
+        """Name of the procedure of *image* containing *pc*.
+
+        Culprit attribution runs per drained entry, so the per-image
+        (start, end, name) rows are indexed once and bisected after.
+        """
+        index = self._proc_index.get(image.name)
+        if index is None:
+            rows = sorted((proc.start, proc.end, proc.name)
+                          for proc in image.procedures)
+            index = ([row[0] for row in rows], rows)
+            self._proc_index[image.name] = index
+        starts, rows = index
+        slot = bisect.bisect_right(starts, pc) - 1
+        if slot >= 0 and rows[slot][0] <= pc < rows[slot][1]:
+            return rows[slot][2]
+        return "<unknown>"
 
     def _find_image(self, pid, pc):
         maps = self._maps.get(pid)
@@ -303,6 +351,19 @@ class Daemon:
                             for cpu, seq in self._drained_seq.items()},
         }
 
+    def _ctx_blob(self):
+        """The manifest's ``ctx`` blob: every epoch's ledger, or None.
+
+        Committed by :meth:`merge_to_disk` in the same atomic manifest
+        rename as the samples (the fleet-ledger pattern), so samples
+        and their attribution are always durable together.
+        """
+        if self.ctx is None:
+            return None
+        epochs = dict(self._ctx_closed)
+        epochs["%04d" % self.epoch] = self.ctx.to_meta()
+        return {"schema": CTX_SCHEMA, "epochs": epochs}
+
     def _owns_journal(self, database):
         return (self.journal is not None
                 and os.path.dirname(self.journal.path)
@@ -325,7 +386,8 @@ class Daemon:
         # A crash here models dying between a drain and the merge.
         self.faults.check("daemon.checkpoint")
         database.checkpoint(self.export_profiles(), self.periods, epoch,
-                            meta=self._checkpoint_meta())
+                            meta=self._checkpoint_meta(),
+                            ctx=self._ctx_blob())
         if self._owns_journal(database):
             self.journal.truncate()
 
@@ -359,6 +421,11 @@ class Daemon:
             self._touch_resident()
         self.profiles = {}
         self.process_profiles = {}
+        if self.ctx is not None:
+            # Close the epoch's ledger alongside its profiles; the new
+            # epoch starts attribution from scratch.
+            self._ctx_closed["%04d" % self.epoch] = self.ctx.to_meta()
+            self.ctx = ContextLedger()
         self.epoch += 1
         if database is not None:
             # Re-commit the watermarks under the new epoch so a crash
@@ -371,7 +438,7 @@ class Daemon:
     @classmethod
     def recover(cls, loader, database, journal=None, periods=None,
                 per_process_images=(), obs=None, faults=None,
-                max_drain_retries=MAX_DRAIN_RETRIES):
+                max_drain_retries=MAX_DRAIN_RETRIES, ctx=None):
         """Rebuild a daemon from *database*'s last durable checkpoint.
 
         Reloads the current epoch's committed profiles, seeds counters
@@ -381,6 +448,15 @@ class Daemon:
         persisted and restart empty for the epoch.  The caller should
         follow up with :meth:`redrain_inflight` to pick up batches the
         dead daemon left pinned in the driver.
+
+        *ctx* is a seed :class:`~repro.ctx.ledger.ContextLedger` for
+        context-enabled sessions, carrying the surviving driver
+        table's id bindings.  It becomes the ledger when the crash
+        predates the first checkpoint (no ``ctx`` blob on disk yet);
+        with a blob, its bindings are unioned into the restored ledger
+        so journal batches newer than the checkpoint -- whose ids were
+        bound only in the live driver table -- still attribute.  Both
+        are safe because ids are monotonic and never reused.
         """
         daemon = cls(loader, periods=periods,
                      per_process_images=per_process_images, obs=obs,
@@ -400,6 +476,21 @@ class Daemon:
         daemon._drained_seq = {
             int(cpu): seq
             for cpu, seq in meta.get("drained_seq", {}).items()}
+        blob = database.get_meta("ctx")
+        if blob is not None:
+            # The dead daemon ran with the context dimension: rebuild
+            # the current epoch's ledger (journal replay below re-adds
+            # whatever the checkpoint missed) and keep closed epochs
+            # as committed.
+            epochs = dict(blob.get("epochs", {}))
+            current = epochs.pop("%04d" % daemon.epoch, None)
+            daemon.ctx = ContextLedger.from_meta(current)
+            daemon._ctx_closed = epochs
+            if ctx is not None:
+                for ident, name in ctx.ids.items():
+                    daemon.ctx.ids.setdefault(ident, name)
+        elif ctx is not None:
+            daemon.ctx = ctx
         images = {image.name: image
                   for image in getattr(loader, "images", [])}
         for image_name, event, counts, period in (

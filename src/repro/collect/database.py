@@ -471,16 +471,21 @@ class ProfileDatabase:
         self._commit(manifest)
         return os.path.join(self.root, new_record["file"])
 
-    def checkpoint(self, profiles, periods, epoch, meta=None):
+    def checkpoint(self, profiles, periods, epoch, meta=None, ctx=None):
         """Atomically replace *epoch*'s stored state with *profiles*.
 
         *profiles* is ``{image name: {event: {offset: count}}}`` (the
         daemon's cumulative in-memory state for the epoch), *periods*
         maps event -> sampling period, and *meta* -- stored under the
         manifest's ``checkpoint`` key -- carries the daemon's recovery
-        watermarks.  All files are written first; the single manifest
-        rename is the commit point, so a crash anywhere leaves the
-        previous checkpoint intact and re-running is idempotent.
+        watermarks.  *ctx* (stored under the manifest's ``ctx`` key,
+        like the fleet ledger) carries the request-context ledger;
+        None -- the only value when the context dimension is off --
+        leaves the manifest untouched, keeping ctx-less databases
+        byte-identical to pre-context output.  All files are written
+        first; the single manifest rename is the commit point, so a
+        crash anywhere leaves the previous checkpoint intact and
+        re-running is idempotent.
         """
         manifest = self._load_manifest()
         new_records = {}
@@ -499,6 +504,8 @@ class ProfileDatabase:
         manifest["records"].update(new_records)
         if meta is not None:
             manifest["checkpoint"] = dict(meta)
+        if ctx is not None:
+            manifest["ctx"] = ctx
         self._commit(manifest)
 
     def update_checkpoint(self, meta):

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from repro.collect.hashtable import MOD_COUNTER, SampleHashTable
 from repro.collect.prng import period_sampler
 from repro.cpu.events import EventType
+from repro.ctx.context import NULL_CTX, OTHER_ID, ContextTable
 
 #: Event ordinal encoding used in hash-table keys (2 bits in the paper).
 EVENT_ORDINAL = {ev: i for i, ev in enumerate(EventType)}
@@ -66,6 +67,13 @@ class DriverConfig:
     # "interpret" (decode + evaluate sampled control transfers; fewer
     # edges but no extra interrupt).
     edge_mode: str = "double"
+    # Per-request attribution (repro.ctx): when on, the OS publishes
+    # the dispatched process's request class through publish_ctx, and
+    # the interned context id joins the sample hash key.  Off by
+    # default -- the disabled path is byte-identical to a build
+    # without the dimension.
+    context: bool = False
+    ctx_slots: int = 64
     # Simulations run with periods far below the paper's 60-64K cycles
     # (pure-Python cycle simulation is slow), which would make handler
     # cost dominate the run.  Charged handler cycles are therefore
@@ -87,7 +95,8 @@ class _CpuState:
     __slots__ = ("table", "active", "shadow", "full", "dropped",
                  "spills", "handler_cycles", "hit_cycles", "miss_cycles",
                  "hit_count", "miss_count", "samples", "cost_carry",
-                 "edges", "edge_samples", "inflight", "flush_seq")
+                 "edges", "edge_samples", "inflight", "flush_seq",
+                 "ctx_reg")
 
     def __init__(self, config):
         self.table = SampleHashTable(config.buckets, config.assoc,
@@ -112,6 +121,9 @@ class _CpuState:
         # (pid, from_pc, to_pc) -> count (double-sampling prototype).
         self.edges = {}
         self.edge_samples = 0
+        # The per-CPU context register (repro.ctx): the interned id of
+        # the request class running on this CPU, latched on dispatch.
+        self.ctx_reg = OTHER_ID
 
 
 class Driver:
@@ -125,6 +137,10 @@ class Driver:
         #: Fault injection (repro.faults); NULL_INJECTOR is zero-cost.
         self.faults = faults or NULL_INJECTOR
         self.cost_scale = self.config.effective_cost_scale()
+        #: Request-context interning table (repro.ctx); None when the
+        #: context dimension is off -- the hot path tests exactly that.
+        self.ctx_table = (ContextTable(self.config.ctx_slots)
+                          if self.config.context else None)
         self.cpus = [_CpuState(self.config) for _ in range(num_cpus)]
         self.trace = [] if self.config.log_trace else None
         self._overflow_listeners = []
@@ -158,7 +174,23 @@ class Driver:
                 core.edge_sink = self.record_edge
                 core.edge_interpret = config.edge_mode == "interpret"
         machine.set_sample_sink(self.record)
+        if self.ctx_table is not None:
+            machine.ctx_sink = self.publish_ctx
         return self
+
+    def publish_ctx(self, cpu_id, pid, ctx):
+        """Latch *ctx*'s interned id into *cpu_id*'s context register.
+
+        Called by the OS simulator on every dispatch (the paper-style
+        "context register" published on context switch).  Writes to the
+        context table only under the guarded NULL_CTX check -- the
+        pattern dcpicheck's ``lint/unguarded-ctx-write`` rule enforces.
+        """
+        if ctx is not NULL_CTX:
+            ident = self.ctx_table.intern(ctx)
+        else:
+            ident = OTHER_ID
+        self.cpus[cpu_id].ctx_reg = ident
 
     def record_edge(self, cpu_id, pid, from_pc, to_pc, time):
         """Aggregate one (from, to) edge sample (double sampling)."""
@@ -201,7 +233,13 @@ class Driver:
         event_ord = EVENT_ORDINAL[event]
         if self.trace is not None:
             self.trace.append((cpu_id, pid, pc, event_ord))
-        evicted = state.table.record(pid, pc, event_ord)
+        if self.ctx_table is None:
+            evicted = state.table.record(pid, pc, event_ord)
+        else:
+            # The context register joins the hash key (alongside the
+            # PID), so per-request attribution survives aggregation.
+            evicted = state.table.record(pid, pc, event_ord,
+                                         ctx=state.ctx_reg)
         jitter = ((pc >> 2) * 2654435761 >> 20) & JITTER_MASK
         # A "miss" is any sample that created a new entry; the eviction
         # variant additionally pays for writing the victim to the

@@ -65,11 +65,24 @@ class SampleHashTable:
     def capacity(self):
         return self.num_buckets * self.assoc
 
-    def record(self, pid, pc, event_ord, count=1):
-        """Aggregate one sample; return an evicted (key, count) or None."""
-        index = self._hash(pid, pc, event_ord, self._mask)
+    def record(self, pid, pc, event_ord, count=1, ctx=None):
+        """Aggregate one sample; return an evicted (key, count) or None.
+
+        *ctx* is the interned request-context id (repro.ctx).  When
+        None (the default, and the only case when the context dimension
+        is off) keys and hashing are the classic 3-tuples, bit
+        identical to a build without the dimension; a context id folds
+        into the hash and widens the key to a 4-tuple, so per-class
+        attribution survives aggregation exactly like the PID does.
+        """
+        if ctx is None:
+            index = self._hash(pid, pc, event_ord, self._mask)
+            key = (pid, pc, event_ord)
+        else:
+            index = self._hash(pid ^ (ctx << 21), pc, event_ord,
+                               self._mask)
+            key = (pid, pc, event_ord, ctx)
         bucket = self._buckets[index]
-        key = (pid, pc, event_ord)
         for slot, entry in enumerate(bucket):
             if entry[0] == key:
                 entry[1] += count

@@ -32,13 +32,16 @@ class DrainJournal:
         """Durably record one flushed batch before it is merged.
 
         *entries* is the driver's flush payload:
-        ``[((pid, pc, event_ord), count), ...]``.
+        ``[((pid, pc, event_ord[, ctx]), count), ...]`` -- keys are
+        3-tuples, or 4-tuples when the request-context dimension
+        (repro.ctx) is on; the key is stored positionally with the
+        count last, so 3-tuple records are byte-identical to the
+        pre-context format.
         """
         record = {
             "cpu": cpu_id,
             "seq": seq,
-            "entries": [[pid, pc, event_ord, count]
-                        for (pid, pc, event_ord), count in entries],
+            "entries": [list(key) + [count] for key, count in entries],
         }
         payload = json.dumps(record, sort_keys=True,
                              separators=(",", ":"))
@@ -69,9 +72,8 @@ class DrainJournal:
                     if zlib.crc32(payload.encode("utf-8")) != crc:
                         raise ValueError("journal checksum mismatch")
                     record = json.loads(payload)
-                    entries = [((pid, pc, event_ord), count)
-                               for pid, pc, event_ord, count
-                               in record["entries"]]
+                    entries = [(tuple(row[:-1]), row[-1])
+                               for row in record["entries"]]
                     cpu_id, seq = record["cpu"], record["seq"]
                 except (ValueError, KeyError, TypeError):
                     self.torn_records += 1

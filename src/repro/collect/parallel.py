@@ -28,6 +28,7 @@ from repro.collect.database import (FORMAT_COMPACT, ProfileDatabase,
                                     encode_profile)
 from repro.collect.session import ProfileSession, SessionConfig
 from repro.cpu.config import MachineConfig
+from repro.ctx import merge_ledger_meta
 from repro.obs import ObsConfig, merge_metrics
 
 
@@ -53,6 +54,9 @@ class ShardSpec:
     #: fault injection (repro.faults.FaultPlan); chaos shards carry
     #: their plan into the worker process -- plans are frozen/picklable.
     faults: Optional[object] = None
+    #: run with the request-context dimension (repro.ctx): the shard
+    #: ships back its context-ledger blob for order-independent merge.
+    context: bool = False
 
     def label(self):
         return "%s/seed%d/%s" % (self.workload, self.seed, self.mode)
@@ -79,6 +83,9 @@ class ShardResult:
     obs: Optional[dict] = None
     #: Chrome-trace events of the shard's run (obs-enabled shards).
     trace_events: Optional[list] = None
+    #: context-ledger blob (ContextLedger.to_meta) of ctx-enabled
+    #: shards; None when the shard ran without the context dimension.
+    ctx: Optional[dict] = None
 
     @property
     def samples(self):
@@ -121,7 +128,7 @@ def run_shard(spec):
                       cycles_period=spec.cycles_period,
                       event_period=spec.event_period,
                       obs=ObsConfig(enabled=True) if spec.obs else None,
-                      faults=spec.faults))
+                      faults=spec.faults, context=spec.context))
     result = session.run(workload, max_instructions=spec.max_instructions)
     export = result.export_mergeable()
     stats = export["stats"]
@@ -150,7 +157,8 @@ def run_shard(spec):
         obs=export["obs"],
         trace_events=(list(result.obs.trace.events)
                       if result.obs.enabled and result.obs.trace.enabled
-                      else None))
+                      else None),
+        ctx=export["ctx"])
 
 
 def merge_shards(shards):
@@ -185,6 +193,22 @@ def merge_shard_obs(shards):
     """
     return merge_metrics([getattr(shard, "obs", shard)
                           for shard in shards])
+
+
+def merge_shard_ctx(shards):
+    """Reduce per-shard context ledgers into one blob (or None).
+
+    Delegates to :func:`repro.ctx.merge_ledger_meta` -- commutative
+    sums keyed by class *name*, per-request entries unioned by their
+    shard-unique ``seed:pid`` keys -- so the reduced ledger, like the
+    profile merge, is independent of shard order and grouping.
+    Returns None when no shard carried a ledger (contexts off).
+    """
+    metas = [getattr(shard, "ctx", shard) for shard in shards]
+    metas = [meta for meta in metas if meta is not None]
+    if not metas:
+        return None
+    return merge_ledger_meta(metas)
 
 
 def merge_periods(shards):
@@ -266,6 +290,8 @@ class ParallelRunResult:
     merge_s: float = 0.0
     #: shard metric registries reduced into one typed snapshot.
     obs: Optional[dict] = None
+    #: shard context ledgers reduced into one blob (None = ctx off).
+    ctx: Optional[dict] = None
 
     def by_label(self):
         return {shard.spec.label(): shard for shard in self.shards}
@@ -326,11 +352,12 @@ class ParallelSessionRunner:
         merged = MergedProfiles(merge_shards(results),
                                 merge_periods(results))
         obs = merge_shard_obs(results)
+        ctx = merge_shard_ctx(results)
         merge_s = time.perf_counter() - merge_started
         return ParallelRunResult(
             shards=results, merged=merged, workers=self.workers,
             elapsed=time.perf_counter() - started,
-            merge_s=merge_s, obs=obs)
+            merge_s=merge_s, obs=obs, ctx=ctx)
 
 
 def shard_matrix(workloads, seeds=(1,), modes=("default",),

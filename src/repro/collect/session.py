@@ -23,6 +23,7 @@ from repro.collect.journal import DrainJournal
 from repro.cpu.config import MachineConfig
 from repro.cpu.events import EventType
 from repro.cpu.machine import Machine
+from repro.ctx import NULL_CTX, OTHER_CLASS, ContextLedger, span_id
 from repro.faults.injector import (NULL_INJECTOR, FaultInjector, FaultPlan,
                                    InjectedCrash)
 from repro.obs import NULL_OBS, ObsConfig, merge_metrics, session_metrics
@@ -59,6 +60,12 @@ class SessionConfig:
     journal: bool = True
     #: Rebuild the daemon and keep going when it crashes (vs raising).
     auto_recover: bool = True
+    #: Per-request attribution (repro.ctx): thread workload request
+    #: classes through the driver/daemon path and persist the context
+    #: ledger with every checkpoint.  Off = zero-cost, byte-identical.
+    context: bool = False
+    #: Driver-side context-table capacity (fixed, paper-style).
+    ctx_slots: int = 64
 
     def make_faults(self):
         """Build the session's FaultInjector (NULL_INJECTOR when off)."""
@@ -103,6 +110,8 @@ class SessionConfig:
             edge_sampling=self.edge_sampling,
             edge_mode=self.edge_mode,
             seed=self.seed,
+            context=self.context,
+            ctx_slots=self.ctx_slots,
         )
 
 
@@ -157,6 +166,11 @@ class SessionResult:
         return merge_metrics([session_metrics(self),
                               self.obs.registry.to_dict()])
 
+    @property
+    def ctx_ledger(self):
+        """The daemon's context ledger (None when contexts are off)."""
+        return self.daemon.ctx
+
     def export_mergeable(self):
         """Everything a parallel worker ships back, as plain dicts.
 
@@ -169,6 +183,8 @@ class SessionResult:
             "periods": dict(self.daemon.periods),
             "stats": self.stats(),
             "obs": self.metrics(),
+            "ctx": (self.daemon.ctx.to_meta()
+                    if self.daemon.ctx is not None else None),
         }
 
 
@@ -235,7 +251,9 @@ class ProfileSession:
             # _find_image covers that case).
             daemon = Daemon(machine.loader, periods=self._periods(),
                             per_process_images=config.per_process_images,
-                            obs=obs, faults=faults, journal=journal)
+                            obs=obs, faults=faults, journal=journal,
+                            ctx=ContextLedger() if config.context
+                            else None)
             self._setup(workload, machine)
 
         total = 0
@@ -274,10 +292,15 @@ class ProfileSession:
                         daemon.reap(proc.pid)
                 if ran == 0:
                     break
+        self._fold_requests(machine, daemon)
         if database is not None:
             with obs.span("session.merge_to_disk"):
                 while True:
                     try:
+                        # Re-fold after any recovery: the recovered
+                        # ledger reflects the last checkpoint, and the
+                        # fold is idempotent (keyed assignment).
+                        self._fold_requests(machine, daemon)
                         daemon.merge_to_disk(database)
                         break
                     except InjectedCrash as crash:
@@ -287,10 +310,39 @@ class ProfileSession:
                             crash, machine, driver, daemon, database,
                             journal, obs, faults)
         if obs.enabled:
+            if daemon.ctx is not None:
+                # Span linkage: one instant per request class carrying
+                # its deterministic span id, so dcpimon traces and the
+                # sample profiles share identity (repro.ctx).
+                for name in sorted(daemon.ctx.classes):
+                    obs.trace.instant("ctx.class", cls=name,
+                                      span=span_id(name))
             obs.gauge("session.wall_s").set(obs.clock() - started)
             obs.finish()
         return SessionResult(machine, driver, daemon, database,
                              total, machine.time, obs=obs)
+
+    @staticmethod
+    def _fold_requests(machine, daemon):
+        """Fold per-process request totals into the context ledger.
+
+        Each process is one "request" of its class (the workload's
+        ctx label); its lifetime cycles/instructions feed the tail
+        percentiles dcpitrace reports.  Keys are ``seed:pid`` so
+        shards run with distinct seeds union cleanly, and the fold
+        is a keyed assignment -- running it again (after a crash
+        recovery, say) is a no-op, never a double count.
+        """
+        ledger = daemon.ctx
+        if ledger is None:
+            return
+        for proc in machine.processes:
+            ctx = proc.ctx
+            name = str(ctx) if ctx is not NULL_CTX else OTHER_CLASS
+            key = "%d:%d" % (machine.seed, proc.pid)
+            ledger.add_request(name, key, proc.cpu_cycles,
+                               proc.instructions, process=proc.name,
+                               done=proc.exited)
 
     def _recover_daemon(self, crash, machine, driver, old, database,
                         journal, obs, faults):
@@ -319,11 +371,21 @@ class ProfileSession:
             daemon = None
             try:
                 if database is not None:
+                    ctx_seed = None
+                    if config.context:
+                        # The driver (kernel side) survives a daemon
+                        # crash, and its context table holds every id
+                        # binding -- including ones newer than the
+                        # last checkpoint, which the journal replay
+                        # inside recover() needs to attribute.
+                        ctx_seed = ContextLedger()
+                        if driver.ctx_table is not None:
+                            ctx_seed.absorb_table(driver.ctx_table)
                     daemon = Daemon.recover(
                         machine.loader, database, journal=journal,
                         periods=self._periods(),
                         per_process_images=config.per_process_images,
-                        obs=obs, faults=faults)
+                        obs=obs, faults=faults, ctx=ctx_seed)
                     if journal is None:
                         # No journal to replay: whatever the old daemon
                         # held beyond the checkpoint is gone -- account
@@ -336,7 +398,9 @@ class ProfileSession:
                     daemon = Daemon(
                         machine.loader, periods=self._periods(),
                         per_process_images=config.per_process_images,
-                        obs=obs, faults=faults)
+                        obs=obs, faults=faults,
+                        ctx=ContextLedger() if config.context
+                        else None)
                     daemon.epoch = old.epoch
                     daemon.recoveries = old.recoveries + 1
                     daemon.lost_samples = (old.lost_samples

@@ -10,6 +10,7 @@ import random
 
 from repro.alpha.predecode import decode
 from repro.cpu.fastpath import FastPath, cache_geometry
+from repro.ctx.context import NULL_CTX
 from repro.cpu.pipeline import Core
 from repro.osim.loader import Loader
 from repro.osim.process import Process
@@ -50,6 +51,10 @@ class Machine:
         #: Optional callable(image) -> image applied to unlinked images
         #: at load time (binary instrumentation, e.g. the pixie baseline).
         self.image_transform = None
+        #: callable(cpu, pid, ctx) the scheduler calls on dispatch when
+        #: the profiling driver enables the context dimension
+        #: (repro.ctx); None means zero-cost no publication.
+        self.ctx_sink = None
         self._next_pid = 100
         self._rng = random.Random(seed)
         self._code_pages = {}
@@ -80,11 +85,14 @@ class Machine:
                 self.fastpath.invalidate()
         return image
 
-    def spawn(self, images, entry=None, name=None, pid=None):
+    def spawn(self, images, entry=None, name=None, pid=None,
+              ctx=NULL_CTX):
         """Create a process running *images*, starting at *entry*.
 
         *entry* may be an absolute address, a ``"image.name:proc"``
         string, or None (entry of the first image's first procedure).
+        *ctx* labels the process's request class (repro.ctx); the
+        default NULL_CTX means unattributed and costs nothing.
         """
         images = [images] if not isinstance(images, (list, tuple)) else images
         images = [self.load_image(image) for image in images]
@@ -103,7 +111,7 @@ class Machine:
             self._next_pid += 1
         page_rng = random.Random((self.seed << 20) ^ pid)
         proc = Process(pid, name or images[0].name, images, entry,
-                       page_rng, self.config.page_bits)
+                       page_rng, self.config.page_bits, ctx=ctx)
         self.processes.append(proc)
         self.loader.notify_exec(pid, images)
         return proc

@@ -1,0 +1,32 @@
+"""Per-request attribution: the context dimension (``repro.ctx``).
+
+The paper attributes cycles to instructions and images; the modern
+continuous-profiling standard additionally correlates profiles with
+*traces*: traces say where the time went, profiles say why.  This
+package carries a request-class identity ("context") from the workload
+that spawns a process, through the OS simulator's context switches and
+the driver's sample hash key, into a schema-versioned ledger the
+database commits atomically with the samples -- so ``dcpitrace`` can
+answer "which *requests* eat the cycles", not just which instructions.
+
+Zero-cost when off: a session that never enables the context dimension
+publishes nothing, hashes 3-tuples exactly as before, and produces
+byte-identical databases (differential-tested in ``tests/test_ctx.py``).
+"""
+
+from repro.ctx.context import (NULL_CTX, OTHER_CLASS, OTHER_ID,
+                               ContextTable, span_id)
+from repro.ctx.ledger import (CTX_SCHEMA, ContextLedger,
+                              canonical_ledger_bytes, merge_ledger_meta)
+
+__all__ = [
+    "NULL_CTX",
+    "OTHER_CLASS",
+    "OTHER_ID",
+    "ContextTable",
+    "span_id",
+    "CTX_SCHEMA",
+    "ContextLedger",
+    "canonical_ledger_bytes",
+    "merge_ledger_meta",
+]

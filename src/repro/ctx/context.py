@@ -1,0 +1,123 @@
+"""The context register and the driver's fixed-size context table.
+
+A *context* is a request-class label a workload attaches to a process
+at spawn time (``machine.spawn(..., ctx="search.query")``).  The OS
+simulator publishes the dispatched process's context to the driver on
+every context switch -- the software analogue of the paper's per-CPU
+"context register" next to the performance counters -- and the driver
+latches its interned small-integer id into the sample hash key.
+
+The interning table mirrors the paper's hash-table design philosophy
+(section 4.2): fixed capacity chosen up front, a mod-counter victim
+picked on overflow, and every eviction *accounted* rather than silent.
+Ids are monotonically increasing and never reused, so a drained sample
+keyed under an id that has since been evicted still resolves to the
+right class name; only ids the daemon never learned fall back to the
+``<other>`` bucket (also accounted).
+
+``NULL_CTX`` is the zero-cost null object: processes default to it,
+and the driver's publish path must only touch the table under the
+guarded ``if ctx is not NULL_CTX:`` pattern (dcpicheck's
+``lint/unguarded-ctx-write`` rule enforces exactly that).
+"""
+
+import zlib
+
+
+class _NullContext:
+    """Sentinel for "no request context" (the NULL-object pattern)."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "NULL_CTX"
+
+    def __bool__(self):
+        return False
+
+
+#: The one shared "no context" sentinel (compare with ``is``).
+NULL_CTX = _NullContext()
+
+#: Reserved context id for "no/unknown context" samples.
+OTHER_ID = 0
+
+#: Class name every unattributable sample lands under.
+OTHER_CLASS = "<other>"
+
+
+def span_id(name):
+    """Deterministic 8-hex-digit span id for request class *name*.
+
+    A pure function of the name, so profiles, trace spans and shard
+    merges agree on the id without any coordination -- the linkage
+    that lets dcpimon traces and dcpitrace reports share identity.
+    """
+    return "%08x" % (zlib.crc32(str(name).encode("utf-8")) & 0xFFFFFFFF)
+
+
+class ContextTable:
+    """Fixed-capacity request-class interning table (driver-side).
+
+    ``intern`` maps a context label to a small integer id for the
+    sample hash key.  The table holds at most *slots* resident classes;
+    interning a new class into a full table evicts a victim chosen by
+    a mod counter (the paper's replacement policy) and bumps the
+    ``evictions`` counter.  A re-interned class receives a *fresh* id
+    -- ids are never reused -- so thrash shows up as extra distinct
+    ids and accounted evictions, never as cross-class sample aliasing.
+    """
+
+    def __init__(self, slots=64):
+        if slots < 1:
+            raise ValueError("context table needs at least one slot")
+        self.slots = slots
+        #: resident class name -> id.
+        self._ids = {}
+        #: resident names in slot order (victim selection).
+        self._resident = []
+        self._mod_counter = 0
+        self._next_id = OTHER_ID + 1
+        #: id -> class name for every id ever issued (monotonic).
+        self.names = {OTHER_ID: OTHER_CLASS}
+        self.hits = 0
+        self.interns = 0
+        self.evictions = 0
+
+    def intern(self, ctx):
+        """Return the resident id for *ctx*, interning it if needed."""
+        name = str(ctx)
+        ident = self._ids.get(name)
+        if ident is not None:
+            self.hits += 1
+            return ident
+        self.interns += 1
+        if len(self._resident) >= self.slots:
+            self.evictions += 1
+            victim_slot = self._mod_counter % self.slots
+            self._mod_counter += 1
+            victim = self._resident[victim_slot]
+            del self._ids[victim]
+            self._resident[victim_slot] = name
+        else:
+            self._resident.append(name)
+        ident = self._next_id
+        self._next_id += 1
+        self._ids[name] = ident
+        self.names[ident] = name
+        return ident
+
+    @property
+    def resident(self):
+        """Number of classes currently resident."""
+        return len(self._ids)
+
+    def stats(self):
+        """Accounting snapshot (mirrors the hash table's counters)."""
+        return {
+            "slots": self.slots,
+            "resident": self.resident,
+            "hits": self.hits,
+            "interns": self.interns,
+            "evictions": self.evictions,
+        }

@@ -16,7 +16,8 @@ from repro.fleet.query import (DEFAULT_Z, QUERY_SCHEMA, FleetQuery,
                                load_baseline, parse_epochs, share_error)
 from repro.fleet.retention import (RetentionPolicy, compact,
                                    compactable_windows, downsample)
-from repro.fleet.store import LEDGER_VERSION, FleetStore
+from repro.fleet.store import (LEDGER_VERSION, FleetStore,
+                               FleetStoreBusyError)
 from repro.fleet.transport import Delta, DeltaTransport, TransportStats
 
 __all__ = [
@@ -30,6 +31,7 @@ __all__ = [
     "FleetResult",
     "FleetSession",
     "FleetStore",
+    "FleetStoreBusyError",
     "LEDGER_VERSION",
     "QUERY_SCHEMA",
     "RetentionPolicy",

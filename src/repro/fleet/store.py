@@ -22,7 +22,13 @@ under any permutation of delta arrivals (property-tested in
 ``tests/test_fleet.py``).
 """
 
+import contextlib
 import os
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: locking degrades to a no-op
+    fcntl = None
 
 from repro.collect.database import ProfileDatabase
 from repro.collect.parallel import MergedProfiles
@@ -31,6 +37,19 @@ from repro.obs import NULL_OBS
 #: Ledger schema version (stored in the database manifest's "fleet"
 #: key, committed atomically with every ingest).
 LEDGER_VERSION = 1
+
+#: Lock file guarding the single-writer ingest path.
+INGEST_LOCK_NAME = "INGEST.lock"
+
+
+class FleetStoreBusyError(RuntimeError):
+    """Another writer holds the store's ingest lock.
+
+    The store is single-writer by design (the ledger is read-modify-
+    write around each atomic manifest commit); this error makes a
+    second concurrent writer fail loudly instead of silently racing
+    the ledger.
+    """
 
 
 def _empty_ledger():
@@ -70,13 +89,49 @@ class FleetStore:
 
     # -- ingest ------------------------------------------------------------
 
+    @contextlib.contextmanager
+    def _ingest_lock(self):
+        """Advisory exclusive lock around one ingest (fail-fast).
+
+        ``flock`` on ``<root>/INGEST.lock`` -- non-blocking, held only
+        for the ingest's read-modify-write window, released (and the
+        descriptor closed) on the way out even when the merge raises.
+        Raises :class:`FleetStoreBusyError` when another process (or
+        another open store handle) is mid-ingest.  On platforms
+        without ``fcntl`` the lock degrades to a no-op, matching the
+        documented single-writer assumption.
+        """
+        if fcntl is None:
+            yield
+            return
+        os.makedirs(self.root, exist_ok=True)
+        handle = open(os.path.join(self.root, INGEST_LOCK_NAME), "a+")
+        try:
+            try:
+                fcntl.flock(handle, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                raise FleetStoreBusyError(
+                    "fleet store %s is busy: another writer holds %s "
+                    "(the store is single-writer; retry after the "
+                    "other ingest finishes)"
+                    % (self.root, INGEST_LOCK_NAME)) from None
+            yield
+        finally:
+            handle.close()
+
     def ingest(self, delta):
         """Merge one delivered delta; return True if it was applied.
 
         Dedupes on ``delta.delta_id``: a replay (duplicate delivery,
         retried shipment) is counted and dropped.  The samples and the
         ledger entry become durable in one atomic manifest commit.
+        Concurrent writers are rejected with
+        :class:`FleetStoreBusyError` (see :meth:`_ingest_lock`).
         """
+        with self._ingest_lock():
+            return self._ingest_locked(delta)
+
+    def _ingest_locked(self, delta):
         if delta.delta_id in self.ledger["applied"]:
             self.ledger["duplicates_dropped"] += 1
             self.obs.counter("fleet.deltas_deduped").inc()

@@ -10,6 +10,7 @@ wave5 benchmark's run-to-run variance.
 """
 
 from repro.alpha.regs import NUM_REGS
+from repro.ctx.context import NULL_CTX
 
 #: Address a top-level ``ret`` returns to; reaching it exits the process.
 EXIT_ADDR = 0xF0000000
@@ -22,10 +23,13 @@ STACK_BYTES = 1 << 20
 class Process:
     """One runnable process: registers, memory, page mapping."""
 
-    def __init__(self, pid, name, images, entry, page_rng, page_bits=13):
+    def __init__(self, pid, name, images, entry, page_rng, page_bits=13,
+                 ctx=NULL_CTX):
         self.pid = pid
         self.asn = pid
         self.name = name
+        # Request-class identity (repro.ctx); NULL_CTX = unattributed.
+        self.ctx = ctx
         self.images = list(images)
         self.memory = {}
         self.iregs = [0] * 32
@@ -45,8 +49,11 @@ class Process:
         self._page_rng = page_rng
         self._page_bits = page_bits
         self._page_map = {}
-        # Cycles this process has spent on a CPU (set by the scheduler).
+        # Cycles and instructions this process has spent on a CPU (set
+        # by the scheduler; the per-request accounting dcpitrace's tail
+        # analysis reads).
         self.cpu_cycles = 0
+        self.instructions = 0
 
     def translate_data(self, vpage):
         """Map a virtual data page to its per-run physical page."""

@@ -49,15 +49,25 @@ class Scheduler:
                     return machine.instructions_retired - start_retired
                 proc = queue.popleft()
                 core = machine.cores[cpu]
+                if machine.ctx_sink is not None:
+                    # Publish the dispatched process's request context
+                    # to the profiling driver's per-CPU context
+                    # register (repro.ctx); None when profiling runs
+                    # without the context dimension, so the default
+                    # path costs one attribute read.
+                    machine.ctx_sink(cpu, proc.pid, proc.ctx)
                 inst_limit = None
                 if max_instructions is not None:
                     inst_limit = (max_instructions
                                   - (machine.instructions_retired
                                      - start_retired))
                 before = core.time
+                before_retired = core.instructions_retired
                 status = core.run(proc, cycle_limit=self.quantum,
                                   inst_limit=inst_limit)
                 proc.cpu_cycles += core.time - before
+                proc.instructions += (core.instructions_retired
+                                      - before_retired)
                 progressed = True
                 if status == pipeline.EXITED:
                     proc.exited = True

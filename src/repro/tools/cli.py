@@ -14,6 +14,9 @@
 * ``dcpifleet``  -- simulate a fleet of profiled machines shipping
   epoch deltas into one central store; query it (top, movers,
   timeseries, regress).
+* ``dcpitrace``  -- per-request-class attribution: run a workload
+  with the context dimension on, report per-class CPI, culprits and
+  request tail percentiles (repro.ctx).
 
 Example::
 
@@ -191,6 +194,13 @@ def main_dcpicheck(argv=None):
 def main_dcpifleet(argv=None):
     """Simulated fleet: run machines, query the central epoch store."""
     from repro.fleet.cli import main
+
+    return main(argv)
+
+
+def main_dcpitrace(argv=None):
+    """Per-request-class attribution reports (repro.ctx)."""
+    from repro.tools.dcpitrace import main
 
     return main(argv)
 

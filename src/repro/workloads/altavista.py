@@ -43,8 +43,11 @@ class AltaVista(Workload):
         image = machine.load_image(
             assemble(_index_image(self.scale), image_name=_IMAGE))
         for index in range(self.queries):
+            # Request-class identity (repro.ctx): alternate simple and
+            # complex query classes across the outstanding queries.
+            cls = "search.simple" if index % 2 == 0 else "search.complex"
             machine.spawn(image, entry="%s:query" % _IMAGE,
-                          name="query.%d" % index)
+                          name="query.%d" % index, ctx=cls)
 
 
 def build(queries=8, scale=10):

@@ -43,7 +43,7 @@ class DSS(Workload):
             assemble(_query_image(self.scale), image_name=_IMAGE))
         for index in range(self.workers):
             machine.spawn(image, entry="%s:run_query" % _IMAGE,
-                          name="dss.%d" % index)
+                          name="dss.%d" % index, ctx="dss.query")
 
 
 def build(workers=8, scale=8):

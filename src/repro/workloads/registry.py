@@ -1,7 +1,7 @@
 """Registry of the paper's Table 2 workloads."""
 
 from repro.workloads import (altavista, bigcode, dss, gcc, mccalpin, specfp,
-                             specint, timesharing, wave5, x11perf)
+                             specint, timesharing, traffic, wave5, x11perf)
 
 #: name -> zero-argument factory producing a fresh Workload.
 _FACTORIES = {
@@ -20,6 +20,9 @@ _FACTORIES = {
     "altavista": altavista.build,
     "dss": dss.build,
     "timesharing": timesharing.build,
+    "bursty": traffic.build_bursty,
+    "slow-client": traffic.build_slow_client,
+    "mixed-tenant": traffic.build_mixed_tenant,
 }
 
 #: The Table 2 lineup (uniprocessor first, like the paper).
@@ -37,6 +40,9 @@ WORKLOADS = (
     "dss",
     "parallel-specfp",
     "timesharing",
+    "bursty",
+    "slow-client",
+    "mixed-tenant",
 )
 
 

@@ -54,7 +54,8 @@ class Timesharing(Workload):
             image = images[choice]
             machine.spawn(image, entry="%s:%s_main"
                           % (image.name, image.name),
-                          name="%s.%d" % (image.name, index))
+                          name="%s.%d" % (image.name, index),
+                          ctx="ts.%s" % image.name)
 
 
 def build(processes=20, scale=15):

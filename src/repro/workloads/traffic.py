@@ -1,0 +1,142 @@
+"""Traffic-shape scenarios for per-request attribution (repro.ctx).
+
+Three server traffic patterns whose *per-request* behavior -- not
+their aggregate profile -- is the interesting signal, built for the
+``dcpitrace`` tail reports:
+
+* ``bursty``       -- a steady background class plus bursts of short
+  requests arriving together; queueing inflates the burst class's
+  p99 latency far beyond its p50.
+* ``slow-client``  -- fast in-cache requests sharing CPUs with a few
+  slow clients whose requests sweep memory; the classes have similar
+  instruction counts but very different CPI.
+* ``mixed-tenant`` -- three tenants with distinct flavors (integer,
+  memory, branchy) on one box; per-class culprit lists show who is
+  burning the cycles.
+
+Each request is one process labeled with its request class via the
+``ctx=`` spawn argument, so the OS-sim publishes the class on every
+context switch and the driver's context dimension attributes samples
+to it (:mod:`repro.ctx`).
+"""
+
+from repro.alpha.assembler import assemble
+from repro.workloads.asmgen import caller_proc, loop_proc
+from repro.workloads.base import Workload
+
+
+def _server_image(name, scale):
+    """The shared server image: fast, slow and branchy request paths."""
+    text = ".image %s\n.data heap, 262144\n" % name
+    text += loop_proc("HandleFast", 6 * scale, "int")
+    text += loop_proc("HandleSlow", 6 * scale, "mem", buf="heap",
+                      wrap=4096, stride=64)
+    text += loop_proc("ParseRequest", 2 * scale, "branchy")
+    text += caller_proc("serve_fast", ["ParseRequest", "HandleFast"],
+                        rounds=4)
+    text += caller_proc("serve_slow", ["ParseRequest", "HandleSlow"],
+                        rounds=4)
+    return assemble(text, image_name=name)
+
+
+class Bursty(Workload):
+    """Steady background load plus bursts of short requests."""
+
+    name = "bursty"
+    num_cpus = 4
+    description = ("bursty traffic: steady background requests plus "
+                   "synchronized request bursts that queue behind "
+                   "each other (tail-latency scenario)")
+
+    def __init__(self, steady=3, burst=12, scale=6):
+        self.steady = steady
+        self.burst = burst
+        self.scale = scale
+
+    def setup(self, machine):
+        image = _server_image("burstysrv", self.scale)
+        server = machine.load_image(image)
+        for index in range(self.steady):
+            machine.spawn(server, entry="burstysrv:serve_slow",
+                          name="steady.%d" % index, ctx="req.steady")
+        # The burst arrives all at once: every request is runnable
+        # immediately, so most of them wait in the run queue and the
+        # class's cycles-per-request spread (p99 vs p50) is queueing.
+        for index in range(self.burst):
+            machine.spawn(server, entry="burstysrv:serve_fast",
+                          name="burst.%d" % index, ctx="req.burst")
+
+
+class SlowClient(Workload):
+    """Fast in-cache requests sharing CPUs with slow memory-bound ones."""
+
+    name = "slow-client"
+    num_cpus = 2
+    description = ("slow-client traffic: fast in-cache requests next "
+                   "to memory-sweeping slow clients; same code, very "
+                   "different per-class CPI")
+
+    def __init__(self, fast=6, slow=2, scale=6):
+        self.fast = fast
+        self.slow = slow
+        self.scale = scale
+
+    def setup(self, machine):
+        image = _server_image("slowcsrv", self.scale)
+        server = machine.load_image(image)
+        for index in range(self.fast):
+            machine.spawn(server, entry="slowcsrv:serve_fast",
+                          name="fast.%d" % index, ctx="client.fast")
+        for index in range(self.slow):
+            machine.spawn(server, entry="slowcsrv:serve_slow",
+                          name="slow.%d" % index, ctx="client.slow")
+
+
+class MixedTenant(Workload):
+    """Three tenants with distinct flavors sharing one box."""
+
+    name = "mixed-tenant"
+    num_cpus = 4
+    description = ("mixed-tenant traffic: integer, memory and branchy "
+                   "tenants on one box; per-class culprits attribute "
+                   "the cycles")
+
+    #: (tenant class, image name, flavor, processes)
+    TENANTS = (
+        ("tenant.a", "tenant_a", "int", 3),
+        ("tenant.b", "tenant_b", "mem", 3),
+        ("tenant.c", "tenant_c", "branchy", 3),
+    )
+
+    def __init__(self, scale=6):
+        self.scale = scale
+
+    def setup(self, machine):
+        for cls, image_name, flavor, procs in self.TENANTS:
+            text = ".image %s\n.data heap, 131072\n" % image_name
+            kwargs = ({"buf": "heap", "wrap": 2048, "stride": 32}
+                      if flavor == "mem" else {})
+            text += loop_proc("%s_work" % image_name, 8 * self.scale,
+                              flavor, **kwargs)
+            text += caller_proc("%s_main" % image_name,
+                                ["%s_work" % image_name], rounds=5)
+            image = machine.load_image(
+                assemble(text, image_name=image_name))
+            for index in range(procs):
+                machine.spawn(image,
+                              entry="%s:%s_main" % (image_name,
+                                                    image_name),
+                              name="%s.%d" % (image_name, index),
+                              ctx=cls)
+
+
+def build_bursty(steady=3, burst=12, scale=6):
+    return Bursty(steady, burst, scale)
+
+
+def build_slow_client(fast=6, slow=2, scale=6):
+    return SlowClient(fast, slow, scale)
+
+
+def build_mixed_tenant(scale=6):
+    return MixedTenant(scale)

@@ -85,7 +85,8 @@ class X11Perf(Workload):
              "bcopy"],
             rounds=self.rounds)
         app = assemble(app_text, image_name=_APP, externs=externs)
-        machine.spawn([app, ffb, oslib, mi, kernel], name="x11perf")
+        machine.spawn([app, ffb, oslib, mi, kernel], name="x11perf",
+                      ctx="x11.request")
 
 
 def build(scale=8, rounds=50):

@@ -173,6 +173,67 @@ class TestHookGuard:
         assert findings == []
 
 
+class TestCtxWriteGuard:
+    def test_unguarded_intern_fires(self):
+        findings = lint("""
+            def publish(self, ctx):
+                return self.ctx_table.intern(ctx)
+            """)
+        assert rules(findings) == ["lint/unguarded-ctx-write"]
+
+    def test_guarded_intern_is_fine(self):
+        findings = lint("""
+            def publish(self, ctx):
+                if ctx is not NULL_CTX:
+                    return self.ctx_table.intern(ctx)
+                return OTHER_ID
+            """)
+        assert findings == []
+
+    def test_guard_attribute_form_is_fine(self):
+        findings = lint("""
+            def publish(self, proc):
+                if proc.ctx is not context.NULL_CTX:
+                    return self.ctx_table.intern(proc.ctx)
+                return OTHER_ID
+            """)
+        assert findings == []
+
+    def test_else_branch_is_not_guarded(self):
+        findings = lint("""
+            def publish(self, ctx):
+                if ctx is not NULL_CTX:
+                    pass
+                else:
+                    return self.ctx_table.intern(ctx)
+            """)
+        assert rules(findings) == ["lint/unguarded-ctx-write"]
+
+    def test_wrong_comparison_fires(self):
+        findings = lint("""
+            def publish(self, ctx):
+                if ctx is NULL_CTX:
+                    return self.ctx_table.intern(ctx)
+            """)
+        assert rules(findings) == ["lint/unguarded-ctx-write"]
+
+    def test_non_ctx_receiver_is_ignored(self):
+        findings = lint("""
+            def dedupe(self, name):
+                return self.string_pool.intern(name)
+            """)
+        assert findings == []
+
+    def test_named_ignore_suppresses_early_return_style(self):
+        findings = lint("""
+            def publish(self, ctx):
+                if ctx is NULL_CTX:
+                    return OTHER_ID
+                return self.ctx_table.intern(ctx)  # dcpicheck: ignore[unguarded-ctx-write]
+            """)
+        assert findings == []
+
+
 class TestSuppression:
     def test_bare_ignore_suppresses(self):
         findings = lint("""

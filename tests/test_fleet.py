@@ -202,6 +202,52 @@ def test_transport_flush_delivers_trailing_delayed():
     assert transport.stats.lost_samples == 0
 
 
+# -- single-writer ingest lock ----------------------------------------------
+
+
+def _fcntl_available():
+    try:
+        import fcntl  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+@pytest.mark.skipif(not _fcntl_available(),
+                    reason="advisory locking needs fcntl (POSIX)")
+def test_concurrent_ingest_fails_loudly(tmp_path):
+    """A second writer mid-ingest gets FleetStoreBusyError, not a race.
+
+    flock conflicts are per open file description, so two store
+    handles in one process exercise the same path as two processes.
+    """
+    from repro.fleet import FleetStoreBusyError
+
+    root = str(tmp_path / "store")
+    first = FleetStore(root)
+    second = FleetStore(root)
+    with first._ingest_lock():
+        with pytest.raises(FleetStoreBusyError, match="single-writer"):
+            second.ingest(_tiny_delta(1))
+    # The loser applied nothing: the delta is still ingestable.
+    assert second.ingest(_tiny_delta(1)) is True
+
+
+@pytest.mark.skipif(not _fcntl_available(),
+                    reason="advisory locking needs fcntl (POSIX)")
+def test_ingest_lock_is_released_after_each_ingest(tmp_path):
+    """Sequential ingests through distinct handles all succeed."""
+    root = str(tmp_path / "store")
+    first = FleetStore(root)
+    assert first.ingest(_tiny_delta(1)) is True
+    second = FleetStore(root)
+    assert second.ingest(_tiny_delta(2)) is True
+    # ... including when an earlier ingest was a rejected duplicate.
+    third = FleetStore(root)
+    assert third.ingest(_tiny_delta(2)) is False
+    assert third.ingest(_tiny_delta(3)) is True
+
+
 # -- retention --------------------------------------------------------------
 
 

@@ -114,3 +114,36 @@ class TestShardObs:
                      for s in shard_results)
         assert merged["driver.hash.miss_rate"] == pytest.approx(
             misses / (hits + misses))
+
+
+class TestCtxSpanLinkage:
+    """dcpimon traces and sample profiles share request identity."""
+
+    @pytest.fixture(scope="class")
+    def ctx_shard(self):
+        spec = ShardSpec(workload="slow-client", seed=1, obs=True,
+                         context=True, max_instructions=BUDGET)
+        return run_shard(spec)
+
+    def test_trace_carries_one_instant_per_class(self, ctx_shard):
+        instants = [event for event in ctx_shard.trace_events
+                    if event.get("name") == "ctx.class"]
+        by_name = {event["args"]["cls"]: event["args"]["span"]
+                   for event in instants}
+        assert set(by_name) == set(ctx_shard.ctx["classes"])
+        assert len(instants) == len(by_name)
+
+    def test_trace_spans_match_ledger_spans(self, ctx_shard):
+        from repro.ctx import span_id
+
+        instants = {event["args"]["cls"]: event["args"]["span"]
+                    for event in ctx_shard.trace_events
+                    if event.get("name") == "ctx.class"}
+        for name, span in instants.items():
+            assert span == span_id(name)
+            assert ctx_shard.ctx["spans"][name] == span
+
+    def test_ctx_off_trace_has_no_class_instants(self, shard_results):
+        for shard in shard_results:
+            assert all(event.get("name") != "ctx.class"
+                       for event in shard.trace_events)

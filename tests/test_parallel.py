@@ -16,10 +16,12 @@ from hypothesis import strategies as st
 from repro.collect.database import ProfileDatabase
 from repro.collect.driver import DriverConfig
 from repro.collect.parallel import (MergedProfiles, ParallelSessionRunner,
-                                    ShardSpec, merge_periods, merge_shards,
+                                    ShardSpec, merge_periods,
+                                    merge_shard_ctx, merge_shards,
                                     run_shard, shard_matrix)
 from repro.collect.session import SessionConfig
 from repro.cpu.events import EventType
+from repro.ctx import canonical_ledger_bytes
 
 BUDGET = 15_000
 
@@ -82,6 +84,59 @@ def test_reducer_is_order_and_grouping_independent(shards, data):
         regrouped = [merge_shards(shards[:split]),
                      merge_shards(shards[split:])]
         assert merge_shards(regrouped) == expected
+
+
+# -- context-dimension shards (repro.ctx) ----------------------------------
+
+
+@pytest.fixture(scope="module")
+def ctx_shard_results():
+    """Three real ctx-enabled shards of the traffic scenarios."""
+    shards = [ShardSpec(workload=workload, seed=seed, context=True,
+                        max_instructions=BUDGET)
+              for seed, workload in enumerate(
+                  ("bursty", "slow-client", "mixed-tenant"), start=1)]
+    return [run_shard(spec) for spec in shards]
+
+
+@settings(max_examples=25, deadline=None)
+@given(order=st.permutations(range(3)))
+def test_ctx_merge_is_order_independent_byte_for_byte(
+        ctx_shard_results, order):
+    """Profiles AND the merged context ledger survive any shard order."""
+    baseline_profiles = merged_bytes(ctx_shard_results)
+    baseline_ledger = canonical_ledger_bytes(
+        merge_shard_ctx(ctx_shard_results))
+    shuffled = [ctx_shard_results[i] for i in order]
+    assert merged_bytes(shuffled) == baseline_profiles
+    assert canonical_ledger_bytes(
+        merge_shard_ctx(shuffled)) == baseline_ledger
+
+
+def test_ctx_merge_is_associative_on_real_shards(ctx_shard_results):
+    whole = canonical_ledger_bytes(merge_shard_ctx(ctx_shard_results))
+    left = merge_shard_ctx(ctx_shard_results[:1])
+    right = merge_shard_ctx(ctx_shard_results[1:])
+    assert canonical_ledger_bytes(
+        merge_shard_ctx([left, right])) == whole
+
+
+def test_ctx_shards_ship_ledgers_with_requests(ctx_shard_results):
+    for result in ctx_shard_results:
+        assert result.ctx is not None
+        assert result.ctx["schema"] == 1
+        assert result.ctx["classes"]
+        assert result.ctx["requests"]
+
+
+def test_ctx_off_shards_ship_no_ledger(shard_results):
+    assert all(result.ctx is None for result in shard_results)
+    assert merge_shard_ctx(shard_results) is None
+
+
+def test_ctx_shard_results_are_picklable(ctx_shard_results):
+    clone = pickle.loads(pickle.dumps(ctx_shard_results[0]))
+    assert clone.ctx == ctx_shard_results[0].ctx
 
 
 # -- parallel vs serial byte-identity --------------------------------------
