@@ -56,7 +56,11 @@ EVENT_PERIOD = 64
 #: 5: added the optional "ctx" block (repro.ctx request-attribution
 #:    metrics -- per-class sample counts, context-table accounting,
 #:    enable overhead -- recorded via record_ctx()).  Additive again.
-BENCH_SCHEMA = 5
+#: 6: added the optional "opt" block (repro.opt profile-guided
+#:    optimizer metrics -- realized speedup per workload with the
+#:    layout/schedule/split contribution split, acceptance flags --
+#:    recorded via record_opt()).  Additive again.
+BENCH_SCHEMA = 6
 
 QUICK = os.environ.get("DCPIBENCH_QUICK") == "1"
 _CLAMP = int(os.environ.get("DCPIBENCH_MAX_INSTRUCTIONS", "0")) or None
@@ -70,6 +74,7 @@ _REPORTS = {}
 _TEXTS = {}
 _FLEET = {}
 _CTX = {}
+_OPT = {}
 
 
 def clamp_budget(requested):
@@ -130,6 +135,19 @@ def record_ctx(metrics):
     overhead percentages are informational.
     """
     _CTX.setdefault(_module_stem(_CURRENT["nodeid"]), {}).update(metrics)
+
+
+def record_opt(metrics):
+    """Merge *metrics* into this module's "opt" result block.
+
+    Optimizer benchmarks (bench_opt_speedup.py) call this with flat
+    numeric facts -- per-workload realized speedup, the per-pass
+    contribution split, acceptance flags -- which land under the
+    payload's schema-6 "opt" key.  The simulator is deterministic, so
+    speedups are compared between identically-configured runs by
+    ``dcpibench compare`` (with a small float slack).
+    """
+    _OPT.setdefault(_module_stem(_CURRENT["nodeid"]), {}).update(metrics)
 
 
 def _record_session(kind, workload, mode, seed, result, cpu_s=None):
@@ -292,6 +310,7 @@ def _bench_payload(stem, tests, records):
     return {
         "ctx": _CTX.get(stem),
         "fleet": _FLEET.get(stem),
+        "opt": _OPT.get(stem),
         "obs": obs,
         "schema": BENCH_SCHEMA,
         "benchmark": stem,

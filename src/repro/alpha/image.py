@@ -90,6 +90,12 @@ class Image:
         self.symbols = SymbolTable()
         self.data_size = 0
         self.data_base: Optional[int] = None
+        #: Image-relative offset to pin the data region at (set by image
+        #: rewriters, e.g. :mod:`repro.opt`): when not None, ``link``
+        #: places data at ``base + data_offset`` instead of the first
+        #: page boundary after the code, so data addresses survive a
+        #: code-layout change byte-for-byte.
+        self.data_offset: Optional[int] = None
         self._proc_by_name: Dict[str, Procedure] = {}
         #: Original assembly text, when built by the assembler (used by
         #: the dcpilist source-annotation tool).
@@ -137,9 +143,19 @@ class Image:
         for inst in self.instructions:
             inst.addr += base
         code_end = base + self.code_size
-        # Data starts on the next 8 KB page boundary so that code and data
-        # never share a page (or a cache line).
-        self.data_base = (code_end + 8191) & ~8191
+        if self.data_offset is not None:
+            # A rewriter pinned the data region (so pointers into it
+            # keep their pre-rewrite values); the pin must still keep
+            # data off the code's pages.
+            if base + self.data_offset < code_end:
+                raise ValueError(
+                    "pinned data offset %#x overlaps code (%d bytes)"
+                    % (self.data_offset, self.code_size))
+            self.data_base = base + self.data_offset
+        else:
+            # Data starts on the next 8 KB page boundary so that code and
+            # data never share a page (or a cache line).
+            self.data_base = (code_end + 8191) & ~8191
         for proc in self.procedures:
             proc.start += base
             proc.end += base

@@ -21,6 +21,7 @@ def image_to_dict(image: Image) -> Dict[str, object]:
         "name": image.name,
         "base": image.base,
         "data_base": image.data_base,
+        "data_offset": image.data_offset,
         "data_size": image.data_size,
         "instructions": [
             [inst.op, inst.ra, inst.rb, inst.rc, inst.imm, inst.target]
@@ -38,6 +39,9 @@ def image_from_dict(data: Dict[str, object]) -> Image:
     image = Image(str(data["name"]))
     image.base = int(data["base"])  # type: ignore[call-overload]
     image.data_base = int(data["data_base"])  # type: ignore[call-overload]
+    offset = data.get("data_offset")
+    if offset is not None:
+        image.data_offset = int(offset)  # type: ignore[call-overload]
     image.data_size = int(data["data_size"])  # type: ignore[call-overload]
     addr = image.base
     for op, ra, rb, rc, imm, target in data["instructions"]:  # type: ignore[union-attr]

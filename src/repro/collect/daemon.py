@@ -394,20 +394,24 @@ class Daemon:
     def extract_delta(self):
         """Close the current epoch and return it as a shippable delta.
 
-        Returns ``(epoch, profiles, periods)`` where *profiles* is the
-        plain-dict export of every sample merged since the last
-        extraction (exactly the samples of the closed epoch: the
-        in-memory profiles are cleared by the epoch advance, so two
-        consecutive deltas never overlap).  This is the per-machine
-        daemon's unit of shipment in :mod:`repro.fleet` -- the "new
-        samples since last epoch" a fleet collector sends upstream
-        instead of keeping a local database.
+        Returns ``(epoch, profiles, periods, ctx_meta)`` where
+        *profiles* is the plain-dict export of every sample merged
+        since the last extraction (exactly the samples of the closed
+        epoch: the in-memory profiles are cleared by the epoch advance,
+        so two consecutive deltas never overlap) and *ctx_meta* is the
+        closed epoch's request-context ledger
+        (:meth:`~repro.ctx.ledger.ContextLedger.to_meta`; None when the
+        context dimension is off).  This is the per-machine daemon's
+        unit of shipment in :mod:`repro.fleet` -- the "new samples
+        since last epoch" a fleet collector sends upstream, attribution
+        included, instead of keeping a local database.
         """
         epoch = self.epoch
         profiles = self.export_profiles()
         periods = dict(self.periods)
+        ctx_meta = self.ctx.to_meta() if self.ctx is not None else None
         self.advance_epoch()
-        return epoch, profiles, periods
+        return epoch, profiles, periods, ctx_meta
 
     def advance_epoch(self, database=None):
         """Close the current epoch (paper section 4.3.3).

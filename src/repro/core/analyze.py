@@ -117,6 +117,36 @@ class ProcedureAnalysis:
 
         return summarize_procedure(self)
 
+    def annotations(self):
+        """Machine-readable per-instruction annotations.
+
+        Returns a list of plain dicts keyed by image-relative offset --
+        the stable coordinate a consumer (e.g. the :mod:`repro.opt`
+        profile-guided optimizer, or an external tool reading the JSON
+        export) can use to line samples up with a freshly built copy of
+        the same image.  Every estimate the analysis produced is here:
+        frequency, CPI, the static schedule's issue point and stall
+        count, dynamic-stall culprits, and the estimate confidence.
+        """
+        base = self.image.base or 0
+        rows = []
+        for row in self.instructions:
+            rows.append({
+                "offset": row.inst.addr - base,
+                "op": row.inst.op,
+                "samples": row.samples,
+                "count": row.count,
+                "cpi": round(row.cpi, 6),
+                "m": row.m,
+                "static_stalls": row.static_stalls,
+                "dyn_per_exec": round(row.dyn_per_exec, 6),
+                "culprits": list(row.culprits),
+                "paired": bool(row.paired),
+                "confidence": row.confidence,
+            })
+        rows.sort(key=lambda entry: entry["offset"])
+        return rows
+
 
 def analyze_procedure(image, proc, profile, config=None):
     """Analyze one procedure.
@@ -205,3 +235,27 @@ def analyze_image(image, profile, config=None, min_samples=1,
                    config.loss_rate_threshold * 100.0))
         result[name] = analysis
     return result
+
+
+def export_annotations(analyses):
+    """JSON-ready annotation export for a whole image's analyses.
+
+    *analyses* is the ``{procedure: ProcedureAnalysis}`` mapping
+    :func:`analyze_image` returns.  The result maps procedure name to
+    ``{"start", "end", "period", "low_confidence", "instructions"}``
+    with offsets image-relative throughout -- the contract consumed by
+    ``dcpiopt`` and stable for external profile-guided tooling.
+    """
+    export = {}
+    for name, analysis in analyses.items():
+        base = analysis.image.base or 0
+        export[name] = {
+            "image": analysis.image.name,
+            "start": analysis.proc.start - base,
+            "end": analysis.proc.end - base,
+            "period": analysis.period,
+            "low_confidence": analysis.low_confidence,
+            "total_samples": analysis.total_samples,
+            "instructions": analysis.annotations(),
+        }
+    return export

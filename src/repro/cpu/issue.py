@@ -32,3 +32,23 @@ PAIR_OK = {
 def can_pair(cls_a, cls_b):
     """Return True if issue classes *cls_a* and *cls_b* can dual-issue."""
     return PAIR_OK[(cls_a, cls_b)]
+
+
+def result_latency(opname):
+    """Cycles before *opname*'s result is usable by a dependent.
+
+    This is the same ``ISSUE_CLASSES`` latency the pipeline simulator
+    charges, exposed so profile-guided schedulers (:mod:`repro.opt`)
+    build their dependence DAGs against the machine's real rules
+    instead of a private copy.
+    """
+    from repro.alpha.opcodes import issue_class
+
+    return issue_class(opname).latency
+
+
+def issue_pipes(opname):
+    """The function-unit pipes *opname* may issue on (slotting rule)."""
+    from repro.alpha.opcodes import issue_class
+
+    return issue_class(opname).pipes

@@ -7,6 +7,7 @@ Subcommands::
     dcpifleet movers     biggest CPU-share movers between epoch ranges
     dcpifleet timeseries per-epoch share series (text or JSON)
     dcpifleet regress    exit-nonzero regression gate (CI primitive)
+    dcpifleet classes    fleet-wide per-request-class attribution
 
 ``regress`` exits 2 when any procedure's CPU share increased beyond
 both the sampling-error significance bound and the configured floor;
@@ -47,6 +48,10 @@ def build_parser():
                           "stdout)")
     run.add_argument("--no-check", dest="check", action="store_false",
                      help="skip the fleet-conservation invariant check")
+    run.add_argument("--context", action="store_true",
+                     help="thread the request-context dimension "
+                          "(repro.ctx) through every machine and ship "
+                          "each epoch's ledger with its delta")
 
     def query_args(cmd, epochs_help="epoch range A..B, single epoch, "
                                     "or 'all' (default)"):
@@ -99,6 +104,18 @@ def build_parser():
     regress.add_argument("--min-share-delta", type=float, default=0.005,
                          help="ignore share increases below this "
                               "(default 0.005)")
+
+    classes = sub.add_parser(
+        "classes", help="per-request-class attribution from shipped "
+                        "context ledgers")
+    classes.add_argument("--store", required=True)
+    classes.add_argument("--epochs", default=None,
+                         help="epoch range A..B, single epoch, or "
+                              "'all' (default)")
+    classes.add_argument("--limit", type=int, default=5,
+                         help="culprit procedures per class")
+    classes.add_argument("--json", dest="as_json", action="store_true",
+                         help="emit JSON instead of a table")
     return parser
 
 
@@ -164,7 +181,7 @@ def cmd_run(args, out):
     config = FleetConfig(
         machines=args.machines, epochs=args.epochs, workloads=workloads,
         seed=args.seed, epoch_instructions=args.epoch_instructions,
-        retention=retention)
+        retention=retention, context=args.context)
     store = FleetStore(args.store)
     result = FleetSession(config).run(store, check=args.check)
     report = result.report()
@@ -263,6 +280,31 @@ def cmd_regress(args, out):
     return 0
 
 
+def cmd_classes(args, out):
+    from repro.fleet.query import parse_epochs
+    from repro.tools.dcpitrace import (_cycles_period, build_report,
+                                       format_report)
+
+    store = FleetStore(args.store)
+    epochs = None
+    if args.epochs not in (None, "all"):
+        epochs = parse_epochs(args.epochs, store.epochs())
+    merged = store.ctx_meta(epochs=epochs)
+    if merged is None:
+        out.write("no context ledgers in %s (run the fleet with "
+                  "--context)\n" % args.store)
+        return 1
+    report = build_report(merged, period=_cycles_period(store.db),
+                          db=args.store, limit=args.limit)
+    if args.as_json:
+        json.dump(report, out, indent=2, sort_keys=True)
+        out.write("\n")
+    else:
+        out.write(format_report(report, title="dcpifleet classes"))
+        out.write("\n")
+    return 0
+
+
 def main(argv=None, out=None):
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
@@ -272,6 +314,7 @@ def main(argv=None, out=None):
         "movers": cmd_movers,
         "timeseries": cmd_timeseries,
         "regress": cmd_regress,
+        "classes": cmd_classes,
     }[args.command]
     return handler(args, out)
 

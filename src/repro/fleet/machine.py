@@ -64,6 +64,12 @@ class FleetConfig:
     #: retention policy applied after every fleet epoch (None = keep
     #: everything at full resolution).
     retention: Optional[RetentionPolicy] = None
+    #: thread the request-context dimension (repro.ctx) through every
+    #: machine and ship each epoch's ledger inside its Delta, so the
+    #: store can answer per-request-class queries fleet-wide.
+    context: bool = False
+    #: driver-side context-table capacity when *context* is on.
+    ctx_slots: int = 64
 
     def machine_seed(self, index):
         return self.seed + SEED_STRIDE * index
@@ -77,7 +83,9 @@ class FleetMachine:
 
     def __init__(self, machine_id, workload_name, seed,
                  mode="default", cycles_period=(240, 256),
-                 event_period=64, drain_interval=6_000, obs=None):
+                 event_period=64, drain_interval=6_000, context=False,
+                 ctx_slots=64, obs=None):
+        from repro.ctx import ContextLedger
         from repro.workloads.registry import get_workload
 
         self.machine_id = machine_id
@@ -88,7 +96,8 @@ class FleetMachine:
         self.workload = get_workload(workload_name)
         session_config = SessionConfig(
             mode=mode, seed=seed, cycles_period=cycles_period,
-            event_period=event_period)
+            event_period=event_period, context=context,
+            ctx_slots=ctx_slots)
         self.machine = Machine(
             MachineConfig(num_cpus=self.workload.num_cpus), seed=seed)
         self.driver = Driver(self.workload.num_cpus,
@@ -99,7 +108,8 @@ class FleetMachine:
                       EventType.BRANCHMP, EventType.DTBMISS,
                       EventType.ITBMISS):
             periods[event] = float(event_period)
-        self.daemon = Daemon(self.machine.loader, periods=periods)
+        self.daemon = Daemon(self.machine.loader, periods=periods,
+                             ctx=ContextLedger() if context else None)
         self.workload.setup(self.machine)
         #: loadmap generation: bumped every traffic respawn.
         self.generation = 1
@@ -148,7 +158,13 @@ class FleetMachine:
             else:
                 idle_streak = 0
         self.instructions += ran_total
-        epoch, profiles, periods = self.daemon.extract_delta()
+        if self.daemon.ctx is not None:
+            # Fold per-process request totals (keyed, idempotent) into
+            # the epoch's ledger before it closes, exactly as a local
+            # ProfileSession does at shutdown.
+            from repro.collect.session import ProfileSession
+            ProfileSession._fold_requests(self.machine, self.daemon)
+        epoch, profiles, periods, ctx_meta = self.daemon.extract_delta()
         symbols = None
         if self.generation > self._symbols_shipped_gen:
             symbols = self._symbols()
@@ -166,7 +182,8 @@ class FleetMachine:
             symbols=symbols,
             machine_lost=(self.daemon.lost_samples
                           + sum(cpu.dropped
-                                for cpu in self.driver.cpus)))
+                                for cpu in self.driver.cpus)),
+            ctx=ctx_meta)
         self.shipped_samples += delta.total_samples()
         return delta
 
@@ -197,6 +214,7 @@ class FleetResult:
                 "epoch_instructions": self.config.epoch_instructions,
                 "retention": (self.config.retention.spec()
                               if self.config.retention else None),
+                "context": self.config.context,
             },
             "machines": self.machines,
             "transport": dict(self.transport_stats),
@@ -243,6 +261,8 @@ class FleetSession:
                 cycles_period=config.cycles_period,
                 event_period=config.event_period,
                 drain_interval=config.drain_interval,
+                context=config.context,
+                ctx_slots=config.ctx_slots,
                 obs=self.obs)
             for index in range(config.machines)
         ]

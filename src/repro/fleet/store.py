@@ -61,6 +61,9 @@ def _empty_ledger():
         "machines": {},
         #: image name -> [[procedure, start offset, end offset], ...]
         "symbols": {},
+        #: fleet epoch key ("%04d") -> merged request-context ledger
+        #: meta for that epoch (repro.ctx), merged across machines.
+        "ctx": {},
         "samples_ingested": 0,
         "bytes_ingested": 0,
         "duplicates_dropped": 0,
@@ -158,6 +161,16 @@ class FleetStore:
         if delta.symbols:
             for image, procs in delta.symbols.items():
                 self.ledger["symbols"][image] = [list(p) for p in procs]
+        if delta.ctx:
+            # Merge this machine's epoch ledger into the fleet-wide
+            # per-epoch ledger; request keys are seed-prefixed so
+            # machines union without collision.  Committed in the same
+            # atomic manifest rename as the samples it attributes.
+            from repro.ctx import merge_ledger_meta
+            key = "%04d" % delta.epoch
+            current = self.ledger["ctx"].get(key)
+            metas = [current, delta.ctx] if current else [delta.ctx]
+            self.ledger["ctx"][key] = merge_ledger_meta(metas)
         self.ledger["samples_ingested"] += samples
         self.ledger["bytes_ingested"] += size
         with self.obs.timeit("fleet.merge_s"):
@@ -182,6 +195,24 @@ class FleetStore:
         """Per-machine shipment accounting from the ledger."""
         return {mid: dict(entry)
                 for mid, entry in self.ledger["machines"].items()}
+
+    def ctx_meta(self, epochs=None):
+        """Merged request-context ledger over *epochs* (default: all).
+
+        Returns a :func:`repro.ctx.merge_ledger_meta` blob -- the same
+        shape ``dcpitrace`` reports from -- or None when no shipped
+        delta carried the context dimension.
+        """
+        from repro.ctx import merge_ledger_meta
+        stored = self.ledger["ctx"]
+        if epochs is None:
+            keys = sorted(stored)
+        else:
+            keys = ["%04d" % epoch for epoch in sorted(epochs)]
+        metas = [stored[key] for key in keys if key in stored]
+        if not metas:
+            return None
+        return merge_ledger_meta(metas)
 
     def merged(self, epochs=None):
         """Reduce *epochs* (default: all) into a MergedProfiles.
@@ -229,6 +260,7 @@ class FleetStore:
             "duplicates_dropped": self.ledger["duplicates_dropped"],
             "compactions": self.ledger["compactions"],
             "downsample_residue": self.ledger["downsample_residue"],
+            "ctx_epochs": len(self.ledger["ctx"]),
             "stored_samples": self.total_samples(),
             "disk_bytes": self.disk_bytes(),
             "quarantined_samples": self.db.quarantined_samples(),

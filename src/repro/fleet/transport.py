@@ -48,6 +48,10 @@ class Delta:
     #: accounted collection-side loss on the machine at ship time
     #: (driver drops + daemon losses), for fleet-wide loss accounting.
     machine_lost: int = 0
+    #: the epoch's request-context ledger
+    #: (:meth:`~repro.ctx.ledger.ContextLedger.to_meta`), shipped with
+    #: the samples it attributes; None when the dimension is off.
+    ctx: Optional[dict] = None
 
     @property
     def delta_id(self):

@@ -1,0 +1,41 @@
+"""repro.opt: profile-guided optimization driven by DCPI profiles.
+
+The paper's closing argument is that continuous profiles are accurate
+enough to *act on*.  This package is the acting: it consumes the
+analysis tools' per-instruction frequency/CPI/culprit output and
+rewrites workload images -- basic-block layout (Pettis-Hansen
+chaining), in-block list scheduling against the machine's own
+dual-issue rules, and hot/cold splitting -- then re-runs the workload
+to measure the speedup that was actually realized, under a correctness
+oracle that rejects any rewrite whose architectural results differ.
+
+See :mod:`repro.opt.passes` (deciding), :mod:`repro.opt.rewrite`
+(doing), :mod:`repro.opt.oracle` (proving) and
+:mod:`repro.opt.optimizer` (orchestrating); ``dcpiopt`` is the CLI.
+"""
+
+from repro.opt.optimizer import (OptReport, optimize_workload,
+                                 pass_contributions, sweep_workload)
+from repro.opt.oracle import OracleReport, verify_identity
+from repro.opt.passes import OptConfig, build_plan
+from repro.opt.rewrite import (BlockPlan, ImageRewriter, ProcPlan,
+                               RewritePlan, RewriteResult,
+                               image_fingerprint, rewrite_image)
+
+__all__ = [
+    "BlockPlan",
+    "ImageRewriter",
+    "OptConfig",
+    "OptReport",
+    "OracleReport",
+    "ProcPlan",
+    "RewritePlan",
+    "RewriteResult",
+    "build_plan",
+    "image_fingerprint",
+    "optimize_workload",
+    "pass_contributions",
+    "rewrite_image",
+    "sweep_workload",
+    "verify_identity",
+]

@@ -1,0 +1,293 @@
+"""Profile -> plan -> rewrite -> verify -> measure, end to end.
+
+:func:`optimize_workload` closes the paper's loop: the workload runs
+under the DCPI collection system, the analysis explains where the
+cycles went, the planning passes turn those explanations into a
+rewrite, and two plain A/B runs measure the *realized* speedup while
+the oracle (:mod:`repro.opt.oracle`) and the Layer-1 image checker
+(:mod:`repro.check`) prove the rewritten program is still the same
+program.  A result is only reported as an optimization when all three
+hold: architectural identity, zero unwaived ERROR/WARNING findings,
+and the plan actually applied.
+
+:func:`sweep_workload` repeats the whole loop across sampling periods
+and injected collection-loss rates -- the experiment behind the
+paper's "how good do the profiles have to be?" question: realized
+speedup as a function of profile quality.
+"""
+
+import random
+from collections import Counter
+
+from repro.check.findings import INFO
+from repro.check.image_checks import check_image
+from repro.collect.database import ImageProfile
+from repro.collect.session import ProfileSession, SessionConfig
+from repro.core.analyze import AnalysisConfig, analyze_image
+from repro.cpu.config import MachineConfig
+from repro.cpu.events import EventType
+from repro.obs import NULL_OBS
+from repro.opt.oracle import event_total, verify_identity
+from repro.opt.passes import OptConfig, build_plan
+from repro.workloads import get_workload
+
+
+class OptReport:
+    """Everything one optimize run produced (JSON-ready via report())."""
+
+    def __init__(self, workload_name, plans, oracle, findings,
+                 profile_stats, pass_stats):
+        self.workload_name = workload_name
+        self.plans = plans
+        self.oracle = oracle
+        #: {image name: [non-INFO Finding, ...]} on rewritten images.
+        self.findings = findings
+        self.profile_stats = profile_stats
+        self.pass_stats = pass_stats
+
+    @property
+    def accepted(self):
+        """True when the rewrite is proven safe to ship."""
+        return (self.oracle.identical
+                and not any(self.findings.values()))
+
+    @property
+    def speedup(self):
+        """Realized fractional cycle reduction (0.0 when rejected)."""
+        return self.oracle.speedup if self.accepted else 0.0
+
+    def report(self):
+        """Plain-dict summary (the dcpiopt report schema, version 1)."""
+        oracle = self.oracle
+        baseline = oracle.baseline_machine
+        optimized = oracle.optimized_machine
+        base_insts = sum(p.instructions for p in baseline.processes)
+        opt_insts = sum(p.instructions for p in optimized.processes)
+        return {
+            "schema": 1,
+            "workload": self.workload_name,
+            "accepted": self.accepted,
+            "identical": oracle.identical,
+            "mismatches": list(oracle.mismatches),
+            "skipped": list(oracle.skipped),
+            "check_findings": {
+                name: [str(f) for f in rows]
+                for name, rows in self.findings.items() if rows
+            },
+            "baseline": {
+                "cycles": oracle.baseline_cycles,
+                "instructions": base_insts,
+                "cpi": (oracle.baseline_cycles / base_insts
+                        if base_insts else 0.0),
+                "imiss": event_total(baseline, EventType.IMISS),
+            },
+            "optimized": {
+                "cycles": oracle.optimized_cycles,
+                "instructions": opt_insts,
+                "cpi": (oracle.optimized_cycles / opt_insts
+                        if opt_insts else 0.0),
+                "imiss": event_total(optimized, EventType.IMISS),
+            },
+            "speedup": oracle.speedup,
+            "passes": dict(self.pass_stats),
+            "profile": dict(self.profile_stats),
+        }
+
+
+def _finding_key(finding):
+    # Instruction offsets shift when code moves, and reordering changes
+    # *which* instruction first exhibits a pre-existing property (e.g.
+    # which of several reads of a never-written register comes first),
+    # so findings are budgeted by rule, severity and scope (location
+    # minus the +0x offset): the rewrite must not increase any scope's
+    # finding count.
+    scope = ":".join(part for part in finding.location.split(":")
+                     if not part.startswith("+"))
+    return (finding.rule, finding.severity, scope)
+
+
+def _new_findings(before, after):
+    """Non-INFO findings in *after* beyond *before*'s per-scope budget.
+
+    The optimizer's contract is that it introduces no findings; it is
+    not required to fix findings the input image always had (those
+    belong to the workload's author).
+    """
+    budget = Counter(_finding_key(f) for f in before
+                     if f.severity != INFO)
+    fresh = []
+    for finding in after:
+        if finding.severity == INFO:
+            continue
+        key = _finding_key(finding)
+        if budget[key] > 0:
+            budget[key] -= 1
+        else:
+            fresh.append(finding)
+    return fresh
+
+
+def _subsample_profile(profile, loss, seed):
+    """Simulate collection loss: drop each sample with probability *loss*.
+
+    Deterministic in (*seed*, image name, event, offset) so sweeps are
+    reproducible; edge samples are thinned the same way.
+    """
+    if loss <= 0.0:
+        return profile
+    rng = random.Random("%d:%s" % (seed, profile.image.name))
+    thinned = ImageProfile(profile.image, periods=dict(profile.periods))
+    for event, by_offset in profile.counts.items():
+        for offset in sorted(by_offset):
+            count = by_offset[offset]
+            kept = sum(1 for _ in range(count) if rng.random() >= loss)
+            if kept:
+                thinned.add(event, offset, kept)
+    for key in sorted(profile.edge_counts):
+        count = profile.edge_counts[key]
+        kept = sum(1 for _ in range(count) if rng.random() >= loss)
+        if kept:
+            thinned.add_edge(key[0], key[1], kept)
+    return thinned
+
+
+def optimize_workload(workload, mode="cycles", seed=1,
+                      max_instructions=200_000, cycles_period=(240, 256),
+                      opt_config=None, machine_config=None, loss=0.0,
+                      verify_instructions=None, obs=None):
+    """Run the full profile-guided loop on *workload*.
+
+    *workload* is a registry name or a Workload object; *loss* injects
+    the given sample-loss fraction into the collected profiles before
+    analysis (sweep support).  *max_instructions* caps the profiling
+    run only; the oracle's A/B runs go to completion by default
+    (*verify_instructions* = None) because architectural identity is
+    only decidable on finished programs.  Returns an
+    :class:`OptReport`.
+    """
+    obs = obs or NULL_OBS
+    if isinstance(workload, str):
+        workload = get_workload(workload)
+    machine_config = machine_config or MachineConfig()
+    opt_config = opt_config or OptConfig()
+
+    with obs.span("opt.profile", workload=workload.name):
+        session = ProfileSession(
+            machine_config,
+            SessionConfig(mode=mode, seed=seed,
+                          cycles_period=cycles_period))
+        collected = session.run(workload,
+                                max_instructions=max_instructions)
+
+    plans = []
+    pass_stats = {}
+    analyzed_samples = 0
+    with obs.span("opt.plan", workload=workload.name):
+        for image in collected.machine.loader.images:
+            profile = collected.profiles.get(image.name)
+            if profile is None or not profile.total(EventType.CYCLES):
+                continue
+            profile = _subsample_profile(profile, loss, seed)
+            if not profile.total(EventType.CYCLES):
+                continue
+            analyses = analyze_image(image, profile, AnalysisConfig())
+            if not analyses:
+                continue
+            analyzed_samples += sum(a.total_samples
+                                    for a in analyses.values())
+            plan = build_plan(image, analyses, opt_config, obs=obs)
+            plans.append(plan)
+            for key, value in plan.stats.items():
+                pass_stats[key] = pass_stats.get(key, 0) + value
+
+    with obs.span("opt.verify", workload=workload.name):
+        oracle = verify_identity(workload, plans,
+                                 machine_config=machine_config,
+                                 seed=seed,
+                                 max_instructions=verify_instructions,
+                                 obs=obs)
+
+    findings = {}
+    baseline_images = {image.name: image
+                       for image in oracle.baseline_machine.loader.images}
+    for name, result in oracle.rewriter.results.items():
+        if not result.applied:
+            continue
+        for image in oracle.optimized_machine.loader.images:
+            if image.name == name:
+                original = baseline_images.get(name)
+                before = (check_image(original)
+                          if original is not None else [])
+                findings[name] = _new_findings(before, check_image(image))
+                break
+
+    profile_stats = {
+        "mode": mode,
+        "seed": seed,
+        "cycles_period": list(cycles_period),
+        "max_instructions": max_instructions,
+        "loss": loss,
+        "samples": analyzed_samples,
+        "profiled_cycles": collected.cycles,
+    }
+    report = OptReport(workload.name, plans, oracle, findings,
+                       profile_stats, pass_stats)
+    obs.counter("opt.runs").inc()
+    if report.accepted:
+        obs.counter("opt.runs_accepted").inc()
+    else:
+        obs.counter("opt.runs_rejected").inc()
+    obs.gauge("opt.last_speedup").set(report.speedup)
+    return report
+
+
+#: The per-pass configurations `contributions` measures in isolation.
+_SINGLE_PASS = (
+    ("layout", OptConfig(layout=True, schedule=False, split=False)),
+    ("schedule", OptConfig(layout=False, schedule=True, split=False)),
+    ("split", OptConfig(layout=False, schedule=False, split=True)),
+)
+
+
+def pass_contributions(workload, **kwargs):
+    """Measure each pass's speedup in isolation.
+
+    Returns {"layout": speedup, "schedule": ..., "split": ...} -- the
+    contribution split the bench schema's ``opt`` block records.  The
+    parts need not sum to the combined speedup (passes interact).
+    """
+    kwargs.pop("opt_config", None)
+    out = {}
+    for name, config in _SINGLE_PASS:
+        report = optimize_workload(workload, opt_config=config, **kwargs)
+        out[name] = report.speedup
+    return out
+
+
+def sweep_workload(workload, periods=((240, 256), (960, 1024),
+                                      (3840, 4096)),
+                   losses=(0.0, 0.1, 0.3), **kwargs):
+    """Realized speedup vs profile quality (sampling period x loss).
+
+    Returns a list of rows ``{"period", "loss", "speedup", "accepted",
+    "samples"}`` -- the curve the nightly ``opt-full`` job plots: as
+    the period grows or collection loses samples, the profile thins and
+    the realized speedup degrades gracefully rather than turning into
+    wrong code (the oracle guarantees the latter can't ship).
+    """
+    kwargs.pop("cycles_period", None)
+    kwargs.pop("loss", None)
+    rows = []
+    for period in periods:
+        for loss in losses:
+            report = optimize_workload(workload, cycles_period=period,
+                                       loss=loss, **kwargs)
+            rows.append({
+                "workload": report.workload_name,
+                "period": (period[0] + period[1]) / 2.0,
+                "loss": loss,
+                "speedup": report.speedup,
+                "accepted": report.accepted,
+                "samples": report.profile_stats["samples"],
+            })
+    return rows

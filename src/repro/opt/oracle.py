@@ -1,0 +1,228 @@
+"""Correctness oracle: a rewritten program must compute the same thing.
+
+The optimizer's contract is that only *performance* changes.  The
+oracle enforces it end-to-end: run the workload twice on plain
+(unprofiled) machines with the same seed -- once as built, once through
+the :class:`~repro.opt.rewrite.ImageRewriter` -- run both to completion
+and compare final architectural state per process: exit status, every
+integer and floating-point register, and the full memory image.
+
+Code moved, so values that *are* code addresses legitimately differ
+(a return address saved by ``bsr``, a procedure address materialized
+by ``lda =sym``).  The rewrite's ``old2new`` map plus the return-slot
+rule (the word after a call site maps to the word after the original
+call site) yields an exact translation; a value matches when it is
+equal outright or translates to the baseline value.  Anything else is
+a mismatch and the optimization must be rejected.
+
+Data addresses never need translating: the rewriter pins each image's
+data region at its original offset, and the loader's base-assignment
+sequence is a pure function of image extents -- which the pin keeps
+identical -- so every data address is byte-for-byte the same in both
+runs (asserted here, not assumed).
+"""
+
+from repro.cpu.config import MachineConfig
+from repro.cpu.events import EventType
+from repro.cpu.machine import Machine
+from repro.opt.rewrite import ImageRewriter
+
+#: Calls whose fallthrough slot holds the return address.
+_CALL_OPS = ("bsr", "jsr")
+
+
+class OracleReport:
+    """Outcome of one identity check."""
+
+    __slots__ = ("identical", "mismatches", "skipped", "baseline_cycles",
+                 "optimized_cycles", "baseline_machine",
+                 "optimized_machine", "rewriter")
+
+    def __init__(self, identical, mismatches, baseline_machine,
+                 optimized_machine, rewriter, skipped=()):
+        self.identical = identical
+        self.mismatches = mismatches
+        self.skipped = list(skipped)
+        self.baseline_machine = baseline_machine
+        self.optimized_machine = optimized_machine
+        self.rewriter = rewriter
+        self.baseline_cycles = baseline_machine.time
+        self.optimized_cycles = optimized_machine.time
+
+    @property
+    def speedup(self):
+        """Fractional cycle reduction (positive = optimized is faster)."""
+        if not self.baseline_cycles:
+            return 0.0
+        return (self.baseline_cycles - self.optimized_cycles) \
+            / self.baseline_cycles
+
+
+def run_plain(workload, machine_config=None, seed=1, transform=None,
+              max_instructions=None):
+    """Run *workload* on an unprofiled machine; return the machine."""
+    machine = Machine(machine_config or MachineConfig(), seed=seed)
+    if transform is not None:
+        machine.image_transform = transform
+    setup = getattr(workload, "setup", None)
+    if setup is not None:
+        setup(machine)
+    else:
+        workload(machine)
+    machine.run(max_instructions=max_instructions)
+    return machine
+
+
+def capture_state(machine):
+    """Snapshot each process's architectural outcome."""
+    states = {}
+    for proc in machine.processes:
+        states[proc.pid] = {
+            "name": proc.name,
+            "exited": proc.exited,
+            "iregs": list(proc.iregs),
+            "fregs": list(proc.fregs),
+            "memory": dict(proc.memory),
+        }
+    return states
+
+
+def build_translation(baseline_machine, optimized_machine, rewriter):
+    """Map optimized-run code addresses back to baseline addresses.
+
+    Returns ``(translation, problems, skipped)``: every surviving
+    instruction's new absolute address maps to its original one; for
+    each call site the slot after the (possibly moved) call maps to the
+    slot after the original call, because that is the value ``ra``
+    receives regardless of which instruction the scheduler placed
+    there.  *problems* are correctness-relevant (they fail the oracle);
+    *skipped* lists images whose rewrite bailed out -- those ran
+    unmodified, so identity holds trivially but no speedup was applied.
+    """
+    by_name_base = {image.name: image
+                    for image in baseline_machine.loader.images}
+    translation = {}
+    notes = []
+    skipped = []
+    for name, result in rewriter.results.items():
+        if not result.applied:
+            skipped.append("%s: rewrite bailed out (%s)"
+                           % (name, result.reason))
+            continue
+        original = by_name_base.get(name)
+        rewritten = None
+        for image in optimized_machine.loader.images:
+            if image.name == name:
+                rewritten = image
+                break
+        if original is None or rewritten is None:
+            notes.append("%s: image missing from a run" % name)
+            continue
+        if original.base != rewritten.base:
+            notes.append(
+                "%s: link bases diverged (%#x vs %#x); data addresses "
+                "are no longer comparable"
+                % (name, original.base, rewritten.base))
+            continue
+        base = original.base
+        for old, new in result.old2new.items():
+            translation[base + new] = base + old
+        for inst in original.instructions:
+            if inst.op in _CALL_OPS:
+                old = inst.addr - base
+                new = result.old2new.get(old)
+                if new is not None:
+                    translation[base + new + 4] = base + old + 4
+    return translation, notes, skipped
+
+
+def compare_states(baseline, optimized, translation):
+    """Diff two :func:`capture_state` snapshots; return mismatch strings.
+
+    A value matches when equal, or when the optimized value is a moved
+    code address whose translation equals the baseline value.
+    """
+
+    def matches(a, b):
+        if a == b:
+            return True
+        if isinstance(b, int) and translation.get(b) == a:
+            return True
+        return False
+
+    mismatches = []
+    for pid in sorted(set(baseline) | set(optimized)):
+        a = baseline.get(pid)
+        b = optimized.get(pid)
+        if a is None or b is None:
+            mismatches.append("pid %d exists in only one run" % pid)
+            continue
+        if not a["exited"] and not b["exited"]:
+            # A truncated run froze both programs mid-flight at
+            # different points of the same computation; their
+            # intermediate state is incomparable.  Identity is only
+            # decidable on completed runs.
+            mismatches.append(
+                "pid %d did not run to completion in either run; "
+                "identity undecidable (raise the verify budget)" % pid)
+            continue
+        for key in ("name", "exited"):
+            if a[key] != b[key]:
+                mismatches.append("pid %d: %s %r != %r"
+                                  % (pid, key, a[key], b[key]))
+        for index, (va, vb) in enumerate(zip(a["iregs"], b["iregs"])):
+            if not matches(va, vb):
+                mismatches.append(
+                    "pid %d: r%d %#x != %#x (untranslatable)"
+                    % (pid, index, va, vb))
+        for index, (va, vb) in enumerate(zip(a["fregs"], b["fregs"])):
+            if va != vb:
+                mismatches.append("pid %d: f%d %r != %r"
+                                  % (pid, index, va, vb))
+        mem_a, mem_b = a["memory"], b["memory"]
+        if set(mem_a) != set(mem_b):
+            only_a = sorted(set(mem_a) - set(mem_b))[:4]
+            only_b = sorted(set(mem_b) - set(mem_a))[:4]
+            mismatches.append(
+                "pid %d: memory footprints differ (only-baseline %s, "
+                "only-optimized %s)"
+                % (pid, [hex(x) for x in only_a],
+                   [hex(x) for x in only_b]))
+            continue
+        for addr in mem_a:
+            if not matches(mem_a[addr], mem_b[addr]):
+                mismatches.append(
+                    "pid %d: mem[%#x] %r != %r (untranslatable)"
+                    % (pid, addr, mem_a[addr], mem_b[addr]))
+    return mismatches
+
+
+def verify_identity(workload, plans, machine_config=None, seed=1,
+                    max_instructions=None, obs=None):
+    """Run the A/B identity check; return an :class:`OracleReport`.
+
+    Mismatch strings double as the rejection reasons ``dcpiopt``
+    prints; an empty list means the rewritten program is
+    architecturally indistinguishable from the original.
+    """
+    baseline = run_plain(workload, machine_config, seed=seed,
+                         max_instructions=max_instructions)
+    rewriter = ImageRewriter(plans, obs=obs)
+    optimized = run_plain(workload, machine_config, seed=seed,
+                          transform=rewriter,
+                          max_instructions=max_instructions)
+    translation, problems, skipped = build_translation(
+        baseline, optimized, rewriter)
+    mismatches = list(problems)
+    mismatches += compare_states(capture_state(baseline),
+                                 capture_state(optimized), translation)
+    return OracleReport(not mismatches, mismatches, baseline, optimized,
+                        rewriter, skipped=skipped)
+
+
+def event_total(machine, event=EventType.IMISS):
+    """Sum a ground-truth event count across the whole machine."""
+    total = 0
+    for row in machine.gt_events.values():
+        total += row.get(event, 0)
+    return total

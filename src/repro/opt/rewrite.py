@@ -1,0 +1,331 @@
+"""Profile-directed image rewriting: the mechanical half of repro.opt.
+
+A :class:`RewritePlan` says *what* the optimizer decided (new procedure
+order, per-procedure basic-block order, per-block instruction order);
+:func:`rewrite_image` carries it out on a **fresh, unlinked** copy of
+the same image, patching control flow so the rewritten image is
+semantically identical to the original:
+
+* a conditional branch whose *taken* target becomes the layout
+  successor is inverted (``beq`` <-> ``bne`` ...) and retargeted at its
+  old fallthrough;
+* a block whose fallthrough successor moved away gets an explicit
+  ``br`` stub appended;
+* an unconditional ``br`` whose target becomes the layout successor is
+  elided outright;
+* every direct branch target is remapped to the moved code.
+
+The plan is fingerprinted against the image it was computed from:
+workloads rebuild images fresh on every ``setup`` call, and the
+fingerprint guarantees the plan is only ever applied to an
+instruction-identical rebuild (anything else is a counted bailout that
+returns the image untouched).
+
+Data is pinned at its original image-relative offset
+(:attr:`repro.alpha.image.Image.data_offset`) so data addresses -- and
+therefore every pointer value the program computes -- survive the code
+layout change byte-for-byte.  If inserted stubs would grow the code
+past the original data offset, the rewrite bails out rather than move
+data.
+"""
+
+from repro.alpha import regs
+from repro.alpha.image import Image
+from repro.alpha.instruction import Instruction
+from repro.alpha.opcodes import DIRECT_BRANCH_KINDS
+from repro.obs import NULL_OBS
+
+#: Opcodes after which control cannot reach the next address.
+NO_FALLTHROUGH_OPS = ("br", "ret", "jmp")
+
+#: Conditional-branch inversion pairs (architecturally exact).
+INVERT = {
+    "beq": "bne", "bne": "beq",
+    "blt": "bge", "bge": "blt",
+    "ble": "bgt", "bgt": "ble",
+    "blbc": "blbs", "blbs": "blbc",
+    "fbeq": "fbne", "fbne": "fbeq",
+    "fblt": "fbge", "fbge": "fblt",
+}
+
+
+def image_fingerprint(image):
+    """A base-independent identity for *image*'s code.
+
+    Covers opcodes, register operands, base-relative branch targets
+    and the procedure table -- everything layout-independent -- so a
+    plan computed on the linked, profiled image matches the fresh
+    unlinked rebuild the workload produces for the optimized run.
+    (Targets matter: the plan's block bounds and frozen-proc safety
+    analysis are only valid for the control-flow graph they were
+    computed from.)
+    """
+    base = image.base or 0
+    code = tuple(
+        (inst.op, inst.ra, inst.rb, inst.rc,
+         (inst.target - base) if inst.target is not None else None)
+        for inst in image.instructions)
+    procs = tuple((proc.name, proc.start - base, proc.end - base)
+                  for proc in image.procedures)
+    return (image.name, code, procs)
+
+
+class BlockPlan:
+    """One basic block's placement: original bounds + instruction order.
+
+    *start*/*end* are image-relative byte offsets of the block in the
+    original layout; *order* lists the block's instruction offsets in
+    the order they should be emitted (the terminator, if any, last).
+    """
+
+    __slots__ = ("start", "end", "order")
+
+    def __init__(self, start, end, order=None):
+        self.start = start
+        self.end = end
+        self.order = (list(order) if order is not None
+                      else list(range(start, end, 4)))
+
+    def __repr__(self):
+        return "<BlockPlan [%#x, %#x)>" % (self.start, self.end)
+
+
+class ProcPlan:
+    """One procedure's blocks, in their new layout order."""
+
+    __slots__ = ("name", "blocks", "frozen")
+
+    def __init__(self, name, blocks, frozen=False):
+        self.name = name
+        self.blocks = blocks
+        self.frozen = frozen
+
+
+class RewritePlan:
+    """Everything :func:`rewrite_image` needs, in image-relative terms."""
+
+    __slots__ = ("image_name", "fingerprint", "procs", "data_offset",
+                 "stats")
+
+    def __init__(self, image_name, fingerprint, procs, data_offset,
+                 stats=None):
+        self.image_name = image_name
+        self.fingerprint = fingerprint
+        #: :class:`ProcPlan` list in the new image order.
+        self.procs = procs
+        #: original image-relative data offset to pin (None = free).
+        self.data_offset = data_offset
+        #: pass-level decisions (blocks moved, scheduled blocks, ...).
+        self.stats = dict(stats or {})
+
+    def is_identity(self):
+        """True when applying the plan would reproduce the image as-is."""
+        return not (self.stats.get("blocks_moved")
+                    or self.stats.get("scheduled_blocks")
+                    or self.stats.get("procs_moved"))
+
+
+class RewriteResult:
+    """What one rewrite produced (or why it refused)."""
+
+    __slots__ = ("image", "applied", "reason", "old2new", "stub_targets",
+                 "stats")
+
+    def __init__(self, image, applied, reason="", old2new=None,
+                 stub_targets=None, stats=None):
+        #: the rewritten image when applied, else the untouched input.
+        self.image = image
+        self.applied = applied
+        self.reason = reason
+        #: {original offset: new offset} for every surviving
+        #: instruction (elided branches map to their target's new
+        #: start, where control actually continues).
+        self.old2new = old2new or {}
+        #: {new stub offset: original fallthrough offset}.
+        self.stub_targets = stub_targets or {}
+        self.stats = stats or {}
+
+
+def _bail(image, reason, obs):
+    obs.counter("opt.rewrite_bailouts").inc()
+    return RewriteResult(image, False, reason=reason)
+
+
+def rewrite_image(image, plan, obs=None):
+    """Apply *plan* to unlinked *image*; return a :class:`RewriteResult`.
+
+    Never raises on a plan/image mismatch: any inconsistency is a
+    counted bailout returning the input untouched, so a stale plan can
+    degrade performance work but can never corrupt a program.
+    """
+    obs = obs or NULL_OBS
+    if image.base is not None:
+        return _bail(image, "image already linked", obs)
+    if image_fingerprint(image) != plan.fingerprint:
+        return _bail(image, "image does not match the profiled build",
+                     obs)
+    instructions = image.instructions
+
+    def at(off):
+        return instructions[off >> 2]
+
+    # Phase 1: lay the code out symbolically, assigning new offsets.
+    stats = {"branches_inverted": 0, "branches_elided": 0,
+             "stubs_inserted": 0}
+    old2new = {}
+    new_start = {}            # original block start -> new offset
+    elided = []               # (branch offset, its target offset)
+    emitted_procs = []        # (proc name, [emission items])
+    cursor = 0
+    for proc_plan in plan.procs:
+        items = []
+        blocks = proc_plan.blocks
+        for index, block in enumerate(blocks):
+            next_start = (blocks[index + 1].start
+                          if index + 1 < len(blocks) else None)
+            last_off = block.order[-1]
+            last = at(last_off)
+            kind = last.info.kind
+            fall = block.end
+            term = None
+            if kind in ("cbranch", "fbranch"):
+                if next_start == fall:
+                    pass
+                elif next_start == last.target and last.op in INVERT:
+                    term = ("invert", fall)
+                else:
+                    term = ("stub", fall)
+            elif kind == "br" and last.op == "br":
+                if last.dst is None and last.target == next_start:
+                    term = ("elide",)
+            elif kind == "jump" and last.op in ("ret", "jmp"):
+                pass
+            else:
+                # Generic fallthrough (plain ops, calls): if the layout
+                # successor is not the original fallthrough, bridge it.
+                if next_start != fall:
+                    term = ("stub", fall)
+            emit = block.order
+            if term is not None and term[0] == "elide":
+                emit = emit[:-1]
+                elided.append((last_off, last.target))
+                stats["branches_elided"] += 1
+            new_start[block.start] = cursor
+            for off in emit:
+                if term is not None and term[0] == "invert" \
+                        and off == last_off:
+                    items.append(("invert", off, term[1]))
+                    stats["branches_inverted"] += 1
+                else:
+                    items.append(("inst", off))
+                old2new[off] = cursor
+                cursor += 4
+            if term is not None and term[0] == "stub":
+                items.append(("stub", term[1], cursor))
+                stats["stubs_inserted"] += 1
+                cursor += 4
+        emitted_procs.append((proc_plan.name, items))
+
+    # Elided branches: control continues at the target, so anything
+    # referencing the branch's address maps there.
+    for off, target in elided:
+        resolved = new_start.get(target, old2new.get(target))
+        if resolved is None:
+            return _bail(image, "elided branch target unmapped", obs)
+        old2new[off] = resolved
+
+    if plan.data_offset is not None and cursor > plan.data_offset:
+        return _bail(
+            image,
+            "rewritten code (%d bytes) overruns the pinned data "
+            "offset %#x" % (cursor, plan.data_offset), obs)
+
+    def remap(target):
+        # Block starts first: a branch to a rescheduled block must
+        # enter at the block's new top, not at the moved position of
+        # its old first instruction.
+        mapped = new_start.get(target)
+        if mapped is None:
+            mapped = old2new.get(target)
+        return mapped
+
+    # Phase 2: materialize instruction copies with remapped targets.
+    new_image = Image(image.name)
+    new_image.data_size = image.data_size
+    new_image.data_offset = plan.data_offset
+    new_image.source = image.source
+    copy_of = {}
+    stub_targets = {}
+    for name, items in emitted_procs:
+        copies = []
+        for item in items:
+            if item[0] == "stub":
+                target = remap(item[1])
+                if target is None:
+                    return _bail(image, "stub target unmapped", obs)
+                copies.append(Instruction("br", ra=regs.ZERO_REG,
+                                          target=target))
+                stub_targets[item[2]] = item[1]
+                continue
+            inst = at(item[1])
+            if item[0] == "invert":
+                target = remap(item[2])
+                op = INVERT[inst.op]
+            else:
+                op = inst.op
+                target = inst.target
+                if (inst.info.kind in DIRECT_BRANCH_KINDS
+                        and target is not None):
+                    target = remap(target)
+            if (inst.info.kind in DIRECT_BRANCH_KINDS
+                    and inst.target is not None and target is None):
+                return _bail(image, "branch target %#x unmapped"
+                             % inst.target, obs)
+            copy = Instruction(op, ra=inst.ra, rb=inst.rb, rc=inst.rc,
+                               imm=inst.imm, target=target,
+                               line=inst.line)
+            copy_of[id(inst)] = copy
+            copies.append(copy)
+        new_image.add_procedure(name, copies)
+
+    proc_names = {proc.name for proc in image.procedures}
+    for name, offset in image.symbols.items():
+        if name not in proc_names:
+            new_image.symbols.define(name, offset)
+    fixups = []
+    for inst, symbol in image.fixups:
+        copy = copy_of.get(id(inst))
+        if copy is None:
+            return _bail(image, "fixup instruction was not emitted", obs)
+        fixups.append((copy, symbol))
+    new_image.fixups = fixups
+
+    obs.counter("opt.images_rewritten").inc()
+    obs.counter("opt.branches_inverted").inc(stats["branches_inverted"])
+    obs.counter("opt.branches_elided").inc(stats["branches_elided"])
+    obs.counter("opt.stubs_inserted").inc(stats["stubs_inserted"])
+    stats.update(plan.stats)
+    return RewriteResult(new_image, True, old2new=old2new,
+                         stub_targets=stub_targets, stats=stats)
+
+
+class ImageRewriter:
+    """A ``Machine.image_transform`` that applies per-image plans.
+
+    Install on the optimized run's machine; it rewrites every image a
+    plan exists for and records each :class:`RewriteResult` (the
+    oracle's address-translation input) under the image name.
+    """
+
+    def __init__(self, plans, obs=None):
+        self.plans = {plan.image_name: plan for plan in plans}
+        self.obs = obs or NULL_OBS
+        self.results = {}
+
+    def __call__(self, image):
+        plan = self.plans.get(image.name)
+        if plan is None:
+            return image
+        result = rewrite_image(image, plan, obs=self.obs)
+        self.results[image.name] = result
+        return result.image

@@ -289,6 +289,29 @@ def _compare_fleet(name, old_fleet, new_fleet, comparison):
                                              "%g" % old_v, "%g" % new_v))
 
 
+#: "opt" block keys (schema 6) compared between runs: the simulator is
+#: deterministic, so realized speedups reproduce to the float slack;
+#: acceptance flags must match exactly (a rewrite that stops verifying
+#: is a real regression, not drift).
+OPT_COMPARE_KEYS = (
+    ("accepted", "opt rewrites accepted", 0),
+    ("speedup_min", "opt minimum realized speedup", 0.005),
+    ("speedup_mean", "opt mean realized speedup", 0.005),
+)
+
+
+def _compare_opt(name, old_opt, new_opt, comparison):
+    """Warn -- never fail -- when optimizer facts drift."""
+    for key, label, slack in OPT_COMPARE_KEYS:
+        old_v, new_v = old_opt.get(key), new_opt.get(key)
+        if old_v is None or new_v is None:
+            continue
+        if abs(new_v - old_v) > slack:
+            comparison.warnings.append(
+                "%s: %s drifted %s -> %s" % (name, label,
+                                             "%g" % old_v, "%g" % new_v))
+
+
 def compare_results(old, new, threshold=0.3, sample_drift=0.01,
                     ips_threshold=0.15, lenient=False):
     """Diff two result sets; regressions are what CI should fail on.
@@ -389,6 +412,8 @@ def compare_results(old, new, threshold=0.3, sample_drift=0.01,
             _compare_obs(name, o["obs"], n["obs"], comparison)
         if same_setup and o.get("fleet") and n.get("fleet"):
             _compare_fleet(name, o["fleet"], n["fleet"], comparison)
+        if same_setup and o.get("opt") and n.get("opt"):
+            _compare_opt(name, o["opt"], n["opt"], comparison)
     return comparison
 
 

@@ -223,3 +223,10 @@ def main_dcpistats(argv=None):
     print(dcpistats(profile_sets, event=EventType(args.event),
                     limit=args.limit))
     return 0
+
+
+def main_dcpiopt(argv=None):
+    """Profile-guided optimizer: rewrite, verify, measure (repro.opt)."""
+    from repro.tools.dcpiopt import main
+
+    return main(argv)

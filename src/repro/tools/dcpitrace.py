@@ -124,9 +124,9 @@ def build_report(ledger_meta, period=1, db="", limit=5):
     }
 
 
-def format_report(report):
+def format_report(report, title="dcpitrace report"):
     """Human-readable rendering of :func:`build_report` output."""
-    lines = ["dcpitrace report (%s)" % (report["db"] or "-"),
+    lines = ["%s (%s)" % (title, report["db"] or "-"),
              "%-18s %8s %6s %6s %8s %8s %8s  %s"
              % ("class", "cycles", "share", "cpi",
                 "p50", "p95", "p99", "top culprit")]

@@ -1,6 +1,8 @@
 """Synthetic stand-ins for the paper's workloads (Table 2)."""
 
 from repro.workloads.base import Workload
-from repro.workloads.registry import WORKLOADS, get_workload, workload_names
+from repro.workloads.registry import (OPT_TARGETS, WORKLOADS, get_workload,
+                                      workload_names)
 
-__all__ = ["Workload", "get_workload", "workload_names", "WORKLOADS"]
+__all__ = ["Workload", "get_workload", "workload_names", "WORKLOADS",
+           "OPT_TARGETS"]

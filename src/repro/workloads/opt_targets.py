@@ -1,0 +1,208 @@
+"""Optimization-target workloads: each leaves one kind of cycles on
+the table that :mod:`repro.opt` is built to reclaim.
+
+* ``opt-branchy`` -- the hot path of its inner loop ends in an
+  unconditional branch every iteration (the classic
+  if/else-with-a-rare-then shape compilers emit); basic-block layout
+  straightens the hot path so the branch is elided and the conditional
+  falls through.
+* ``opt-icache``  -- two hot leaf procedures separated by more than an
+  I-cache of cold padding code, called alternately; their line indices
+  overlap in the direct-mapped 8 KB L1I, so every call stream misses.
+  Hot/cold splitting packs the hot procedures onto adjacent lines and
+  the conflicts disappear.
+* ``opt-stall``   -- every load's value is consumed by the very next
+  instruction, serializing the loop on load-use stalls; in-block list
+  scheduling hoists the independent loads together (they dual-issue)
+  and sinks the consumers past the load latency.
+
+All three are deterministic and single-process, so the opt oracle's
+A/B comparison is exact.
+"""
+
+from repro.alpha.assembler import assemble
+from repro.workloads.asmgen import caller_proc
+from repro.workloads.base import Workload
+
+
+def _straight_proc(name, n_insts):
+    """A straight-line leaf of exactly *n_insts* instructions.
+
+    Two defining writes, then a serial dependence chain (which the
+    scheduler cannot legally shorten), then ``ret``.
+    """
+    if n_insts < 4:
+        raise ValueError("straight-line proc needs >= 4 instructions")
+    lines = [".proc %s" % name,
+             "    lda   t0, 1(zero)",
+             "    lda   t1, 2(zero)"]
+    for index in range(n_insts - 3):
+        if index % 2 == 0:
+            lines.append("    addq  t0, 1, t0")
+        else:
+            lines.append("    xor   t1, t0, t1")
+    lines.append("    ret")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def _count_insts(text):
+    """Count instruction lines (not directives, labels or blanks)."""
+    count = 0
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith(".") \
+                or stripped.endswith(":"):
+            continue
+        count += 1
+    return count
+
+
+class OptBranchy(Workload):
+    """Hot-path unconditional branch, reclaimable by layout."""
+
+    name = "opt-branchy"
+    num_cpus = 1
+    description = ("asymmetric if/else loop whose common path takes an "
+                   "unconditional branch every iteration (layout target)")
+
+    def __init__(self, iters=6000):
+        self.iters = iters
+
+    def _asm(self):
+        return """
+.image {name}
+.proc main
+    lda   t0, 0(zero)
+    lda   t5, 0(zero)
+    lda   v0, {iters}(zero)
+main_loop:
+    and   t0, 15, t4
+    beq   t4, main_rare
+    addq  t5, 1, t5
+    xor   t5, t0, t6
+    and   t6, 1023, t5
+    br    main_join
+main_rare:
+    addq  t5, 7, t5
+    and   t5, 255, t5
+main_join:
+    addq  t0, 1, t0
+    cmpult t0, v0, t9
+    bne   t9, main_loop
+    ret
+.end
+""".format(name=self.name, iters=self.iters)
+
+    def setup(self, machine):
+        image = assemble(self._asm(), image_name=self.name)
+        machine.spawn(image, entry="%s:main" % self.name,
+                      name=self.name)
+
+
+class OptIcache(Workload):
+    """Conflicting hot procedures, reclaimable by hot/cold splitting."""
+
+    name = "opt-icache"
+    num_cpus = 1
+    description = ("two hot leaves split by > 8 KB of cold code so "
+                   "their I-cache lines conflict (splitting target)")
+
+    #: direct-mapped L1 I-cache size (bytes) the conflict is built for.
+    ICACHE_BYTES = 8192
+
+    def __init__(self, rounds=40, hot_insts=320):
+        self.rounds = rounds
+        self.hot_insts = hot_insts
+
+    def _asm(self):
+        # main first (the planner pins the entry procedure), then one
+        # hot leaf, then exactly enough never-called padding that
+        # hot_b begins one I-cache size after hot_a -- identical line
+        # indices, different pages, so the alternating call stream
+        # evicts the other leaf on every round.
+        text = ".image %s\n" % self.name
+        text += caller_proc("main", ["hot_a", "hot_b"],
+                            rounds=self.rounds)
+        text += _straight_proc("hot_a", self.hot_insts)
+        pad = self.ICACHE_BYTES // 4 - self.hot_insts
+        index = 0
+        while pad > 0:
+            chunk = min(256, pad)
+            if pad - chunk in (1, 2, 3):
+                chunk = pad          # never leave a <4-inst remainder
+            text += _straight_proc("cold_%02d" % index, chunk)
+            pad -= chunk
+            index += 1
+        text += _straight_proc("hot_b", self.hot_insts)
+        # By construction hot_b starts exactly ICACHE_BYTES after
+        # hot_a: the padding totals ICACHE_BYTES/4 - hot_insts
+        # instructions.
+        spacing = 4 * (_count_insts(_straight_proc("x", self.hot_insts))
+                       + (self.ICACHE_BYTES // 4 - self.hot_insts))
+        assert spacing == self.ICACHE_BYTES
+        return text
+
+    def setup(self, machine):
+        image = assemble(self._asm(), image_name=self.name)
+        machine.spawn(image, entry="%s:main" % self.name,
+                      name=self.name)
+
+
+class OptStall(Workload):
+    """Load-use serialization, reclaimable by list scheduling."""
+
+    name = "opt-stall"
+    num_cpus = 1
+    description = ("inner loop consuming every load immediately "
+                   "(load-use stall on each; scheduling target)")
+
+    def __init__(self, iters=4000):
+        self.iters = iters
+
+    def _asm(self):
+        return """
+.image {name}
+.data  buf, 4096
+.proc main
+    lda   s0, =buf
+    lda   t0, 0(zero)
+    lda   v0, {iters}(zero)
+main_loop:
+    ldq   t1, 0(s0)
+    addq  t1, 1, t1
+    ldq   t2, 8(s0)
+    addq  t2, 1, t2
+    ldq   t3, 16(s0)
+    addq  t3, 1, t3
+    ldq   t4, 24(s0)
+    addq  t4, 1, t4
+    addq  t1, t2, t5
+    addq  t3, t4, t6
+    addq  t5, t6, t5
+    stq   t5, 0(s0)
+    and   t0, 127, t7
+    s8addq t7, s0, t8
+    addq  t0, 1, t0
+    cmpult t0, v0, t9
+    bne   t9, main_loop
+    ret
+.end
+""".format(name=self.name, iters=self.iters)
+
+    def setup(self, machine):
+        image = assemble(self._asm(), image_name=self.name)
+        machine.spawn(image, entry="%s:main" % self.name,
+                      name=self.name)
+
+
+def build_branchy(iters=6000):
+    return OptBranchy(iters=iters)
+
+
+def build_icache(rounds=40):
+    return OptIcache(rounds=rounds)
+
+
+def build_stall(iters=4000):
+    return OptStall(iters=iters)

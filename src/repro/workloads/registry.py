@@ -1,7 +1,8 @@
 """Registry of the paper's Table 2 workloads."""
 
-from repro.workloads import (altavista, bigcode, dss, gcc, mccalpin, specfp,
-                             specint, timesharing, traffic, wave5, x11perf)
+from repro.workloads import (altavista, bigcode, dss, gcc, mccalpin,
+                             opt_targets, specfp, specint, timesharing,
+                             traffic, wave5, x11perf)
 
 #: name -> zero-argument factory producing a fresh Workload.
 _FACTORIES = {
@@ -23,6 +24,9 @@ _FACTORIES = {
     "bursty": traffic.build_bursty,
     "slow-client": traffic.build_slow_client,
     "mixed-tenant": traffic.build_mixed_tenant,
+    "opt-branchy": opt_targets.build_branchy,
+    "opt-icache": opt_targets.build_icache,
+    "opt-stall": opt_targets.build_stall,
 }
 
 #: The Table 2 lineup (uniprocessor first, like the paper).
@@ -43,6 +47,15 @@ WORKLOADS = (
     "bursty",
     "slow-client",
     "mixed-tenant",
+)
+
+#: Registry names ``dcpiopt`` treats as its demonstration suite: each
+#: leaves a specific kind of cycles on the table for one of the three
+#: optimization passes (see :mod:`repro.workloads.opt_targets`).
+OPT_TARGETS = (
+    "opt-branchy",
+    "opt-icache",
+    "opt-stall",
 )
 
 

@@ -1,0 +1,258 @@
+"""Unit tests for the profile-guided optimizer (repro.opt).
+
+Covers the three layers separately -- the rewriter's branch-target
+patching, the planning passes against analysis output, the oracle's
+translation-aware identity check -- and then the whole loop through
+:func:`repro.opt.optimize_workload` and the ``dcpiopt`` CLI.
+"""
+
+import json
+
+import pytest
+
+from repro.alpha.assembler import assemble
+from repro.collect.session import ProfileSession, SessionConfig
+from repro.cpu.config import MachineConfig
+from repro.cpu.events import EventType
+from repro.core.analyze import AnalysisConfig, analyze_image
+from repro.opt import (BlockPlan, ImageRewriter, OptConfig, ProcPlan,
+                       RewritePlan, build_plan, image_fingerprint,
+                       optimize_workload, rewrite_image, sweep_workload,
+                       verify_identity)
+from repro.tools import dcpiopt
+from repro.workloads import OPT_TARGETS, get_workload
+
+BRANCHY = """
+.image t
+.proc main
+    lda   t0, 0(zero)
+    lda   v0, 64(zero)
+main_loop:
+    and   t0, 15, t4
+    beq   t4, main_rare
+    addq  t5, 1, t5
+    br    main_join
+main_rare:
+    addq  t5, 7, t5
+main_join:
+    addq  t0, 1, t0
+    cmpult t0, v0, t9
+    bne   t9, main_loop
+    ret
+.end
+"""
+
+
+def _profile(workload, max_instructions=40_000, seed=1):
+    session = ProfileSession(
+        MachineConfig(num_cpus=workload.num_cpus),
+        SessionConfig(mode="cycles", seed=seed,
+                      cycles_period=(240, 256)))
+    return session.run(workload, max_instructions=max_instructions)
+
+
+def _planned(name, config=None, max_instructions=40_000):
+    workload = get_workload(name)
+    collected = _profile(workload, max_instructions=max_instructions)
+    plans = []
+    for image in collected.machine.loader.images:
+        profile = collected.profiles.get(image.name)
+        if profile is None or not profile.total(EventType.CYCLES):
+            continue
+        analyses = analyze_image(image, profile, AnalysisConfig())
+        if analyses:
+            plans.append(build_plan(image, analyses,
+                                    config or OptConfig()))
+    return workload, plans
+
+
+def test_identity_plan_roundtrips():
+    # A plan that keeps every block in place must reproduce the image
+    # instruction for instruction.
+    image = assemble(BRANCHY)
+    proc = image.procedures[0]
+    base = image.base or 0
+    plan = RewritePlan(
+        image.name, image_fingerprint(image),
+        [ProcPlan(proc.name,
+                  [BlockPlan(proc.start - base, proc.end - base)])],
+        data_offset=None, stats={})
+    result = rewrite_image(image, plan)
+    assert result.applied
+    ops = [(i.op, i.ra, i.rb, i.rc) for i in image.instructions]
+    new_ops = [(i.op, i.ra, i.rb, i.rc)
+               for i in result.image.instructions]
+    assert ops == new_ops
+
+
+def test_fingerprint_mismatch_bails():
+    # A retargeted branch is a different control-flow graph; a plan
+    # computed on one build must refuse the other.
+    image = assemble(BRANCHY)
+    other = assemble(BRANCHY.replace("beq   t4, main_rare",
+                                     "beq   t4, main_join"))
+    plan = RewritePlan(
+        image.name, image_fingerprint(other),
+        [], data_offset=None, stats={})
+    result = rewrite_image(image, plan)
+    assert not result.applied
+    assert "match" in result.reason
+
+
+def test_build_plan_straightens_hot_path():
+    _, plans = _planned("opt-branchy")
+    assert plans, "no plan built for opt-branchy"
+    stats = plans[0].stats
+    assert stats.get("blocks_moved", 0) > 0
+
+
+def test_rewriter_elides_hot_branch():
+    workload, plans = _planned(
+        "opt-branchy", OptConfig(layout=True, schedule=False,
+                                 split=False))
+    rewriter = ImageRewriter(plans)
+    baseline = assemble(workload._asm(), image_name=workload.name)
+    rewritten = rewriter(assemble(workload._asm(),
+                                  image_name=workload.name))
+    result = rewriter.results[workload.name]
+    assert result.applied, result.reason
+    # The hot-path `br main_join` is elided (straightened); any stub
+    # the layout inserts lands on the cold path.
+    assert result.stats["branches_elided"] >= 1
+    assert len(rewritten.instructions) \
+        <= len(baseline.instructions) + result.stats["stubs_inserted"]
+
+
+def test_oracle_accepts_true_rewrite_and_measures_speedup():
+    workload, plans = _planned("opt-branchy")
+    report = verify_identity(workload, plans)
+    assert report.identical, report.mismatches
+    assert not report.skipped
+    assert report.speedup > 0.0
+
+
+def test_dropped_block_bails_not_corrupts():
+    # Damage a plan so a block vanishes: branches into it become
+    # unmappable, the rewrite bails, and the program runs unmodified
+    # (skipped, never wrong).
+    workload, plans = _planned("opt-branchy")
+    victim = None
+    for proc_plan in plans[0].procs:
+        if len(proc_plan.blocks) > 2:
+            victim = proc_plan
+            break
+    assert victim is not None
+    del victim.blocks[1]
+    report = verify_identity(workload, plans)
+    assert report.identical
+    assert report.skipped
+    assert report.speedup == 0.0
+
+
+def test_oracle_catches_semantically_wrong_reorder():
+    # Force an applied-but-wrong rewrite: swap two dependent
+    # instructions inside the hot block.  The A/B run must report
+    # mismatches, not a speedup.
+    workload, plans = _planned(
+        "opt-branchy", OptConfig(layout=True, schedule=False,
+                                 split=False))
+    victim = None
+    for proc_plan in plans[0].procs:
+        for block in proc_plan.blocks:
+            if len(block.order) == 4:     # the addq/xor/and/br block
+                victim = block
+    assert victim is not None
+    victim.order[0], victim.order[1] = victim.order[1], victim.order[0]
+    report = verify_identity(workload, plans)
+    assert not report.skipped
+    assert not report.identical
+    assert report.mismatches
+
+
+@pytest.mark.parametrize("name", OPT_TARGETS)
+def test_optimize_workload_end_to_end(name):
+    report = optimize_workload(name, max_instructions=40_000)
+    assert report.accepted, (report.oracle.mismatches, report.findings)
+    assert report.speedup >= 0.05, report.speedup
+    payload = report.report()
+    assert payload["schema"] == 1
+    assert payload["workload"] == name
+    assert payload["baseline"]["cycles"] > payload["optimized"]["cycles"]
+
+
+def test_optimize_rejects_are_not_speedups():
+    # An undecidable (truncated) verify run must zero the speedup and
+    # surface the reason, not silently report a win.
+    report = optimize_workload("opt-branchy", max_instructions=40_000,
+                               verify_instructions=1_000)
+    assert not report.accepted
+    assert report.speedup == 0.0
+    assert any("undecidable" in m for m in report.oracle.mismatches)
+
+
+def test_icache_split_removes_conflict_misses():
+    from repro.opt.oracle import event_total
+
+    report = optimize_workload("opt-icache", max_instructions=40_000)
+    assert report.accepted
+    before = event_total(report.oracle.baseline_machine,
+                         EventType.IMISS)
+    after = event_total(report.oracle.optimized_machine,
+                        EventType.IMISS)
+    assert after < before / 4, (before, after)
+
+
+def test_sweep_degrades_gracefully():
+    rows = sweep_workload("opt-branchy",
+                          periods=((240, 256), (3840, 4096)),
+                          losses=(0.0, 0.3),
+                          max_instructions=40_000)
+    assert len(rows) == 4
+    for row in rows:
+        assert row["accepted"], row
+        assert row["speedup"] >= 0.0, row
+    # More samples at the shorter period.
+    by_period = {}
+    for row in rows:
+        by_period.setdefault(row["period"], []).append(row["samples"])
+    short, long_ = sorted(by_period)
+    assert max(by_period[short]) >= max(by_period[long_])
+
+
+def test_cli_run_report_and_sweep(tmp_path, capsys):
+    out = tmp_path / "report.json"
+    rc = dcpiopt.main(["run", "--workload", "opt-branchy",
+                       "--max-instructions", "40000",
+                       "--out", str(out)])
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "ACCEPTED" in text
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == 1
+    assert payload["accepted"]
+
+    rc = dcpiopt.main(["report", str(out)])
+    assert rc == 0
+    assert "speedup" in capsys.readouterr().out
+
+    sweep_out = tmp_path / "sweep.json"
+    rc = dcpiopt.main(["sweep", "--workloads", "opt-branchy",
+                       "--period", "240:256", "--loss", "0.0",
+                       "--max-instructions", "40000",
+                       "--out", str(sweep_out)])
+    assert rc == 0
+    sweep = json.loads(sweep_out.read_text())
+    assert sweep["schema"] == 1
+    assert len(sweep["rows"]) == 1
+
+
+def test_cli_single_pass_selection(capsys):
+    rc = dcpiopt.main(["run", "--workload", "opt-stall",
+                       "--max-instructions", "40000",
+                       "--passes", "schedule", "--json"])
+    out = capsys.readouterr().out
+    payload = json.loads(out)
+    assert rc == 0
+    assert payload["accepted"]
+    assert payload["passes"].get("scheduled_blocks", 0) > 0
+    assert payload["passes"].get("blocks_moved", 0) == 0
