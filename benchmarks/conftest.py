@@ -60,7 +60,11 @@ EVENT_PERIOD = 64
 #:    optimizer metrics -- realized speedup per workload with the
 #:    layout/schedule/split contribution split, acceptance flags --
 #:    recorded via record_opt()).  Additive again.
-BENCH_SCHEMA = 6
+#: 7: added the optional "resilience" block (fleet resilience metrics
+#:    -- concurrent vs serial ingest throughput, shard lock retries,
+#:    spool/backoff loss accounting under faults -- recorded via
+#:    record_resilience()).  Additive again.
+BENCH_SCHEMA = 7
 
 QUICK = os.environ.get("DCPIBENCH_QUICK") == "1"
 _CLAMP = int(os.environ.get("DCPIBENCH_MAX_INSTRUCTIONS", "0")) or None
@@ -75,6 +79,7 @@ _TEXTS = {}
 _FLEET = {}
 _CTX = {}
 _OPT = {}
+_RESILIENCE = {}
 
 
 def clamp_budget(requested):
@@ -148,6 +153,21 @@ def record_opt(metrics):
     ``dcpibench compare`` (with a small float slack).
     """
     _OPT.setdefault(_module_stem(_CURRENT["nodeid"]), {}).update(metrics)
+
+
+def record_resilience(metrics):
+    """Merge *metrics* into this module's "resilience" result block.
+
+    Resilience benchmarks (bench_fleet_resilience.py) call this with
+    flat numeric facts -- serial vs concurrent sharded ingest
+    throughput and speedup, lock retry counts, fault-run loss
+    accounting (spool drops, transit losses, samples conserved) --
+    which land under the payload's schema-7 "resilience" key.
+    Deterministic counts are compared between runs by ``dcpibench
+    compare``; timing-derived throughputs are warn-only.
+    """
+    _RESILIENCE.setdefault(
+        _module_stem(_CURRENT["nodeid"]), {}).update(metrics)
 
 
 def _record_session(kind, workload, mode, seed, result, cpu_s=None):
@@ -311,6 +331,7 @@ def _bench_payload(stem, tests, records):
         "ctx": _CTX.get(stem),
         "fleet": _FLEET.get(stem),
         "opt": _OPT.get(stem),
+        "resilience": _RESILIENCE.get(stem),
         "obs": obs,
         "schema": BENCH_SCHEMA,
         "benchmark": stem,

@@ -415,28 +415,32 @@ def verify_procedure(analysis: object,
 def check_fleet_conservation(shipped: int, stored: int,
                              transit_lost: int = 0, residue: int = 0,
                              quarantined: int = 0,
+                             spool_dropped: int = 0,
                              label: str = "fleet") -> List[Finding]:
     """Fleet-merged counts must equal the sum of per-machine sessions.
 
     The fleet extension of PR 4's sample-conservation books: every
     sample a machine's daemon shipped is either committed in the
-    central store, lost in transit (accounted by the transport),
-    removed by retention downsampling (accounted as residue), or
-    quarantined by the database (accounted by the quarantine ledger).
-    On a clean run every accounted term is zero and the invariant
-    collapses to ``stored == shipped`` exactly.  Any imbalance --
-    silent loss or double counting -- is an ERROR finding.
+    central store (any shard), lost in transit (accounted by the
+    transport), dropped from a machine's bounded unacked-delta spool
+    (accounted by the spool), removed by retention downsampling
+    (accounted as residue), or quarantined by a shard database
+    (accounted by the quarantine ledger).  On a clean run every
+    accounted term is zero and the invariant collapses to
+    ``stored == shipped`` exactly.  Any imbalance -- silent loss or
+    double counting -- is an ERROR finding.
     """
     findings: List[Finding] = []
-    accounted = stored + transit_lost + residue + quarantined
+    accounted = (stored + transit_lost + spool_dropped + residue
+                 + quarantined)
     if accounted != shipped:
         direction = ("silently lost"
                      if accounted < shipped else "double-counted")
         findings.append(Finding(
             "analysis/fleet-conservation", ERROR, label,
             "fleet store holds %d samples but machines shipped %d "
-            "(transit-lost %d, downsample residue %d, quarantined %d): "
-            "%d %s"
-            % (stored, shipped, transit_lost, residue, quarantined,
-               abs(shipped - accounted), direction)))
+            "(transit-lost %d, spool-dropped %d, downsample residue "
+            "%d, quarantined %d): %d %s"
+            % (stored, shipped, transit_lost, spool_dropped, residue,
+               quarantined, abs(shipped - accounted), direction)))
     return findings

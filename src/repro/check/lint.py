@@ -29,7 +29,14 @@ be deterministic or which types must stay picklable; these rules can:
   ``.intern(...)`` call on a receiver whose dotted name mentions
   ``ctx``) must sit lexically inside an ``if <...> is not NULL_CTX:``
   guard: the context register of a ctx-less process is the reserved
-  ``<other>`` id and must never be interned as a class of its own.
+  ``<other>`` id and must never be interned as a class of its own;
+* ``lint/unseeded-backoff`` -- retry/backoff logic (any function whose
+  name mentions ``retry`` or ``backoff``) must be replayable: no
+  direct wall-clock reads or ``time.sleep`` calls (inject the sleeper
+  so tests and chaos replays can capture the schedule) and no
+  zero-argument ``random.Random()`` jitter (an OS-entropy seed makes
+  the backoff schedule -- and every fleet-level loss account downstream
+  of it -- unreproducible).
 
 Suppress a finding with a ``# dcpicheck: ignore`` or
 ``# dcpicheck: ignore[rule-name]`` comment on the offending line; the
@@ -177,6 +184,10 @@ class _Linter(ast.NodeVisitor):
 
     def _in_merge_function(self) -> bool:
         return any("merge" in name for name in self._func_stack)
+
+    def _in_backoff_function(self) -> bool:
+        return any("retry" in name.lower() or "backoff" in name.lower()
+                   for name in self._func_stack)
 
     # -- function-level rules ---------------------------------------------
 
@@ -386,6 +397,25 @@ class _Linter(ast.NodeVisitor):
                     "lint/unseeded-random", node.lineno,
                     "module-level random.%s() call; use a seeded "
                     "random.Random instance" % method)
+            if self._in_backoff_function():
+                if ((owner, method) in _WALLCLOCK_CALLS
+                        or (owner, method) == ("time", "sleep")):
+                    self._report(
+                        "lint/unseeded-backoff", node.lineno,
+                        "%s.%s() inside retry/backoff logic"
+                        % (owner, method),
+                        detail="derive delays from a seeded schedule "
+                               "and inject the sleeper so the backoff "
+                               "is replayable")
+                if (owner == "random" and method == "Random"
+                        and not node.args and not node.keywords):
+                    self._report(
+                        "lint/unseeded-backoff", node.lineno,
+                        "zero-argument random.Random() inside "
+                        "retry/backoff logic",
+                        detail="an OS-entropy seed makes the jitter "
+                               "schedule unreproducible; pass an "
+                               "explicit seed")
         self.generic_visit(node)
 
     def _check_iteration(self, node: ast.AST, iterable: ast.expr) -> None:

@@ -44,14 +44,29 @@ DB_WRITE = "db.write"
 LOADMAP = "daemon.loadmap"
 #: The whole machine restarts between execution chunks.
 SESSION_RESTART = "session.restart"
-#: A fleet delta is lost (drop) or delivered twice (duplicate) on its
-#: way from a machine's daemon to the central store (repro.fleet).
+#: A fleet delta is lost (drop), delivered twice (duplicate), or times
+#: out retryably (transient) on its way from a machine's daemon to the
+#: central store (repro.fleet).
 FLEET_SHIP = "fleet.ship"
+#: The store's acknowledgment of an applied delta is lost on the way
+#: back to the machine: the delta stays spooled and is re-shipped (the
+#: store's idempotent dedupe absorbs the replay).
+FLEET_ACK = "fleet.ack"
+#: A fleet machine's collection daemon dies mid-epoch (between two
+#: drain chunks); a durable machine recovers via Daemon.recover().
+FLEET_MACHINE_CRASH = "fleet.machine.run"
+#: A fleet machine dies after closing an epoch, before shipping its
+#: delta; a durable machine resumes shipping from its local journal.
+FLEET_PRESHIP_CRASH = "fleet.machine.ship"
+#: The store's writer process dies mid-ingest, after staging the
+#: ledger entry but before the atomic manifest commit.
+FLEET_STORE_INGEST = "fleet.store.ingest"
 
 FAULT_POINTS = (
     DRIVER_OVERFLOW, DRAIN_FLUSH, DRAIN_CPU, DRAIN_MERGE,
     DAEMON_CHECKPOINT, DB_COMMIT, DB_WRITE, LOADMAP, SESSION_RESTART,
-    FLEET_SHIP,
+    FLEET_SHIP, FLEET_ACK, FLEET_MACHINE_CRASH, FLEET_PRESHIP_CRASH,
+    FLEET_STORE_INGEST,
 )
 
 # -- actions (what) --------------------------------------------------------

@@ -281,3 +281,277 @@ def run_matrix(workloads: Sequence[str] = ("gcc",),
             cases.append(run_case(scenario, workload_name,
                                   budget=budget, seed=seed))
     return cases
+
+
+# -- the fleet matrix (PR 9) -------------------------------------------------
+#
+# Where the scenarios above attack one machine's collection pipeline,
+# the fleet matrix attacks the distribution layer: ship/ack transport
+# faults, bounded-spool overflow, machine crash/recovery, store writer
+# crashes, at-rest shard corruption, and sharded-vs-serial ingest
+# identity.  Every case must hold the fleet conservation invariant
+# (stored + transit-lost + spool-dropped + residue + quarantined ==
+# shipped) *and* be bit-deterministic: the same scenario run twice with
+# the same seed must produce byte-identical merged store profiles and
+# an identical resilience report.
+
+#: Fleet chaos sessions are sized small-but-hot, like the single
+#: machine matrix: few machines, few epochs, tight budgets.
+FLEET_QUICK_BUDGET = 6_000
+FLEET_FULL_BUDGET = 12_000
+
+
+@dataclass(frozen=True)
+class FleetScenario:
+    """One registered fleet-level fault case."""
+
+    name: str
+    description: str
+    specs: Tuple[FaultSpec, ...] = ()
+    machines: int = 2
+    epochs: int = 3
+    shards: int = 1
+    #: give machines a local db + journal (arms fleet.machine.* crash
+    #: points and unacked-epoch re-shipping).
+    durable: bool = False
+    spool_capacity: int = 8
+    #: at-rest corruption of one committed shard profile after the run:
+    #: None | "bitflip" | "truncate".
+    post: Optional[str] = None
+    #: also re-run with shards=1 and assert byte-identical merged
+    #: profiles (the concurrent-sharded == serial identity).
+    serial_check: bool = False
+    #: include in the --quick (CI smoke) subset.
+    quick: bool = False
+
+
+FLEET_SCENARIOS = (
+    FleetScenario(
+        "fleet-ship-drop",
+        "a delta vanishes in transit; the loss is accounted exactly",
+        specs=(FaultSpec("fleet.ship", "drop", hits=(2,)),)),
+    FleetScenario(
+        "fleet-ship-timeout",
+        "ships time out transiently; seeded backoff re-ships from the "
+        "spool with zero loss",
+        specs=(FaultSpec("fleet.ship", "transient", hits=(2, 4)),),
+        quick=True),
+    FleetScenario(
+        "fleet-ship-dup",
+        "the transport delivers a delta twice; idempotent dedupe "
+        "drops the replay",
+        specs=(FaultSpec("fleet.ship", "duplicate", hits=(3,)),)),
+    FleetScenario(
+        "fleet-ack-lost",
+        "the store applies a delta but the ack is lost; the re-ship "
+        "is absorbed by (machine, epoch, batch) dedupe",
+        specs=(FaultSpec("fleet.ack", "drop", hits=(1,)),)),
+    FleetScenario(
+        "fleet-spool-overflow",
+        "persistent timeouts against a capacity-1 spool force "
+        "drop-oldest evictions, every dropped sample accounted",
+        specs=(FaultSpec("fleet.ship", "transient", after=1, limit=64),),
+        spool_capacity=1),
+    FleetScenario(
+        "fleet-machine-crash",
+        "a durable machine's daemon dies mid-epoch; journal replay + "
+        "in-flight redrain resume the epoch without losing a sample",
+        specs=(FaultSpec("fleet.machine.run", "crash", hits=(3,)),),
+        durable=True),
+    FleetScenario(
+        "fleet-preship-crash",
+        "a durable machine dies after closing an epoch, before "
+        "shipping it; the restart re-extracts and re-ships it",
+        specs=(FaultSpec("fleet.machine.ship", "crash", hits=(2,)),),
+        durable=True),
+    FleetScenario(
+        "fleet-store-crash",
+        "the store writer dies mid-ingest before the manifest commit; "
+        "the reopened store retries the same delivery",
+        specs=(FaultSpec("fleet.store.ingest", "crash", hits=(2,)),)),
+    FleetScenario(
+        "fleet-shard-corrupt",
+        "a committed profile in one shard is bit-flipped at rest; "
+        "verify quarantines it with the loss accounted",
+        shards=2, post="bitflip", quick=True),
+    FleetScenario(
+        "fleet-concurrent-ingest",
+        "four shards ingest the interleaved fleet; merged profiles "
+        "are byte-identical to the serial single-shard store",
+        shards=4, serial_check=True),
+)
+
+
+def fleet_scenario_names(quick: bool = False) -> List[str]:
+    return [s.name for s in FLEET_SCENARIOS if s.quick or not quick]
+
+
+def get_fleet_scenario(name: str) -> FleetScenario:
+    for scenario in FLEET_SCENARIOS:
+        if scenario.name == name:
+            return scenario
+    raise KeyError("unknown fleet scenario %r; have: %s"
+                   % (name, ", ".join(s.name
+                                      for s in FLEET_SCENARIOS)))
+
+
+def _fleet_config(scenario: FleetScenario, seed: int,
+                  budget: int, shards: Optional[int] = None) -> Any:
+    from repro.fleet.machine import FleetConfig
+
+    return FleetConfig(
+        machines=scenario.machines,
+        epochs=scenario.epochs,
+        seed=seed,
+        epoch_instructions=budget,
+        drain_interval=max(budget // 4, 1),
+        faults=(FaultPlan(specs=scenario.specs, seed=seed)
+                if scenario.specs else None),
+        shards=shards if shards is not None else scenario.shards,
+        durable=scenario.durable,
+        spool_capacity=scenario.spool_capacity)
+
+
+def _run_fleet_session(scenario: FleetScenario, seed: int, budget: int,
+                       root: str,
+                       shards: Optional[int] = None) -> Any:
+    from repro.fleet.machine import FleetSession
+
+    config = _fleet_config(scenario, seed, budget, shards=shards)
+    return FleetSession(config).run(root)
+
+
+def _store_bytes(store: Any) -> bytes:
+    """Canonical merged-profile bytes of a fleet store."""
+    blobs = store.merged().encode_all()
+    return b"".join(blobs[key] for key in sorted(blobs))
+
+
+def _fleet_fingerprint(result: Any) -> Dict[str, Any]:
+    """The determinism surface of one fleet run (no wall-clock)."""
+    return {
+        "merged": _store_bytes(result.store).hex(),
+        "resilience": result.resilience,
+        "transport": result.transport_stats,
+        "shipped": result.shipped_samples(),
+        "stored": result.store.total_samples(),
+    }
+
+
+def run_fleet_case(scenario: FleetScenario, budget: int = FLEET_FULL_BUDGET,
+                   seed: int = 1) -> Dict[str, Any]:
+    """Run one fleet scenario; return the case report.
+
+    Every case runs the faulted session *twice* with the same seed in
+    fresh store roots and requires identical merged bytes and
+    resilience reports (bit-determinism under faults).  ``post``
+    scenarios then corrupt one committed shard profile at rest, reopen
+    the store cold, and require verify() to quarantine the damage with
+    the fleet conservation identity still exactly balanced.
+    ``serial_check`` scenarios additionally re-run with ``shards=1``
+    and require byte-identical merged profiles (sharded == serial).
+    """
+    from repro.check.analysis_checks import check_fleet_conservation
+    from repro.fleet.store import FleetStore
+
+    started = time.perf_counter()
+    tmp = tempfile.mkdtemp(prefix="dcpichaos-fleet-")
+    try:
+        result = _run_fleet_session(scenario, seed, budget,
+                                    os.path.join(tmp, "a"))
+        twin = _run_fleet_session(scenario, seed, budget,
+                                  os.path.join(tmp, "b"))
+        fingerprint = _fleet_fingerprint(result)
+        deterministic = fingerprint == _fleet_fingerprint(twin)
+        conservation_ok = not result.findings
+        findings = [f.to_dict() for f in result.findings]
+        store = result.store
+
+        corrupted_file = None
+        quarantined = store.quarantined_samples()
+        if scenario.post is not None:
+            shard = max(store.shards,
+                        key=lambda s: s.db.total_samples())
+            corrupted_file = _corrupt_at_rest(
+                os.path.join(shard.root, "db"), scenario.post, seed)
+            # A cold reader (offline query tool) must quarantine the
+            # damage, and the conservation identity must re-balance
+            # with the quarantined samples on the loss side.
+            store = FleetStore(store.root, shards=store.num_shards)
+            for reopened in store.shards:
+                reopened.db.verify()
+            store = FleetStore(store.root, shards=store.num_shards)
+            quarantined = store.quarantined_samples()
+            post_findings = check_fleet_conservation(
+                shipped=fingerprint["shipped"],
+                stored=store.total_samples(),
+                transit_lost=result.transport_stats["lost_samples"],
+                residue=store.downsample_residue(),
+                quarantined=quarantined,
+                spool_dropped=result.resilience[
+                    "spool_dropped_samples"],
+                label="fleet-chaos/%s" % scenario.name)
+            conservation_ok = conservation_ok and not post_findings
+            findings += [f.to_dict() for f in post_findings]
+            if scenario.post == "bitflip" and not quarantined:
+                conservation_ok = False
+                findings.append({"check": "fleet-chaos",
+                                 "detail": "corruption not quarantined"})
+
+        serial_identical = None
+        if scenario.serial_check:
+            serial = _run_fleet_session(scenario, seed, budget,
+                                        os.path.join(tmp, "serial"),
+                                        shards=1)
+            serial_identical = (_store_bytes(serial.store)
+                                == bytes.fromhex(fingerprint["merged"]))
+
+        ok = (conservation_ok and deterministic
+              and serial_identical is not False)
+        return {
+            "scenario": scenario.name,
+            "fleet": True,
+            "seed": seed,
+            "budget": budget,
+            "machines": scenario.machines,
+            "epochs": scenario.epochs,
+            "shards": scenario.shards,
+            "durable": scenario.durable,
+            "elapsed_s": round(time.perf_counter() - started, 3),
+            "shipped_samples": fingerprint["shipped"],
+            "stored_samples": store.total_samples(),
+            "transport": result.transport_stats,
+            "resilience": result.resilience,
+            "quarantined_samples": quarantined,
+            "corrupted_file": corrupted_file,
+            "recoveries": (result.resilience["machine_recoveries"]
+                           + result.resilience["store_recoveries"]),
+            "loss_rate": ((result.transport_stats["lost_samples"]
+                           + result.resilience["spool_dropped_samples"])
+                          / fingerprint["shipped"]
+                          if fingerprint["shipped"] else 0.0),
+            "conservation_ok": conservation_ok,
+            "deterministic": deterministic,
+            "serial_identical": serial_identical,
+            "findings": findings,
+            "ok": ok,
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def run_fleet_matrix(quick: bool = False, seed: int = 1,
+                     budget: Optional[int] = None,
+                     names: Optional[Sequence[str]] = None
+                     ) -> List[Dict[str, Any]]:
+    """Run the registered fleet scenarios; return the case reports."""
+    if budget is None:
+        budget = FLEET_QUICK_BUDGET if quick else FLEET_FULL_BUDGET
+    cases: List[Dict[str, Any]] = []
+    for scenario in FLEET_SCENARIOS:
+        if names is not None and scenario.name not in names:
+            continue
+        if quick and not scenario.quick and names is None:
+            continue
+        cases.append(run_fleet_case(scenario, budget=budget, seed=seed))
+    return cases

@@ -16,9 +16,10 @@ from repro.fleet.query import (DEFAULT_Z, QUERY_SCHEMA, FleetQuery,
                                load_baseline, parse_epochs, share_error)
 from repro.fleet.retention import (RetentionPolicy, compact,
                                    compactable_windows, downsample)
-from repro.fleet.store import (LEDGER_VERSION, FleetStore,
-                               FleetStoreBusyError)
-from repro.fleet.transport import Delta, DeltaTransport, TransportStats
+from repro.fleet.store import (LEDGER_VERSION, FleetShard, FleetStore,
+                               FleetStoreBusyError, IngestRetry)
+from repro.fleet.transport import (Delta, DeltaTransport, ShipSpool,
+                                   ShipTimeoutError, TransportStats)
 
 __all__ = [
     "DEFAULT_WORKLOADS",
@@ -30,11 +31,15 @@ __all__ = [
     "FleetQuery",
     "FleetResult",
     "FleetSession",
+    "FleetShard",
     "FleetStore",
     "FleetStoreBusyError",
+    "IngestRetry",
     "LEDGER_VERSION",
     "QUERY_SCHEMA",
     "RetentionPolicy",
+    "ShipSpool",
+    "ShipTimeoutError",
     "TransportStats",
     "compact",
     "compactable_windows",

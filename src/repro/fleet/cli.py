@@ -8,6 +8,7 @@ Subcommands::
     dcpifleet timeseries per-epoch share series (text or JSON)
     dcpifleet regress    exit-nonzero regression gate (CI primitive)
     dcpifleet classes    fleet-wide per-request-class attribution
+    dcpifleet verify     shard integrity + conservation audit (exit 1)
 
 ``regress`` exits 2 when any procedure's CPU share increased beyond
 both the sampling-error significance bound and the configured floor;
@@ -52,6 +53,16 @@ def build_parser():
                      help="thread the request-context dimension "
                           "(repro.ctx) through every machine and ship "
                           "each epoch's ledger with its delta")
+    run.add_argument("--shards", type=int, default=1,
+                     help="shard count for a newly created store "
+                          "(default 1 = legacy single-directory "
+                          "layout)")
+    run.add_argument("--durable", action="store_true",
+                     help="give every machine a local database + "
+                          "drain journal (crash-recoverable daemons)")
+    run.add_argument("--spool-capacity", type=int, default=8,
+                     help="bounded unacked-delta spool per machine "
+                          "(default 8)")
 
     def query_args(cmd, epochs_help="epoch range A..B, single epoch, "
                                     "or 'all' (default)"):
@@ -116,6 +127,13 @@ def build_parser():
                          help="culprit procedures per class")
     classes.add_argument("--json", dest="as_json", action="store_true",
                          help="emit JSON instead of a table")
+
+    verify = sub.add_parser(
+        "verify", help="re-validate every shard's committed profiles "
+                       "and audit the store's conservation books")
+    verify.add_argument("--store", required=True)
+    verify.add_argument("--json", dest="as_json", action="store_true",
+                        help="emit the full JSON report")
     return parser
 
 
@@ -181,8 +199,9 @@ def cmd_run(args, out):
     config = FleetConfig(
         machines=args.machines, epochs=args.epochs, workloads=workloads,
         seed=args.seed, epoch_instructions=args.epoch_instructions,
-        retention=retention, context=args.context)
-    store = FleetStore(args.store)
+        retention=retention, context=args.context, shards=args.shards,
+        durable=args.durable, spool_capacity=args.spool_capacity)
+    store = FleetStore(args.store, shards=args.shards)
     result = FleetSession(config).run(store, check=args.check)
     report = result.report()
     if args.json_path == "-":
@@ -294,8 +313,9 @@ def cmd_classes(args, out):
         out.write("no context ledgers in %s (run the fleet with "
                   "--context)\n" % args.store)
         return 1
-    report = build_report(merged, period=_cycles_period(store.db),
-                          db=args.store, limit=args.limit)
+    period = max(_cycles_period(shard.db) for shard in store.shards)
+    report = build_report(merged, period=period, db=args.store,
+                          limit=args.limit)
     if args.as_json:
         json.dump(report, out, indent=2, sort_keys=True)
         out.write("\n")
@@ -303,6 +323,57 @@ def cmd_classes(args, out):
         out.write(format_report(report, title="dcpifleet classes"))
         out.write("\n")
     return 0
+
+
+def cmd_verify(args, out):
+    """Shard integrity + offline conservation audit over a store dir.
+
+    Every shard database re-validates its committed profiles
+    (corrupt payloads are quarantined with their declared samples
+    accounted -- the PR 4 machinery), then the store's own books are
+    audited: every ingested sample must still be stored, removed as
+    downsample residue, or quarantined.  Exit 1 on any violation.
+    """
+    from repro.check.analysis_checks import check_fleet_conservation
+
+    store = FleetStore(args.store)
+    shard_reports = {}
+    for index, verify in sorted(store.verify().items()):
+        shard_reports["s%02d" % index] = verify
+    stats = store.stats()
+    findings = check_fleet_conservation(
+        shipped=stats["samples_ingested"],
+        stored=stats["stored_samples"],
+        residue=stats["downsample_residue"],
+        quarantined=stats["quarantined_samples"],
+        label="store:%s" % args.store)
+    report = {
+        "schema": 1,
+        "store": args.store,
+        "shards": shard_reports,
+        "stats": stats,
+        "findings": [finding.to_dict() for finding in findings],
+        "ok": not findings,
+    }
+    if args.as_json:
+        json.dump(report, out, indent=2, sort_keys=True)
+        out.write("\n")
+    else:
+        out.write("fleet verify %s: %d shard(s), %d epoch(s), "
+                  "%d samples\n"
+                  % (args.store, stats["shards"], stats["epochs"],
+                     stats["stored_samples"]))
+        for name, verify in sorted(shard_reports.items()):
+            out.write("  %s: checked %d, quarantined %d "
+                      "(%d samples in quarantine)\n"
+                      % (name, verify["checked"],
+                         verify["quarantined"],
+                         verify["lost_samples"]))
+        for finding in findings:
+            out.write("FINDING %s\n" % finding)
+        out.write("conservation %s\n"
+                  % ("ok" if not findings else "VIOLATED"))
+    return 0 if not findings else 1
 
 
 def main(argv=None, out=None):
@@ -315,6 +386,7 @@ def main(argv=None, out=None):
         "timeseries": cmd_timeseries,
         "regress": cmd_regress,
         "classes": cmd_classes,
+        "verify": cmd_verify,
     }[args.command]
     return handler(args, out)
 

@@ -11,14 +11,31 @@ merging into a local database it closes an epoch after every
 workload's processes finish, the traffic source respawns them (a new
 loadmap generation), so every epoch carries samples.
 
+Resilience (PR 9): a *durable* machine keeps a local
+:class:`~repro.collect.database.ProfileDatabase` + write-ahead
+:class:`~repro.collect.journal.DrainJournal` under the store's
+``machines/<id>`` directory.  Its daemon can die mid-epoch
+(``fleet.machine.run``) or between closing an epoch and shipping it
+(``fleet.machine.ship``) and recover via
+:meth:`~repro.collect.daemon.Daemon.recover` -- journal replay plus
+in-flight redrain -- without losing a sample; closed epochs stay in
+the local database until the store acknowledges them, so a restarted
+machine re-extracts and re-ships unacked epochs (the store's
+idempotent ``(machine, epoch, batch)`` dedupe absorbs replays).
+Shipping rides a bounded :class:`~repro.fleet.transport.ShipSpool`
+with deterministic seeded-jitter exponential backoff on timeouts and
+exact drop-oldest overflow accounting.
+
 :class:`FleetSession` stands up N machines with deterministic
 per-machine seeds, runs them for E epochs, ships every delta through
-one :class:`~repro.fleet.transport.DeltaTransport` into one
-:class:`~repro.fleet.store.FleetStore`, and (optionally) applies the
+one :class:`~repro.fleet.transport.DeltaTransport` into one (possibly
+sharded) :class:`~repro.fleet.store.FleetStore`, reopening the store
+if its writer crashes mid-ingest, and (optionally) applies the
 retention policy as epochs age out.  Runs are reproducible end to end:
 same config, same store bytes, same query output.
 """
 
+import os
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
@@ -28,10 +45,14 @@ from repro.collect.session import SessionConfig
 from repro.cpu.config import MachineConfig
 from repro.cpu.events import EventType
 from repro.cpu.machine import Machine
-from repro.faults.injector import NULL_INJECTOR
+from repro.faults.injector import (DROP, FLEET_ACK, FLEET_MACHINE_CRASH,
+                                   FLEET_PRESHIP_CRASH, InjectedCrash,
+                                   NULL_INJECTOR)
 from repro.fleet.retention import RetentionPolicy, compact
 from repro.fleet.store import FleetStore
-from repro.fleet.transport import Delta, DeltaTransport
+from repro.fleet.transport import (DEFAULT_SPOOL_CAPACITY, Delta,
+                                   DeltaTransport, ShipSpool,
+                                   ShipTimeoutError)
 from repro.obs import NULL_OBS
 
 #: Default traffic sources: the paper's multi-process server workloads.
@@ -40,6 +61,13 @@ DEFAULT_WORKLOADS = ("altavista", "timesharing", "dss")
 #: Deterministic per-machine seed spacing (any odd constant works; a
 #: prime keeps seed streams visibly unrelated across machines).
 SEED_STRIDE = 101
+
+#: Post-session spool drain: bounded re-ship rounds before anything
+#: still unacked is abandoned with exact loss accounting.
+FINAL_SHIP_ROUNDS = 6
+
+#: Store reopen attempts after an injected mid-ingest writer crash.
+MAX_STORE_RECOVERIES = 4
 
 
 @dataclass
@@ -57,9 +85,8 @@ class FleetConfig:
     mode: str = "default"
     cycles_period: tuple = (240, 256)
     event_period: int = 64
-    #: fault plan applied to the fleet hop (fleet.ship point); the
-    #: machines themselves run clean -- machine-side chaos is PR 4's
-    #: dcpichaos territory.
+    #: fault plan applied to the fleet pipeline (fleet.* points); the
+    #: machines' own drain-level chaos is PR 4's dcpichaos territory.
     faults: Optional[object] = None
     #: retention policy applied after every fleet epoch (None = keep
     #: everything at full resolution).
@@ -70,6 +97,15 @@ class FleetConfig:
     context: bool = False
     #: driver-side context-table capacity when *context* is on.
     ctx_slots: int = 64
+    #: shard count for a store created by this session (1 = legacy
+    #: single-directory layout).
+    shards: int = 1
+    #: give every machine a local database + drain journal so it can
+    #: crash and recover mid-epoch (fleet.machine.* fault points only
+    #: arm when durable).
+    durable: bool = False
+    #: bounded unacked-delta spool capacity per machine.
+    spool_capacity: int = DEFAULT_SPOOL_CAPACITY
 
     def machine_seed(self, index):
         return self.seed + SEED_STRIDE * index
@@ -84,7 +120,8 @@ class FleetMachine:
     def __init__(self, machine_id, workload_name, seed,
                  mode="default", cycles_period=(240, 256),
                  event_period=64, drain_interval=6_000, context=False,
-                 ctx_slots=64, obs=None):
+                 ctx_slots=64, obs=None, durable_root=None,
+                 faults=None, spool_capacity=DEFAULT_SPOOL_CAPACITY):
         from repro.ctx import ContextLedger
         from repro.workloads.registry import get_workload
 
@@ -93,6 +130,8 @@ class FleetMachine:
         self.seed = seed
         self.drain_interval = drain_interval
         self.obs = obs or NULL_OBS
+        self.faults = faults or NULL_INJECTOR
+        self.context = context
         self.workload = get_workload(workload_name)
         session_config = SessionConfig(
             mode=mode, seed=seed, cycles_period=cycles_period,
@@ -108,9 +147,23 @@ class FleetMachine:
                       EventType.BRANCHMP, EventType.DTBMISS,
                       EventType.ITBMISS):
             periods[event] = float(event_period)
+        self.periods = periods
+        self.database = None
+        self.journal = None
+        if durable_root is not None:
+            from repro.collect.database import ProfileDatabase
+            from repro.collect.journal import DrainJournal
+            self.database = ProfileDatabase(os.fspath(durable_root))
+            self.journal = DrainJournal(self.database.journal_path())
+            self.journal.truncate()
         self.daemon = Daemon(self.machine.loader, periods=periods,
+                             journal=self.journal,
+                             obs=self.obs,
                              ctx=ContextLedger() if context else None)
         self.workload.setup(self.machine)
+        #: bounded unacked-delta outbox, seeded per machine so the
+        #: backoff jitter is deterministic fleet-wide.
+        self.spool = ShipSpool(capacity=spool_capacity, seed=seed)
         #: loadmap generation: bumped every traffic respawn.
         self.generation = 1
         self._symbols_shipped_gen = 0
@@ -118,6 +171,12 @@ class FleetMachine:
         self.instructions = 0
         self.shipped_samples = 0
         self.respawns = 0
+        self.recoveries = 0
+        self._epoch_ran = 0
+
+    def _crashes_armed(self):
+        """Crash faults only make sense on a durable machine."""
+        return self.database is not None and self.faults.enabled
 
     def _symbols(self):
         """Offset-relative procedure tables of every loaded image."""
@@ -136,13 +195,35 @@ class FleetMachine:
         self.respawns += 1
 
     def run_epoch(self, instructions):
-        """Run one epoch's worth of traffic; return its Delta."""
-        ran_total = 0
+        """Run one epoch's worth of traffic; return its Delta.
+
+        A durable machine survives injected daemon crashes here: the
+        crash is caught, the daemon is rebuilt from its checkpoint +
+        journal (:meth:`_recover`), the driver's in-flight batches are
+        redrained, and the epoch resumes where the traffic left off.
+        """
+        self._epoch_ran = 0
+        while True:
+            try:
+                self._run_traffic(instructions)
+                return self._close_epoch()
+            except InjectedCrash:
+                self._recover()
+
+    def _run_traffic(self, instructions):
+        """The epoch's traffic loop (resumable across crashes)."""
         idle_streak = 0
-        while ran_total < instructions:
-            chunk = min(self.drain_interval, instructions - ran_total)
+        while self._epoch_ran < instructions:
+            chunk = min(self.drain_interval,
+                        instructions - self._epoch_ran)
             ran = self.machine.run(max_instructions=chunk)
-            ran_total += ran
+            self._epoch_ran += ran
+            self.instructions += ran
+            if self._crashes_armed():
+                # The daemon dying between two drain chunks: the
+                # machine and driver (kernel side) survive; pinned
+                # batches and the journal carry the samples across.
+                self.faults.check(FLEET_MACHINE_CRASH)
             self.daemon.drain(self.driver)
             self.driver.rotate_mux()
             for proc in self.machine.processes:
@@ -157,19 +238,35 @@ class FleetMachine:
                 self._respawn()
             else:
                 idle_streak = 0
-        self.instructions += ran_total
+
+    def _close_epoch(self):
+        """Checkpoint (durable), extract, and wrap the epoch's Delta."""
         if self.daemon.ctx is not None:
             # Fold per-process request totals (keyed, idempotent) into
             # the epoch's ledger before it closes, exactly as a local
             # ProfileSession does at shutdown.
             from repro.collect.session import ProfileSession
             ProfileSession._fold_requests(self.machine, self.daemon)
+        if self.database is not None:
+            # Make the epoch durable *before* shipping: a pre-ship
+            # crash recovers the full epoch from the local database
+            # and redoes the close (same delta id -> dedupe-safe).
+            self.daemon.merge_to_disk(self.database)
+            if self._crashes_armed():
+                self.faults.check(FLEET_PRESHIP_CRASH)
         epoch, profiles, periods, ctx_meta = self.daemon.extract_delta()
+        if self.database is not None:
+            # Commit the advanced-epoch watermarks so a later crash
+            # recovers into the new epoch instead of resurrecting the
+            # closed one (which now lives on as an unacked delta).
+            self.database.update_checkpoint(self.daemon._checkpoint_meta())
         symbols = None
         if self.generation > self._symbols_shipped_gen:
             symbols = self._symbols()
             self._symbols_shipped_gen = self.generation
-        self.batch += 1
+        # One delta per epoch: the batch number is derived, not
+        # counted, so a crash-and-redo closes on the same delta id.
+        self.batch = epoch + 1
         delta = Delta(
             machine_id=self.machine_id,
             epoch=epoch,
@@ -187,6 +284,75 @@ class FleetMachine:
         self.shipped_samples += delta.total_samples()
         return delta
 
+    # -- crash recovery ----------------------------------------------------
+
+    def _recover(self):
+        """Rebuild the daemon after an injected crash (durable only)."""
+        from repro.ctx import ContextLedger
+
+        self.recoveries += 1
+        self.obs.counter("fleet.machine_recoveries").inc()
+        ctx_seed = None
+        if self.context:
+            ctx_seed = ContextLedger()
+            if self.driver.ctx_table is not None:
+                ctx_seed.absorb_table(self.driver.ctx_table)
+        self.daemon = Daemon.recover(
+            self.machine.loader, self.database, journal=self.journal,
+            periods=self.periods, obs=self.obs, ctx=ctx_seed)
+        self.daemon.redrain_inflight(self.driver)
+        self._respool_unacked()
+
+    def _delta_from_database(self, epoch):
+        """Rebuild a closed epoch's delta from the local database.
+
+        Symbols and the context ledger are not re-derived for a
+        rebuilt delta: the original shipment (if any copy got through)
+        carried them, and the store's dedupe keys on the delta id
+        alone.  ``shipped_samples`` is *not* recounted -- the epoch
+        was counted when first extracted.
+        """
+        profiles = {}
+        for image, event, counts, _period in self.database.load_all(
+                epoch):
+            profiles.setdefault(image, {})[event] = dict(counts)
+        return Delta(
+            machine_id=self.machine_id,
+            epoch=epoch,
+            batch=epoch + 1,
+            generation=self.generation,
+            workload=self.workload_name,
+            seed=self.seed,
+            profiles=profiles,
+            periods=dict(self.periods),
+            machine_lost=(self.daemon.lost_samples
+                          + sum(cpu.dropped
+                                for cpu in self.driver.cpus)))
+
+    def _respool_unacked(self):
+        """Re-spool closed-but-unacked epochs after a restart.
+
+        Epochs still present in the local database below the current
+        one were extracted but never acknowledged (acks drop them);
+        "resume shipping from the journal" means re-extracting them as
+        deltas.  Dedupe-by-id makes any overlap with a surviving spool
+        entry or an already-applied shipment harmless.
+        """
+        spooled = {entry.delta.delta_id
+                   for entry in self.spool.pending()}
+        for epoch in self.database.epochs():
+            if epoch >= self.daemon.epoch:
+                continue
+            delta = self._delta_from_database(epoch)
+            if delta.delta_id not in spooled:
+                self.spool.offer(delta)
+
+    def on_acked(self, delta):
+        """The store acknowledged *delta*: its epoch is off this box."""
+        if self.database is not None and delta.epoch in \
+                self.database.epochs():
+            self.database.drop_epoch(delta.epoch)
+
 
 @dataclass
 class FleetResult:
@@ -198,6 +364,7 @@ class FleetResult:
     transport_stats: dict
     retention_reports: list = field(default_factory=list)
     findings: list = field(default_factory=list)
+    resilience: dict = field(default_factory=dict)
 
     def shipped_samples(self):
         return sum(m["shipped_samples"] for m in self.machines)
@@ -215,11 +382,15 @@ class FleetResult:
                 "retention": (self.config.retention.spec()
                               if self.config.retention else None),
                 "context": self.config.context,
+                "shards": self.config.shards,
+                "durable": self.config.durable,
+                "spool_capacity": self.config.spool_capacity,
             },
             "machines": self.machines,
             "transport": dict(self.transport_stats),
             "store": self.store.stats(),
             "retention": self.retention_reports,
+            "resilience": dict(self.resilience),
             "shipped_samples": self.shipped_samples(),
             "findings": [f.to_dict() for f in self.findings],
             "ok": not self.findings,
@@ -232,14 +403,17 @@ class FleetSession:
     def __init__(self, config=None, obs=None):
         self.config = config or FleetConfig()
         self.obs = obs or NULL_OBS
+        self._store_recoveries = 0
+        self._acks_lost = 0
 
     def run(self, store, check=True):
         """Simulate the fleet; return a :class:`FleetResult`.
 
         *store* is a :class:`FleetStore` or a directory path.  With
         *check* (the default), the fleet-conservation invariant --
-        stored samples + transit losses + downsample residue equals the
-        sum of per-machine shipped samples -- is verified via
+        stored samples + transit losses + spool drops + downsample
+        residue + quarantined equals the sum of per-machine shipped
+        samples -- is verified via
         :func:`repro.check.analysis_checks.check_fleet_conservation`
         and any violation lands in ``result.findings``.
         """
@@ -247,7 +421,8 @@ class FleetSession:
 
         config = self.config
         if not isinstance(store, FleetStore):
-            store = FleetStore(store, obs=self.obs)
+            store = FleetStore(store, obs=self.obs,
+                               shards=config.shards)
         faults = (config.faults.build()
                   if getattr(config.faults, "build", None)
                   else (config.faults or NULL_INJECTOR))
@@ -263,21 +438,35 @@ class FleetSession:
                 drain_interval=config.drain_interval,
                 context=config.context,
                 ctx_slots=config.ctx_slots,
-                obs=self.obs)
+                obs=self.obs,
+                durable_root=(os.path.join(store.root, "machines",
+                                           "m%02d" % index)
+                              if config.durable else None),
+                faults=faults,
+                spool_capacity=config.spool_capacity)
             for index in range(config.machines)
         ]
         retention_reports = []
         for _epoch in range(config.epochs):
             for machine in machines:
                 delta = machine.run_epoch(config.epoch_instructions)
-                for delivery in transport.ship(delta):
-                    store.ingest(delivery)
+                for victim in machine.spool.offer(delta):
+                    # Overflow drop is terminal (and accounted): also
+                    # release the epoch from the machine's local
+                    # database so a restart cannot re-spool it.
+                    self.obs.counter(
+                        "fleet.spool_dropped_samples").inc(
+                        victim.total_samples())
+                    machine.on_acked(victim)
+                store = self._ship_spooled(machine, transport, store,
+                                           faults)
             if config.retention is not None:
                 report = compact(store, config.retention)
                 if report["windows"]:
                     retention_reports.append(report)
+        store = self._drain_spools(machines, transport, store, faults)
         for delivery in transport.flush():
-            store.ingest(delivery)
+            store = self._deliver(store, delivery, faults)[0]
         machine_rows = [{
             "machine": machine.machine_id,
             "workload": machine.workload_name,
@@ -286,7 +475,24 @@ class FleetSession:
             "shipped_samples": machine.shipped_samples,
             "respawns": machine.respawns,
             "deltas": machine.batch,
+            "recoveries": machine.recoveries,
+            "spool": machine.spool.to_dict(),
         } for machine in machines]
+        spool_dropped = sum(machine.spool.dropped_samples
+                            for machine in machines)
+        resilience = {
+            "spool_dropped_deltas": sum(machine.spool.dropped_deltas
+                                        for machine in machines),
+            "spool_dropped_samples": spool_dropped,
+            "ship_retries": sum(machine.spool.retries
+                                for machine in machines),
+            "backoff_ms": round(sum(machine.spool.backoff_ms
+                                    for machine in machines), 3),
+            "machine_recoveries": sum(machine.recoveries
+                                      for machine in machines),
+            "store_recoveries": self._store_recoveries,
+            "acks_lost": self._acks_lost,
+        }
         findings = []
         if check:
             findings = check_fleet_conservation(
@@ -294,10 +500,89 @@ class FleetSession:
                             for row in machine_rows),
                 stored=store.total_samples(),
                 transit_lost=transport.stats.lost_samples,
-                residue=store.ledger["downsample_residue"],
-                quarantined=store.db.quarantined_samples(),
+                residue=store.downsample_residue(),
+                quarantined=store.quarantined_samples(),
+                spool_dropped=spool_dropped,
                 label="fleet/%dx%d" % (config.machines, config.epochs))
         return FleetResult(
             config=config, store=store, machines=machine_rows,
             transport_stats=transport.stats.to_dict(),
-            retention_reports=retention_reports, findings=findings)
+            retention_reports=retention_reports, findings=findings,
+            resilience=resilience)
+
+    # -- shipping ----------------------------------------------------------
+
+    def _deliver(self, store, delivery, faults):
+        """Ingest one delivered delta, surviving writer crashes.
+
+        An injected ``fleet.store.ingest`` crash kills the writer
+        before the atomic commit; the session reopens the store (the
+        staged in-memory ledger mutation dies with the process) and
+        retries the same delivery.  Returns ``(store, applied)``.
+        """
+        for _attempt in range(MAX_STORE_RECOVERIES + 1):
+            try:
+                return store, store.ingest(delivery, faults=faults)
+            except InjectedCrash:
+                self._store_recoveries += 1
+                self.obs.counter("fleet.store_recoveries").inc()
+                store = FleetStore(store.root, obs=self.obs,
+                                   shards=store.num_shards,
+                                   retry=store.retry)
+        return store, store.ingest(delivery, faults=faults)
+
+    def _ship_spooled(self, machine, transport, store, faults):
+        """Attempt to ship everything in *machine*'s spool, in order.
+
+        A retryable timeout stops this round (head-of-line: later
+        entries wait behind the backoff); a lost ack leaves the entry
+        spooled for an idempotent re-ship next round.  Returns the
+        (possibly reopened) store.
+        """
+        for entry in machine.spool.pending():
+            try:
+                deliveries = transport.ship(entry.delta)
+            except ShipTimeoutError:
+                delay = machine.spool.backoff_for_retry(entry)
+                self.obs.counter("fleet.ship_retries").inc()
+                self.obs.counter("fleet.ship_backoff_ms").inc(
+                    int(delay))
+                break
+            for delivery in deliveries:
+                store, _applied = self._deliver(store, delivery, faults)
+            if deliveries:
+                machine.spool.mark_delivered(entry.delta.delta_id)
+                spec = (faults.fires(FLEET_ACK)
+                        if faults.enabled else None)
+                if spec is not None and spec.action == DROP:
+                    # The store applied the delta but the ack
+                    # vanished: the sender keeps it spooled and
+                    # re-ships; dedupe absorbs the replay.
+                    self._acks_lost += 1
+                    self.obs.counter("fleet.acks_lost").inc()
+                    continue
+            # Delivered-and-acked, or terminally dropped/delayed by
+            # the transport (both accounted there): off the spool.
+            machine.spool.ack(entry.delta.delta_id)
+            machine.on_acked(entry.delta)
+        return store
+
+    def _drain_spools(self, machines, transport, store, faults):
+        """Bounded end-of-session re-ship rounds, then abandon.
+
+        Whatever is still unacked after :data:`FINAL_SHIP_ROUNDS`
+        rounds is terminally dropped with its samples accounted in the
+        spool (graceful degradation, never silent loss).
+        """
+        for _round in range(FINAL_SHIP_ROUNDS):
+            if not any(len(machine.spool) for machine in machines):
+                break
+            for machine in machines:
+                if len(machine.spool):
+                    store = self._ship_spooled(machine, transport,
+                                               store, faults)
+        for machine in machines:
+            for delta in machine.spool.abandon():
+                self.obs.counter("fleet.spool_abandoned").inc()
+                machine.on_acked(delta)
+        return store

@@ -98,7 +98,7 @@ class FleetQuery:
         totals = {}
         grand = 0
         for epoch in sorted(epochs):
-            for image, event, counts, _ in self.store.db.load_all(epoch):
+            for image, event, counts, _ in self.store.load_all(epoch):
                 if event != self.event:
                     continue
                 for offset, count in counts.items():

@@ -94,16 +94,26 @@ def downsample(counts, divisor):
 
 
 def compact(store, policy):
-    """Apply *policy* to *store*; return a compaction report.
+    """Apply *policy* to every shard of *store*; return a report.
 
-    Deterministic and idempotent: windows are processed in ascending
-    order, each exactly once (the ledger's ``compacted_windows`` marks
+    Deterministic and idempotent: each shard compacts independently
+    (its windows derive from its own committed epochs, its residue
+    lands in its own ledger, its replacement is its own atomic
+    manifest commit), windows are processed in ascending order, each
+    exactly once (the shard ledger's ``compacted_windows`` marks
     finished windows, committed atomically with the replacement).
     """
     report = {"windows": [], "epochs_removed": 0, "residue": 0,
               "pre_samples": 0, "post_samples": 0}
-    epochs = store.epochs()
-    done = set(store.ledger["compacted_windows"])
+    for shard in store.shards:
+        _compact_shard(shard, policy, report)
+    return report
+
+
+def _compact_shard(shard, policy, report):
+    """Compact one shard in place, folding into *report*."""
+    epochs = shard.db.epochs()
+    done = set(shard.ledger["compacted_windows"])
     for start in compactable_windows(policy, epochs):
         if start in done:
             continue
@@ -113,7 +123,7 @@ def compact(store, policy):
         periods = {}
         pre_total = 0
         for epoch in window:
-            for image, event, by_offset, period in store.db.load_all(
+            for image, event, by_offset, period in shard.db.load_all(
                     epoch):
                 dest = merged.setdefault(image, {}).setdefault(event, {})
                 for offset, count in by_offset.items():
@@ -127,16 +137,17 @@ def compact(store, policy):
                                         policy.count_divisor)
                 merged[image][event] = kept
                 residue += lost
-        store.ledger["compactions"] += 1
-        store.ledger["downsample_residue"] += residue
-        store.ledger["compacted_windows"] = sorted(done | {start})
-        with store.obs.timeit("fleet.compact_s"):
-            store.db.compact_epochs(window, merged, periods, start,
-                                    meta=store.ledger)
-        store.obs.counter("fleet.compactions").inc()
-        store.obs.counter("fleet.residue_samples").inc(residue)
+        shard.ledger["compactions"] += 1
+        shard.ledger["downsample_residue"] += residue
+        shard.ledger["compacted_windows"] = sorted(done | {start})
+        with shard.obs.timeit("fleet.compact_s"):
+            shard.db.compact_epochs(window, merged, periods, start,
+                                    meta=shard.ledger)
+        shard.obs.counter("fleet.compactions").inc()
+        shard.obs.counter("fleet.residue_samples").inc(residue)
         done.add(start)
         report["windows"].append({
+            "shard": shard.index,
             "start": start, "epochs": window, "residue": residue,
             "pre_samples": pre_total,
             "post_samples": pre_total - residue})
@@ -144,4 +155,3 @@ def compact(store, policy):
         report["residue"] += residue
         report["pre_samples"] += pre_total
         report["post_samples"] += pre_total - residue
-    return report

@@ -1,55 +1,127 @@
-"""The central, append-only, epoch-aware fleet profile store.
+"""The central, append-only, epoch-aware, *sharded* fleet store.
 
 ``FleetStore`` promotes "one session, one database" to "many sources,
 one store": per-machine daemons ship epoch deltas
-(:mod:`repro.fleet.transport`) and the store merges them into a single
-crash-safe :class:`~repro.collect.database.ProfileDatabase` (v3: CRC
-trailers, shadow paging, atomic manifest), one epoch directory per
-fleet epoch.
+(:mod:`repro.fleet.transport`) and the store merges them into
+crash-safe :class:`~repro.collect.database.ProfileDatabase` shards
+(v3: CRC trailers, shadow paging, atomic manifest), one epoch
+directory per fleet epoch per shard.
+
+Sharding: a store is split into ``shards`` independent
+:class:`FleetShard` directories, each with its own database, manifest,
+ledger, and advisory ingest lock.  A delta is routed by a stable hash
+of its machine id (``zlib.crc32`` -- unsalted, identical across
+processes), so every machine always lands on the same shard and the
+per-shard dedupe ledger stays authoritative.  N writer processes
+ingesting disjoint machines therefore contend on nothing.  The default
+``shards=1`` keeps the exact legacy single-directory layout on disk.
 
 Idempotent delivery: every applied delta id ``(machine, epoch, batch)``
-is recorded in a ledger committed *in the same atomic manifest rename*
-as the delta's samples (:meth:`ProfileDatabase.merge_epoch`), so a
-duplicate -- whether a transport fault or a retry after a crash
-between merge and acknowledgment -- is recognized and dropped without
-double counting.
+is recorded in the owning shard's ledger committed *in the same atomic
+manifest rename* as the delta's samples
+(:meth:`ProfileDatabase.merge_epoch`), so a duplicate -- a transport
+fault, a retry after a lost ack, or a replay after a crash between
+merge and acknowledgment -- is recognized and dropped without double
+counting.
 
 Order independence: merging is a commutative integer sum over
-``(epoch, image, event, offset)`` keys, exactly the invariant the
-PR 1 shard reducer and the daemon's per-CPU drains rely on, so the
-merged counts -- and their canonical encoded bytes -- are identical
-under any permutation of delta arrivals (property-tested in
-``tests/test_fleet.py``).
+``(epoch, image, event, offset)`` keys, so the merged counts -- and
+their canonical encoded bytes -- are identical under any permutation
+of delta arrivals *and any shard count* (property-tested in
+``tests/test_fleet.py`` and ``tests/test_fleet_resilience.py``).
+
+Writer contention is no longer fail-loud: a locked shard is retried on
+a bounded, seeded-jitter exponential backoff schedule
+(:class:`IngestRetry`); only an exhausted schedule raises
+:class:`FleetStoreBusyError`.
 """
 
 import contextlib
+import json
 import os
+import random
+import time
+import zlib
 
 try:
     import fcntl
 except ImportError:  # non-POSIX: locking degrades to a no-op
     fcntl = None
 
+from dataclasses import dataclass
+
 from repro.collect.database import ProfileDatabase
 from repro.collect.parallel import MergedProfiles
+from repro.faults.injector import FLEET_STORE_INGEST, NULL_INJECTOR
 from repro.obs import NULL_OBS
 
-#: Ledger schema version (stored in the database manifest's "fleet"
-#: key, committed atomically with every ingest).
+#: Ledger schema version (stored in each shard manifest's "fleet" key,
+#: committed atomically with every ingest).
 LEDGER_VERSION = 1
 
-#: Lock file guarding the single-writer ingest path.
+#: Lock file guarding each shard's single-writer ingest path.
 INGEST_LOCK_NAME = "INGEST.lock"
+
+#: Store-level layout descriptor (only written for sharded stores;
+#: legacy single-shard stores have no extra file).
+STORE_META_NAME = "STORE.json"
+
+#: Real sleeping between lock attempts (injectable for tests; the
+#: backoff *schedule* itself is pure and seeded).
+_SLEEP = time.sleep
 
 
 class FleetStoreBusyError(RuntimeError):
-    """Another writer holds the store's ingest lock.
+    """A shard's ingest lock stayed held through every retry.
 
-    The store is single-writer by design (the ledger is read-modify-
-    write around each atomic manifest commit); this error makes a
-    second concurrent writer fail loudly instead of silently racing
-    the ledger.
+    Each shard is single-writer (its ledger is read-modify-write
+    around each atomic manifest commit); a concurrent writer backs off
+    and retries on the :class:`IngestRetry` schedule and only fails
+    loudly once the bounded attempt budget is exhausted.
     """
+
+
+@dataclass(frozen=True)
+class IngestRetry:
+    """Bounded retry-with-backoff policy for shard lock contention.
+
+    The schedule is a pure function of the policy (seeded jitter, no
+    wall-clock input), so two runs with the same policy wait the same
+    deterministic amounts -- the ``lint/unseeded-backoff`` rule exists
+    to keep it that way.
+    """
+
+    #: total lock acquisition attempts (>= 1) before failing loudly.
+    attempts: int = 8
+    #: first backoff delay, milliseconds.
+    base_ms: float = 2.0
+    #: exponential backoff ceiling, milliseconds.
+    cap_ms: float = 50.0
+    #: jitter seed (schedule is deterministic per seed).
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.attempts < 1:
+            raise ValueError("retry policy needs >= 1 attempt")
+
+    def backoff_schedule(self):
+        """Delays (ms) slept between attempts: ``attempts - 1`` values.
+
+        Exponential doubling from *base_ms*, capped at *cap_ms*, each
+        scaled into ``[0.5, 1.0)`` of itself by a PRNG seeded with
+        *seed* (decorrelates concurrent writers without wall-clock
+        randomness).
+        """
+        rng = random.Random(self.seed)
+        schedule = []
+        for attempt in range(self.attempts - 1):
+            delay = min(self.cap_ms, self.base_ms * (2 ** attempt))
+            schedule.append(delay * (0.5 + 0.5 * rng.random()))
+        return tuple(schedule)
+
+    def budget_ms(self):
+        """Worst-case total backoff (the effective lock timeout)."""
+        return sum(self.backoff_schedule())
 
 
 def _empty_ledger():
@@ -71,70 +143,111 @@ def _empty_ledger():
         "downsample_residue": 0,
         #: window-start epochs already compacted by retention.
         "compacted_windows": [],
+        #: times a writer had to back off before winning the lock.
+        "lock_retries": 0,
     }
 
 
-class FleetStore:
-    """Append-only fleet profile store with epoch queries."""
+class FleetShard:
+    """One shard: a database + ledger + lock, single-writer-at-a-time."""
 
-    def __init__(self, root, obs=None):
+    def __init__(self, root, index=0, obs=None, retry=None):
         self.root = os.fspath(root)
+        self.index = index
         self.obs = obs or NULL_OBS
+        self.retry = retry or IngestRetry()
+        self._sleep = _SLEEP
+        self._refresh()
+
+    def _refresh(self):
+        """(Re)load the shard's manifest and ledger from disk.
+
+        Called at open and again under the ingest lock: another
+        process may have committed since this handle last looked, and
+        applying against a stale manifest would silently overwrite its
+        records (the lost-update race the lock exists to prevent).
+        """
         self.db = ProfileDatabase(os.path.join(self.root, "db"))
         ledger = self.db.get_meta("fleet")
         if ledger is None:
             ledger = _empty_ledger()
         else:
-            # Forward-fill keys added after the store was created.
+            # Forward-fill keys added after the shard was created.
             for key, value in _empty_ledger().items():
                 ledger.setdefault(key, value)
         self.ledger = ledger
 
-    # -- ingest ------------------------------------------------------------
+    # -- locking -----------------------------------------------------------
+
+    def _acquire_with_backoff(self, handle):
+        """Take the shard lock, retrying on the seeded backoff schedule.
+
+        Returns the number of retries it took.  Raises
+        :class:`FleetStoreBusyError` only once the whole
+        :class:`IngestRetry` schedule is exhausted.
+        """
+        schedule = self.retry.backoff_schedule()
+        for attempt in range(self.retry.attempts):
+            try:
+                fcntl.flock(handle, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                if attempt >= len(schedule):
+                    raise FleetStoreBusyError(
+                        "fleet shard %s is busy: %s still held after "
+                        "%d attempts (%.1fms backoff budget); each "
+                        "shard is single-writer"
+                        % (self.root, INGEST_LOCK_NAME,
+                           self.retry.attempts,
+                           self.retry.budget_ms())) from None
+                self.obs.counter("fleet.ingest_lock_retries").inc()
+                self._sleep(schedule[attempt] / 1000.0)
+            else:
+                return attempt
+        raise AssertionError("unreachable")  # pragma: no cover
 
     @contextlib.contextmanager
     def _ingest_lock(self):
-        """Advisory exclusive lock around one ingest (fail-fast).
+        """Advisory exclusive lock around one ingest (retry + timeout).
 
-        ``flock`` on ``<root>/INGEST.lock`` -- non-blocking, held only
-        for the ingest's read-modify-write window, released (and the
+        ``flock`` on ``<shard>/INGEST.lock`` -- non-blocking attempts
+        on a bounded, seeded-jitter backoff schedule, held only for
+        the ingest's read-modify-write window, released (and the
         descriptor closed) on the way out even when the merge raises.
-        Raises :class:`FleetStoreBusyError` when another process (or
-        another open store handle) is mid-ingest.  On platforms
-        without ``fcntl`` the lock degrades to a no-op, matching the
-        documented single-writer assumption.
+        On platforms without ``fcntl`` the lock degrades to a no-op,
+        matching the documented single-writer-per-shard assumption.
         """
         if fcntl is None:
-            yield
+            yield 0
             return
         os.makedirs(self.root, exist_ok=True)
         handle = open(os.path.join(self.root, INGEST_LOCK_NAME), "a+")
         try:
-            try:
-                fcntl.flock(handle, fcntl.LOCK_EX | fcntl.LOCK_NB)
-            except OSError:
-                raise FleetStoreBusyError(
-                    "fleet store %s is busy: another writer holds %s "
-                    "(the store is single-writer; retry after the "
-                    "other ingest finishes)"
-                    % (self.root, INGEST_LOCK_NAME)) from None
-            yield
+            yield self._acquire_with_backoff(handle)
         finally:
             handle.close()
 
-    def ingest(self, delta):
+    # -- ingest ------------------------------------------------------------
+
+    def ingest(self, delta, faults=None):
         """Merge one delivered delta; return True if it was applied.
 
         Dedupes on ``delta.delta_id``: a replay (duplicate delivery,
-        retried shipment) is counted and dropped.  The samples and the
-        ledger entry become durable in one atomic manifest commit.
-        Concurrent writers are rejected with
-        :class:`FleetStoreBusyError` (see :meth:`_ingest_lock`).
+        retried shipment, re-ship after a lost ack) is counted and
+        dropped.  The samples and the ledger entry become durable in
+        one atomic manifest commit.  *faults* may fire
+        ``fleet.store.ingest`` (a writer crash after staging the
+        ledger, before the commit) -- the staged mutation dies with
+        the process; a reopened store sees the pre-crash manifest.
         """
-        with self._ingest_lock():
-            return self._ingest_locked(delta)
+        with self._ingest_lock() as retries:
+            # Only now is this writer's view authoritative: reload
+            # whatever a concurrent winner committed while we waited.
+            self._refresh()
+            if retries:
+                self.ledger["lock_retries"] += retries
+            return self._ingest_locked(delta, faults or NULL_INJECTOR)
 
-    def _ingest_locked(self, delta):
+    def _ingest_locked(self, delta, faults):
         if delta.delta_id in self.ledger["applied"]:
             self.ledger["duplicates_dropped"] += 1
             self.obs.counter("fleet.deltas_deduped").inc()
@@ -162,7 +275,7 @@ class FleetStore:
             for image, procs in delta.symbols.items():
                 self.ledger["symbols"][image] = [list(p) for p in procs]
         if delta.ctx:
-            # Merge this machine's epoch ledger into the fleet-wide
+            # Merge this machine's epoch ledger into the shard's
             # per-epoch ledger; request keys are seed-prefixed so
             # machines union without collision.  Committed in the same
             # atomic manifest rename as the samples it attributes.
@@ -173,6 +286,12 @@ class FleetStore:
             self.ledger["ctx"][key] = merge_ledger_meta(metas)
         self.ledger["samples_ingested"] += samples
         self.ledger["bytes_ingested"] += size
+        # The crash window: ledger staged in memory, manifest not yet
+        # committed.  A crash here loses nothing durable -- the
+        # reopened shard shows the pre-ingest state and the unacked
+        # delta is simply re-shipped.
+        if faults.enabled:
+            faults.check(FLEET_STORE_INGEST)
         with self.obs.timeit("fleet.merge_s"):
             self.db.merge_epoch(delta.profiles, delta.periods,
                                 delta.epoch, meta=self.ledger)
@@ -180,21 +299,157 @@ class FleetStore:
         self.obs.counter("fleet.samples_ingested").inc(samples)
         return True
 
+
+class FleetStore:
+    """Sharded append-only fleet profile store with epoch queries."""
+
+    def __init__(self, root, obs=None, shards=None, retry=None):
+        self.root = os.fspath(root)
+        self.obs = obs or NULL_OBS
+        self.retry = retry or IngestRetry()
+        persisted = self._read_store_meta()
+        if shards is None:
+            shards = persisted if persisted else 1
+        shards = int(shards)
+        if shards < 1:
+            raise ValueError("a store needs at least one shard")
+        if persisted is not None and persisted != shards:
+            raise ValueError(
+                "store %s is laid out as %d shard(s); cannot open it "
+                "with shards=%d" % (self.root, persisted, shards))
+        if persisted is None and shards > 1:
+            if os.path.isdir(os.path.join(self.root, "db")):
+                raise ValueError(
+                    "store %s already holds a single-shard layout; "
+                    "cannot reshard it to %d" % (self.root, shards))
+            self._write_store_meta(shards)
+        self.num_shards = shards
+        if shards == 1:
+            # Legacy layout: the store root IS the shard (db/ +
+            # INGEST.lock directly under it), byte-identical on disk
+            # to every pre-sharding store.
+            self.shards = [FleetShard(self.root, 0, obs=self.obs,
+                                      retry=self.retry)]
+        else:
+            self.shards = [
+                FleetShard(os.path.join(self.root, "shards",
+                                        "s%02d" % index),
+                           index, obs=self.obs, retry=self.retry)
+                for index in range(shards)
+            ]
+    @property
+    def db(self):
+        """Shard 0's database (compat alias; single-shard callers keep
+        working unchanged; tracks the shard's post-ingest refreshes)."""
+        return self.shards[0].db
+
+    # -- layout ------------------------------------------------------------
+
+    def _store_meta_path(self):
+        return os.path.join(self.root, STORE_META_NAME)
+
+    def _read_store_meta(self):
+        try:
+            with open(self._store_meta_path()) as handle:
+                return int(json.load(handle)["shards"])
+        except (OSError, ValueError, KeyError):
+            return None
+
+    def _write_store_meta(self, shards):
+        os.makedirs(self.root, exist_ok=True)
+        path = self._store_meta_path()
+        tmp = path + ".tmp"
+        with open(tmp, "w") as handle:
+            json.dump({"schema": 1, "shards": shards}, handle)
+            handle.write("\n")
+        os.replace(tmp, path)
+
+    def shard_for(self, machine_id):
+        """The shard that owns *machine_id* (stable across processes)."""
+        digest = zlib.crc32(str(machine_id).encode("utf-8"))
+        return self.shards[digest % self.num_shards]
+
+    @property
+    def ledger(self):
+        """The store ledger.
+
+        Single-shard stores expose the live shard ledger dict (legacy
+        callers read *and mutate* it); sharded stores return a merged
+        read-only snapshot.
+        """
+        if self.num_shards == 1:
+            return self.shards[0].ledger
+        return self._merged_ledger()
+
+    def _merged_ledger(self):
+        from repro.ctx import merge_ledger_meta
+        merged = _empty_ledger()
+        ctx_by_epoch = {}
+        windows = set()
+        for shard in self.shards:
+            ledger = shard.ledger
+            merged["applied"].update(ledger["applied"])
+            merged["machines"].update(ledger["machines"])
+            merged["symbols"].update(ledger["symbols"])
+            for key, meta in ledger["ctx"].items():
+                ctx_by_epoch.setdefault(key, []).append(meta)
+            for key in ("samples_ingested", "bytes_ingested",
+                        "duplicates_dropped", "compactions",
+                        "downsample_residue", "lock_retries"):
+                merged[key] += ledger[key]
+            windows.update(ledger["compacted_windows"])
+        merged["ctx"] = {key: (metas[0] if len(metas) == 1
+                               else merge_ledger_meta(metas))
+                         for key, metas in ctx_by_epoch.items()}
+        merged["compacted_windows"] = sorted(windows)
+        return merged
+
+    # -- ingest ------------------------------------------------------------
+
+    def ingest(self, delta, faults=None):
+        """Route one delivered delta to its shard and merge it there."""
+        return self.shard_for(delta.machine_id).ingest(delta,
+                                                       faults=faults)
+
     # -- read path ---------------------------------------------------------
 
     def epochs(self):
         """Sorted epoch ids with at least one committed profile."""
-        return self.db.epochs()
+        epochs = set()
+        for shard in self.shards:
+            epochs.update(shard.db.epochs())
+        return sorted(epochs)
+
+    def load_all(self, epoch):
+        """Yield ``(image, event, counts, period)`` across all shards.
+
+        The store-level iteration every query and retention pass goes
+        through; shard order is fixed (index order) but consumers only
+        ever fold commutatively, so the result is shard-layout
+        independent.
+        """
+        for shard in self.shards:
+            yield from shard.db.load_all(epoch)
 
     def symbols(self):
         """{image: [(procedure, start offset, end offset), ...]}."""
-        return {image: [tuple(p) for p in procs]
-                for image, procs in self.ledger["symbols"].items()}
+        merged = {}
+        for shard in self.shards:
+            for image, procs in shard.ledger["symbols"].items():
+                merged[image] = [tuple(p) for p in procs]
+        return merged
 
     def machines(self):
-        """Per-machine shipment accounting from the ledger."""
-        return {mid: dict(entry)
-                for mid, entry in self.ledger["machines"].items()}
+        """Per-machine shipment accounting from the shard ledgers.
+
+        Machine ids are disjoint across shards (a machine always
+        hashes to one shard), so this union never merges entries.
+        """
+        merged = {}
+        for shard in self.shards:
+            for mid, entry in shard.ledger["machines"].items():
+                merged[mid] = dict(entry)
+        return merged
 
     def ctx_meta(self, epochs=None):
         """Merged request-context ledger over *epochs* (default: all).
@@ -204,12 +459,14 @@ class FleetStore:
         delta carried the context dimension.
         """
         from repro.ctx import merge_ledger_meta
-        stored = self.ledger["ctx"]
-        if epochs is None:
-            keys = sorted(stored)
-        else:
-            keys = ["%04d" % epoch for epoch in sorted(epochs)]
-        metas = [stored[key] for key in keys if key in stored]
+        if epochs is not None:
+            wanted = {"%04d" % epoch for epoch in epochs}
+        metas = []
+        for shard in self.shards:
+            stored = shard.ledger["ctx"]
+            for key in sorted(stored):
+                if epochs is None or key in wanted:
+                    metas.append(stored[key])
         if not metas:
             return None
         return merge_ledger_meta(metas)
@@ -219,15 +476,15 @@ class FleetStore:
 
         The reduction is the PR 1 shard merge: commutative sums per
         (image, event, offset), so the result -- and its canonical
-        ``encode_all`` bytes -- is independent of both delta arrival
-        order and the order epochs are folded in.
+        ``encode_all`` bytes -- is independent of delta arrival order,
+        epoch fold order, *and* the store's shard count.
         """
         if epochs is None:
             epochs = self.epochs()
         counts = {}
         periods = {}
         for epoch in sorted(epochs):
-            for image, event, by_offset, period in self.db.load_all(epoch):
+            for image, event, by_offset, period in self.load_all(epoch):
                 dest = counts.setdefault(image, {}).setdefault(event, {})
                 for offset, count in by_offset.items():
                     dest[offset] = dest.get(offset, 0) + count
@@ -240,28 +497,64 @@ class FleetStore:
             epochs = self.epochs()
         total = 0
         for epoch in sorted(epochs):
-            total += self.db.total_samples(epoch=epoch, event=event)
+            for shard in self.shards:
+                total += shard.db.total_samples(epoch=epoch, event=event)
         return total
 
     # -- accounting --------------------------------------------------------
 
     def disk_bytes(self):
         """Bytes of committed profile payload (Table 5 style)."""
-        return self.db.disk_bytes()
+        return sum(shard.db.disk_bytes() for shard in self.shards)
+
+    def quarantined_samples(self):
+        """Samples quarantined by any shard's database."""
+        return sum(shard.db.quarantined_samples()
+                   for shard in self.shards)
+
+    def downsample_residue(self):
+        """Retention residue accounted across every shard."""
+        return sum(shard.ledger["downsample_residue"]
+                   for shard in self.shards)
+
+    def verify(self):
+        """Run every shard database's integrity verification.
+
+        Returns ``{shard index: verify report}`` -- corrupt payloads
+        are quarantined by the databases (PR 4 machinery) and show up
+        in :meth:`quarantined_samples`.
+        """
+        return {shard.index: shard.db.verify()
+                for shard in self.shards}
 
     def stats(self):
         """Ledger + database accounting in one flat dict."""
+        applied = 0
+        machines = set()
+        sums = {"samples_ingested": 0, "bytes_ingested": 0,
+                "duplicates_dropped": 0, "compactions": 0,
+                "downsample_residue": 0, "lock_retries": 0}
+        ctx_epochs = set()
+        for shard in self.shards:
+            ledger = shard.ledger
+            applied += len(ledger["applied"])
+            machines.update(ledger["machines"])
+            ctx_epochs.update(ledger["ctx"])
+            for key in sums:
+                sums[key] += ledger[key]
         return {
             "epochs": len(self.epochs()),
-            "machines": len(self.ledger["machines"]),
-            "deltas_applied": len(self.ledger["applied"]),
-            "samples_ingested": self.ledger["samples_ingested"],
-            "bytes_ingested": self.ledger["bytes_ingested"],
-            "duplicates_dropped": self.ledger["duplicates_dropped"],
-            "compactions": self.ledger["compactions"],
-            "downsample_residue": self.ledger["downsample_residue"],
-            "ctx_epochs": len(self.ledger["ctx"]),
+            "shards": self.num_shards,
+            "machines": len(machines),
+            "deltas_applied": applied,
+            "samples_ingested": sums["samples_ingested"],
+            "bytes_ingested": sums["bytes_ingested"],
+            "duplicates_dropped": sums["duplicates_dropped"],
+            "compactions": sums["compactions"],
+            "downsample_residue": sums["downsample_residue"],
+            "lock_retries": sums["lock_retries"],
+            "ctx_epochs": len(ctx_epochs),
             "stored_samples": self.total_samples(),
             "disk_bytes": self.disk_bytes(),
-            "quarantined_samples": self.db.quarantined_samples(),
+            "quarantined_samples": self.quarantined_samples(),
         }

@@ -13,16 +13,37 @@ the store.  It consults the ``fleet.ship`` fault point
 (:mod:`repro.faults`): ``drop`` loses the delta in transit (the samples
 become accounted fleet-hop loss), ``duplicate`` delivers it twice
 (the store's dedupe must absorb it), ``delay`` holds it for the next
-shipment (reordering arrival without losing anything).
+shipment (reordering arrival without losing anything), and
+``transient`` times the shipment out retryably
+(:class:`ShipTimeoutError` -- the sender keeps the delta spooled and
+retries with backoff).
+
+:class:`ShipSpool` is the sender-side bounded outbox of unacked
+deltas: offered deltas stay spooled until the store's ack arrives,
+timeouts charge a deterministic seeded-jitter exponential backoff, and
+overflow drops the oldest entry with exact loss accounting so fleet
+conservation still balances to the sample.
 """
 
-from dataclasses import dataclass
+import random
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.collect.database import FORMAT_COMPACT, encode_profile
 from repro.faults.injector import (DELAY, DROP, DUPLICATE, FLEET_SHIP,
-                                   NULL_INJECTOR)
+                                   NULL_INJECTOR, TRANSIENT)
 from repro.obs import NULL_OBS
+
+#: Default bounded spool capacity (deltas) per machine.
+DEFAULT_SPOOL_CAPACITY = 8
+
+
+class ShipTimeoutError(RuntimeError):
+    """A shipment timed out retryably; the delta stays spooled."""
+
+    def __init__(self, delta_id: str) -> None:
+        super().__init__("shipment of %s timed out" % delta_id)
+        self.delta_id = delta_id
 
 
 @dataclass(frozen=True)
@@ -86,6 +107,7 @@ class TransportStats:
     lost_samples: int = 0       # samples aboard dropped deltas
     duplicated: int = 0         # deltas delivered twice
     delayed: int = 0            # deltas deferred to a later shipment
+    timeouts: int = 0           # retryable shipment timeouts
     bytes_shipped: int = 0      # wire bytes of delivered copies
 
     def to_dict(self):
@@ -96,6 +118,7 @@ class TransportStats:
             "lost_samples": self.lost_samples,
             "duplicated": self.duplicated,
             "delayed": self.delayed,
+            "timeouts": self.timeouts,
             "bytes_shipped": self.bytes_shipped,
         }
 
@@ -122,13 +145,21 @@ class DeltaTransport:
         earlier shipments arrive first); it may be empty (dropped), or
         contain the same delta twice (duplicate delivery).
         """
+        self.stats.shipped += 1
+        self.obs.counter("fleet.deltas_shipped").inc()
+        spec = self.faults.fires(FLEET_SHIP) if self.faults.enabled else None
+        if spec is not None and spec.action == TRANSIENT:
+            # A retryable timeout: nothing was delivered or lost, the
+            # sender's spool keeps the delta and backs off.  Deltas
+            # delayed by earlier shipments stay held for the next
+            # successful ship (or the final flush).
+            self.stats.timeouts += 1
+            self.obs.counter("fleet.ship_timeouts").inc()
+            raise ShipTimeoutError(delta.delta_id)
         deliveries: List[Delta] = []
         if self._delayed:
             pending, self._delayed = self._delayed, []
             deliveries.extend(pending)
-        self.stats.shipped += 1
-        self.obs.counter("fleet.deltas_shipped").inc()
-        spec = self.faults.fires(FLEET_SHIP) if self.faults.enabled else None
         if spec is not None and spec.action == DROP:
             self.stats.lost_deltas += 1
             self.stats.lost_samples += delta.total_samples()
@@ -160,3 +191,128 @@ class DeltaTransport:
             self.stats.delivered += 1
             self.stats.bytes_shipped += delivery.encoded_bytes()
         return pending
+
+
+@dataclass
+class SpoolEntry:
+    """One spooled delta and its shipment bookkeeping."""
+
+    delta: Delta
+    attempts: int = 0
+    #: at least one copy reached the store (only the ack was lost);
+    #: dropping a delivered entry from the spool loses no samples.
+    delivered: bool = False
+
+
+@dataclass
+class ShipSpool:
+    """Bounded sender-side outbox of unacked deltas.
+
+    Deltas stay spooled from :meth:`offer` until :meth:`ack`; a
+    timeout charges a deterministic exponential-backoff delay with
+    seeded jitter (modelled, not slept -- the simulation has no wall
+    clock) via :meth:`backoff_for_retry`.  When the spool overflows,
+    the *oldest* entry is dropped and its samples are accounted
+    exactly (``dropped_samples``), unless a copy already reached the
+    store, so the fleet conservation identity keeps balancing:
+
+        stored + transit_lost + spool_dropped + residue
+            + quarantined == shipped
+    """
+
+    capacity: int = DEFAULT_SPOOL_CAPACITY
+    #: first retry backoff, milliseconds (modelled).
+    base_ms: float = 4.0
+    #: backoff ceiling, milliseconds.
+    cap_ms: float = 250.0
+    #: jitter seed (the whole backoff sequence is deterministic).
+    seed: int = 0
+    offered: int = 0
+    retries: int = 0
+    backoff_ms: float = 0.0
+    dropped_deltas: int = 0
+    dropped_samples: int = 0
+    peak_depth: int = 0
+    _entries: List[SpoolEntry] = field(default_factory=list)
+    _rng: random.Random = None
+
+    def __post_init__(self):
+        self.capacity = max(1, int(self.capacity))
+        self._rng = random.Random(self.seed)
+
+    def __len__(self):
+        return len(self._entries)
+
+    def pending(self):
+        """Spooled entries, oldest first (ship in this order)."""
+        return list(self._entries)
+
+    def offer(self, delta):
+        """Spool *delta*; return deltas evicted by overflow (oldest
+        first), their samples already accounted in
+        ``dropped_samples``."""
+        self.offered += 1
+        self._entries.append(SpoolEntry(delta))
+        evicted = []
+        while len(self._entries) > self.capacity:
+            victim = self._entries.pop(0)
+            self.dropped_deltas += 1
+            if not victim.delivered:
+                self.dropped_samples += victim.delta.total_samples()
+            evicted.append(victim.delta)
+        self.peak_depth = max(self.peak_depth, len(self._entries))
+        return evicted
+
+    def ack(self, delta_id):
+        """The store acknowledged *delta_id*: forget it."""
+        self._entries = [entry for entry in self._entries
+                         if entry.delta.delta_id != delta_id]
+
+    def mark_delivered(self, delta_id):
+        """A copy reached the store (even if the ack then got lost)."""
+        for entry in self._entries:
+            if entry.delta.delta_id == delta_id:
+                entry.delivered = True
+
+    def backoff_for_retry(self, entry):
+        """Charge one retry's backoff; return the modelled delay (ms).
+
+        Exponential doubling from ``base_ms`` capped at ``cap_ms``,
+        scaled into ``[0.5, 1.0)`` of itself by the spool's seeded
+        PRNG -- no wall clock, no unseeded jitter (the
+        ``lint/unseeded-backoff`` rule keeps it that way).
+        """
+        entry.attempts += 1
+        self.retries += 1
+        exponent = min(entry.attempts - 1, 16)
+        delay = min(self.cap_ms, self.base_ms * (2 ** exponent))
+        delay *= 0.5 + 0.5 * self._rng.random()
+        self.backoff_ms += delay
+        return delay
+
+    def abandon(self):
+        """Terminally drop everything still spooled (session end).
+
+        Returns the abandoned deltas; undelivered samples land in
+        ``dropped_samples`` so nothing is lost silently.
+        """
+        abandoned = []
+        for entry in self._entries:
+            self.dropped_deltas += 1
+            if not entry.delivered:
+                self.dropped_samples += entry.delta.total_samples()
+            abandoned.append(entry.delta)
+        self._entries = []
+        return abandoned
+
+    def to_dict(self):
+        return {
+            "capacity": self.capacity,
+            "depth": len(self._entries),
+            "peak_depth": self.peak_depth,
+            "offered": self.offered,
+            "retries": self.retries,
+            "backoff_ms": round(self.backoff_ms, 3),
+            "dropped_deltas": self.dropped_deltas,
+            "dropped_samples": self.dropped_samples,
+        }

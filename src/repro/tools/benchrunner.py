@@ -312,6 +312,33 @@ def _compare_opt(name, old_opt, new_opt, comparison):
                                              "%g" % old_v, "%g" % new_v))
 
 
+#: "resilience" block keys (schema 7) compared between runs: the
+#: conservation facts are deterministic (seeded faults, seeded
+#: backoff) and must reproduce exactly; concurrent-vs-serial speedup
+#: carries a generous slack (it is wall-clock-derived and only its
+#: direction is load-bearing); raw throughputs are not compared.
+RESILIENCE_COMPARE_KEYS = (
+    ("samples_conserved", "resilience samples conserved", 0),
+    ("spool_dropped_samples", "resilience spool-dropped samples", 0),
+    ("transit_lost_samples", "resilience transit-lost samples", 0),
+    ("ship_retries", "resilience ship retries", 0),
+    ("concurrent_speedup", "concurrent-over-serial ingest speedup",
+     1.5),
+)
+
+
+def _compare_resilience(name, old_res, new_res, comparison):
+    """Warn -- never fail -- when fleet resilience facts drift."""
+    for key, label, slack in RESILIENCE_COMPARE_KEYS:
+        old_v, new_v = old_res.get(key), new_res.get(key)
+        if old_v is None or new_v is None:
+            continue
+        if abs(new_v - old_v) > slack:
+            comparison.warnings.append(
+                "%s: %s drifted %s -> %s" % (name, label,
+                                             "%g" % old_v, "%g" % new_v))
+
+
 def compare_results(old, new, threshold=0.3, sample_drift=0.01,
                     ips_threshold=0.15, lenient=False):
     """Diff two result sets; regressions are what CI should fail on.
@@ -414,6 +441,9 @@ def compare_results(old, new, threshold=0.3, sample_drift=0.01,
             _compare_fleet(name, o["fleet"], n["fleet"], comparison)
         if same_setup and o.get("opt") and n.get("opt"):
             _compare_opt(name, o["opt"], n["opt"], comparison)
+        if same_setup and o.get("resilience") and n.get("resilience"):
+            _compare_resilience(name, o["resilience"],
+                                n["resilience"], comparison)
     return comparison
 
 

@@ -24,6 +24,11 @@ def build_parser():
         "--quick", action="store_true",
         help="run only the quick (CI smoke) scenario subset")
     parser.add_argument(
+        "--fleet", action="store_true",
+        help="run the fleet scenario family (transport/spool/crash/"
+             "shard faults against a whole simulated fleet) instead "
+             "of the single-machine matrix")
+    parser.add_argument(
         "--scenarios", default=None,
         help="comma-separated scenario names (default: all registered)")
     parser.add_argument(
@@ -45,13 +50,49 @@ def build_parser():
 
 
 def _list_scenarios(out):
-    from repro.faults.scenarios import SCENARIOS
+    from repro.faults.scenarios import FLEET_SCENARIOS, SCENARIOS
 
-    out.write("%-22s %-5s %s\n" % ("scenario", "quick", "description"))
+    out.write("%-24s %-5s %s\n" % ("scenario", "quick", "description"))
     for scenario in SCENARIOS:
-        out.write("%-22s %-5s %s\n"
+        out.write("%-24s %-5s %s\n"
                   % (scenario.name, "yes" if scenario.quick else "",
                      scenario.description))
+    out.write("\nfleet scenarios (--fleet):\n")
+    for scenario in FLEET_SCENARIOS:
+        out.write("%-24s %-5s %s\n"
+                  % (scenario.name, "yes" if scenario.quick else "",
+                     scenario.description))
+
+
+def render_fleet_table(cases, out):
+    header = ("%-24s %9s %8s %7s %7s %6s %7s %5s %-4s"
+              % ("scenario", "shipped", "stored", "dropped", "retries",
+                 "quar", "recov", "loss%", "ok"))
+    out.write(header + "\n")
+    out.write("-" * len(header) + "\n")
+    for case in cases:
+        out.write("%-24s %9d %8d %7d %7d %6d %7d %5.2f %-4s\n"
+                  % (case["scenario"], case["shipped_samples"],
+                     case["stored_samples"],
+                     case["resilience"]["spool_dropped_samples"],
+                     case["resilience"]["ship_retries"],
+                     case["quarantined_samples"], case["recoveries"],
+                     case["loss_rate"] * 100.0,
+                     "ok" if case["ok"] else "FAIL"))
+
+
+def _explain_fleet_failure(case, out):
+    out.write("FAIL %s:\n" % case["scenario"])
+    if not case["conservation_ok"]:
+        out.write("  conservation violated: %s\n"
+                  % json.dumps(case["findings"], sort_keys=True))
+    if not case["deterministic"]:
+        out.write("  twin run diverged: merged bytes or resilience "
+                  "report differ under the same seed\n")
+    if case["serial_identical"] is False:
+        out.write("  sharded merge != serial merge: %d-shard store "
+                  "is not byte-identical to shards=1\n"
+                  % case["shards"])
 
 
 def render_table(cases, out):
@@ -100,20 +141,30 @@ def main(argv=None, out=None):
         _list_scenarios(out)
         return 0
 
-    from repro.faults.scenarios import get_scenario, run_matrix
+    from repro.faults.scenarios import (get_fleet_scenario, get_scenario,
+                                        run_fleet_matrix, run_matrix)
 
     names = None
     if args.scenarios:
         names = [name.strip() for name in args.scenarios.split(",")
                  if name.strip()]
-        for name in names:
-            get_scenario(name)   # fail fast on typos
-    workloads = [name.strip() for name in args.workloads.split(",")
-                 if name.strip()]
-    cases = run_matrix(workloads=workloads, quick=args.quick,
-                       seed=args.seed, budget=args.max_instructions,
-                       names=names)
-    render_table(cases, out)
+        for name in names:   # fail fast on typos
+            if args.fleet:
+                get_fleet_scenario(name)
+            else:
+                get_scenario(name)
+    if args.fleet:
+        cases = run_fleet_matrix(quick=args.quick, seed=args.seed,
+                                 budget=args.max_instructions,
+                                 names=names)
+        render_fleet_table(cases, out)
+    else:
+        workloads = [name.strip() for name in args.workloads.split(",")
+                     if name.strip()]
+        cases = run_matrix(workloads=workloads, quick=args.quick,
+                           seed=args.seed, budget=args.max_instructions,
+                           names=names)
+        render_table(cases, out)
     failures = [case for case in cases if not case["ok"]]
     out.write("\n%d case(s), %d failure(s), %d recoveries, "
               "max loss rate %.2f%%\n"
@@ -122,7 +173,10 @@ def main(argv=None, out=None):
                  max((case["loss_rate"] for case in cases), default=0.0)
                  * 100.0))
     for case in failures:
-        _explain_failure(case, out)
+        if case.get("fleet"):
+            _explain_fleet_failure(case, out)
+        else:
+            _explain_failure(case, out)
     if args.json_path:
         payload = json.dumps(cases, indent=2, sort_keys=True,
                              default=str)

@@ -234,6 +234,69 @@ class TestCtxWriteGuard:
         assert findings == []
 
 
+class TestUnseededBackoff:
+    def test_sleep_in_retry_function_fires(self):
+        findings = lint("""
+            import time
+
+            def ingest_with_retry(self, handle):
+                time.sleep(0.01)
+            """)
+        assert rules(findings) == ["lint/unseeded-backoff"]
+
+    def test_wallclock_in_backoff_function_fires(self):
+        findings = lint("""
+            import time
+
+            def backoff_schedule(self):
+                return time.monotonic()
+            """)
+        assert rules(findings) == ["lint/unseeded-backoff"]
+
+    def test_entropy_seeded_jitter_in_backoff_fires(self):
+        findings = lint("""
+            import random
+
+            def next_backoff(attempt):
+                rng = random.Random()
+                return 2 ** attempt * rng.random()
+            """)
+        assert rules(findings) == ["lint/unseeded-backoff"]
+
+    def test_seeded_schedule_with_injected_sleeper_is_fine(self):
+        findings = lint("""
+            import random
+
+            def backoff_schedule(self):
+                rng = random.Random(self.seed)
+                return [2 ** a * (0.5 + 0.5 * rng.random())
+                        for a in range(self.attempts)]
+
+            def acquire_with_retry(self):
+                for delay in self.backoff_schedule():
+                    self._sleep(delay / 1000.0)
+            """)
+        assert findings == []
+
+    def test_sleep_outside_backoff_logic_is_fine(self):
+        findings = lint("""
+            import time
+
+            def wait_for_worker():
+                time.sleep(0.1)
+            """)
+        assert findings == []
+
+    def test_named_ignore_suppresses(self):
+        findings = lint("""
+            import time
+
+            def poll_with_retry(self):
+                time.sleep(0.01)  # dcpicheck: ignore[unseeded-backoff]
+            """)
+        assert findings == []
+
+
 class TestSuppression:
     def test_bare_ignore_suppresses(self):
         findings = lint("""

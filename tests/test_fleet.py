@@ -13,9 +13,9 @@ from repro.check.analysis_checks import check_fleet_conservation
 from repro.faults import (DELAY, DROP, DUPLICATE, FLEET_SHIP, FaultPlan,
                           FaultSpec)
 from repro.fleet import (Delta, DeltaTransport, FleetConfig, FleetMachine,
-                         FleetSession, FleetStore, RetentionPolicy,
-                         compact, compactable_windows, downsample,
-                         parse_epochs)
+                         FleetSession, FleetStore, IngestRetry,
+                         RetentionPolicy, compact, compactable_windows,
+                         downsample, parse_epochs)
 from repro.fleet.cli import main as fleet_main
 from repro.fleet.query import FleetQuery
 
@@ -215,22 +215,51 @@ def _fcntl_available():
 
 @pytest.mark.skipif(not _fcntl_available(),
                     reason="advisory locking needs fcntl (POSIX)")
-def test_concurrent_ingest_fails_loudly(tmp_path):
-    """A second writer mid-ingest gets FleetStoreBusyError, not a race.
+def test_concurrent_ingest_times_out_loudly(tmp_path):
+    """A contended writer retries with backoff, then fails loudly.
 
     flock conflicts are per open file description, so two store
     handles in one process exercise the same path as two processes.
+    The loser's backoff sleeps are captured (not slept) so the test
+    asserts the seeded schedule was actually consumed.
     """
-    from repro.fleet import FleetStoreBusyError
+    from repro.fleet import FleetStoreBusyError, IngestRetry
 
     root = str(tmp_path / "store")
-    first = FleetStore(root)
-    second = FleetStore(root)
-    with first._ingest_lock():
+    retry = IngestRetry(attempts=3, base_ms=2.0, cap_ms=8.0, seed=7)
+    first = FleetStore(root, retry=retry)
+    second = FleetStore(root, retry=retry)
+    slept = []
+    second.shards[0]._sleep = slept.append
+    with first.shards[0]._ingest_lock():
         with pytest.raises(FleetStoreBusyError, match="single-writer"):
             second.ingest(_tiny_delta(1))
+    # Every backoff step in the seeded schedule was consumed.
+    assert slept == [ms / 1000.0 for ms in retry.backoff_schedule()]
     # The loser applied nothing: the delta is still ingestable.
     assert second.ingest(_tiny_delta(1)) is True
+
+
+@pytest.mark.skipif(not _fcntl_available(),
+                    reason="advisory locking needs fcntl (POSIX)")
+def test_contended_ingest_succeeds_within_backoff_budget(tmp_path):
+    """A writer that finds the lock freed mid-backoff ingests fine."""
+    root = str(tmp_path / "store")
+    retry = IngestRetry(attempts=4, base_ms=1.0, cap_ms=4.0, seed=3)
+    first = FleetStore(root, retry=retry)
+    second = FleetStore(root, retry=retry)
+    lock = first.shards[0]._ingest_lock()
+    lock.__enter__()
+    releases = iter([False, True])
+
+    def sleep_then_release(_seconds):
+        if next(releases, False):
+            lock.__exit__(None, None, None)
+
+    second.shards[0]._sleep = sleep_then_release
+    assert second.ingest(_tiny_delta(1)) is True
+    assert second.ledger["lock_retries"] == 2
+    assert second.stats()["lock_retries"] == 2
 
 
 @pytest.mark.skipif(not _fcntl_available(),

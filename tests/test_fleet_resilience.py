@@ -1,0 +1,307 @@
+"""Fleet resilience (PR 9): sharded concurrent ingest identity, spool
+overflow conservation, deterministic backoff, and crash recovery.
+
+The load-bearing invariants:
+
+* a sharded store's merged bytes are identical to the serial
+  single-shard store's, for any shard count, any delta interleaving,
+  and real concurrent multi-process writers;
+* the bounded ship spool never loses a sample silently -- offered
+  samples always split exactly into pending + acked + dropped;
+* every backoff schedule (ingest-lock retry and ship retry) is a pure
+  function of its seed;
+* an injected machine / store crash recovers to byte-identical store
+  contents with the conservation identity exactly balanced.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultPlan, FaultSpec
+from repro.fleet import (Delta, FleetConfig, FleetMachine, FleetSession,
+                         FleetStore, IngestRetry, ShipSpool)
+
+MACHINES = 4
+EPOCHS = 2
+BUDGET = 6_000
+
+
+@pytest.fixture(scope="module")
+def fleet_deltas():
+    config = FleetConfig(machines=MACHINES, epochs=EPOCHS, seed=23)
+    machines = [
+        FleetMachine("m%02d" % i, config.machine_workload(i),
+                     config.machine_seed(i))
+        for i in range(MACHINES)
+    ]
+    deltas = []
+    for _ in range(EPOCHS):
+        for machine in machines:
+            deltas.append(machine.run_epoch(BUDGET))
+    shipped = sum(machine.shipped_samples for machine in machines)
+    assert shipped > 0
+    return deltas, shipped
+
+
+def _store_bytes(store):
+    return store.merged().encode_all()
+
+
+def _tiny_delta(batch, samples=10):
+    return Delta(machine_id="m00", epoch=batch - 1, batch=batch,
+                 generation=1, workload="w", seed=1,
+                 profiles={"img": {"cycles": {0: samples}}},
+                 periods={"cycles": 4.0})
+
+
+# -- sharded == serial (the tentpole identity) ------------------------------
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(data=st.data())
+def test_sharded_ingest_byte_identical_to_serial(fleet_deltas,
+                                                 tmp_path_factory, data):
+    """Any shard count, any interleaving: same merged bytes."""
+    deltas, shipped = fleet_deltas
+    shards = data.draw(st.sampled_from([2, 3, 4]))
+    order = data.draw(st.permutations(list(range(len(deltas)))))
+    serial = FleetStore(str(tmp_path_factory.mktemp("serial")))
+    for delta in deltas:
+        serial.ingest(delta)
+    sharded = FleetStore(str(tmp_path_factory.mktemp("sharded")),
+                         shards=shards)
+    for index in order:
+        sharded.ingest(deltas[index])
+    assert _store_bytes(sharded) == _store_bytes(serial)
+    assert sharded.total_samples() == shipped
+    assert sharded.epochs() == serial.epochs()
+
+
+def test_shard_routing_is_stable_and_partitioned(fleet_deltas, tmp_path):
+    """A machine always routes to the same shard, in every process
+    that opens the store (the hash is unsalted), and a shard only
+    holds its own machines."""
+    deltas, _ = fleet_deltas
+    root = str(tmp_path / "store")
+    store = FleetStore(root, shards=4)
+    for delta in deltas:
+        store.ingest(delta)
+    reopened = FleetStore(root)
+    assert reopened.num_shards == 4
+    for delta in deltas:
+        assert (store.shard_for(delta.machine_id).index
+                == reopened.shard_for(delta.machine_id).index)
+    for shard in reopened.shards:
+        for machine_id in shard.ledger["machines"]:
+            assert reopened.shard_for(machine_id).index == shard.index
+
+
+def test_reshard_of_existing_store_is_refused(fleet_deltas, tmp_path):
+    deltas, _ = fleet_deltas
+    root = str(tmp_path / "store")
+    store = FleetStore(root, shards=2)
+    store.ingest(deltas[0])
+    with pytest.raises(ValueError, match="shards"):
+        FleetStore(root, shards=3)
+
+
+def _ingest_worker(root, deltas):
+    store = FleetStore(root, retry=IngestRetry(
+        attempts=12, base_ms=1.0, cap_ms=40.0, seed=0))
+    for delta in deltas:
+        store.ingest(delta)
+
+
+def test_four_process_concurrent_ingest_matches_serial(fleet_deltas,
+                                                       tmp_path):
+    """Four real OS processes ingest concurrently into one 4-shard
+    store; contention rides the bounded lock retry, and the result is
+    byte-identical to the serial single-shard store."""
+    deltas, shipped = fleet_deltas
+    serial = FleetStore(str(tmp_path / "serial"))
+    for delta in deltas:
+        serial.ingest(delta)
+    root = str(tmp_path / "concurrent")
+    FleetStore(root, shards=4)   # create layout + persist shard meta
+    ctx = multiprocessing.get_context("fork")
+    workers = [
+        ctx.Process(target=_ingest_worker,
+                    args=(root, deltas[index::4]))
+        for index in range(4)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(timeout=120)
+    assert all(worker.exitcode == 0 for worker in workers)
+    store = FleetStore(root)
+    assert store.total_samples() == shipped
+    assert _store_bytes(store) == _store_bytes(serial)
+    assert not any(store.verify()[index]["quarantined"]
+                   for index in range(4))
+
+
+# -- spool overflow conservation --------------------------------------------
+
+
+@given(capacity=st.integers(min_value=1, max_value=5),
+       sizes=st.lists(st.integers(min_value=1, max_value=50),
+                      max_size=12))
+def test_spool_overflow_conserves_samples(capacity, sizes):
+    """offered == pending + evicted, sample-exact, oldest dropped."""
+    spool = ShipSpool(capacity=capacity, seed=3)
+    offered = 0
+    evicted_samples = 0
+    for batch, samples in enumerate(sizes, 1):
+        delta = _tiny_delta(batch, samples=samples)
+        offered += samples
+        for victim in spool.offer(delta):
+            evicted_samples += victim.total_samples()
+    pending = sum(entry.delta.total_samples()
+                  for entry in spool.pending())
+    assert offered == pending + evicted_samples
+    assert spool.dropped_samples == evicted_samples
+    assert spool.dropped_deltas == max(0, len(sizes) - capacity)
+    assert len(spool) == min(len(sizes), capacity)
+    # Drop-oldest: the survivors are exactly the newest offers.
+    expected = list(range(1, len(sizes) + 1))[-capacity:]
+    assert [entry.delta.batch
+            for entry in spool.pending()] == expected
+
+
+def test_spool_does_not_account_delivered_entries_as_lost():
+    """An entry whose copy reached the store (ack lost) is not loss."""
+    spool = ShipSpool(capacity=1, seed=1)
+    first = _tiny_delta(1, samples=7)
+    spool.offer(first)
+    spool.mark_delivered(first.delta_id)
+    evicted = spool.offer(_tiny_delta(2, samples=9))
+    assert [d.delta_id for d in evicted] == [first.delta_id]
+    assert spool.dropped_deltas == 1
+    assert spool.dropped_samples == 0   # stored upstream, not lost
+    assert spool.abandon()[0].total_samples() == 9
+    assert spool.dropped_samples == 9
+
+
+# -- deterministic backoff ---------------------------------------------------
+
+
+@given(seed=st.integers(min_value=0, max_value=2 ** 16))
+def test_ingest_backoff_schedule_is_pure_function_of_seed(seed):
+    retry = IngestRetry(attempts=6, base_ms=2.0, cap_ms=20.0, seed=seed)
+    first = retry.backoff_schedule()
+    assert first == retry.backoff_schedule()
+    assert first == IngestRetry(attempts=6, base_ms=2.0, cap_ms=20.0,
+                                seed=seed).backoff_schedule()
+    assert len(first) == retry.attempts - 1
+    for attempt, delay in enumerate(first):
+        ceiling = min(20.0, 2.0 * 2 ** attempt)
+        assert ceiling * 0.5 <= delay < ceiling
+    assert abs(retry.budget_ms() - sum(first)) < 1e-9
+
+
+@given(seed=st.integers(min_value=0, max_value=2 ** 16))
+def test_ship_backoff_is_pure_function_of_seed(seed):
+    def schedule(spool):
+        entry = spool.pending()[0]
+        return [spool.backoff_for_retry(entry) for _ in range(8)]
+
+    first = ShipSpool(capacity=2, seed=seed)
+    twin = ShipSpool(capacity=2, seed=seed)
+    for spool in (first, twin):
+        spool.offer(_tiny_delta(1))
+    delays = schedule(first)
+    assert delays == schedule(twin)
+    for attempt, delay in enumerate(delays):
+        ceiling = min(first.cap_ms, first.base_ms * 2 ** attempt)
+        assert ceiling * 0.5 <= delay < ceiling
+    assert first.retries == 8
+    assert abs(first.backoff_ms - sum(delays)) < 1e-9
+
+
+# -- crash recovery, end to end ---------------------------------------------
+
+
+def _fleet_config(seed=7, faults=None, **overrides):
+    settings = dict(machines=2, epochs=2, seed=seed,
+                    epoch_instructions=4_000, drain_interval=1_000,
+                    durable=True, faults=faults)
+    settings.update(overrides)
+    return FleetConfig(**settings)
+
+
+def _run(root, config):
+    return FleetSession(config).run(str(root))
+
+
+def _crash_case(tmp_path, point, hits, **overrides):
+    """Run clean and crash-faulted twins; both must store identical
+    bytes with conservation balanced and at least one recovery."""
+    clean = _run(tmp_path / "clean", _fleet_config(**overrides))
+    plan = FaultPlan(specs=(FaultSpec(point, "crash", hits=hits),),
+                     seed=5)
+    faulted = _run(tmp_path / "faulted",
+                   _fleet_config(faults=plan, **overrides))
+    assert clean.findings == [] and faulted.findings == []
+    assert _store_bytes(faulted.store) == _store_bytes(clean.store)
+    assert faulted.store.total_samples() == clean.store.total_samples()
+    return faulted
+
+
+def test_machine_crash_mid_epoch_recovers_losslessly(tmp_path):
+    faulted = _crash_case(tmp_path, "fleet.machine.run", (3,))
+    assert faulted.resilience["machine_recoveries"] >= 1
+
+
+def test_preship_crash_reships_the_closed_epoch(tmp_path):
+    faulted = _crash_case(tmp_path, "fleet.machine.ship", (2,))
+    assert faulted.resilience["machine_recoveries"] >= 1
+
+
+def test_store_crash_mid_ingest_recovers_on_reopen(tmp_path):
+    faulted = _crash_case(tmp_path, "fleet.store.ingest", (2,))
+    assert faulted.resilience["store_recoveries"] >= 1
+
+
+def test_lost_ack_reship_is_absorbed_by_dedupe(tmp_path):
+    clean = _run(tmp_path / "clean", _fleet_config())
+    plan = FaultPlan(specs=(FaultSpec("fleet.ack", "drop",
+                                      hits=(1,)),), seed=5)
+    faulted = _run(tmp_path / "faulted", _fleet_config(faults=plan))
+    assert faulted.findings == []
+    assert faulted.resilience["acks_lost"] == 1
+    assert faulted.store.stats()["duplicates_dropped"] >= 1
+    assert _store_bytes(faulted.store) == _store_bytes(clean.store)
+
+
+def test_ship_timeouts_drain_through_seeded_backoff(tmp_path):
+    clean = _run(tmp_path / "clean", _fleet_config())
+    plan = FaultPlan(specs=(FaultSpec("fleet.ship", "transient",
+                                      hits=(1, 3)),), seed=5)
+    faulted = _run(tmp_path / "faulted", _fleet_config(faults=plan))
+    assert faulted.findings == []
+    assert faulted.resilience["ship_retries"] == 2
+    assert faulted.resilience["backoff_ms"] > 0
+    assert _store_bytes(faulted.store) == _store_bytes(clean.store)
+    # Same seed, same faults: the modelled backoff charge replays.
+    twin = _run(tmp_path / "twin", _fleet_config(
+        faults=FaultPlan(specs=(FaultSpec("fleet.ship", "transient",
+                                          hits=(1, 3)),), seed=5)))
+    assert twin.resilience == faulted.resilience
+
+
+def test_durable_machine_releases_acked_epochs(tmp_path):
+    """Acked epochs leave the machine's local database (bounded local
+    footprint) while unacked ones would survive for re-shipping."""
+    from repro.collect.database import ProfileDatabase
+
+    _run(tmp_path / "store", _fleet_config())
+    for index in range(2):
+        local = os.path.join(str(tmp_path / "store"), "machines",
+                             "m%02d" % index)
+        assert ProfileDatabase(local).epochs() == []
