@@ -297,6 +297,20 @@ for info in [
 ]:
     OPCODES[info.name] = OPCODES.get(info.name, info)
 
+#: Conditional-branch inversion pairs.  ``BRANCH_INVERSES[op]`` is the
+#: opcode whose condition is the exact architectural negation of
+#: ``op``'s (the ``cond`` callables above are complementary on every
+#: input) -- the table the rewriter's branch inversion and the
+#: translation validator's simulation rules both rely on.
+BRANCH_INVERSES: Dict[str, str] = {
+    "beq": "bne", "bne": "beq",
+    "blt": "bge", "bge": "blt",
+    "ble": "bgt", "bgt": "ble",
+    "blbc": "blbs", "blbs": "blbc",
+    "fbeq": "fbne", "fbne": "fbeq",
+    "fblt": "fbge", "fbge": "fblt",
+}
+
 #: Kinds that change control flow (end a basic block).
 CONTROL_KINDS = frozenset(["br", "cbranch", "fbranch", "jump"])
 #: Kinds whose target is statically known.

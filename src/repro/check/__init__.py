@@ -1,6 +1,6 @@
 """repro.check: static analysis and invariant verification (dcpicheck).
 
-Three layers (ISSUE 5):
+Four layers (ISSUE 5, Layer 4 in ISSUE 10):
 
 1. **image** -- dataflow + CFG well-formedness + encoding round-trip
    checks over :mod:`repro.alpha` images (:mod:`repro.check.
@@ -10,7 +10,10 @@ Three layers (ISSUE 5):
    rules, culprit coverage, merge determinism (:mod:`repro.check.
    analysis_checks`);
 3. **lint** -- repo-specific AST lint rules for determinism, pickle
-   safety and NULL-object hook discipline (:mod:`repro.check.lint`).
+   safety and NULL-object hook discipline (:mod:`repro.check.lint`);
+4. **rewrite** -- static translation validation of the profile-guided
+   rewriter's plans: symbolic per-block equivalence proofs that never
+   execute either image (:mod:`repro.check.transval`).
 
 Entry points: :func:`run_checks` (programmatic) and the ``dcpicheck``
 CLI (:mod:`repro.tools.dcpicheck`).
@@ -19,9 +22,13 @@ CLI (:mod:`repro.tools.dcpicheck`).
 from repro.check.findings import (ERROR, INFO, LAYERS, WARNING,
                                   CheckReport, Finding, Waiver,
                                   load_waivers)
-from repro.check.runner import (CheckConfig, run_analysis_layer,
-                                run_checks, run_image_layer,
-                                run_lint_layer)
+from repro.check.runner import (CheckConfig, plan_workload,
+                                run_analysis_layer, run_checks,
+                                run_image_layer, run_lint_layer,
+                                run_rewrite_layer)
+from repro.check.transval import (Counterexample, TransvalReport,
+                                  validate_plan, validate_result,
+                                  validate_workload_plans)
 
 __all__ = [
     "ERROR",
@@ -37,4 +44,11 @@ __all__ = [
     "run_image_layer",
     "run_analysis_layer",
     "run_lint_layer",
+    "run_rewrite_layer",
+    "plan_workload",
+    "Counterexample",
+    "TransvalReport",
+    "validate_plan",
+    "validate_result",
+    "validate_workload_plans",
 ]

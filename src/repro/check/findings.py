@@ -21,10 +21,11 @@ SEVERITIES: Tuple[str, ...] = (ERROR, WARNING, INFO)
 _SEV_RANK: Dict[str, int] = {sev: i for i, sev in enumerate(SEVERITIES)}
 
 #: Check layers, in execution order.
-LAYERS: Tuple[str, ...] = ("image", "analysis", "lint")
+LAYERS: Tuple[str, ...] = ("image", "analysis", "lint", "rewrite")
 
-#: JSON report schema version.
-REPORT_SCHEMA = 1
+#: JSON report schema version.  2: added the ``rewrite`` layer
+#: (``rewrite/*`` translation-validation rules, ISSUE 10).
+REPORT_SCHEMA = 2
 
 
 @dataclass(frozen=True)

@@ -36,7 +36,12 @@ be deterministic or which types must stay picklable; these rules can:
   so tests and chaos replays can capture the schedule) and no
   zero-argument ``random.Random()`` jitter (an OS-entropy seed makes
   the backoff schedule -- and every fleet-level loss account downstream
-  of it -- unreproducible).
+  of it -- unreproducible);
+* ``lint/swallowed-exception`` -- no silently swallowed errors: a bare
+  ``except:`` is flagged outright, and an ``except <type>:`` whose
+  body is nothing but ``pass``/``...`` discards a failure the caller
+  will never hear about.  Handle it, log it through the obs hook, or
+  waive the specific line with a reason.
 
 Suppress a finding with a ``# dcpicheck: ignore`` or
 ``# dcpicheck: ignore[rule-name]`` comment on the offending line; the
@@ -450,6 +455,26 @@ class _Linter(ast.NodeVisitor):
 
     def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
         self.visit_comprehension_generators(node.generators)
+        self.generic_visit(node)
+
+    # -- lint/swallowed-exception -------------------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._report(
+                "lint/swallowed-exception", node.lineno,
+                "bare except: catches everything, including "
+                "KeyboardInterrupt and typos; name the exception")
+        elif all(isinstance(stmt, ast.Pass)
+                 or (isinstance(stmt, ast.Expr)
+                     and isinstance(stmt.value, ast.Constant)
+                     and stmt.value.value is Ellipsis)
+                 for stmt in node.body):
+            self._report(
+                "lint/swallowed-exception", node.lineno,
+                "except-and-pass silently discards the failure; "
+                "handle it, report it via the obs hook, or waive "
+                "this line with a reason")
         self.generic_visit(node)
 
 

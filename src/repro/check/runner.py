@@ -10,7 +10,11 @@ The runner knows how to materialize each layer's inputs:
   the paper's invariants against both the analysis outputs and the
   simulator's ground truth;
 * **lint** -- walk the ``repro`` package source through
-  :func:`repro.check.lint.lint_paths`.
+  :func:`repro.check.lint.lint_paths`;
+* **rewrite** -- profile each workload, build the same rewrite plans
+  ``dcpiopt`` would, and statically prove each plan
+  semantics-preserving with :mod:`repro.check.transval` (Layer 4) --
+  no optimized run is ever executed.
 
 Findings are deduplicated across workloads (several registry entries
 link the same generated images) and aggregated into a
@@ -140,6 +144,58 @@ def run_lint_layer(src_root: str) -> List[Finding]:
     return lint_paths(src_root)
 
 
+def plan_workload(name: object,
+                  max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+                  seed: int = 1) -> Tuple[object, List[object]]:
+    """Profile *name* and build its rewrite plans, optimizer-style.
+
+    *name* is a registry name or a Workload object.  Returns
+    ``(workload, plans)`` -- the exact inputs
+    :func:`repro.check.transval.validate_workload_plans` wants.
+    Workloads whose profile captured no cycles produce no plan.
+    """
+    from repro.collect.session import ProfileSession, SessionConfig
+    from repro.core.analyze import AnalysisConfig, analyze_image
+    from repro.cpu.config import MachineConfig
+    from repro.cpu.events import EventType
+    from repro.opt import OptConfig, build_plan
+    from repro.workloads.registry import get_workload
+
+    workload = get_workload(name) if isinstance(name, str) else name
+    session = ProfileSession(
+        MachineConfig(num_cpus=workload.num_cpus),
+        SessionConfig(mode="cycles", seed=seed))
+    collected = session.run(workload,
+                            max_instructions=max_instructions)
+    plans: List[object] = []
+    for image in collected.machine.loader.images:
+        profile = collected.profiles.get(image.name)
+        if profile is None or not profile.total(EventType.CYCLES):
+            continue
+        analyses = analyze_image(image, profile, AnalysisConfig())
+        if analyses:
+            plans.append(build_plan(image, analyses, OptConfig()))
+    return workload, plans
+
+
+def run_rewrite_layer(workloads: Sequence[str],
+                      max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+                      seed: int = 1) -> List[Finding]:
+    """Layer 4: statically validate each workload's rewrite plans."""
+    from repro.check.transval import validate_workload_plans
+
+    findings: List[Finding] = []
+    for name in workloads:
+        workload, plans = plan_workload(
+            name, max_instructions=max_instructions, seed=seed)
+        if not plans:
+            continue
+        reports = validate_workload_plans(workload, plans, seed=seed)
+        for report in reports.values():
+            findings.extend(report.to_findings())
+    return _dedupe(findings)
+
+
 def run_checks(config: Optional[CheckConfig] = None) -> CheckReport:
     """Run the configured layers; return the aggregated report."""
     config = config or CheckConfig()
@@ -160,6 +216,10 @@ def run_checks(config: Optional[CheckConfig] = None) -> CheckReport:
                 seed=config.seed, dyn_threshold=config.dyn_threshold))
         elif layer == "lint":
             report.extend(run_lint_layer(config.resolved_src_root()))
+        elif layer == "rewrite":
+            report.extend(run_rewrite_layer(
+                workloads, max_instructions=config.max_instructions,
+                seed=config.seed))
         runtimes[layer] = time.perf_counter() - started
     report.runtime_s = runtimes
     return report

@@ -6,16 +6,23 @@ analysis tools' per-instruction frequency/CPI/culprit output and
 rewrites workload images -- basic-block layout (Pettis-Hansen
 chaining), in-block list scheduling against the machine's own
 dual-issue rules, and hot/cold splitting -- then re-runs the workload
-to measure the speedup that was actually realized, under a correctness
-oracle that rejects any rewrite whose architectural results differ.
+to measure the speedup that was actually realized, under two
+correctness gates: a static translation validator
+(:mod:`repro.check.transval`, Layer 4) that proves each plan
+semantics-preserving before anything runs, and a dynamic A/B oracle
+that rejects any rewrite whose architectural results differ.  A
+decidable disagreement between the two raises
+:class:`~repro.opt.optimizer.TransvalDisagreement` -- the verifiers
+cross-check each other.
 
 See :mod:`repro.opt.passes` (deciding), :mod:`repro.opt.rewrite`
 (doing), :mod:`repro.opt.oracle` (proving) and
 :mod:`repro.opt.optimizer` (orchestrating); ``dcpiopt`` is the CLI.
 """
 
-from repro.opt.optimizer import (OptReport, optimize_workload,
-                                 pass_contributions, sweep_workload)
+from repro.opt.optimizer import (OptReport, TransvalDisagreement,
+                                 optimize_workload, pass_contributions,
+                                 sweep_workload)
 from repro.opt.oracle import OracleReport, verify_identity
 from repro.opt.passes import OptConfig, build_plan
 from repro.opt.rewrite import (BlockPlan, ImageRewriter, ProcPlan,
@@ -31,6 +38,7 @@ __all__ = [
     "ProcPlan",
     "RewritePlan",
     "RewriteResult",
+    "TransvalDisagreement",
     "build_plan",
     "image_fingerprint",
     "optimize_workload",

@@ -1,4 +1,4 @@
-"""Profile -> plan -> rewrite -> verify -> measure, end to end.
+"""Profile -> plan -> validate -> rewrite -> verify -> measure.
 
 :func:`optimize_workload` closes the paper's loop: the workload runs
 under the DCPI collection system, the analysis explains where the
@@ -6,8 +6,22 @@ cycles went, the planning passes turn those explanations into a
 rewrite, and two plain A/B runs measure the *realized* speedup while
 the oracle (:mod:`repro.opt.oracle`) and the Layer-1 image checker
 (:mod:`repro.check`) prove the rewritten program is still the same
-program.  A result is only reported as an optimization when all three
-hold: architectural identity, zero unwaived ERROR/WARNING findings,
+program.
+
+Acceptance has two gates, cheapest first (ISSUE 10):
+
+1. **static** -- :mod:`repro.check.transval` proves each plan
+   semantics-preserving without running anything.  A static rejection
+   skips the dynamic oracle entirely and reports the per-block
+   counterexamples;
+2. **dynamic** -- the A/B oracle run.  Because the static gate already
+   vouched for every plan, a *decidable* dynamic mismatch after a
+   static accept means one of the two verifiers is wrong -- that is
+   never a rejection to report, it is a bug to fix, so it raises
+   :class:`TransvalDisagreement`.
+
+A result is only reported as an optimization when all gates hold:
+static acceptance, architectural identity, zero new non-INFO findings,
 and the plan actually applied.
 
 :func:`sweep_workload` repeats the whole loop across sampling periods
@@ -18,8 +32,10 @@ speedup as a function of profile quality.
 
 import random
 from collections import Counter
+from typing import (TYPE_CHECKING, Any, Dict, Iterable, List, Optional,
+                    Sequence, Tuple, Union)
 
-from repro.check.findings import INFO
+from repro.check.findings import INFO, Finding
 from repro.check.image_checks import check_image
 from repro.collect.database import ImageProfile
 from repro.collect.session import ProfileSession, SessionConfig
@@ -27,74 +43,123 @@ from repro.core.analyze import AnalysisConfig, analyze_image
 from repro.cpu.config import MachineConfig
 from repro.cpu.events import EventType
 from repro.obs import NULL_OBS
-from repro.opt.oracle import event_total, verify_identity
+from repro.opt.oracle import OracleReport, event_total, verify_identity
 from repro.opt.passes import OptConfig, build_plan
+from repro.opt.rewrite import RewritePlan
 from repro.workloads import get_workload
+
+if TYPE_CHECKING:
+    from repro.check.transval import TransvalReport
+
+
+class TransvalDisagreement(RuntimeError):
+    """Static validator accepted; dynamic oracle decidably rejected.
+
+    The two verifiers cross-check each other: the static proof says
+    the rewritten program *must* behave identically, so a decidable
+    A/B divergence means one of them is wrong.  That is a bug in this
+    repository, never a property of the workload -- hence an
+    exception, not a rejected report.
+    """
 
 
 class OptReport:
     """Everything one optimize run produced (JSON-ready via report())."""
 
-    def __init__(self, workload_name, plans, oracle, findings,
-                 profile_stats, pass_stats):
+    def __init__(self, workload_name: str, plans: List[RewritePlan],
+                 oracle: Optional[OracleReport],
+                 findings: Dict[str, List[Finding]],
+                 profile_stats: Dict[str, Any],
+                 pass_stats: Dict[str, int],
+                 static: Optional[Dict[str, "TransvalReport"]] = None
+                 ) -> None:
         self.workload_name = workload_name
         self.plans = plans
+        #: None when the static gate rejected (no dynamic run happened).
         self.oracle = oracle
         #: {image name: [non-INFO Finding, ...]} on rewritten images.
         self.findings = findings
         self.profile_stats = profile_stats
         self.pass_stats = pass_stats
+        #: {image name: TransvalReport} from the static gate.
+        self.static = static or {}
 
     @property
-    def accepted(self):
+    def static_ok(self) -> bool:
+        """True when no plan was statically rejected."""
+        return all(report.ok for report in self.static.values())
+
+    @property
+    def accepted(self) -> bool:
         """True when the rewrite is proven safe to ship."""
-        return (self.oracle.identical
+        return (self.static_ok
+                and self.oracle is not None
+                and self.oracle.identical
                 and not any(self.findings.values()))
 
     @property
-    def speedup(self):
+    def speedup(self) -> float:
         """Realized fractional cycle reduction (0.0 when rejected)."""
-        return self.oracle.speedup if self.accepted else 0.0
+        if not self.accepted or self.oracle is None:
+            return 0.0
+        return self.oracle.speedup
 
-    def report(self):
-        """Plain-dict summary (the dcpiopt report schema, version 1)."""
+    def report(self) -> Dict[str, Any]:
+        """Plain-dict summary (the dcpiopt report schema, version 2)."""
         oracle = self.oracle
-        baseline = oracle.baseline_machine
-        optimized = oracle.optimized_machine
-        base_insts = sum(p.instructions for p in baseline.processes)
-        opt_insts = sum(p.instructions for p in optimized.processes)
-        return {
-            "schema": 1,
-            "workload": self.workload_name,
-            "accepted": self.accepted,
-            "identical": oracle.identical,
-            "mismatches": list(oracle.mismatches),
-            "skipped": list(oracle.skipped),
-            "check_findings": {
-                name: [str(f) for f in rows]
-                for name, rows in self.findings.items() if rows
-            },
-            "baseline": {
+        if oracle is not None:
+            baseline = oracle.baseline_machine
+            optimized = oracle.optimized_machine
+            base_insts = sum(p.instructions for p in baseline.processes)
+            opt_insts = sum(p.instructions for p in optimized.processes)
+            baseline_block = {
                 "cycles": oracle.baseline_cycles,
                 "instructions": base_insts,
                 "cpi": (oracle.baseline_cycles / base_insts
                         if base_insts else 0.0),
                 "imiss": event_total(baseline, EventType.IMISS),
-            },
-            "optimized": {
+            }
+            optimized_block = {
                 "cycles": oracle.optimized_cycles,
                 "instructions": opt_insts,
                 "cpi": (oracle.optimized_cycles / opt_insts
                         if opt_insts else 0.0),
                 "imiss": event_total(optimized, EventType.IMISS),
+            }
+            identical = oracle.identical
+            mismatches = list(oracle.mismatches)
+            skipped = list(oracle.skipped)
+        else:
+            zero = {"cycles": 0, "instructions": 0, "cpi": 0.0,
+                    "imiss": 0}
+            baseline_block = dict(zero)
+            optimized_block = dict(zero)
+            identical = False
+            mismatches = []
+            skipped = []
+        return {
+            "schema": 2,
+            "workload": self.workload_name,
+            "accepted": self.accepted,
+            "static_ok": self.static_ok,
+            "static": {name: report.to_dict()
+                       for name, report in sorted(self.static.items())},
+            "identical": identical,
+            "mismatches": mismatches,
+            "skipped": skipped,
+            "check_findings": {
+                name: [str(f) for f in rows]
+                for name, rows in self.findings.items() if rows
             },
-            "speedup": oracle.speedup,
+            "baseline": baseline_block,
+            "optimized": optimized_block,
+            "speedup": self.speedup,
             "passes": dict(self.pass_stats),
             "profile": dict(self.profile_stats),
         }
 
 
-def _finding_key(finding):
+def _finding_key(finding: Finding) -> Tuple[str, str, str]:
     # Instruction offsets shift when code moves, and reordering changes
     # *which* instruction first exhibits a pre-existing property (e.g.
     # which of several reads of a never-written register comes first),
@@ -106,7 +171,8 @@ def _finding_key(finding):
     return (finding.rule, finding.severity, scope)
 
 
-def _new_findings(before, after):
+def _new_findings(before: Sequence[Finding],
+                  after: Sequence[Finding]) -> List[Finding]:
     """Non-INFO findings in *after* beyond *before*'s per-scope budget.
 
     The optimizer's contract is that it introduces no findings; it is
@@ -127,7 +193,8 @@ def _new_findings(before, after):
     return fresh
 
 
-def _subsample_profile(profile, loss, seed):
+def _subsample_profile(profile: ImageProfile, loss: float,
+                       seed: int) -> ImageProfile:
     """Simulate collection loss: drop each sample with probability *loss*.
 
     Deterministic in (*seed*, image name, event, offset) so sweeps are
@@ -151,10 +218,14 @@ def _subsample_profile(profile, loss, seed):
     return thinned
 
 
-def optimize_workload(workload, mode="cycles", seed=1,
-                      max_instructions=200_000, cycles_period=(240, 256),
-                      opt_config=None, machine_config=None, loss=0.0,
-                      verify_instructions=None, obs=None):
+def optimize_workload(workload: Any, mode: str = "cycles",
+                      seed: int = 1, max_instructions: int = 200_000,
+                      cycles_period: Tuple[int, int] = (240, 256),
+                      opt_config: Optional[OptConfig] = None,
+                      machine_config: Optional[MachineConfig] = None,
+                      loss: float = 0.0,
+                      verify_instructions: Optional[int] = None,
+                      obs: Any = None) -> OptReport:
     """Run the full profile-guided loop on *workload*.
 
     *workload* is a registry name or a Workload object; *loss* injects
@@ -163,8 +234,14 @@ def optimize_workload(workload, mode="cycles", seed=1,
     run only; the oracle's A/B runs go to completion by default
     (*verify_instructions* = None) because architectural identity is
     only decidable on finished programs.  Returns an
-    :class:`OptReport`.
+    :class:`OptReport`; raises :class:`TransvalDisagreement` if the
+    static and dynamic verifiers decidably contradict each other.
     """
+    # Imported lazily: repro.check.transval imports repro.opt.rewrite,
+    # so a module-level import here would make repro.check.__init__ hit
+    # this module mid-initialization of transval itself.
+    from repro.check.transval import validate_workload_plans
+
     obs = obs or NULL_OBS
     if isinstance(workload, str):
         workload = get_workload(workload)
@@ -179,8 +256,8 @@ def optimize_workload(workload, mode="cycles", seed=1,
         collected = session.run(workload,
                                 max_instructions=max_instructions)
 
-    plans = []
-    pass_stats = {}
+    plans: List[RewritePlan] = []
+    pass_stats: Dict[str, int] = {}
     analyzed_samples = 0
     with obs.span("opt.plan", workload=workload.name):
         for image in collected.machine.loader.images:
@@ -200,6 +277,32 @@ def optimize_workload(workload, mode="cycles", seed=1,
             for key, value in plan.stats.items():
                 pass_stats[key] = pass_stats.get(key, 0) + value
 
+    profile_stats: Dict[str, Any] = {
+        "mode": mode,
+        "seed": seed,
+        "cycles_period": list(cycles_period),
+        "max_instructions": max_instructions,
+        "loss": loss,
+        "samples": analyzed_samples,
+        "profiled_cycles": collected.cycles,
+    }
+
+    # Gate 1: static translation validation (never runs anything).
+    with obs.span("opt.transval", workload=workload.name):
+        static = validate_workload_plans(
+            workload, plans, machine_config=machine_config, seed=seed)
+    statically_rejected = [name for name, rep in sorted(static.items())
+                           if not rep.ok]
+    if statically_rejected:
+        for name in statically_rejected:
+            obs.counter("opt.transval_rejected").inc()
+        obs.counter("opt.runs").inc()
+        obs.counter("opt.runs_rejected").inc()
+        obs.gauge("opt.last_speedup").set(0.0)
+        return OptReport(workload.name, plans, None, {},
+                         profile_stats, pass_stats, static=static)
+
+    # Gate 2: the dynamic A/B oracle.
     with obs.span("opt.verify", workload=workload.name):
         oracle = verify_identity(workload, plans,
                                  machine_config=machine_config,
@@ -207,7 +310,18 @@ def optimize_workload(workload, mode="cycles", seed=1,
                                  max_instructions=verify_instructions,
                                  obs=obs)
 
-    findings = {}
+    # Cross-check: the static gate vouched for every plan, so any
+    # *decidable* dynamic divergence is a verifier bug, not a result.
+    # (Truncated verify runs are undecidable, which is a rejection but
+    # not a contradiction.)
+    decidable = [m for m in oracle.mismatches if "undecidable" not in m]
+    if decidable:
+        raise TransvalDisagreement(
+            "static validator accepted every plan for %r but the "
+            "dynamic oracle found: %s"
+            % (workload.name, "; ".join(decidable[:5])))
+
+    findings: Dict[str, List[Finding]] = {}
     baseline_images = {image.name: image
                        for image in oracle.baseline_machine.loader.images}
     for name, result in oracle.rewriter.results.items():
@@ -221,17 +335,8 @@ def optimize_workload(workload, mode="cycles", seed=1,
                 findings[name] = _new_findings(before, check_image(image))
                 break
 
-    profile_stats = {
-        "mode": mode,
-        "seed": seed,
-        "cycles_period": list(cycles_period),
-        "max_instructions": max_instructions,
-        "loss": loss,
-        "samples": analyzed_samples,
-        "profiled_cycles": collected.cycles,
-    }
     report = OptReport(workload.name, plans, oracle, findings,
-                       profile_stats, pass_stats)
+                       profile_stats, pass_stats, static=static)
     obs.counter("opt.runs").inc()
     if report.accepted:
         obs.counter("opt.runs_accepted").inc()
@@ -249,7 +354,7 @@ _SINGLE_PASS = (
 )
 
 
-def pass_contributions(workload, **kwargs):
+def pass_contributions(workload: Any, **kwargs: Any) -> Dict[str, float]:
     """Measure each pass's speedup in isolation.
 
     Returns {"layout": speedup, "schedule": ..., "split": ...} -- the
@@ -264,16 +369,19 @@ def pass_contributions(workload, **kwargs):
     return out
 
 
-def sweep_workload(workload, periods=((240, 256), (960, 1024),
-                                      (3840, 4096)),
-                   losses=(0.0, 0.1, 0.3), **kwargs):
+def sweep_workload(workload: Any,
+                   periods: Iterable[Tuple[int, int]] = (
+                       (240, 256), (960, 1024), (3840, 4096)),
+                   losses: Iterable[float] = (0.0, 0.1, 0.3),
+                   **kwargs: Any) -> List[Dict[str, Any]]:
     """Realized speedup vs profile quality (sampling period x loss).
 
     Returns a list of rows ``{"period", "loss", "speedup", "accepted",
     "samples"}`` -- the curve the nightly ``opt-full`` job plots: as
     the period grows or collection loses samples, the profile thins and
     the realized speedup degrades gracefully rather than turning into
-    wrong code (the oracle guarantees the latter can't ship).
+    wrong code (the validator and oracle guarantee the latter can't
+    ship).
     """
     kwargs.pop("cycles_period", None)
     kwargs.pop("loss", None)

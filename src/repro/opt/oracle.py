@@ -22,10 +22,16 @@ identical -- so every data address is byte-for-byte the same in both
 runs (asserted here, not assumed).
 """
 
+from typing import (Any, Callable, Dict, Iterable, List, Optional,
+                    Sequence, Tuple)
+
 from repro.cpu.config import MachineConfig
 from repro.cpu.events import EventType
 from repro.cpu.machine import Machine
-from repro.opt.rewrite import ImageRewriter
+from repro.opt.rewrite import ImageRewriter, RewritePlan
+
+#: One process's captured architectural outcome.
+ProcState = Dict[str, Any]
 
 #: Calls whose fallthrough slot holds the return address.
 _CALL_OPS = ("bsr", "jsr")
@@ -38,8 +44,11 @@ class OracleReport:
                  "optimized_cycles", "baseline_machine",
                  "optimized_machine", "rewriter")
 
-    def __init__(self, identical, mismatches, baseline_machine,
-                 optimized_machine, rewriter, skipped=()):
+    def __init__(self, identical: bool, mismatches: List[str],
+                 baseline_machine: Machine,
+                 optimized_machine: Machine,
+                 rewriter: ImageRewriter,
+                 skipped: Sequence[str] = ()) -> None:
         self.identical = identical
         self.mismatches = mismatches
         self.skipped = list(skipped)
@@ -50,7 +59,7 @@ class OracleReport:
         self.optimized_cycles = optimized_machine.time
 
     @property
-    def speedup(self):
+    def speedup(self) -> float:
         """Fractional cycle reduction (positive = optimized is faster)."""
         if not self.baseline_cycles:
             return 0.0
@@ -58,8 +67,11 @@ class OracleReport:
             / self.baseline_cycles
 
 
-def run_plain(workload, machine_config=None, seed=1, transform=None,
-              max_instructions=None):
+def run_plain(workload: Any,
+              machine_config: Optional[MachineConfig] = None,
+              seed: int = 1,
+              transform: Optional[Callable[..., Any]] = None,
+              max_instructions: Optional[int] = None) -> Machine:
     """Run *workload* on an unprofiled machine; return the machine."""
     machine = Machine(machine_config or MachineConfig(), seed=seed)
     if transform is not None:
@@ -73,9 +85,9 @@ def run_plain(workload, machine_config=None, seed=1, transform=None,
     return machine
 
 
-def capture_state(machine):
+def capture_state(machine: Machine) -> Dict[int, ProcState]:
     """Snapshot each process's architectural outcome."""
-    states = {}
+    states: Dict[int, ProcState] = {}
     for proc in machine.processes:
         states[proc.pid] = {
             "name": proc.name,
@@ -87,7 +99,10 @@ def capture_state(machine):
     return states
 
 
-def build_translation(baseline_machine, optimized_machine, rewriter):
+def build_translation(baseline_machine: Machine,
+                      optimized_machine: Machine,
+                      rewriter: ImageRewriter
+                      ) -> Tuple[Dict[int, int], List[str], List[str]]:
     """Map optimized-run code addresses back to baseline addresses.
 
     Returns ``(translation, problems, skipped)``: every surviving
@@ -101,9 +116,9 @@ def build_translation(baseline_machine, optimized_machine, rewriter):
     """
     by_name_base = {image.name: image
                     for image in baseline_machine.loader.images}
-    translation = {}
-    notes = []
-    skipped = []
+    translation: Dict[int, int] = {}
+    notes: List[str] = []
+    skipped: List[str] = []
     for name, result in rewriter.results.items():
         if not result.applied:
             skipped.append("%s: rewrite bailed out (%s)"
@@ -136,21 +151,23 @@ def build_translation(baseline_machine, optimized_machine, rewriter):
     return translation, notes, skipped
 
 
-def compare_states(baseline, optimized, translation):
+def compare_states(baseline: Dict[int, ProcState],
+                   optimized: Dict[int, ProcState],
+                   translation: Dict[int, int]) -> List[str]:
     """Diff two :func:`capture_state` snapshots; return mismatch strings.
 
     A value matches when equal, or when the optimized value is a moved
     code address whose translation equals the baseline value.
     """
 
-    def matches(a, b):
+    def matches(a: Any, b: Any) -> bool:
         if a == b:
             return True
         if isinstance(b, int) and translation.get(b) == a:
             return True
         return False
 
-    mismatches = []
+    mismatches: List[str] = []
     for pid in sorted(set(baseline) | set(optimized)):
         a = baseline.get(pid)
         b = optimized.get(pid)
@@ -197,8 +214,11 @@ def compare_states(baseline, optimized, translation):
     return mismatches
 
 
-def verify_identity(workload, plans, machine_config=None, seed=1,
-                    max_instructions=None, obs=None):
+def verify_identity(workload: Any, plans: Iterable[RewritePlan],
+                    machine_config: Optional[MachineConfig] = None,
+                    seed: int = 1,
+                    max_instructions: Optional[int] = None,
+                    obs: Any = None) -> "OracleReport":
     """Run the A/B identity check; return an :class:`OracleReport`.
 
     Mismatch strings double as the rejection reasons ``dcpiopt``
@@ -220,7 +240,8 @@ def verify_identity(workload, plans, machine_config=None, seed=1,
                         rewriter, skipped=skipped)
 
 
-def event_total(machine, event=EventType.IMISS):
+def event_total(machine: Machine,
+                event: EventType = EventType.IMISS) -> int:
     """Sum a ground-truth event count across the whole machine."""
     total = 0
     for row in machine.gt_events.values():

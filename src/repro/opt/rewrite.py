@@ -29,27 +29,30 @@ past the original data offset, the rewrite bails out rather than move
 data.
 """
 
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
 from repro.alpha import regs
 from repro.alpha.image import Image
 from repro.alpha.instruction import Instruction
-from repro.alpha.opcodes import DIRECT_BRANCH_KINDS
+from repro.alpha.opcodes import BRANCH_INVERSES, DIRECT_BRANCH_KINDS
 from repro.obs import NULL_OBS
 
 #: Opcodes after which control cannot reach the next address.
 NO_FALLTHROUGH_OPS = ("br", "ret", "jmp")
 
-#: Conditional-branch inversion pairs (architecturally exact).
-INVERT = {
-    "beq": "bne", "bne": "beq",
-    "blt": "bge", "bge": "blt",
-    "ble": "bgt", "bgt": "ble",
-    "blbc": "blbs", "blbs": "blbc",
-    "fbeq": "fbne", "fbne": "fbeq",
-    "fblt": "fbge", "fbge": "fblt",
-}
+#: Conditional-branch inversion pairs (architecturally exact); the
+#: canonical table lives with the rest of the ISA semantics in
+#: :data:`repro.alpha.opcodes.BRANCH_INVERSES`.
+INVERT = BRANCH_INVERSES
 
 
-def image_fingerprint(image):
+#: (image name, per-instruction shape, procedure table) -- see
+#: :func:`image_fingerprint`.
+Fingerprint = Tuple[str, Tuple[Tuple[object, ...], ...],
+                    Tuple[Tuple[str, int, int], ...]]
+
+
+def image_fingerprint(image: Image) -> Fingerprint:
     """A base-independent identity for *image*'s code.
 
     Covers opcodes, register operands, base-relative branch targets
@@ -80,13 +83,14 @@ class BlockPlan:
 
     __slots__ = ("start", "end", "order")
 
-    def __init__(self, start, end, order=None):
+    def __init__(self, start: int, end: int,
+                 order: Optional[List[int]] = None) -> None:
         self.start = start
         self.end = end
         self.order = (list(order) if order is not None
                       else list(range(start, end, 4)))
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "<BlockPlan [%#x, %#x)>" % (self.start, self.end)
 
 
@@ -95,7 +99,8 @@ class ProcPlan:
 
     __slots__ = ("name", "blocks", "frozen")
 
-    def __init__(self, name, blocks, frozen=False):
+    def __init__(self, name: str, blocks: List[BlockPlan],
+                 frozen: bool = False) -> None:
         self.name = name
         self.blocks = blocks
         self.frozen = frozen
@@ -107,8 +112,9 @@ class RewritePlan:
     __slots__ = ("image_name", "fingerprint", "procs", "data_offset",
                  "stats")
 
-    def __init__(self, image_name, fingerprint, procs, data_offset,
-                 stats=None):
+    def __init__(self, image_name: str, fingerprint: Fingerprint,
+                 procs: List[ProcPlan], data_offset: Optional[int],
+                 stats: Optional[Dict[str, int]] = None) -> None:
         self.image_name = image_name
         self.fingerprint = fingerprint
         #: :class:`ProcPlan` list in the new image order.
@@ -118,7 +124,7 @@ class RewritePlan:
         #: pass-level decisions (blocks moved, scheduled blocks, ...).
         self.stats = dict(stats or {})
 
-    def is_identity(self):
+    def is_identity(self) -> bool:
         """True when applying the plan would reproduce the image as-is."""
         return not (self.stats.get("blocks_moved")
                     or self.stats.get("scheduled_blocks")
@@ -131,8 +137,10 @@ class RewriteResult:
     __slots__ = ("image", "applied", "reason", "old2new", "stub_targets",
                  "stats")
 
-    def __init__(self, image, applied, reason="", old2new=None,
-                 stub_targets=None, stats=None):
+    def __init__(self, image: Image, applied: bool, reason: str = "",
+                 old2new: Optional[Dict[int, int]] = None,
+                 stub_targets: Optional[Dict[int, int]] = None,
+                 stats: Optional[Dict[str, int]] = None) -> None:
         #: the rewritten image when applied, else the untouched input.
         self.image = image
         self.applied = applied
@@ -146,12 +154,13 @@ class RewriteResult:
         self.stats = stats or {}
 
 
-def _bail(image, reason, obs):
+def _bail(image: Image, reason: str, obs: Any) -> RewriteResult:
     obs.counter("opt.rewrite_bailouts").inc()
     return RewriteResult(image, False, reason=reason)
 
 
-def rewrite_image(image, plan, obs=None):
+def rewrite_image(image: Image, plan: RewritePlan,
+                  obs: Any = None) -> RewriteResult:
     """Apply *plan* to unlinked *image*; return a :class:`RewriteResult`.
 
     Never raises on a plan/image mismatch: any inconsistency is a
@@ -166,19 +175,68 @@ def rewrite_image(image, plan, obs=None):
                      obs)
     instructions = image.instructions
 
-    def at(off):
+    # Upfront plan sanity: every block the plan names must be a real,
+    # aligned, in-bounds code range of its procedure, with an order
+    # that permutes exactly the block's own instructions.  Anything
+    # else is a corrupted or mismatched plan -- refuse before touching
+    # a single instruction (``at`` below indexes unchecked).
+    procs_by_name = {proc.name: proc for proc in image.procedures}
+    if sorted(plan_proc.name for plan_proc in plan.procs) \
+            != sorted(procs_by_name):
+        return _bail(image, "plan procedures do not match the image",
+                     obs)
+    for proc_plan in plan.procs:
+        proc = procs_by_name[proc_plan.name]
+        for block in proc_plan.blocks:
+            if (block.start % 4 or block.end % 4
+                    or not (proc.start <= block.start
+                            < block.end <= proc.end)):
+                return _bail(
+                    image,
+                    "plan references unknown block [%#x, %#x) in %s"
+                    % (block.start, block.end, proc_plan.name), obs)
+            if sorted(block.order) != list(range(block.start,
+                                                 block.end, 4)):
+                return _bail(
+                    image,
+                    "block order is not a permutation of [%#x, %#x)"
+                    % (block.start, block.end), obs)
+        emitted_offsets = [off for block in proc_plan.blocks
+                           for off in block.order]
+        if len(emitted_offsets) != len(set(emitted_offsets)):
+            return _bail(
+                image,
+                "plan emits an instruction of %s more than once"
+                % proc_plan.name, obs)
+        if proc_plan.frozen:
+            starts = [block.start for block in proc_plan.blocks]
+            identity = (
+                starts == sorted(starts)
+                and all(block.order == list(range(block.start,
+                                                  block.end, 4))
+                        for block in proc_plan.blocks))
+            if not identity:
+                return _bail(
+                    image,
+                    "frozen procedure %s plan is not identity"
+                    % proc_plan.name, obs)
+
+    def at(off: int) -> Instruction:
         return instructions[off >> 2]
 
     # Phase 1: lay the code out symbolically, assigning new offsets.
     stats = {"branches_inverted": 0, "branches_elided": 0,
              "stubs_inserted": 0}
-    old2new = {}
-    new_start = {}            # original block start -> new offset
-    elided = []               # (branch offset, its target offset)
-    emitted_procs = []        # (proc name, [emission items])
+    old2new: Dict[int, int] = {}
+    # original block start -> new offset
+    new_start: Dict[int, int] = {}
+    # (branch offset, its target offset)
+    elided: List[Tuple[int, int]] = []
+    # (proc name, [emission items])
+    emitted_procs: List[Tuple[str, List[Tuple[Any, ...]]]] = []
     cursor = 0
     for proc_plan in plan.procs:
-        items = []
+        items: List[Tuple[Any, ...]] = []
         blocks = proc_plan.blocks
         for index, block in enumerate(blocks):
             next_start = (blocks[index + 1].start
@@ -240,7 +298,7 @@ def rewrite_image(image, plan, obs=None):
             "rewritten code (%d bytes) overruns the pinned data "
             "offset %#x" % (cursor, plan.data_offset), obs)
 
-    def remap(target):
+    def remap(target: int) -> Optional[int]:
         # Block starts first: a branch to a rescheduled block must
         # enter at the block's new top, not at the moved position of
         # its old first instruction.
@@ -254,11 +312,11 @@ def rewrite_image(image, plan, obs=None):
     new_image.data_size = image.data_size
     new_image.data_offset = plan.data_offset
     new_image.source = image.source
-    copy_of = {}
-    stub_targets = {}
-    for name, items in emitted_procs:
-        copies = []
-        for item in items:
+    copy_of: Dict[int, Instruction] = {}
+    stub_targets: Dict[int, int] = {}
+    for name, proc_items in emitted_procs:
+        copies: List[Instruction] = []
+        for item in proc_items:
             if item[0] == "stub":
                 target = remap(item[1])
                 if target is None:
@@ -292,7 +350,7 @@ def rewrite_image(image, plan, obs=None):
     for name, offset in image.symbols.items():
         if name not in proc_names:
             new_image.symbols.define(name, offset)
-    fixups = []
+    fixups: List[Tuple[Instruction, str]] = []
     for inst, symbol in image.fixups:
         copy = copy_of.get(id(inst))
         if copy is None:
@@ -317,12 +375,13 @@ class ImageRewriter:
     oracle's address-translation input) under the image name.
     """
 
-    def __init__(self, plans, obs=None):
+    def __init__(self, plans: Iterable[RewritePlan],
+                 obs: Any = None) -> None:
         self.plans = {plan.image_name: plan for plan in plans}
         self.obs = obs or NULL_OBS
-        self.results = {}
+        self.results: Dict[str, RewriteResult] = {}
 
-    def __call__(self, image):
+    def __call__(self, image: Image) -> Image:
         plan = self.plans.get(image.name)
         if plan is None:
             return image

@@ -34,11 +34,12 @@ class Loader:
         self._listeners.append(callback)
 
     def remove_listener(self, callback):
-        """Unregister *callback* (a dead daemon stops hearing events)."""
-        try:
+        """Unregister *callback* (a dead daemon stops hearing events).
+
+        Unregistering twice is legal and does nothing.
+        """
+        if callback in self._listeners:
             self._listeners.remove(callback)
-        except ValueError:
-            pass
 
     def link(self, image):
         """Link *image* at the next free address range (idempotent)."""

@@ -1,7 +1,8 @@
 """``dcpicheck``: the static-analysis and invariant-verification CLI.
 
-Runs any subset of the three check layers (``image``, ``analysis``,
-``lint``) over the seed workload registry, prints the findings, and
+Runs any subset of the four check layers (``image``, ``analysis``,
+``lint``, ``rewrite``) over the seed workload registry, prints the
+findings, and
 exits non-zero when any *unwaived* error-severity finding remains.
 CI uses it as a gate; the JSON report (``--json``) is the normalized
 artifact the nightly run uploads.
@@ -41,7 +42,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="dcpicheck",
         description="static analysis & invariant checks "
-                    "(image | analysis | lint)")
+                    "(image | analysis | lint | rewrite)")
     parser.add_argument(
         "--layers", type=_parse_layers, default=list(LAYERS),
         help="comma-separated subset of: %s (default: all)"

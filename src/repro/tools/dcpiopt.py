@@ -2,10 +2,13 @@
 
 Three subcommands close the paper's loop from the command line:
 
-* ``dcpiopt run``    -- profile a registry workload, build and apply
-  the rewrite plan, verify architectural identity plus zero new
-  Layer-1 findings, re-run, and print (or save) the realized-speedup
-  report.  Exits 0 only when the rewrite was accepted.
+* ``dcpiopt run``    -- profile a registry workload, build the rewrite
+  plan, statically prove it semantics-preserving (Layer 4,
+  :mod:`repro.check.transval`), then verify architectural identity
+  plus zero new Layer-1 findings dynamically, re-run, and print (or
+  save) the realized-speedup report.  Exits 0 only when the rewrite
+  was accepted; a static rejection prints its per-block
+  counterexamples and skips the A/B runs entirely.
 * ``dcpiopt report`` -- render a saved run report as before/after
   cycles, CPI and I-cache-miss deltas.
 * ``dcpiopt sweep``  -- realized speedup as a function of profile
@@ -13,8 +16,8 @@ Three subcommands close the paper's loop from the command line:
   more workloads; emits the JSON rows the nightly curve artifact is
   built from.
 
-The run report is schema-versioned (:data:`repro.opt.optimizer`
-schema 1) so CI can assert on its shape.
+The run report is schema-versioned (:mod:`repro.opt.optimizer`
+schema 2; 1 is still readable) so CI can assert on its shape.
 """
 
 import argparse
@@ -83,6 +86,20 @@ def format_run(report):
         lines.append("plan: " + ", ".join(
             "%s=%d" % (key, value)
             for key, value in sorted(report["passes"].items())))
+    for name, static in sorted(report.get("static", {}).items()):
+        lines.append("static (%s): %s  [%d proc(s), %d block(s)]"
+                     % (name, static["verdict"],
+                        static["procs_checked"],
+                        static["blocks_checked"]))
+        if static["verdict"] == "bailed" and static["reason"]:
+            lines.append("        %s" % static["reason"])
+        for ce in static["counterexamples"]:
+            where = ("%s+%#x" % (ce["proc"], ce["block"])
+                     if ce["block"] >= 0 else (ce["proc"] or "-"))
+            lines.append("COUNTEREXAMPLE [%s] %s: %s"
+                         % (ce["rule"], where, ce["message"]))
+            if ce["detail"]:
+                lines.append("        %s" % ce["detail"])
     for skip in report["skipped"]:
         lines.append("skipped: %s" % skip)
     for mismatch in report["mismatches"]:
@@ -119,7 +136,7 @@ def _run(args):
 def _report(args):
     with open(args.report) as handle:
         payload = json.load(handle)
-    if payload.get("schema") != 1:
+    if payload.get("schema") not in (1, 2):
         print("unsupported dcpiopt report schema %r"
               % payload.get("schema"), file=sys.stderr)
         return 1

@@ -297,6 +297,58 @@ class TestUnseededBackoff:
         assert findings == []
 
 
+class TestSwallowedException:
+    def test_except_pass_fires(self):
+        findings = lint("""
+            def cleanup(path):
+                try:
+                    remove(path)
+                except OSError:
+                    pass
+            """)
+        assert rules(findings) == ["lint/swallowed-exception"]
+
+    def test_bare_except_fires(self):
+        findings = lint("""
+            def run(step):
+                try:
+                    step()
+                except:
+                    log("step failed")
+            """)
+        assert rules(findings) == ["lint/swallowed-exception"]
+
+    def test_except_ellipsis_body_fires(self):
+        findings = lint("""
+            def probe(target):
+                try:
+                    target.ping()
+                except ConnectionError:
+                    ...
+            """)
+        assert rules(findings) == ["lint/swallowed-exception"]
+
+    def test_handled_exception_is_fine(self):
+        findings = lint("""
+            def load(path, default):
+                try:
+                    return read(path)
+                except OSError:
+                    return default
+            """)
+        assert findings == []
+
+    def test_named_ignore_suppresses(self):
+        findings = lint("""
+            def gc(path):
+                try:
+                    remove(path)
+                except OSError:  # dcpicheck: ignore[swallowed-exception]
+                    pass
+            """)
+        assert findings == []
+
+
 class TestSuppression:
     def test_bare_ignore_suppresses(self):
         findings = lint("""

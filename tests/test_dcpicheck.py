@@ -76,6 +76,23 @@ class TestJsonReport:
         assert "noise.py" in finding["location"]
         assert "lint" in payload["runtime_s"]
 
+    def test_rewrite_layer_report_is_deterministic(self, capsys):
+        # Two Layer-4 runs over the same seeded profile must serialize
+        # byte-identically (modulo wall-clock runtimes): the epoch
+        # store and CI diffing both key on stable report bytes.
+        payloads = []
+        for _ in range(2):
+            code = main(["--layers", "rewrite",
+                         "--workloads", "opt-branchy",
+                         "--json", "-"])
+            assert code == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["schema"] == REPORT_SCHEMA
+            assert payload["layers"] == ["rewrite"]
+            payload.pop("runtime_s")
+            payloads.append(json.dumps(payload, sort_keys=False))
+        assert payloads[0] == payloads[1]
+
     def test_json_to_stdout_is_parseable(self, bad_src, capsys):
         code = main(["--layers", "lint", "--src", bad_src,
                      "--json", "-"])

@@ -99,6 +99,92 @@ def test_fingerprint_mismatch_bails():
     assert "match" in result.reason
 
 
+def _branchy_plan(blocks=None, frozen=False, data_offset=None):
+    image = assemble(BRANCHY)
+    proc = image.procedures[0]
+    if blocks is None:
+        blocks = [BlockPlan(proc.start, proc.end)]
+    return image, RewritePlan(
+        image.name, image_fingerprint(assemble(BRANCHY)),
+        [ProcPlan(proc.name, blocks, frozen=frozen)],
+        data_offset=data_offset, stats={})
+
+
+class TestEveryBailoutReturnsTheImageUntouched:
+    """One directed test per counted ``rewrite_image`` bailout.
+
+    Each asserts the contract the counter advertises: the input image
+    comes back *by identity*, unmodified, with ``applied`` False.
+    """
+
+    def check(self, image, plan, fragment):
+        result = rewrite_image(image, plan)
+        assert not result.applied
+        assert result.image is image
+        assert fragment in result.reason, result.reason
+        assert result.old2new == {}
+        return result
+
+    def test_already_linked(self):
+        image, plan = _branchy_plan()
+        image.link(0x1_0000)
+        self.check(image, plan, "already linked")
+
+    def test_fingerprint_mismatch(self):
+        image, plan = _branchy_plan()
+        plan.fingerprint = image_fingerprint(
+            assemble(BRANCHY.replace("addq  t5, 7", "subq  t5, 7")))
+        self.check(image, plan, "match the profiled build")
+
+    def test_plan_procs_do_not_match(self):
+        image, plan = _branchy_plan()
+        plan.procs[0].name = "ghost"
+        self.check(image, plan, "procedures do not match")
+
+    def test_unknown_block(self):
+        image, plan = _branchy_plan(
+            blocks=[BlockPlan(0x00, 0x100)])
+        self.check(image, plan, "unknown block")
+
+    def test_misaligned_block(self):
+        image, plan = _branchy_plan(
+            blocks=[BlockPlan(0x02, 0x0a)])
+        self.check(image, plan, "unknown block")
+
+    def test_order_not_a_permutation(self):
+        image, plan = _branchy_plan(
+            blocks=[BlockPlan(0x00, 0x08, order=[0x00, 0x00])])
+        self.check(image, plan, "not a permutation")
+
+    def test_duplicate_emission(self):
+        # Two overlapping blocks would emit the shared range twice.
+        image, plan = _branchy_plan(
+            blocks=[BlockPlan(0x00, 0x08), BlockPlan(0x04, 0x0c),
+                    BlockPlan(0x0c, 0x2c)])
+        self.check(image, plan, "more than once")
+
+    def test_frozen_proc_with_non_identity_plan(self):
+        image, plan = _branchy_plan(
+            blocks=[BlockPlan(0x00, 0x08, order=[0x04, 0x00]),
+                    BlockPlan(0x08, 0x2c)],
+            frozen=True)
+        self.check(image, plan, "frozen")
+
+    def test_bad_target_remap(self):
+        # Dropping the rare block leaves the beq with nowhere to go.
+        image, plan = _branchy_plan(
+            blocks=[BlockPlan(0x00, 0x08), BlockPlan(0x08, 0x10),
+                    BlockPlan(0x10, 0x18), BlockPlan(0x1c, 0x28),
+                    BlockPlan(0x28, 0x2c)])
+        self.check(image, plan, "unmapped")
+
+    def test_data_overlap(self):
+        # Pin the data where the code lives: refuse, never link a
+        # program whose data shadows its instructions.
+        image, plan = _branchy_plan(data_offset=0x10)
+        self.check(image, plan, "overruns the pinned data")
+
+
 def test_build_plan_straightens_hot_path():
     _, plans = _planned("opt-branchy")
     assert plans, "no plan built for opt-branchy"
@@ -175,7 +261,7 @@ def test_optimize_workload_end_to_end(name):
     assert report.accepted, (report.oracle.mismatches, report.findings)
     assert report.speedup >= 0.05, report.speedup
     payload = report.report()
-    assert payload["schema"] == 1
+    assert payload["schema"] == 2
     assert payload["workload"] == name
     assert payload["baseline"]["cycles"] > payload["optimized"]["cycles"]
 
@@ -228,7 +314,7 @@ def test_cli_run_report_and_sweep(tmp_path, capsys):
     text = capsys.readouterr().out
     assert "ACCEPTED" in text
     payload = json.loads(out.read_text())
-    assert payload["schema"] == 1
+    assert payload["schema"] == 2
     assert payload["accepted"]
 
     rc = dcpiopt.main(["report", str(out)])

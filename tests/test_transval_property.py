@@ -1,0 +1,159 @@
+"""Differential property: the static validator vs the dynamic oracle.
+
+Hypothesis composes random programs from the synthetic-workload
+assembly generators, builds real optimizer plans for them, and then
+either ships the plan as-is or corrupts it (reordering dependent
+instructions, permuting or dropping blocks, freezing procs, moving the
+data pin).  For every (program, plan) pair both verifiers run:
+
+* **soundness** -- if the static validator accepts (or the rewrite
+  legitimately bails), the dynamic A/B oracle must find the runs
+  architecturally identical.  A static accept over a decidable dynamic
+  divergence is the one outcome translation validation exists to make
+  impossible;
+* **planner completeness** -- unmutated planner output is always
+  statically *accepted*, never rejected (the validator understands
+  everything the planner actually emits);
+* **actionable rejection** -- every rejection carries at least one
+  concrete per-block counterexample.
+
+The reverse direction is deliberately *not* asserted: the validator is
+conservative, so it may reject a mutation the single dynamic input
+happens not to distinguish (an off-path divergence).  That asymmetry
+is the reason the static gate runs first.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.alpha.assembler import assemble
+from repro.check.runner import plan_workload
+from repro.check.transval import validate_workload_plans
+from repro.opt.oracle import verify_identity
+from repro.workloads.asmgen import caller_proc, loop_proc
+from repro.workloads.base import Workload
+
+FLAVORS = ("int", "mem", "fp", "branchy", "stream")
+
+MUTATIONS = ("none", "swap-order", "swap-blocks", "drop-block",
+             "freeze", "move-pin")
+
+
+@st.composite
+def programs(draw):
+    """One assembly image: a few leaf loops plus a caller."""
+    count = draw(st.integers(min_value=1, max_value=3))
+    needs_buf = False
+    procs = []
+    for index in range(count):
+        flavor = draw(st.sampled_from(FLAVORS))
+        iters = draw(st.integers(min_value=1, max_value=96))
+        kwargs = {}
+        if flavor in ("mem", "stream"):
+            needs_buf = True
+            kwargs["buf"] = "heap"
+            kwargs["wrap"] = draw(st.sampled_from((16, 64, 256)))
+            kwargs["stride"] = draw(st.sampled_from((8, 16)))
+            if flavor == "stream":
+                iters = min(iters, 60)
+        procs.append(loop_proc("leaf%d" % index, iters, flavor,
+                               **kwargs))
+    rounds = draw(st.integers(min_value=1, max_value=3))
+    procs.append(caller_proc(
+        "main", ["leaf%d" % i for i in range(count)], rounds=rounds))
+    data = ".data heap, 4096\n" if needs_buf else ""
+    return ".image t\n%s%s" % (data, "".join(procs))
+
+
+class GeneratedWorkload(Workload):
+    """Wrap one generated program as a registry-shaped workload."""
+
+    name = "hypothesis-transval"
+    num_cpus = 1
+
+    def __init__(self, text):
+        self.text = text
+
+    def setup(self, machine):
+        image = assemble(self.text)
+        machine.spawn(image, entry="t:main", name=self.name)
+
+
+def mutate(plans, mutation, data):
+    """Corrupt *plans* in place; return True if anything changed."""
+    if mutation == "none" or not plans:
+        return False
+    plan = plans[data.draw(st.integers(0, len(plans) - 1),
+                           label="plan")]
+    if mutation == "move-pin":
+        if plan.data_offset is None:
+            return False
+        plan.data_offset += 8192
+        return True
+    if not plan.procs:
+        return False
+    proc = plan.procs[data.draw(st.integers(0, len(plan.procs) - 1),
+                                label="proc")]
+    if mutation == "freeze":
+        if proc.frozen:
+            return False
+        proc.frozen = True
+        return True
+    if mutation == "swap-blocks":
+        if len(proc.blocks) < 2:
+            return False
+        i = data.draw(st.integers(0, len(proc.blocks) - 2),
+                      label="block")
+        proc.blocks[i], proc.blocks[i + 1] = (proc.blocks[i + 1],
+                                              proc.blocks[i])
+        return True
+    if mutation == "drop-block":
+        if len(proc.blocks) < 2:
+            return False
+        del proc.blocks[data.draw(
+            st.integers(0, len(proc.blocks) - 1), label="block")]
+        return True
+    # swap-order: transpose two adjacent instructions in one block.
+    sizable = [b for b in proc.blocks if b.end - b.start >= 8]
+    if not sizable:
+        return False
+    block = sizable[data.draw(st.integers(0, len(sizable) - 1),
+                              label="block")]
+    order = list(block.order
+                 or range(block.start, block.end, 4))
+    i = data.draw(st.integers(0, len(order) - 2), label="slot")
+    order[i], order[i + 1] = order[i + 1], order[i]
+    block.order = order
+    return True
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(programs(), st.sampled_from(MUTATIONS), st.data())
+def test_static_verdict_is_sound_against_the_oracle(text, mutation,
+                                                    data):
+    workload = GeneratedWorkload(text)
+    workload, plans = plan_workload(workload,
+                                    max_instructions=40_000)
+    mutated = mutate(plans, mutation, data)
+
+    static = validate_workload_plans(workload, plans)
+    oracle = verify_identity(workload, plans)
+    decidable = [m for m in oracle.mismatches if "undecidable" not in m]
+    static_ok = all(report.ok for report in static.values())
+
+    # Soundness: a static accept (or bail) over a decidable dynamic
+    # divergence would mean the validator proved a falsehood.
+    if static_ok:
+        assert not decidable, (mutation, decidable)
+
+    # Planner completeness: real planner output is always accepted.
+    if not mutated:
+        for name, report in sorted(static.items()):
+            assert report.verdict == "accepted", (
+                name, [ce.message for ce in report.counterexamples])
+
+    # Actionable rejection: every rejection names a counterexample.
+    for report in static.values():
+        if report.verdict == "rejected":
+            assert report.counterexamples
